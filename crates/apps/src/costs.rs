@@ -1,0 +1,62 @@
+//! Per-application compute costs.
+//!
+//! These constants are the applications' *own* work (scanning, matching,
+//! permutation generation, compilation) — everything the I/O system
+//! cannot remove. They are calibrated so the conventional-mode runtimes
+//! land near Fig. 13's baselines on the paper's machine; the IO-Lite
+//! mode then differs only through genuine I/O mechanism deltas.
+
+/// Application compute-rate constants (nanoseconds per byte processed).
+#[derive(Debug, Clone, Copy)]
+pub struct AppCosts {
+    /// `wc`: byte classification and word-boundary detection.
+    pub wc_scan_ns_per_byte: f64,
+    /// `grep`: line assembly plus pattern matching.
+    pub grep_scan_ns_per_byte: f64,
+    /// `permute`: permutation generation and formatting.
+    pub permute_gen_ns_per_byte: f64,
+    /// `cat`: no per-byte compute (pure I/O).
+    pub cat_ns_per_byte: f64,
+    /// Compiler stages: preprocessing, compilation, assembly. These
+    /// dwarf I/O costs — the reason gcc shows no IO-Lite benefit.
+    pub cpp_ns_per_byte: f64,
+    /// cc1 compute rate.
+    pub cc1_ns_per_byte: f64,
+    /// as compute rate.
+    pub as_ns_per_byte: f64,
+}
+
+impl AppCosts {
+    /// Calibrated values (see crate docs and EXPERIMENTS.md).
+    pub fn calibrated() -> Self {
+        AppCosts {
+            wc_scan_ns_per_byte: 11.2,
+            grep_scan_ns_per_byte: 41.0,
+            permute_gen_ns_per_byte: 50.0,
+            cat_ns_per_byte: 0.0,
+            cpp_ns_per_byte: 2_000.0,
+            cc1_ns_per_byte: 12_000.0,
+            as_ns_per_byte: 3_000.0,
+        }
+    }
+}
+
+impl Default for AppCosts {
+    fn default() -> Self {
+        AppCosts::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_rates_positive_and_ordered() {
+        let c = AppCosts::calibrated();
+        // Compilation is orders of magnitude more compute-intensive than
+        // scanning — the Fig. 13 gcc null-result depends on this.
+        assert!(c.cc1_ns_per_byte > 100.0 * c.wc_scan_ns_per_byte);
+        assert!(c.grep_scan_ns_per_byte > c.wc_scan_ns_per_byte);
+    }
+}

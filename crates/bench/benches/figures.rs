@@ -1,0 +1,63 @@
+//! Figure-regeneration benchmarks: each bench runs its figure's sweep at
+//! reduced scale and, once per process, prints the measured series so
+//! `cargo bench` output documents the reproduction (see also the `repro`
+//! binary for full-scale runs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iolite_bench::figures::{self, Scale};
+
+/// Prints the miniature series once (skipped under `cargo test`).
+fn print_series_once() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    ONCE.call_once(|| {
+        let s = Scale::fast();
+        eprintln!("--- reduced-scale figure series (use `repro all` for full scale) ---");
+        for (name, rows) in [("fig03", figures::fig03(s)), ("fig04", figures::fig04(s))] {
+            eprintln!("{name}: size -> [Flash-Lite, Flash, Apache] Mb/s");
+            for r in rows {
+                eprintln!(
+                    "  {:>7}B {:>7.1} {:>7.1} {:>7.1}",
+                    r.x, r.mbps[0], r.mbps[1], r.mbps[2]
+                );
+            }
+        }
+        for row in figures::fig13(s) {
+            eprintln!(
+                "fig13 {:>8}: POSIX {:>8.1}ms IO-Lite {:>8.1}ms ({:+.1}%, paper -{:.0}%)",
+                row.name,
+                row.posix_ms,
+                row.iolite_ms,
+                -row.reduction_pct(),
+                row.paper_reduction_pct
+            );
+        }
+    });
+}
+
+fn bench_figures(c: &mut Criterion) {
+    print_series_once();
+    let s = Scale::fast();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("fig03_single_file", |b| b.iter(|| figures::fig03(s)));
+    g.bench_function("fig04_persistent", |b| b.iter(|| figures::fig04(s)));
+    g.bench_function("fig05_cgi", |b| b.iter(|| figures::fig05(s)));
+    g.bench_function("fig06_cgi_persistent", |b| b.iter(|| figures::fig06(s)));
+    g.bench_function("fig07_trace_synthesis", |b| b.iter(figures::fig07));
+    g.bench_function("fig08_trace_replay", |b| b.iter(|| figures::fig08(s)));
+    g.bench_function("fig09_subtrace", |b| b.iter(figures::fig09));
+    g.bench_function("fig10_dataset_sweep", |b| b.iter(|| figures::fig10(s)));
+    g.bench_function("fig11_ablation", |b| b.iter(|| figures::fig11(s)));
+    g.bench_function("fig12_wan", |b| b.iter(|| figures::fig12(s)));
+    g.bench_function("fig13_apps", |b| b.iter(|| figures::fig13(s)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

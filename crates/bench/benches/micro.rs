@@ -1,0 +1,178 @@
+//! Microbenchmarks of the core IO-Lite mechanisms (host performance of
+//! this implementation, not simulated time).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use iolite_buf::{Acl, Aggregate, BufferPool, DomainId, PoolId};
+use iolite_fs::{CacheKey, FileId, Policy, UnifiedCache};
+use iolite_ipc::{Pipe, PipeMode};
+use iolite_net::{internet_checksum, ChecksumCache};
+use iolite_vm::MmapView;
+
+/// Short measurement windows: benches document magnitudes, not publishable
+/// microbenchmark precision.
+fn quick<M: criterion::measurement::Measurement>(
+    mut g: criterion::BenchmarkGroup<'_, M>,
+) -> criterion::BenchmarkGroup<'_, M> {
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g
+}
+
+fn pool() -> BufferPool {
+    BufferPool::new(PoolId(1), Acl::with_domain(DomainId(1)), 64 * 1024)
+}
+
+fn bench_aggregates(c: &mut Criterion) {
+    let p = pool();
+    let data = vec![0xA5u8; 64 * 1024];
+    let mut g = quick(c.benchmark_group("aggregate"));
+    g.throughput(Throughput::Bytes(64 * 1024));
+    g.bench_function("from_bytes_64k", |b| {
+        b.iter(|| Aggregate::from_bytes(&p, &data))
+    });
+    let agg = Aggregate::from_bytes(&p, &data);
+    g.bench_function("clone_share", |b| b.iter(|| agg.clone()));
+    g.bench_function("split_at_mid", |b| b.iter(|| agg.split_at(32 * 1024)));
+    g.bench_function("concat", |b| b.iter(|| agg.concat(&agg)));
+    g.bench_function("range_4k", |b| b.iter(|| agg.range(1000, 4096).unwrap()));
+    g.bench_function("replace_16b", |b| {
+        b.iter(|| agg.replace(&p, 100, 16, b"0123456789abcdef").unwrap())
+    });
+    g.finish();
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let mut g = quick(c.benchmark_group("pool"));
+    g.bench_function("alloc_freeze_recycle_4k", |b| {
+        let p = pool();
+        b.iter(|| {
+            let mut m = p.alloc(4096).unwrap();
+            m.put(&[0u8; 4096]);
+            m.freeze()
+        })
+    });
+    g.bench_function("alloc_fresh_chunks", |b| {
+        // Hold every allocation: no recycling possible.
+        b.iter_batched(
+            pool,
+            |p| {
+                let mut keep = Vec::new();
+                for _ in 0..16 {
+                    let mut m = p.alloc(64 * 1024).unwrap();
+                    m.put(&[0u8; 64 * 1024]);
+                    keep.push(m.freeze());
+                }
+                keep
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_checksum(c: &mut Criterion) {
+    let p = pool();
+    let agg = Aggregate::from_bytes(&p, &vec![0x5Au8; 64 * 1024]);
+    let mut g = quick(c.benchmark_group("checksum"));
+    g.throughput(Throughput::Bytes(64 * 1024));
+    g.bench_function("compute_64k", |b| b.iter(|| internet_checksum(&agg)));
+    g.bench_function("cached_64k", |b| {
+        let mut cache = ChecksumCache::new(1024);
+        cache.sum_for(&agg.slices()[0]);
+        b.iter(|| cache.sum_for(&agg.slices()[0]))
+    });
+    g.finish();
+}
+
+fn bench_unified_cache(c: &mut Criterion) {
+    let p = pool();
+    let mut g = quick(c.benchmark_group("unified_cache"));
+    for policy in [Policy::Lru, Policy::Gds] {
+        let mut cache = UnifiedCache::new(policy, 64 << 20);
+        for i in 0..1000 {
+            cache.insert(
+                CacheKey::whole(FileId(i)),
+                Aggregate::from_bytes(&p, &vec![0u8; 4096]),
+            );
+        }
+        g.bench_function(format!("lookup_hit_{policy:?}"), |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 7) % 1000;
+                cache.lookup(&CacheKey::whole(FileId(i)))
+            })
+        });
+    }
+    // Steady-state insert+evict churn.
+    g.bench_function("insert_evict_churn", |b| {
+        let mut cache = UnifiedCache::new(Policy::Gds, 1 << 20);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            cache.insert(
+                CacheKey::whole(FileId(i)),
+                Aggregate::from_bytes(&p, &vec![0u8; 16 * 1024]),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_pipes(c: &mut Criterion) {
+    let p = pool();
+    let msg = Aggregate::from_bytes(&p, &vec![0u8; 32 * 1024]);
+    let mut g = quick(c.benchmark_group("pipe"));
+    g.throughput(Throughput::Bytes(32 * 1024));
+    g.bench_function("copy_mode_roundtrip_32k", |b| {
+        let mut pipe = Pipe::new(PipeMode::Copy, 64 * 1024);
+        b.iter(|| {
+            pipe.write(&msg);
+            pipe.read(u64::MAX)
+        })
+    });
+    g.bench_function("zero_copy_roundtrip_32k", |b| {
+        let mut pipe = Pipe::new(PipeMode::ZeroCopy, 64 * 1024);
+        b.iter(|| {
+            pipe.write(&msg);
+            pipe.read(u64::MAX)
+        })
+    });
+    g.finish();
+}
+
+fn bench_mmap(c: &mut Criterion) {
+    let p = pool();
+    let tiny = BufferPool::new(PoolId(2), Acl::kernel_only(), 1000);
+    let data = vec![1u8; 64 * 1024];
+    let contiguous = Aggregate::from_bytes_aligned(&p, &data, 4096);
+    let fragmented = Aggregate::from_bytes(&tiny, &data);
+    let mut g = quick(c.benchmark_group("mmap"));
+    g.throughput(Throughput::Bytes(64 * 1024));
+    g.bench_function("direct_read_64k", |b| {
+        b.iter_batched(
+            || MmapView::new(contiguous.clone()),
+            |mut v| v.read_all(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("fragmented_read_64k", |b| {
+        b.iter_batched(
+            || MmapView::new(fragmented.clone()),
+            |mut v| v.read_all(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_aggregates,
+    bench_pool,
+    bench_checksum,
+    bench_unified_cache,
+    bench_pipes,
+    bench_mmap
+);
+criterion_main!(benches);

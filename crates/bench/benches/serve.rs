@@ -1,0 +1,76 @@
+//! Server hot-path benchmarks: one request end-to-end through the real
+//! kernel structures, per server model.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use iolite_core::{CostModel, Kernel};
+use iolite_fs::{CacheKey, Policy};
+use iolite_http::{server::serve_static, CgiProcess, ServerKind};
+use iolite_ipc::PipeMode;
+use iolite_net::{TcpConn, DEFAULT_MSS, DEFAULT_TSS};
+
+/// Short measurement windows: benches document magnitudes, not publishable
+/// microbenchmark precision.
+fn quick<M: criterion::measurement::Measurement>(
+    mut g: criterion::BenchmarkGroup<'_, M>,
+) -> criterion::BenchmarkGroup<'_, M> {
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g
+}
+
+fn bench_serve_static(c: &mut Criterion) {
+    for (size, label) in [(20u64 << 10, "20k"), (200u64 << 10, "200k")] {
+        let mut g = quick(c.benchmark_group(format!("serve_static_{label}")));
+        g.throughput(Throughput::Bytes(size));
+        for kind in [ServerKind::FlashLite, ServerKind::Flash, ServerKind::Apache] {
+            let policy = if kind == ServerKind::FlashLite {
+                Policy::Gds
+            } else {
+                Policy::Lru
+            };
+            let mut kernel = Kernel::with_policy(CostModel::pentium_ii_333(), policy);
+            let pid = kernel.spawn("server");
+            let file = kernel.create_synthetic_file("/doc", size, 1);
+            let mut conn = TcpConn::new(1, kind.buffer_mode(), DEFAULT_MSS, DEFAULT_TSS);
+            // Warm everything.
+            serve_static(&mut kernel, kind, &mut conn, pid, file);
+            kernel.cache.unpin(&CacheKey::whole(file));
+            g.bench_function(kind.label(), |b| {
+                b.iter(|| {
+                    let rc = serve_static(&mut kernel, kind, &mut conn, pid, file);
+                    if let Some(k) = rc.pin_key {
+                        kernel.cache.unpin(&k);
+                    }
+                    rc.response_bytes
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+fn bench_serve_cgi(c: &mut Criterion) {
+    let mut g = quick(c.benchmark_group("serve_cgi_100k"));
+    g.throughput(Throughput::Bytes(100 << 10));
+    for (kind, mode) in [
+        (ServerKind::FlashLite, PipeMode::ZeroCopy),
+        (ServerKind::Flash, PipeMode::Copy),
+    ] {
+        let mut kernel = Kernel::new(CostModel::pentium_ii_333());
+        let server = kernel.spawn("server");
+        let mut cgi = CgiProcess::new(&mut kernel, server, 100 << 10, mode);
+        let mut conn = TcpConn::new(1, kind.buffer_mode(), DEFAULT_MSS, DEFAULT_TSS);
+        cgi.serve(&mut kernel, kind, &mut conn, server);
+        g.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                cgi.serve(&mut kernel, kind, &mut conn, server)
+                    .response_bytes
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_serve_static, bench_serve_cgi);
+criterion_main!(benches);

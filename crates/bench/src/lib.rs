@@ -1,0 +1,17 @@
+//! Figure-regeneration harness: one function per figure of the paper's
+//! evaluation (§5), shared by the `repro` binary and the Criterion
+//! benches.
+//!
+//! Every function returns printable rows so EXPERIMENTS.md can record
+//! paper-vs-measured numbers; `Scale` trades run length for fidelity
+//! (benches use `Scale::fast()`, the `repro` binary defaults to
+//! `Scale::full()`).
+
+pub mod figures;
+
+pub use figures::Scale;
+
+/// Formats one bandwidth row.
+pub fn fmt_mbps(v: f64) -> String {
+    format!("{v:7.1}")
+}

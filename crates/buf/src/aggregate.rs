@@ -1,0 +1,543 @@
+//! Buffer aggregates: the mutable ADT over immutable buffers (§3.1).
+//!
+//! An aggregate is an ordered list of [`Slice`]s. Its *value* is the
+//! concatenation of its slices' bytes. Aggregates are passed **by value**
+//! between subsystems while the underlying buffers pass by reference —
+//! cloning an aggregate never copies payload bytes.
+//!
+//! The operations mirror the paper's list: creation, destruction,
+//! duplication, concatenation, truncation, prepending, appending,
+//! splitting, plus the §3.8 mutation model (`replace`: new buffers
+//! chained with unmodified slices) and the "case 3" escape hatch
+//! (`pack`: defragment into one contiguous buffer when chaining costs
+//! exceed a copy).
+
+use std::fmt;
+
+use crate::error::BufError;
+use crate::pool::BufferPool;
+use crate::reader::AggReader;
+use crate::slice::Slice;
+
+/// A mutable buffer aggregate over immutable IO-Lite buffers.
+///
+/// # Examples
+///
+/// ```
+/// use iolite_buf::{Acl, Aggregate, BufferPool, DomainId, PoolId};
+///
+/// let pool = BufferPool::new(PoolId(1), Acl::with_domain(DomainId(1)), 4096);
+/// let a = Aggregate::from_bytes(&pool, b"GET /index.html");
+/// let (verb, rest) = a.split_at(3);
+/// assert_eq!(verb.to_vec(), b"GET");
+/// assert_eq!(rest.to_vec(), b" /index.html");
+/// ```
+#[derive(Clone, Default)]
+pub struct Aggregate {
+    slices: Vec<Slice>,
+    len: u64,
+}
+
+impl Aggregate {
+    /// Creates an empty aggregate.
+    pub fn empty() -> Self {
+        Aggregate::default()
+    }
+
+    /// Creates an aggregate viewing a single slice.
+    pub fn from_slice(s: Slice) -> Self {
+        let len = s.len() as u64;
+        if len == 0 {
+            return Aggregate::empty();
+        }
+        Aggregate {
+            slices: vec![s],
+            len,
+        }
+    }
+
+    /// Allocates buffers from `pool` and copies `data` into them.
+    ///
+    /// Data larger than the pool's chunk size spans multiple buffers;
+    /// the resulting aggregate still reads back as one contiguous value.
+    /// This is the ingress point where outside bytes *enter* the IO-Lite
+    /// world (and the one place a copy is inherent).
+    pub fn from_bytes(pool: &BufferPool, data: &[u8]) -> Self {
+        let mut agg = Aggregate::empty();
+        let max = pool.chunk_size();
+        let mut rest = data;
+        while !rest.is_empty() {
+            let take = rest.len().min(max);
+            let mut b = pool
+                .alloc(take)
+                .expect("chunk-size-bounded allocation cannot fail");
+            b.put(&rest[..take]);
+            agg.append_slice(b.freeze());
+            rest = &rest[take..];
+        }
+        agg
+    }
+
+    /// Like [`Aggregate::from_bytes`] but with page-aligned, page-sized
+    /// buffers, as the file system produces for disk data (§3.5).
+    pub fn from_bytes_aligned(pool: &BufferPool, data: &[u8], align: usize) -> Self {
+        let mut agg = Aggregate::empty();
+        let max = pool.chunk_size();
+        let mut rest = data;
+        while !rest.is_empty() {
+            let take = rest.len().min(max);
+            let mut b = pool
+                .alloc_aligned(take, align)
+                .expect("chunk-size-bounded allocation cannot fail");
+            b.put(&rest[..take]);
+            agg.append_slice(b.freeze());
+            rest = &rest[take..];
+        }
+        agg
+    }
+
+    /// Total length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the aggregate holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of slices (the fragmentation degree; drives indexing cost
+    /// in §3.8's analysis).
+    pub fn num_slices(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// The slices, in order.
+    pub fn slices(&self) -> &[Slice] {
+        &self.slices
+    }
+
+    /// Appends one slice.
+    pub fn append_slice(&mut self, s: Slice) {
+        if s.is_empty() {
+            return;
+        }
+        self.len += s.len() as u64;
+        self.slices.push(s);
+    }
+
+    /// Prepends one slice.
+    pub fn prepend_slice(&mut self, s: Slice) {
+        if s.is_empty() {
+            return;
+        }
+        self.len += s.len() as u64;
+        self.slices.insert(0, s);
+    }
+
+    /// Appends all slices of `other` (by reference; no payload copy).
+    pub fn append(&mut self, other: &Aggregate) {
+        self.slices.extend(other.slices.iter().cloned());
+        self.len += other.len;
+    }
+
+    /// Prepends all slices of `other`.
+    pub fn prepend(&mut self, other: &Aggregate) {
+        let mut slices = other.slices.clone();
+        slices.append(&mut self.slices);
+        self.slices = slices;
+        self.len += other.len;
+    }
+
+    /// Returns `self ++ other` without modifying either.
+    pub fn concat(&self, other: &Aggregate) -> Aggregate {
+        let mut out = self.clone();
+        out.append(other);
+        out
+    }
+
+    /// Splits into `(first mid bytes, rest)` without copying.
+    ///
+    /// `mid` is clamped to the aggregate's length.
+    pub fn split_at(&self, mid: u64) -> (Aggregate, Aggregate) {
+        let mid = mid.min(self.len);
+        let mut head = Aggregate::empty();
+        let mut tail = Aggregate::empty();
+        let mut remaining = mid;
+        for s in &self.slices {
+            let sl = s.len() as u64;
+            if remaining >= sl {
+                head.append_slice(s.clone());
+                remaining -= sl;
+            } else if remaining > 0 {
+                let cut = remaining as usize;
+                head.append_slice(s.sub(0, cut).expect("cut < len"));
+                tail.append_slice(s.sub(cut, s.len() - cut).expect("in range"));
+                remaining = 0;
+            } else {
+                tail.append_slice(s.clone());
+            }
+        }
+        (head, tail)
+    }
+
+    /// Keeps only the first `len` bytes.
+    pub fn truncate(&mut self, len: u64) {
+        if len >= self.len {
+            return;
+        }
+        *self = self.split_at(len).0;
+    }
+
+    /// Drops the first `n` bytes.
+    pub fn advance(&mut self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self = self.split_at(n).1;
+    }
+
+    /// A zero-copy view of `len` bytes starting at `start`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BufError::OutOfRange`] if the range exceeds the
+    /// aggregate.
+    pub fn range(&self, start: u64, len: u64) -> Result<Aggregate, BufError> {
+        if start + len > self.len {
+            return Err(BufError::OutOfRange {
+                requested: start + len,
+                available: self.len,
+            });
+        }
+        let (_, tail) = self.split_at(start);
+        let (mid, _) = tail.split_at(len);
+        Ok(mid)
+    }
+
+    /// Copies the aggregate's value into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.len as usize);
+        for s in &self.slices {
+            out.extend_from_slice(s.as_bytes());
+        }
+        out
+    }
+
+    /// Copies up to `dst.len()` bytes starting at `offset` into `dst`,
+    /// returning how many were copied.
+    pub fn copy_to(&self, offset: u64, dst: &mut [u8]) -> usize {
+        let mut skipped = 0u64;
+        let mut written = 0usize;
+        for s in &self.slices {
+            let bytes = s.as_bytes();
+            let sl = bytes.len() as u64;
+            if skipped + sl <= offset {
+                skipped += sl;
+                continue;
+            }
+            let start = (offset.saturating_sub(skipped)) as usize;
+            let avail = &bytes[start..];
+            let take = avail.len().min(dst.len() - written);
+            dst[written..written + take].copy_from_slice(&avail[..take]);
+            written += take;
+            skipped += sl;
+            if written == dst.len() {
+                break;
+            }
+        }
+        written
+    }
+
+    /// The byte at `idx`, or `None` past the end.
+    ///
+    /// This is the §3.8 "indexing cost" operation: it walks the slice
+    /// list, so heavily fragmented aggregates pay more.
+    pub fn byte_at(&self, idx: u64) -> Option<u8> {
+        if idx >= self.len {
+            return None;
+        }
+        let mut skipped = 0u64;
+        for s in &self.slices {
+            let sl = s.len() as u64;
+            if idx < skipped + sl {
+                return Some(s.as_bytes()[(idx - skipped) as usize]);
+            }
+            skipped += sl;
+        }
+        None
+    }
+
+    /// Value equality (byte-wise), independent of fragmentation.
+    pub fn content_eq(&self, other: &Aggregate) -> bool {
+        if self.len != other.len {
+            return false;
+        }
+        // Compare without materializing either side.
+        let mut a = self.iter_bytes();
+        let mut b = other.iter_bytes();
+        loop {
+            match (a.next(), b.next()) {
+                (None, None) => return true,
+                (Some(x), Some(y)) if x == y => continue,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Iterates over the aggregate's bytes.
+    pub fn iter_bytes(&self) -> impl Iterator<Item = u8> + '_ {
+        self.slices
+            .iter()
+            .flat_map(|s| s.as_bytes().iter().copied())
+    }
+
+    /// A `std::io::Read` adapter over the aggregate.
+    pub fn reader(&self) -> AggReader<'_> {
+        AggReader::new(self)
+    }
+
+    /// The §3.8 mutation model: returns a new aggregate equal to `self`
+    /// with `range` replaced by `new_data`, copying **only** `new_data`
+    /// into fresh buffers and chaining the untouched slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BufError::OutOfRange`] if `start + len` exceeds the
+    /// aggregate.
+    pub fn replace(
+        &self,
+        pool: &BufferPool,
+        start: u64,
+        len: u64,
+        new_data: &[u8],
+    ) -> Result<Aggregate, BufError> {
+        if start + len > self.len {
+            return Err(BufError::OutOfRange {
+                requested: start + len,
+                available: self.len,
+            });
+        }
+        let (head, rest) = self.split_at(start);
+        let (_, tail) = rest.split_at(len);
+        let mut out = head;
+        out.append(&Aggregate::from_bytes(pool, new_data));
+        out.append(&tail);
+        Ok(out)
+    }
+
+    /// Defragments into a minimal number of contiguous buffers (the
+    /// §3.8 "case 3" full copy, and the layout `mmap` needs).
+    pub fn pack(&self, pool: &BufferPool) -> Aggregate {
+        Aggregate::from_bytes(pool, &self.to_vec())
+    }
+
+    /// Sum of distinct buffer bytes referenced, counting each underlying
+    /// buffer once (used by memory accounting: overlapping or repeated
+    /// slices don't double-bill).
+    pub fn distinct_buffer_bytes(&self) -> u64 {
+        let mut seen: Vec<&Slice> = Vec::new();
+        let mut total = 0u64;
+        for s in &self.slices {
+            if !seen.iter().any(|t| t.same_buffer(s)) {
+                total += s.len() as u64;
+                seen.push(s);
+            }
+        }
+        total
+    }
+}
+
+impl fmt::Debug for Aggregate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Aggregate(len={}, slices={})",
+            self.len,
+            self.slices.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Acl, DomainId, PoolId};
+
+    fn pool() -> BufferPool {
+        BufferPool::new(PoolId(1), Acl::with_domain(DomainId(1)), 64)
+    }
+
+    #[test]
+    fn from_bytes_round_trips() {
+        let p = pool();
+        let a = Aggregate::from_bytes(&p, b"hello world");
+        assert_eq!(a.len(), 11);
+        assert_eq!(a.to_vec(), b"hello world");
+    }
+
+    #[test]
+    fn large_data_spans_chunks() {
+        let p = pool();
+        let data: Vec<u8> = (0..200u8).collect();
+        let a = Aggregate::from_bytes(&p, &data);
+        assert!(a.num_slices() >= 4, "64-byte chunks force splitting");
+        assert_eq!(a.to_vec(), data);
+    }
+
+    #[test]
+    fn concat_and_prepend() {
+        let p = pool();
+        let a = Aggregate::from_bytes(&p, b"abc");
+        let b = Aggregate::from_bytes(&p, b"def");
+        assert_eq!(a.concat(&b).to_vec(), b"abcdef");
+        let mut c = b.clone();
+        c.prepend(&a);
+        assert_eq!(c.to_vec(), b"abcdef");
+        assert_eq!(c.len(), 6);
+    }
+
+    #[test]
+    fn split_at_various_points() {
+        let p = pool();
+        let a = Aggregate::from_bytes(&p, b"abcdef");
+        let (h, t) = a.split_at(0);
+        assert!(h.is_empty());
+        assert_eq!(t.to_vec(), b"abcdef");
+        let (h, t) = a.split_at(6);
+        assert_eq!(h.to_vec(), b"abcdef");
+        assert!(t.is_empty());
+        let (h, t) = a.split_at(2);
+        assert_eq!(h.to_vec(), b"ab");
+        assert_eq!(t.to_vec(), b"cdef");
+        // Clamped past the end.
+        let (h, t) = a.split_at(100);
+        assert_eq!(h.len(), 6);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn truncate_and_advance() {
+        let p = pool();
+        let mut a = Aggregate::from_bytes(&p, b"abcdef");
+        a.truncate(4);
+        assert_eq!(a.to_vec(), b"abcd");
+        a.advance(1);
+        assert_eq!(a.to_vec(), b"bcd");
+        a.truncate(100);
+        assert_eq!(a.len(), 3);
+        a.advance(0);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn range_is_zero_copy_view() {
+        let p = pool();
+        let a = Aggregate::from_bytes(&p, b"abcdefgh");
+        let r = a.range(2, 4).unwrap();
+        assert_eq!(r.to_vec(), b"cdef");
+        assert!(a.range(5, 10).is_err());
+    }
+
+    #[test]
+    fn byte_at_indexing() {
+        let p = pool();
+        let data: Vec<u8> = (0..150u8).collect();
+        let a = Aggregate::from_bytes(&p, &data);
+        for (i, &b) in data.iter().enumerate() {
+            assert_eq!(a.byte_at(i as u64), Some(b));
+        }
+        assert_eq!(a.byte_at(150), None);
+    }
+
+    #[test]
+    fn copy_to_partial_windows() {
+        let p = pool();
+        let a = Aggregate::from_bytes(&p, b"abcdefgh");
+        let mut buf = [0u8; 3];
+        assert_eq!(a.copy_to(2, &mut buf), 3);
+        assert_eq!(&buf, b"cde");
+        assert_eq!(a.copy_to(6, &mut buf), 2);
+        assert_eq!(&buf[..2], b"gh");
+        assert_eq!(a.copy_to(8, &mut buf), 0);
+    }
+
+    #[test]
+    fn content_eq_ignores_fragmentation() {
+        let p = pool();
+        let a = Aggregate::from_bytes(&p, b"abcdef");
+        let b = Aggregate::from_bytes(&p, b"abc").concat(&Aggregate::from_bytes(&p, b"def"));
+        assert!(a.content_eq(&b));
+        let c = Aggregate::from_bytes(&p, b"abcdeX");
+        assert!(!a.content_eq(&c));
+        let d = Aggregate::from_bytes(&p, b"abcde");
+        assert!(!a.content_eq(&d));
+    }
+
+    #[test]
+    fn replace_chains_new_buffer() {
+        let p = pool();
+        let a = Aggregate::from_bytes(&p, b"GET /old.html HTTP/1.0");
+        let b = a.replace(&p, 5, 3, b"new").unwrap();
+        assert_eq!(b.to_vec(), b"GET /new.html HTTP/1.0");
+        // Original is untouched (immutability).
+        assert_eq!(a.to_vec(), b"GET /old.html HTTP/1.0");
+        // The unmodified head and tail share buffers with the original.
+        assert!(b.slices()[0].same_buffer(&a.slices()[0]));
+    }
+
+    #[test]
+    fn replace_with_different_length() {
+        let p = pool();
+        let a = Aggregate::from_bytes(&p, b"abcdef");
+        let grown = a.replace(&p, 3, 0, b"XYZ").unwrap();
+        assert_eq!(grown.to_vec(), b"abcXYZdef");
+        let shrunk = a.replace(&p, 1, 4, b"").unwrap();
+        assert_eq!(shrunk.to_vec(), b"af");
+        assert!(a.replace(&p, 5, 5, b"!").is_err());
+    }
+
+    #[test]
+    fn pack_defragments() {
+        let p = BufferPool::new(PoolId(2), Acl::kernel_only(), 4096);
+        let mut a = Aggregate::empty();
+        for i in 0..10 {
+            a.append(&Aggregate::from_bytes(&p, &[i as u8]));
+        }
+        assert_eq!(a.num_slices(), 10);
+        let packed = a.pack(&p);
+        assert_eq!(packed.num_slices(), 1);
+        assert!(packed.content_eq(&a));
+    }
+
+    #[test]
+    fn distinct_buffer_bytes_dedups() {
+        let p = pool();
+        let a = Aggregate::from_bytes(&p, b"abcd");
+        let s = a.slices()[0].clone();
+        let mut dup = Aggregate::from_slice(s.clone());
+        dup.append_slice(s);
+        assert_eq!(dup.len(), 8);
+        assert_eq!(dup.distinct_buffer_bytes(), 4);
+    }
+
+    #[test]
+    fn empty_slices_are_dropped() {
+        let p = pool();
+        let mut a = Aggregate::empty();
+        let s = Aggregate::from_bytes(&p, b"ab").slices()[0].clone();
+        a.append_slice(s.sub(0, 0).unwrap());
+        assert!(a.is_empty());
+        assert_eq!(a.num_slices(), 0);
+    }
+
+    #[test]
+    fn reader_reads_all() {
+        use std::io::Read;
+        let p = pool();
+        let a = Aggregate::from_bytes(&p, b"stream me");
+        let mut out = String::new();
+        a.reader().read_to_string(&mut out).unwrap();
+        assert_eq!(out, "stream me");
+    }
+}

@@ -1,0 +1,118 @@
+//! Identifier newtypes shared across the IO-Lite stack.
+
+use std::fmt;
+
+/// A protection domain: a process, or the kernel itself.
+///
+/// IO-Lite ensures access control "at the granularity of processes"
+/// (§3.3); every buffer pool carries an access-control list of domains.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DomainId(pub u32);
+
+impl DomainId {
+    /// The kernel's own domain; a trusted producer that keeps permanent
+    /// write permission on its pools (§3.2).
+    pub const KERNEL: DomainId = DomainId(0);
+}
+
+impl fmt::Display for DomainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == DomainId::KERNEL {
+            write!(f, "kernel")
+        } else {
+            write!(f, "pid{}", self.0)
+        }
+    }
+}
+
+/// An allocation pool of IO-Lite buffers sharing one ACL (§3.3).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PoolId(pub u32);
+
+impl fmt::Display for PoolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pool{}", self.0)
+    }
+}
+
+/// A 64KB chunk of the IO-Lite window (§4.5) — the granularity of VM
+/// access-control operations. Chunk identities are stable across
+/// recycling; the [`Generation`] distinguishes successive uses.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ChunkId(pub u64);
+
+impl fmt::Display for ChunkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chunk{}", self.0)
+    }
+}
+
+/// The "address" of an IO-Lite buffer: which chunk it occupies and at
+/// what byte offset.
+///
+/// Because chunks recycle, the same `BufferId` recurs over time; paired
+/// with a [`Generation`] it uniquely identifies buffer *contents*
+/// system-wide, which is what the checksum cache keys on (§3.9).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BufferId {
+    /// The chunk this buffer lives in.
+    pub chunk: ChunkId,
+    /// Byte offset of the buffer within its chunk.
+    pub offset: u32,
+}
+
+impl fmt::Display for BufferId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}+{:#x}", self.chunk, self.offset)
+    }
+}
+
+/// A buffer generation number, "incremented every time a buffer is
+/// reallocated" (§3.9).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Generation(pub u64);
+
+impl Generation {
+    /// The next generation.
+    pub fn next(self) -> Generation {
+        Generation(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Generation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_domain_displays() {
+        assert_eq!(DomainId::KERNEL.to_string(), "kernel");
+        assert_eq!(DomainId(3).to_string(), "pid3");
+    }
+
+    #[test]
+    fn generation_advances() {
+        let g = Generation::default();
+        assert_eq!(g.next(), Generation(1));
+        assert_eq!(g.next().next(), Generation(2));
+    }
+
+    #[test]
+    fn buffer_id_identity() {
+        let a = BufferId {
+            chunk: ChunkId(1),
+            offset: 4096,
+        };
+        let b = BufferId {
+            chunk: ChunkId(1),
+            offset: 4096,
+        };
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), "chunk1+0x1000");
+    }
+}

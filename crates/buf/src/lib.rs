@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+//! The IO-Lite buffer system: immutable I/O buffers and mutable buffer
+//! aggregates (paper §3.1, §3.3, §4.5).
+//!
+//! All I/O data in IO-Lite lives in **immutable buffers** whose physical
+//! location never changes; every subsystem (file cache, network, IPC,
+//! applications) shares single physical copies read-only. Subsystems
+//! manipulate data through **buffer aggregates** — ordered lists of
+//! ⟨pointer, length⟩ *slices* into those buffers. Mutation allocates new
+//! buffers for the changed bytes and chains them with the unchanged
+//! slices.
+//!
+//! Buffers are allocated from per-ACL **pools** in 64KB **chunks** (the
+//! access-control granularity of §4.5). Chunks recycle: when every
+//! allocation in a chunk has been dropped, the chunk returns to its
+//! pool's free list and the next allocation reuses it with a bumped
+//! **generation number** — the mechanism behind both the cheap
+//! steady-state IPC of §3.2 (mappings persist across recycling) and the
+//! checksum cache of §3.9 (⟨address, generation⟩ uniquely identifies
+//! contents system-wide).
+//!
+//! This crate is pure data-plane: it moves real bytes and reports
+//! allocation events ([`AllocEvent`]) that the kernel layer converts into
+//! simulated VM-mapping cost. It is deliberately single-threaded (`Rc`);
+//! the enclosing simulation is deterministic and sequential.
+//!
+//! # Examples
+//!
+//! ```
+//! use iolite_buf::{Acl, Aggregate, BufferPool, DomainId, PoolId};
+//!
+//! let pool = BufferPool::new(PoolId(1), Acl::with_domain(DomainId(7)), 64 * 1024);
+//! let hello = Aggregate::from_bytes(&pool, b"hello, ");
+//! let world = Aggregate::from_bytes(&pool, b"world");
+//! let both = hello.concat(&world);
+//! assert_eq!(both.to_vec(), b"hello, world");
+//! ```
+
+pub mod acl;
+pub mod aggregate;
+pub mod error;
+pub mod ids;
+pub mod pool;
+pub mod reader;
+pub mod slice;
+
+pub use acl::Acl;
+pub use aggregate::Aggregate;
+pub use error::BufError;
+pub use ids::{BufferId, ChunkId, DomainId, Generation, PoolId};
+pub use pool::{AllocEvent, BufMut, BufferPool, PoolStats};
+pub use reader::AggReader;
+pub use slice::Slice;
+
+/// The virtual-memory page size the paper's prototype uses (FreeBSD x86).
+pub const PAGE_SIZE: usize = 4096;
+
+/// The default chunk size: the §4.5 access-control granularity.
+pub const DEFAULT_CHUNK_SIZE: usize = 64 * 1024;

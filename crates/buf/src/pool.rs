@@ -1,0 +1,518 @@
+//! Buffer pools: chunked, ACL-tagged, recycling allocators (§3.3, §4.5).
+//!
+//! A pool hands out writable allocations ([`BufMut`]) carved from 64KB
+//! chunks. Freezing a `BufMut` yields an immutable [`Slice`]. When every
+//! allocation in a chunk has been dropped, the chunk is *recycled*: the
+//! next use bumps its generation number and — crucially for the IPC cost
+//! model of §3.2 — requires **no** new VM mappings in the domains that
+//! already saw it, because read-only mappings persist after deallocation.
+//!
+//! The pool reports an [`AllocEvent`] per allocation so the kernel layer
+//! can charge page-mapping cost only for *fresh* chunks.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::acl::Acl;
+use crate::error::BufError;
+use crate::ids::{BufferId, ChunkId, DomainId, Generation, PoolId};
+use crate::slice::{BufferInner, ChunkState, Slice};
+
+/// How the chunk backing an allocation was obtained.
+///
+/// The kernel layer converts this into simulated VM cost: only
+/// [`AllocEvent::FreshChunk`] requires establishing mappings; recycled
+/// and already-open chunks ride on lazily persisting mappings (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocEvent {
+    /// A brand-new chunk was created; receiving domains will need VM maps.
+    FreshChunk,
+    /// A fully-drained chunk was reused; its generation was bumped and
+    /// existing mappings remain valid.
+    RecycledChunk,
+    /// The allocation was packed into the pool's currently open chunk.
+    OpenChunk,
+}
+
+/// Counters describing a pool's allocation behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Allocations served.
+    pub allocs: u64,
+    /// Bytes handed out (payload, not chunk padding).
+    pub bytes_allocated: u64,
+    /// Brand-new chunks created.
+    pub chunks_created: u64,
+    /// Chunks reused after draining.
+    pub chunks_recycled: u64,
+    /// Chunks released back to the VM system by [`BufferPool::release_free_chunks`].
+    pub chunks_released: u64,
+}
+
+struct PoolInner {
+    id: PoolId,
+    acl: Acl,
+    chunk_size: usize,
+    next_chunk: u64,
+    /// The chunk currently being bump-allocated, and its fill offset.
+    open: Option<(Rc<ChunkState>, usize)>,
+    /// Chunks known to be fully drained and ready for reuse.
+    free: Vec<Rc<ChunkState>>,
+    /// Every chunk this pool has created and not released.
+    registry: Vec<Rc<ChunkState>>,
+    stats: PoolStats,
+}
+
+/// A pool of IO-Lite buffers sharing one access-control list.
+///
+/// Cloning the handle shares the pool. All data allocated from one pool
+/// is readable by exactly the domains on its ACL (§3.3: "the choice of a
+/// pool from which a new IO-Lite buffer is allocated determines the ACL
+/// of the data stored in the buffer").
+#[derive(Clone)]
+pub struct BufferPool {
+    inner: Rc<RefCell<PoolInner>>,
+}
+
+impl BufferPool {
+    /// Creates a pool with the given identity, ACL, and chunk size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero.
+    pub fn new(id: PoolId, acl: Acl, chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        BufferPool {
+            inner: Rc::new(RefCell::new(PoolInner {
+                id,
+                acl,
+                chunk_size,
+                next_chunk: 0,
+                open: None,
+                free: Vec::new(),
+                registry: Vec::new(),
+                stats: PoolStats::default(),
+            })),
+        }
+    }
+
+    /// The pool's identity.
+    pub fn id(&self) -> PoolId {
+        self.inner.borrow().id
+    }
+
+    /// The pool's access-control list.
+    pub fn acl(&self) -> Acl {
+        self.inner.borrow().acl.clone()
+    }
+
+    /// Grants an additional domain read access to future *and existing*
+    /// buffers of this pool.
+    ///
+    /// Existing slices snapshot the ACL at allocation time, so this only
+    /// affects future allocations; the paper's servers set ACLs up front
+    /// (one pool per CGI instance, §3.10).
+    pub fn grant(&self, d: DomainId) {
+        self.inner.borrow_mut().acl.grant(d);
+    }
+
+    /// The pool's chunk size.
+    pub fn chunk_size(&self) -> usize {
+        self.inner.borrow().chunk_size
+    }
+
+    /// Allocates `len` writable bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BufError::TooLarge`] if `len` exceeds the chunk size;
+    /// larger data objects span multiple buffers via
+    /// [`crate::Aggregate::from_bytes`].
+    pub fn alloc(&self, len: usize) -> Result<BufMut, BufError> {
+        self.alloc_inner(len, 1)
+    }
+
+    /// Allocates `len` bytes aligned to `align` within the chunk.
+    ///
+    /// The file system uses page alignment for disk-sourced data ("file
+    /// data that originate from a local disk are generally page-aligned
+    /// and page-sized", §3.5).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BufError::TooLarge`] if the aligned allocation cannot fit
+    /// in a single chunk.
+    pub fn alloc_aligned(&self, len: usize, align: usize) -> Result<BufMut, BufError> {
+        self.alloc_inner(len, align.max(1))
+    }
+
+    fn alloc_inner(&self, len: usize, align: usize) -> Result<BufMut, BufError> {
+        let mut inner = self.inner.borrow_mut();
+        let chunk_size = inner.chunk_size;
+        if len > chunk_size {
+            return Err(BufError::TooLarge {
+                requested: len,
+                max: chunk_size,
+            });
+        }
+        // Try to pack into the open chunk.
+        let mut placed: Option<(Rc<ChunkState>, usize, AllocEvent)> = None;
+        if let Some((chunk, fill)) = inner.open.take() {
+            let aligned = fill.div_ceil(align) * align;
+            if aligned + len <= chunk_size {
+                placed = Some((chunk, aligned, AllocEvent::OpenChunk));
+            }
+            // Else: the open chunk is abandoned to the registry; it will
+            // recycle once its allocations drain.
+        }
+        let (chunk, offset, event) = match placed {
+            Some(p) => p,
+            None => {
+                // Prefer a recycled chunk; scavenge the registry for
+                // drained chunks if the free list is empty.
+                if inner.free.is_empty() {
+                    scavenge(&mut inner);
+                }
+                if let Some(chunk) = inner.free.pop() {
+                    chunk.bump_generation();
+                    inner.stats.chunks_recycled += 1;
+                    (chunk, 0, AllocEvent::RecycledChunk)
+                } else {
+                    let id = ChunkId(inner.next_chunk);
+                    inner.next_chunk += 1;
+                    let chunk = Rc::new(ChunkState::new(id, inner.id, chunk_size));
+                    inner.registry.push(Rc::clone(&chunk));
+                    inner.stats.chunks_created += 1;
+                    (chunk, 0, AllocEvent::FreshChunk)
+                }
+            }
+        };
+        inner.open = Some((Rc::clone(&chunk), offset + len));
+        inner.stats.allocs += 1;
+        inner.stats.bytes_allocated += len as u64;
+        let meta = BufMeta {
+            id: BufferId {
+                chunk: chunk.id(),
+                offset: offset as u32,
+            },
+            generation: chunk.generation(),
+            pool: inner.id,
+            acl: inner.acl.clone(),
+        };
+        Ok(BufMut {
+            bytes: Vec::with_capacity(len),
+            capacity: len,
+            meta,
+            chunk,
+            event,
+        })
+    }
+
+    /// Snapshot of the pool's counters.
+    pub fn stats(&self) -> PoolStats {
+        self.inner.borrow().stats
+    }
+
+    /// Bytes of chunk storage currently resident (live + free chunks).
+    ///
+    /// The VM accountant treats this as the pool's physical footprint:
+    /// chunks are the unit of residency because they are the unit of
+    /// mapping (§4.5).
+    pub fn resident_bytes(&self) -> u64 {
+        let inner = self.inner.borrow();
+        (inner.registry.len() * inner.chunk_size) as u64
+    }
+
+    /// Number of chunks currently drained and reusable.
+    pub fn free_chunks(&self) -> usize {
+        let mut inner = self.inner.borrow_mut();
+        scavenge(&mut inner);
+        inner.free.len()
+    }
+
+    /// Releases up to `max_bytes` of drained chunk storage back to the
+    /// system (the pageout path of §3.7), returning the bytes released.
+    pub fn release_free_chunks(&self, max_bytes: u64) -> u64 {
+        let mut inner = self.inner.borrow_mut();
+        scavenge(&mut inner);
+        let mut released = 0u64;
+        let chunk_size = inner.chunk_size as u64;
+        while released + chunk_size <= max_bytes {
+            let Some(chunk) = inner.free.pop() else { break };
+            inner.registry.retain(|c| !Rc::ptr_eq(c, &chunk));
+            inner.stats.chunks_released += 1;
+            released += chunk_size;
+        }
+        released
+    }
+}
+
+/// Moves drained chunks from the registry to the free list.
+///
+/// A chunk is drained when the only outstanding `Rc`s are the registry's
+/// own, i.e. no `BufferInner` (live slice) and no open-chunk handle
+/// reference it.
+fn scavenge(inner: &mut PoolInner) {
+    // A drained open chunk (registry Rc + open Rc only) can be closed and
+    // recycled like any other.
+    if let Some((chunk, _)) = &inner.open {
+        if Rc::strong_count(chunk) == 2 {
+            inner.open = None;
+        }
+    }
+    let open_chunk = inner.open.as_ref().map(|(c, _)| Rc::clone(c));
+    let mut moved = Vec::new();
+    for chunk in &inner.registry {
+        let is_open = open_chunk.as_ref().is_some_and(|o| Rc::ptr_eq(o, chunk));
+        let already_free = inner.free.iter().any(|f| Rc::ptr_eq(f, chunk));
+        // Expected counts: 1 for the registry, +1 for `open`, +1 if on
+        // the free list, +1 for the probe we are not taking. Any count
+        // beyond registry/open/free handles means live allocations.
+        let baseline = 1 + usize::from(is_open) + usize::from(already_free);
+        if !is_open && !already_free && Rc::strong_count(chunk) == baseline {
+            moved.push(Rc::clone(chunk));
+        }
+    }
+    inner.free.extend(moved);
+}
+
+impl fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        write!(
+            f,
+            "BufferPool({}, acl={:?}, chunks={})",
+            inner.id,
+            inner.acl,
+            inner.registry.len()
+        )
+    }
+}
+
+#[derive(Clone)]
+pub(crate) struct BufMeta {
+    pub(crate) id: BufferId,
+    pub(crate) generation: Generation,
+    pub(crate) pool: PoolId,
+    pub(crate) acl: Acl,
+}
+
+/// A writable, not-yet-immutable buffer allocation.
+///
+/// This is the "temporary write permission" window of §3.2: the producer
+/// fills the buffer, then [`BufMut::freeze`]s it into an immutable
+/// [`Slice`]. Unwritten capacity is dropped at freeze time.
+pub struct BufMut {
+    bytes: Vec<u8>,
+    capacity: usize,
+    meta: BufMeta,
+    chunk: Rc<ChunkState>,
+    event: AllocEvent,
+}
+
+impl BufMut {
+    /// How the backing chunk was obtained (for VM cost accounting).
+    pub fn event(&self) -> AllocEvent {
+        self.event
+    }
+
+    /// Total writable capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes written so far.
+    pub fn written(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Remaining writable capacity.
+    pub fn remaining(&self) -> usize {
+        self.capacity - self.bytes.len()
+    }
+
+    /// The buffer's address-analog identity.
+    pub fn id(&self) -> BufferId {
+        self.meta.id
+    }
+
+    /// The buffer's generation.
+    pub fn generation(&self) -> Generation {
+        self.meta.generation
+    }
+
+    /// Appends bytes, up to capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` exceeds the remaining capacity; producers size
+    /// allocations before filling them.
+    pub fn put(&mut self, data: &[u8]) {
+        assert!(
+            data.len() <= self.remaining(),
+            "write of {} bytes exceeds remaining capacity {}",
+            data.len(),
+            self.remaining()
+        );
+        self.bytes.extend_from_slice(data);
+    }
+
+    /// Appends `len` bytes produced by `f(index)`.
+    ///
+    /// Used by synthetic data generators (CGI content, test patterns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds the remaining capacity.
+    pub fn put_with(&mut self, len: usize, mut f: impl FnMut(usize) -> u8) {
+        assert!(len <= self.remaining());
+        let base = self.bytes.len();
+        for i in 0..len {
+            self.bytes.push(f(base + i));
+        }
+    }
+
+    /// Seals the buffer: contents become immutable and shareable.
+    pub fn freeze(self) -> Slice {
+        let inner = Rc::new(BufferInner::new(
+            self.bytes.into_boxed_slice(),
+            self.meta,
+            self.chunk,
+        ));
+        Slice::whole(inner)
+    }
+}
+
+impl fmt::Debug for BufMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "BufMut({}, {}/{} bytes)",
+            self.meta.id,
+            self.bytes.len(),
+            self.capacity
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> BufferPool {
+        BufferPool::new(PoolId(1), Acl::with_domain(DomainId(1)), 1024)
+    }
+
+    #[test]
+    fn first_alloc_uses_fresh_chunk() {
+        let p = pool();
+        let b = p.alloc(100).unwrap();
+        assert_eq!(b.event(), AllocEvent::FreshChunk);
+        assert_eq!(b.capacity(), 100);
+        assert_eq!(p.stats().chunks_created, 1);
+    }
+
+    #[test]
+    fn small_allocs_pack_into_open_chunk() {
+        let p = pool();
+        let _a = p.alloc(100).unwrap();
+        let b = p.alloc(100).unwrap();
+        assert_eq!(b.event(), AllocEvent::OpenChunk);
+        assert_eq!(p.stats().chunks_created, 1);
+        // Packed at sequential offsets in the same chunk.
+        assert_eq!(b.id().offset, 100);
+    }
+
+    #[test]
+    fn oversized_alloc_rejected() {
+        let p = pool();
+        let err = p.alloc(4096).unwrap_err();
+        assert_eq!(
+            err,
+            BufError::TooLarge {
+                requested: 4096,
+                max: 1024
+            }
+        );
+    }
+
+    #[test]
+    fn alignment_is_respected() {
+        let p = pool();
+        let _a = p.alloc(10).unwrap();
+        let b = p.alloc_aligned(100, 64).unwrap();
+        assert_eq!(b.id().offset % 64, 0);
+        assert_eq!(b.id().offset, 64);
+    }
+
+    #[test]
+    fn drained_chunk_recycles_with_bumped_generation() {
+        let p = pool();
+        let s1 = p.alloc(1024).unwrap().freeze();
+        let id1 = s1.id();
+        let gen1 = s1.generation();
+        drop(s1);
+        // Force a new chunk decision: the open chunk is full, the old one
+        // is drained.
+        let s2 = p.alloc(1024).unwrap();
+        assert_eq!(s2.event(), AllocEvent::RecycledChunk);
+        assert_eq!(s2.id().chunk, id1.chunk);
+        assert_eq!(s2.generation(), gen1.next());
+        assert_eq!(p.stats().chunks_created, 1);
+        assert_eq!(p.stats().chunks_recycled, 1);
+    }
+
+    #[test]
+    fn live_slices_prevent_recycling() {
+        let p = pool();
+        let live = p.alloc(1024).unwrap().freeze();
+        let b = p.alloc(1024).unwrap();
+        assert_eq!(b.event(), AllocEvent::FreshChunk);
+        assert_eq!(p.stats().chunks_created, 2);
+        drop(live);
+    }
+
+    #[test]
+    fn put_with_generates_bytes() {
+        let p = pool();
+        let mut b = p.alloc(4).unwrap();
+        b.put_with(4, |i| i as u8 * 2);
+        let s = b.freeze();
+        assert_eq!(s.as_bytes(), &[0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn freeze_keeps_only_written_bytes() {
+        let p = pool();
+        let mut b = p.alloc(100).unwrap();
+        b.put(b"abc");
+        let s = b.freeze();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.as_bytes(), b"abc");
+    }
+
+    #[test]
+    fn resident_bytes_track_chunks() {
+        let p = pool();
+        assert_eq!(p.resident_bytes(), 0);
+        let s = p.alloc(10).unwrap().freeze();
+        assert_eq!(p.resident_bytes(), 1024);
+        drop(s);
+        // Chunk is drained but still resident until released.
+        assert_eq!(p.resident_bytes(), 1024);
+        assert_eq!(p.free_chunks(), 1);
+        let released = p.release_free_chunks(u64::MAX);
+        assert_eq!(released, 1024);
+        assert_eq!(p.resident_bytes(), 0);
+        assert_eq!(p.stats().chunks_released, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds remaining capacity")]
+    fn overfull_put_panics() {
+        let p = pool();
+        let mut b = p.alloc(2).unwrap();
+        b.put(b"abc");
+    }
+}

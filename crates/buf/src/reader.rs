@@ -1,0 +1,104 @@
+//! `std::io::Read` adapter for aggregates.
+//!
+//! Lets converted applications (the §5.8 UNIX utilities) consume
+//! aggregate data through standard-library interfaces without
+//! materializing the value.
+
+use std::io::{self, Read};
+
+use crate::aggregate::Aggregate;
+
+/// A cursor that reads an [`Aggregate`]'s bytes sequentially.
+pub struct AggReader<'a> {
+    agg: &'a Aggregate,
+    slice_idx: usize,
+    offset: usize,
+}
+
+impl<'a> AggReader<'a> {
+    pub(crate) fn new(agg: &'a Aggregate) -> Self {
+        AggReader {
+            agg,
+            slice_idx: 0,
+            offset: 0,
+        }
+    }
+
+    /// Bytes remaining to read.
+    pub fn remaining(&self) -> u64 {
+        let consumed: u64 = self
+            .agg
+            .slices()
+            .iter()
+            .take(self.slice_idx)
+            .map(|s| s.len() as u64)
+            .sum::<u64>()
+            + self.offset as u64;
+        self.agg.len() - consumed
+    }
+}
+
+impl Read for AggReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let mut written = 0;
+        while written < buf.len() {
+            let Some(slice) = self.agg.slices().get(self.slice_idx) else {
+                break;
+            };
+            let bytes = slice.as_bytes();
+            let avail = &bytes[self.offset..];
+            if avail.is_empty() {
+                self.slice_idx += 1;
+                self.offset = 0;
+                continue;
+            }
+            let take = avail.len().min(buf.len() - written);
+            buf[written..written + take].copy_from_slice(&avail[..take]);
+            written += take;
+            self.offset += take;
+        }
+        Ok(written)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Acl, BufferPool, PoolId};
+
+    fn fragmented() -> Aggregate {
+        let p = BufferPool::new(PoolId(1), Acl::kernel_only(), 4);
+        Aggregate::from_bytes(&p, b"abcdefghij")
+    }
+
+    #[test]
+    fn reads_across_slice_boundaries() {
+        let a = fragmented();
+        assert!(a.num_slices() > 1);
+        let mut r = a.reader();
+        let mut buf = [0u8; 3];
+        assert_eq!(r.read(&mut buf).unwrap(), 3);
+        assert_eq!(&buf, b"abc");
+        assert_eq!(r.read(&mut buf).unwrap(), 3);
+        assert_eq!(&buf, b"def");
+        assert_eq!(r.remaining(), 4);
+    }
+
+    #[test]
+    fn read_to_end_gets_everything() {
+        let a = fragmented();
+        let mut out = Vec::new();
+        a.reader().read_to_end(&mut out).unwrap();
+        assert_eq!(out, b"abcdefghij");
+    }
+
+    #[test]
+    fn read_past_end_returns_zero() {
+        let a = fragmented();
+        let mut r = a.reader();
+        let mut sink = vec![0u8; 64];
+        assert_eq!(r.read(&mut sink).unwrap(), 10);
+        assert_eq!(r.read(&mut sink).unwrap(), 0);
+        assert_eq!(r.remaining(), 0);
+    }
+}

@@ -1,0 +1,305 @@
+//! Immutable buffers and slices (§3.1, Figure 1).
+//!
+//! A [`Slice`] is the ⟨address, length⟩ tuple of Figure 1: a view into a
+//! contiguous range of one immutable IO-Lite buffer. Slices are cheap to
+//! clone (reference-counted) and may overlap arbitrarily. The underlying
+//! bytes can never change; the only mutation path is allocating new
+//! buffers and chaining aggregates (§3.8) — or the §3.1 footnote's
+//! in-place optimization when a buffer is provably unshared, exposed here
+//! as [`Slice::try_mutate_in_place`].
+
+use std::cell::Cell;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::acl::Acl;
+use crate::ids::{BufferId, ChunkId, Generation, PoolId};
+use crate::pool::BufMeta;
+
+/// Shared accounting state for one 64KB chunk of the IO-Lite window.
+///
+/// Buffer storage itself lives per-allocation (`BufferInner`); the chunk
+/// tracks identity, generation and pool membership so recycling and the
+/// checksum cache behave exactly as in the paper.
+pub(crate) struct ChunkState {
+    id: ChunkId,
+    pool: PoolId,
+    size: usize,
+    generation: Cell<u64>,
+}
+
+impl ChunkState {
+    pub(crate) fn new(id: ChunkId, pool: PoolId, size: usize) -> Self {
+        ChunkState {
+            id,
+            pool,
+            size,
+            generation: Cell::new(0),
+        }
+    }
+
+    pub(crate) fn id(&self) -> ChunkId {
+        self.id
+    }
+
+    pub(crate) fn generation(&self) -> Generation {
+        Generation(self.generation.get())
+    }
+
+    pub(crate) fn bump_generation(&self) {
+        self.generation.set(self.generation.get() + 1);
+    }
+
+    #[allow(dead_code)]
+    pub(crate) fn pool(&self) -> PoolId {
+        self.pool
+    }
+
+    #[allow(dead_code)]
+    pub(crate) fn size(&self) -> usize {
+        self.size
+    }
+}
+
+/// One immutable IO-Lite buffer: the sealed result of a
+/// [`crate::BufMut`].
+pub(crate) struct BufferInner {
+    bytes: Box<[u8]>,
+    meta: BufMeta,
+    /// Keeps the chunk's liveness count up while any slice references the
+    /// buffer, which is exactly the recycling condition of §3.2.
+    _chunk: Rc<ChunkState>,
+}
+
+impl BufferInner {
+    pub(crate) fn new(bytes: Box<[u8]>, meta: BufMeta, chunk: Rc<ChunkState>) -> Self {
+        BufferInner {
+            bytes,
+            meta,
+            _chunk: chunk,
+        }
+    }
+}
+
+/// An immutable view of a contiguous byte range within one IO-Lite
+/// buffer.
+///
+/// # Examples
+///
+/// ```
+/// use iolite_buf::{Acl, BufferPool, DomainId, PoolId};
+///
+/// let pool = BufferPool::new(PoolId(1), Acl::with_domain(DomainId(1)), 4096);
+/// let mut b = pool.alloc(5).unwrap();
+/// b.put(b"hello");
+/// let s = b.freeze();
+/// assert_eq!(s.as_bytes(), b"hello");
+/// let sub = s.sub(1, 3).unwrap();
+/// assert_eq!(sub.as_bytes(), b"ell");
+/// ```
+#[derive(Clone)]
+pub struct Slice {
+    inner: Rc<BufferInner>,
+    off: usize,
+    len: usize,
+}
+
+impl Slice {
+    pub(crate) fn whole(inner: Rc<BufferInner>) -> Self {
+        let len = inner.bytes.len();
+        Slice { inner, off: 0, len }
+    }
+
+    /// The bytes this slice views.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.inner.bytes[self.off..self.off + self.len]
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The identity (address analog) of the underlying buffer.
+    pub fn id(&self) -> BufferId {
+        self.inner.meta.id
+    }
+
+    /// The generation of the underlying buffer (§3.9).
+    pub fn generation(&self) -> Generation {
+        self.inner.meta.generation
+    }
+
+    /// The pool the buffer was allocated from.
+    pub fn pool(&self) -> PoolId {
+        self.inner.meta.pool
+    }
+
+    /// The ACL snapshot taken at allocation time.
+    pub fn acl(&self) -> &Acl {
+        &self.inner.meta.acl
+    }
+
+    /// Offset of this view within its buffer.
+    pub fn offset_in_buffer(&self) -> usize {
+        self.off
+    }
+
+    /// A sub-view of this slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::BufError::OutOfRange`] if `off + len` exceeds this
+    /// slice's length.
+    pub fn sub(&self, off: usize, len: usize) -> Result<Slice, crate::BufError> {
+        if off + len > self.len {
+            return Err(crate::BufError::OutOfRange {
+                requested: (off + len) as u64,
+                available: self.len as u64,
+            });
+        }
+        Ok(Slice {
+            inner: Rc::clone(&self.inner),
+            off: self.off + off,
+            len,
+        })
+    }
+
+    /// Whether two slices view the same buffer (possibly different
+    /// ranges).
+    pub fn same_buffer(&self, other: &Slice) -> bool {
+        Rc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Number of live references to the underlying buffer.
+    pub fn ref_count(&self) -> usize {
+        Rc::strong_count(&self.inner)
+    }
+
+    /// Attempts the §3.1-footnote optimization: modify the buffer in
+    /// place because nothing else can observe it.
+    ///
+    /// Succeeds only when this slice is the *sole* reference to its
+    /// buffer and views it entirely; then `mutate` receives the bytes
+    /// mutably. Generation is *not* bumped: logically this models
+    /// write-before-sharing, so no stale checksum can exist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::BufError::Shared`] when other references exist or
+    /// the slice is a partial view.
+    pub fn try_mutate_in_place(
+        &mut self,
+        mutate: impl FnOnce(&mut [u8]),
+    ) -> Result<(), crate::BufError> {
+        if Rc::strong_count(&self.inner) != 1 || self.off != 0 || self.len != self.inner.bytes.len()
+        {
+            return Err(crate::BufError::Shared);
+        }
+        // A sole, whole-buffer reference: safe to view mutably.
+        let inner = Rc::get_mut(&mut self.inner).ok_or(crate::BufError::Shared)?;
+        mutate(&mut inner.bytes);
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Slice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Slice({} {} +{} len {})",
+            self.id(),
+            self.generation(),
+            self.off,
+            self.len
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::BufferPool;
+    use crate::{Acl, BufError, DomainId, PoolId};
+
+    fn slice_of(data: &[u8]) -> Slice {
+        let pool = BufferPool::new(PoolId(9), Acl::with_domain(DomainId(2)), 4096);
+        let mut b = pool.alloc(data.len()).unwrap();
+        b.put(data);
+        b.freeze()
+    }
+
+    #[test]
+    fn sub_views_share_storage() {
+        let s = slice_of(b"abcdef");
+        let t = s.sub(2, 3).unwrap();
+        assert_eq!(t.as_bytes(), b"cde");
+        assert!(s.same_buffer(&t));
+        assert_eq!(t.offset_in_buffer(), 2);
+        // Sub-of-sub composes offsets.
+        let u = t.sub(1, 1).unwrap();
+        assert_eq!(u.as_bytes(), b"d");
+    }
+
+    #[test]
+    fn sub_out_of_range_errors() {
+        let s = slice_of(b"abc");
+        assert!(matches!(s.sub(2, 5), Err(BufError::OutOfRange { .. })));
+    }
+
+    #[test]
+    fn overlapping_slices_allowed() {
+        let s = slice_of(b"abcdef");
+        let a = s.sub(0, 4).unwrap();
+        let b = s.sub(2, 4).unwrap();
+        assert_eq!(a.as_bytes(), b"abcd");
+        assert_eq!(b.as_bytes(), b"cdef");
+    }
+
+    #[test]
+    fn acl_snapshot_travels_with_slice() {
+        let s = slice_of(b"x");
+        assert!(s.acl().allows(DomainId(2)));
+        assert!(!s.acl().allows(DomainId(3)));
+    }
+
+    #[test]
+    fn in_place_mutation_requires_exclusivity() {
+        let mut s = slice_of(b"aaaa");
+        // Clone makes it shared: mutation refused.
+        let c = s.clone();
+        assert_eq!(
+            s.try_mutate_in_place(|_| unreachable!()),
+            Err(BufError::Shared)
+        );
+        drop(c);
+        s.try_mutate_in_place(|b| b[0] = b'z').unwrap();
+        assert_eq!(s.as_bytes(), b"zaaa");
+    }
+
+    #[test]
+    fn partial_view_cannot_mutate_in_place() {
+        let s = slice_of(b"abcd");
+        let mut part = s.sub(0, 2).unwrap();
+        drop(s);
+        assert_eq!(
+            part.try_mutate_in_place(|_| unreachable!()),
+            Err(BufError::Shared)
+        );
+    }
+
+    #[test]
+    fn ref_count_reflects_clones() {
+        let s = slice_of(b"x");
+        assert_eq!(s.ref_count(), 1);
+        let c = s.clone();
+        assert_eq!(s.ref_count(), 2);
+        drop(c);
+        assert_eq!(s.ref_count(), 1);
+    }
+}

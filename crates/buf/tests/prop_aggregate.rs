@@ -1,0 +1,151 @@
+//! Property tests for the buffer-aggregate algebra.
+//!
+//! The invariant throughout: an aggregate's *value* (its byte string) is
+//! preserved by every zero-copy operation, regardless of how the value is
+//! fragmented across immutable buffers.
+
+use iolite_buf::{Acl, Aggregate, BufferPool, DomainId, PoolId};
+use proptest::prelude::*;
+
+fn pool(chunk: usize) -> BufferPool {
+    BufferPool::new(PoolId(1), Acl::with_domain(DomainId(1)), chunk)
+}
+
+/// Builds an aggregate whose fragmentation is controlled by `chunk`.
+fn agg_from(data: &[u8], chunk: usize) -> Aggregate {
+    Aggregate::from_bytes(&pool(chunk), data)
+}
+
+proptest! {
+    #[test]
+    fn from_bytes_round_trips(data in proptest::collection::vec(any::<u8>(), 0..2048),
+                              chunk in 1usize..256) {
+        let a = agg_from(&data, chunk);
+        prop_assert_eq!(a.to_vec(), data.clone());
+        prop_assert_eq!(a.len(), data.len() as u64);
+    }
+
+    #[test]
+    fn split_concat_is_identity(data in proptest::collection::vec(any::<u8>(), 0..1024),
+                                mid in any::<u64>(),
+                                chunk in 1usize..128) {
+        let a = agg_from(&data, chunk);
+        let (h, t) = a.split_at(mid % (data.len() as u64 + 1));
+        let rejoined = h.concat(&t);
+        prop_assert!(rejoined.content_eq(&a));
+        prop_assert_eq!(h.len() + t.len(), a.len());
+    }
+
+    #[test]
+    fn range_matches_std_slice(data in proptest::collection::vec(any::<u8>(), 1..1024),
+                               a in any::<usize>(), b in any::<usize>(),
+                               chunk in 1usize..128) {
+        let start = a % data.len();
+        let len = b % (data.len() - start + 1);
+        let agg = agg_from(&data, chunk);
+        let r = agg.range(start as u64, len as u64).unwrap();
+        prop_assert_eq!(r.to_vec(), data[start..start + len].to_vec());
+    }
+
+    #[test]
+    fn truncate_advance_compose(data in proptest::collection::vec(any::<u8>(), 0..512),
+                                n in any::<u64>(), m in any::<u64>(),
+                                chunk in 1usize..64) {
+        let mut agg = agg_from(&data, chunk);
+        let n = n % (data.len() as u64 + 1);
+        agg.truncate(n);
+        let m = m % (n + 1);
+        agg.advance(m);
+        prop_assert_eq!(agg.to_vec(), data[m as usize..n as usize].to_vec());
+    }
+
+    #[test]
+    fn replace_matches_vec_splice(data in proptest::collection::vec(any::<u8>(), 0..512),
+                                  start in any::<u64>(), len in any::<u64>(),
+                                  patch in proptest::collection::vec(any::<u8>(), 0..128),
+                                  chunk in 1usize..64) {
+        let p = pool(chunk);
+        let agg = Aggregate::from_bytes(&p, &data);
+        let start = start % (data.len() as u64 + 1);
+        let len = len % (data.len() as u64 - start + 1);
+        let out = agg.replace(&p, start, len, &patch).unwrap();
+
+        let mut expect = data[..start as usize].to_vec();
+        expect.extend_from_slice(&patch);
+        expect.extend_from_slice(&data[(start + len) as usize..]);
+        prop_assert_eq!(out.to_vec(), expect);
+        // The original value is never disturbed (immutability).
+        prop_assert_eq!(agg.to_vec(), data.clone());
+    }
+
+    #[test]
+    fn byte_at_matches_indexing(data in proptest::collection::vec(any::<u8>(), 1..512),
+                                chunk in 1usize..64) {
+        let agg = agg_from(&data, chunk);
+        for (i, &b) in data.iter().enumerate() {
+            prop_assert_eq!(agg.byte_at(i as u64), Some(b));
+        }
+        prop_assert_eq!(agg.byte_at(data.len() as u64), None);
+    }
+
+    #[test]
+    fn copy_to_matches_slice(data in proptest::collection::vec(any::<u8>(), 1..512),
+                             off in any::<u64>(), want in 0usize..64,
+                             chunk in 1usize..64) {
+        let agg = agg_from(&data, chunk);
+        let off = off % (data.len() as u64 + 1);
+        let mut buf = vec![0u8; want];
+        let got = agg.copy_to(off, &mut buf);
+        let expect = &data[off as usize..(off as usize + want).min(data.len())];
+        prop_assert_eq!(got, expect.len());
+        prop_assert_eq!(&buf[..got], expect);
+    }
+
+    #[test]
+    fn pack_preserves_value(data in proptest::collection::vec(any::<u8>(), 0..512),
+                            chunk in 1usize..32) {
+        let small = pool(chunk);
+        let big = pool(4096);
+        let frag = Aggregate::from_bytes(&small, &data);
+        let packed = frag.pack(&big);
+        prop_assert!(packed.content_eq(&frag));
+        prop_assert!(packed.num_slices() <= 1 || data.len() > 4096);
+    }
+
+    #[test]
+    fn content_eq_is_value_equality(data in proptest::collection::vec(any::<u8>(), 0..256),
+                                    c1 in 1usize..64, c2 in 1usize..64) {
+        let a = agg_from(&data, c1);
+        let b = agg_from(&data, c2);
+        prop_assert!(a.content_eq(&b));
+    }
+
+    #[test]
+    fn reader_streams_value(data in proptest::collection::vec(any::<u8>(), 0..512),
+                            chunk in 1usize..64) {
+        use std::io::Read;
+        let a = agg_from(&data, chunk);
+        let mut out = Vec::new();
+        a.reader().read_to_end(&mut out).unwrap();
+        prop_assert_eq!(out, data);
+    }
+
+    #[test]
+    fn recycling_never_corrupts_live_data(sizes in proptest::collection::vec(1usize..512, 1..40)) {
+        // Interleave allocations and drops; live aggregates must keep
+        // their values even as chunks recycle underneath the pool.
+        let p = pool(1024);
+        let mut live: Vec<(Vec<u8>, Aggregate)> = Vec::new();
+        for (i, &sz) in sizes.iter().enumerate() {
+            let data: Vec<u8> = (0..sz).map(|j| (i * 31 + j) as u8).collect();
+            let agg = Aggregate::from_bytes(&p, &data);
+            live.push((data, agg));
+            if i % 3 == 2 {
+                live.remove(0);
+            }
+            for (expect, agg) in &live {
+                prop_assert_eq!(&agg.to_vec(), expect);
+            }
+        }
+    }
+}

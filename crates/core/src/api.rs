@@ -1,0 +1,146 @@
+//! The IO-Lite API exactly as Figure 2 and §3.4 present it.
+//!
+//! The paper's API surface, mapped to this implementation:
+//!
+//! | paper (Fig. 2 / §3.4) | here |
+//! |---|---|
+//! | `IOL_Agg` | [`IolAgg`] (= [`iolite_buf::Aggregate`]) |
+//! | `IOL_read(fd, size)` | [`iol_read`] |
+//! | `IOL_write(fd, agg)` | [`iol_write`] |
+//! | `IOL_read` w/ allocation pool | [`iol_read_pool`] |
+//! | create/delete allocation pools | [`iol_create_pool`] |
+//! | aggregate create/dup/concat/trunc | methods on [`IolAgg`] |
+//! | `mmap` | [`iol_mmap`] |
+//!
+//! Semantics carried over verbatim:
+//!
+//! * "The new `IOL_read` operation returns a buffer aggregate containing
+//!   at most the amount of data specified as an argument. Unlike the
+//!   POSIX read, `IOL_read` may always return less data than requested."
+//! * "The `IOL_write` operation replaces the data in an external data
+//!   object with the contents of the buffer aggregate."
+//! * "The data returned by an `IOL_read` are effectively a 'snapshot' of
+//!   the data contained in the object associated with the file
+//!   descriptor" — atomic with respect to concurrent `IOL_write`s.
+//!
+//! These are thin wrappers over [`Kernel`] methods; applications that
+//! prefer Rust-idiomatic naming call the kernel directly.
+
+use iolite_buf::{Acl, Aggregate, BufferPool};
+use iolite_fs::FileId;
+use iolite_vm::MmapView;
+
+use crate::kernel::{IoOutcome, Kernel};
+use crate::process::Pid;
+
+/// The paper's `IOL_Agg` abstract data type.
+pub type IolAgg = Aggregate;
+
+/// `IOL_read`: returns a snapshot aggregate of at most `size` bytes
+/// from `file` at `offset`.
+///
+/// Short reads are part of the contract; callers loop. The returned
+/// aggregate shares physical buffers with the file cache (§3.1) and
+/// remains valid — with its snapshotted contents — across any later
+/// writes or evictions (§3.5).
+pub fn iol_read(
+    kernel: &mut Kernel,
+    pid: Pid,
+    file: FileId,
+    offset: u64,
+    size: u64,
+) -> (IolAgg, IoOutcome) {
+    kernel.iol_read(pid, file, offset, size)
+}
+
+/// `IOL_read` with an explicit allocation pool (§3.4: "a version of
+/// IOL_read allows applications to specify an allocation pool").
+///
+/// In this implementation the pool choice matters for *incoming* data
+/// placement (the receive path); cached file data already lives in
+/// IO-Lite buffers, so this variant simply performs the read and then
+/// asserts the caller may access the data through `pool`'s ACL.
+pub fn iol_read_pool(
+    kernel: &mut Kernel,
+    pid: Pid,
+    pool: &BufferPool,
+    file: FileId,
+    offset: u64,
+    size: u64,
+) -> (IolAgg, IoOutcome) {
+    debug_assert!(
+        pool.acl().allows(pid.domain()),
+        "caller must be on its own pool's ACL"
+    );
+    kernel.iol_read(pid, file, offset, size)
+}
+
+/// `IOL_write`: replaces the extent of `file` at `offset` with the
+/// contents of `agg` (§3.5 snapshot-preserving replacement).
+pub fn iol_write(
+    kernel: &mut Kernel,
+    pid: Pid,
+    file: FileId,
+    offset: u64,
+    agg: &IolAgg,
+) -> IoOutcome {
+    kernel.iol_write(pid, file, offset, agg)
+}
+
+/// Creates an IO-Lite allocation pool with the given ACL
+/// (`IOL_create_pool`). Dropping the returned handle deletes the pool
+/// once its buffers drain.
+pub fn iol_create_pool(kernel: &mut Kernel, acl: Acl) -> BufferPool {
+    kernel.create_pool(acl)
+}
+
+/// The retained `mmap` interface (§3.8) for applications that need
+/// contiguous, in-place-modifiable views.
+pub fn iol_mmap(kernel: &mut Kernel, pid: Pid, file: FileId) -> (MmapView, IoOutcome) {
+    kernel.mmap(pid, file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+
+    #[test]
+    fn reads_may_be_short_and_writes_replace() {
+        let mut k = Kernel::new(CostModel::pentium_ii_333());
+        let pid = k.spawn("app");
+        let f = k.create_file("/f", b"0123456789");
+        // Short read at EOF.
+        let (agg, _) = iol_read(&mut k, pid, f, 8, 100);
+        assert_eq!(agg.to_vec(), b"89");
+        // Write replaces; snapshot persists.
+        let (snap, _) = iol_read(&mut k, pid, f, 0, 100);
+        let patch = IolAgg::from_bytes(k.process(pid).pool(), b"ABC");
+        iol_write(&mut k, pid, f, 0, &patch);
+        assert_eq!(snap.to_vec(), b"0123456789");
+        let (now, _) = iol_read(&mut k, pid, f, 0, 100);
+        assert_eq!(now.to_vec(), b"ABC3456789");
+    }
+
+    #[test]
+    fn pool_creation_and_acl() {
+        let mut k = Kernel::new(CostModel::pentium_ii_333());
+        let a = k.spawn("a");
+        let b = k.spawn("b");
+        let pool = iol_create_pool(&mut k, Acl::with_domains(&[a.domain(), b.domain()]));
+        assert!(pool.acl().allows(a.domain()));
+        assert!(pool.acl().allows(b.domain()));
+        let file = k.create_file("/x", b"hi");
+        let (agg, _) = iol_read_pool(&mut k, a, &pool, file, 0, 10);
+        assert_eq!(agg.to_vec(), b"hi");
+    }
+
+    #[test]
+    fn mmap_veneer_works() {
+        let mut k = Kernel::new(CostModel::pentium_ii_333());
+        let pid = k.spawn("app");
+        let f = k.create_synthetic_file("/f", 5000, 2);
+        let (mut view, _) = iol_mmap(&mut k, pid, f);
+        assert_eq!(view.read_all(), k.store.read(f, 0, 5000).unwrap());
+    }
+}

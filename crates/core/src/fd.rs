@@ -1,0 +1,174 @@
+//! File descriptors: the §3.4 contract that `IOL_read`/`IOL_write`
+//! "can act on any UNIX file descriptor".
+//!
+//! Descriptors resolve to open-file descriptions with UNIX semantics:
+//! `dup`ed descriptors share one file offset (one description, two
+//! numbers), independently `open`ed descriptors do not. Files, pipe
+//! ends, and (by extension) sockets all sit behind the same table, so
+//! one code path serves the paper's "all other file-descriptor-related
+//! UNIX system calls remain unchanged".
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use iolite_fs::FileId;
+
+use crate::kernel::PipeId;
+use crate::process::Pid;
+
+/// A per-process file-descriptor number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fd(pub u32);
+
+/// What an open-file description refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FdObject {
+    /// A regular file with a seek position.
+    File(FileId),
+    /// The read end of a pipe.
+    PipeRead(PipeId),
+    /// The write end of a pipe.
+    PipeWrite(PipeId),
+}
+
+/// An open-file description (shared by `dup`ed descriptors).
+#[derive(Debug)]
+pub struct OpenFile {
+    /// The underlying object.
+    pub object: FdObject,
+    /// Current file offset (files only; pipes ignore it).
+    pub pos: u64,
+}
+
+/// A shared handle to an open-file description.
+pub type OpenFileRef = Rc<RefCell<OpenFile>>;
+
+/// One process's descriptor table.
+#[derive(Debug)]
+pub struct FdTable {
+    entries: BTreeMap<Fd, OpenFileRef>,
+    next: u32,
+}
+
+impl Default for FdTable {
+    fn default() -> Self {
+        FdTable::new()
+    }
+}
+
+impl FdTable {
+    /// Creates an empty table (fd numbering starts at 3, leaving the
+    /// conventional stdio triple free).
+    pub fn new() -> Self {
+        FdTable {
+            entries: BTreeMap::new(),
+            next: 3,
+        }
+    }
+
+    /// Installs a new open-file description, returning its descriptor.
+    pub fn install(&mut self, object: FdObject) -> Fd {
+        let fd = Fd(self.next);
+        self.next += 1;
+        self.entries
+            .insert(fd, Rc::new(RefCell::new(OpenFile { object, pos: 0 })));
+        fd
+    }
+
+    /// Duplicates `fd`: the new descriptor shares the same open-file
+    /// description (and therefore the same offset), as POSIX `dup`.
+    pub fn dup(&mut self, fd: Fd) -> Option<Fd> {
+        let desc = self.entries.get(&fd)?.clone();
+        let new = Fd(self.next);
+        self.next += 1;
+        self.entries.insert(new, desc);
+        Some(new)
+    }
+
+    /// Resolves a descriptor.
+    pub fn get(&self, fd: Fd) -> Option<OpenFileRef> {
+        self.entries.get(&fd).cloned()
+    }
+
+    /// Closes a descriptor; the description dies with its last number.
+    pub fn close(&mut self, fd: Fd) -> bool {
+        self.entries.remove(&fd).is_some()
+    }
+
+    /// Open descriptors.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Kernel-wide registry of per-process tables.
+#[derive(Debug, Default)]
+pub struct FdRegistry {
+    tables: BTreeMap<Pid, FdTable>,
+}
+
+impl FdRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        FdRegistry::default()
+    }
+
+    /// The table for `pid`, created on first use.
+    pub fn table(&mut self, pid: Pid) -> &mut FdTable {
+        self.tables.entry(pid).or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptors_are_per_process_and_sequential() {
+        let mut reg = FdRegistry::new();
+        let a = reg.table(Pid(1)).install(FdObject::File(FileId(1)));
+        let b = reg.table(Pid(1)).install(FdObject::File(FileId(2)));
+        let c = reg.table(Pid(2)).install(FdObject::File(FileId(3)));
+        assert_eq!(a, Fd(3));
+        assert_eq!(b, Fd(4));
+        assert_eq!(c, Fd(3), "tables are independent per process");
+    }
+
+    #[test]
+    fn dup_shares_the_offset() {
+        let mut t = FdTable::new();
+        let fd = t.install(FdObject::File(FileId(1)));
+        let dup = t.dup(fd).unwrap();
+        t.get(fd).unwrap().borrow_mut().pos = 42;
+        assert_eq!(t.get(dup).unwrap().borrow().pos, 42);
+        // Closing one number keeps the description alive for the other.
+        assert!(t.close(fd));
+        assert_eq!(t.get(dup).unwrap().borrow().pos, 42);
+        assert!(t.get(fd).is_none());
+    }
+
+    #[test]
+    fn independent_opens_do_not_share() {
+        let mut t = FdTable::new();
+        let a = t.install(FdObject::File(FileId(1)));
+        let b = t.install(FdObject::File(FileId(1)));
+        t.get(a).unwrap().borrow_mut().pos = 10;
+        assert_eq!(t.get(b).unwrap().borrow().pos, 0);
+    }
+
+    #[test]
+    fn close_is_idempotent_and_precise() {
+        let mut t = FdTable::new();
+        let fd = t.install(FdObject::PipeRead(PipeId(1)));
+        assert!(t.close(fd));
+        assert!(!t.close(fd));
+        assert!(t.dup(fd).is_none());
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,967 @@
+//! The kernel: composition of all IO-Lite subsystems plus the system
+//! call surface (§3.4, §4).
+//!
+//! Data-plane operations are performed for real (bytes move through the
+//! real buffer, cache, checksum and pipe structures); each call also
+//! returns the simulated CPU [`Charge`] it would cost on the paper's
+//! testbed, and disk operations return their device time separately so
+//! event-driven callers can overlap them.
+
+use std::collections::BTreeMap;
+
+use iolite_buf::{Acl, Aggregate, BufferPool, ChunkId, DomainId, PoolId};
+use iolite_fs::{
+    CacheKey, DiskModel, FileContent, FileId, FileStore, MetadataCache, Policy, UnifiedCache,
+};
+use iolite_ipc::{Pipe, PipeMode};
+use iolite_net::{ChecksumCache, PacketFilter};
+use iolite_sim::SimTime;
+use iolite_vm::{IoLiteWindow, MemAccount, MmapView, PageoutDaemon, PhysMemory};
+
+use crate::cost::{Charge, CostCategory, CostModel};
+use crate::fd::{Fd, FdObject, FdRegistry};
+use crate::metrics::Metrics;
+use crate::process::{Pid, Process};
+
+/// A bounded LRU set of mapped files: Flash's mapped-file cache.
+///
+/// Flash keeps recently served files mmap'd; a miss costs an
+/// `mmap`/`munmap` cycle. Flash-Lite has no equivalent cost — IO-Lite
+/// window mappings persist at chunk granularity (§3.2).
+#[derive(Debug, Default)]
+pub struct MappedFileCache {
+    capacity: usize,
+    clock: u64,
+    entries: std::collections::HashMap<FileId, u64>,
+}
+
+impl MappedFileCache {
+    /// Creates a cache of the given capacity (0 disables caching: every
+    /// touch misses, which models Apache's map-per-request behaviour).
+    pub fn new(capacity: usize) -> Self {
+        MappedFileCache {
+            capacity,
+            clock: 0,
+            entries: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Touches a file; returns `true` if it was already mapped.
+    pub fn touch(&mut self, file: FileId) -> bool {
+        self.clock += 1;
+        if self.capacity == 0 {
+            return false;
+        }
+        if let Some(stamp) = self.entries.get_mut(&file) {
+            *stamp = self.clock;
+            return true;
+        }
+        if self.entries.len() >= self.capacity {
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, &stamp)| stamp)
+                .map(|(&f, _)| f)
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(file, self.clock);
+        false
+    }
+
+    /// Number of files currently mapped.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Identifies a kernel pipe object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PipeId(pub u32);
+
+/// Which end of a pipe a file descriptor refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipeEnd {
+    /// The reading end.
+    Read,
+    /// The writing end.
+    Write,
+}
+
+/// The outcome of one kernel operation: simulated CPU cost plus any
+/// device time the caller must schedule.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IoOutcome {
+    /// CPU time consumed by the operation.
+    pub charge: Charge,
+    /// Whether the file cache satisfied the request.
+    pub cache_hit: bool,
+    /// Bytes read from the disk device (0 on hits).
+    pub disk_bytes: u64,
+    /// Device service time for those bytes (not CPU; schedule on the
+    /// disk resource).
+    pub disk_time: SimTime,
+    /// New page mappings this operation established.
+    pub mapped_pages: u64,
+}
+
+/// The simulated operating system.
+///
+/// Fields are public by design: experiment drivers reach directly into
+/// subsystems (the checksum cache, the memory accountant, the filter)
+/// the same way kernel subsystems reach each other.
+pub struct Kernel {
+    /// The machine/cost model.
+    pub cost: CostModel,
+    /// The IO-Lite window (chunk mappings per domain).
+    pub window: IoLiteWindow,
+    /// Physical-memory accountant.
+    pub physmem: PhysMemory,
+    /// The §3.7 pageout daemon.
+    pub pageout: PageoutDaemon,
+    /// File contents.
+    pub store: FileStore,
+    /// The "old" metadata buffer cache.
+    pub meta: MetadataCache,
+    /// The unified IO-Lite file cache.
+    pub cache: UnifiedCache,
+    /// The Internet checksum cache (§3.9).
+    pub cksum: ChecksumCache,
+    /// The early-demux packet filter (§3.6).
+    pub filter: PacketFilter,
+    /// Disk timing model.
+    pub disk: DiskModel,
+    /// Flash's mapped-file cache (conventional servers only).
+    pub mapped_files: MappedFileCache,
+    /// Mechanism metrics.
+    pub metrics: Metrics,
+    /// The pool backing the file cache. Its ACL is extended to every
+    /// process that reads files: web content is world-readable, and the
+    /// paper's private-data story (separate per-process/CGI pools) is
+    /// carried by the per-process pools instead.
+    cache_pool: BufferPool,
+    cache_pool_acl: Acl,
+    processes: BTreeMap<Pid, Process>,
+    pipes: BTreeMap<PipeId, Pipe>,
+    fds: FdRegistry,
+    next_pid: u32,
+    next_pool: u32,
+    next_pipe: u32,
+    clock: SimTime,
+}
+
+impl Kernel {
+    /// Creates a kernel with the default (LRU) cache policy.
+    pub fn new(cost: CostModel) -> Self {
+        Kernel::with_policy(cost, Policy::Lru)
+    }
+
+    /// Creates a kernel with an explicit file-cache policy (Flash-Lite
+    /// installs [`Policy::Gds`] through the §3.7 customization hook).
+    pub fn with_policy(cost: CostModel, policy: Policy) -> Self {
+        let mut physmem = PhysMemory::new(cost.ram_bytes);
+        physmem.reserve(MemAccount::Kernel, cost.kernel_reserve_bytes);
+        let budget = physmem.cache_budget();
+        let disk = DiskModel {
+            avg_position_ms: cost.disk_position_ms,
+            transfer_mb_s: cost.disk_mb_s,
+        };
+        Kernel {
+            cost,
+            window: IoLiteWindow::new(iolite_buf::DEFAULT_CHUNK_SIZE),
+            physmem,
+            pageout: PageoutDaemon::new(),
+            store: FileStore::new(),
+            meta: MetadataCache::new(4096),
+            cache: UnifiedCache::new(policy, budget),
+            cksum: ChecksumCache::new(1 << 16),
+            filter: PacketFilter::new(),
+            disk,
+            mapped_files: MappedFileCache::new(cost.flash_mapped_cache_files),
+            metrics: Metrics::new(),
+            cache_pool: BufferPool::new(
+                PoolId(0),
+                Acl::kernel_only(),
+                iolite_buf::DEFAULT_CHUNK_SIZE,
+            ),
+            cache_pool_acl: Acl::kernel_only(),
+            processes: BTreeMap::new(),
+            pipes: BTreeMap::new(),
+            fds: FdRegistry::new(),
+            next_pid: 1,
+            next_pool: 1,
+            next_pipe: 1,
+            clock: SimTime::ZERO,
+        }
+    }
+
+    // ---- processes and pools -------------------------------------------
+
+    /// Spawns a process with a private default pool.
+    pub fn spawn(&mut self, name: impl Into<String>) -> Pid {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        let pool_id = PoolId(self.next_pool);
+        self.next_pool += 1;
+        let proc = Process::new(pid, name.into(), pool_id, iolite_buf::DEFAULT_CHUNK_SIZE);
+        // File data read by this process becomes readable to it.
+        self.cache_pool_acl.grant(pid.domain());
+        self.processes.insert(pid, proc);
+        pid
+    }
+
+    /// Looks up a process.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown pids — experiment drivers own process lifetimes.
+    pub fn process(&self, pid: Pid) -> &Process {
+        &self.processes[&pid]
+    }
+
+    /// Creates an additional allocation pool (the `IOL_create_pool`
+    /// call of §3.4) with an explicit ACL.
+    pub fn create_pool(&mut self, acl: Acl) -> BufferPool {
+        let id = PoolId(self.next_pool);
+        self.next_pool += 1;
+        BufferPool::new(id, acl, iolite_buf::DEFAULT_CHUNK_SIZE)
+    }
+
+    // ---- clock and charging --------------------------------------------
+
+    /// The kernel's sequential clock (used by the application harness;
+    /// the Web driver uses an external event clock instead).
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Adds CPU time to the sequential clock and the metrics breakdown.
+    pub fn charge(&mut self, cat: CostCategory, c: Charge) {
+        self.clock += c.time;
+        self.metrics.charge(cat, c.time);
+    }
+
+    /// Advances the sequential clock by non-CPU time (e.g. disk waits).
+    pub fn advance(&mut self, t: SimTime) {
+        self.clock += t;
+    }
+
+    /// Resets the sequential clock (metrics are kept).
+    pub fn reset_clock(&mut self) {
+        self.clock = SimTime::ZERO;
+    }
+
+    // ---- file system ---------------------------------------------------
+
+    /// Creates a file with explicit contents.
+    pub fn create_file(&mut self, name: &str, data: &[u8]) -> FileId {
+        self.store
+            .create(name, FileContent::Explicit(data.to_vec()))
+    }
+
+    /// Creates a synthetic (pattern-generated) file.
+    pub fn create_synthetic_file(&mut self, name: &str, len: u64, seed: u64) -> FileId {
+        self.store.create_synthetic(name, len, seed)
+    }
+
+    /// Resolves a path through the metadata cache.
+    pub fn lookup(&mut self, name: &str) -> (Option<FileId>, Charge) {
+        let store = &self.store;
+        let result = self.meta.lookup(name, || store.lookup(name));
+        let charge = match result {
+            Some((_, true)) => Charge::us(self.cost.syscall_us),
+            // A metadata miss costs an extra metadata-cache fill; the
+            // paper keeps metadata in the old buffer cache, so no device
+            // time is charged for the common in-memory case.
+            _ => Charge::us(self.cost.syscall_us * 3.0),
+        };
+        self.metrics.syscalls += 1;
+        (result.map(|(id, _)| id), charge)
+    }
+
+    /// Re-syncs the file-cache budget with the memory accountant and
+    /// returns entries evicted by the shrink.
+    ///
+    /// Evictions are reported to the pageout daemon as replaced
+    /// cached-I/O pages, feeding the §3.7 trigger statistics.
+    pub fn rebalance_cache(&mut self) -> usize {
+        self.physmem
+            .set(MemAccount::FileCache, self.cache.resident_bytes());
+        let budget = self.physmem.cache_budget();
+        let evicted = self.cache.set_budget(budget);
+        for (_, agg) in &evicted {
+            let pages = agg.len().div_ceil(iolite_buf::PAGE_SIZE as u64);
+            for _ in 0..pages.min(64) {
+                self.pageout.page_replaced(iolite_vm::PageClass::CachedIo);
+            }
+        }
+        self.physmem
+            .set(MemAccount::FileCache, self.cache.resident_bytes());
+        evicted.len()
+    }
+
+    /// Reports VM replacement pressure from non-cache pages (application
+    /// anonymous memory being paged) and applies the §3.7 rule: if more
+    /// than half of recently replaced pages held cached I/O data, one
+    /// cache entry is evicted. Returns whether an eviction happened.
+    pub fn vm_pressure(&mut self, other_pages: u64) -> bool {
+        for _ in 0..other_pages {
+            self.pageout.page_replaced(iolite_vm::PageClass::Other);
+        }
+        if self.pageout.should_evict_cache_entry() {
+            if let Some((_, agg)) = self.cache.evict_one() {
+                // The evicted entry's dirty pages would go to their
+                // backing stores (paging space + the files they cache).
+                let pages = agg.len().div_ceil(iolite_buf::PAGE_SIZE as u64);
+                self.pageout
+                    .backing_store_write(1, pages * iolite_buf::PAGE_SIZE as u64);
+                self.pageout.eviction_performed();
+                self.physmem
+                    .set(MemAccount::FileCache, self.cache.resident_bytes());
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Reads a file extent through the unified cache with IO-Lite
+    /// semantics: returns a buffer aggregate sharing the cache's
+    /// physical copy (`IOL_read`, §3.4).
+    ///
+    /// Less data than requested is returned at end-of-file (the API
+    /// explicitly allows short reads).
+    pub fn iol_read(
+        &mut self,
+        pid: Pid,
+        file: FileId,
+        offset: u64,
+        len: u64,
+    ) -> (Aggregate, IoOutcome) {
+        let mut out = IoOutcome {
+            charge: Charge::us(self.cost.syscall_us),
+            ..IoOutcome::default()
+        };
+        self.metrics.syscalls += 1;
+        let whole = self.read_whole_cached(file, &mut out);
+        let flen = whole.len();
+        let start = offset.min(flen);
+        let take = len.min(flen - start);
+        let agg = whole.range(start, take).expect("clamped range");
+        // Transfer: make the aggregate's chunks readable in the caller.
+        let pages = self.transfer_to(&agg, pid.domain());
+        out.mapped_pages += pages;
+        out.charge += self.cost.page_maps(pages);
+        (agg, out)
+    }
+
+    /// Replaces a file extent with the contents of `agg` (`IOL_write`,
+    /// §3.4): the cached aggregate is replaced, never mutated, so prior
+    /// readers keep their snapshots (§3.5).
+    pub fn iol_write(
+        &mut self,
+        _pid: Pid,
+        file: FileId,
+        offset: u64,
+        agg: &Aggregate,
+    ) -> IoOutcome {
+        let mut out = IoOutcome {
+            charge: Charge::us(self.cost.syscall_us),
+            ..IoOutcome::default()
+        };
+        self.metrics.syscalls += 1;
+        // Update the backing store (write-back happens off the critical
+        // path; no device time charged here).
+        let bytes = agg.to_vec();
+        self.store.write(file, offset, &bytes);
+        // Snapshot-preserving cache replacement: rebuild the whole-file
+        // entry as head ++ agg ++ tail, chaining by reference.
+        let key = CacheKey::whole(file);
+        if let Some(old) = self.cache.replace_for_write(&key) {
+            let (head, _) = old.split_at(offset);
+            let rest = if offset + agg.len() < old.len() {
+                old.split_at(offset + agg.len()).1
+            } else {
+                Aggregate::empty()
+            };
+            let mut rebuilt = head;
+            rebuilt.append(agg);
+            rebuilt.append(&rest);
+            self.cache.insert(key, rebuilt);
+            self.rebalance_cache();
+        }
+        out.charge += Charge::ZERO;
+        out
+    }
+
+    /// Backward-compatible `read`: copies into the caller's buffer
+    /// (§4.2: "a data copy operation is used to move data between
+    /// application buffers and IO-Lite buffers").
+    pub fn posix_read(
+        &mut self,
+        _pid: Pid,
+        file: FileId,
+        offset: u64,
+        len: u64,
+    ) -> (Vec<u8>, IoOutcome) {
+        let mut out = IoOutcome {
+            charge: Charge::us(self.cost.syscall_us),
+            ..IoOutcome::default()
+        };
+        self.metrics.syscalls += 1;
+        let whole = self.read_whole_cached(file, &mut out);
+        let flen = whole.len();
+        let start = offset.min(flen);
+        let take = len.min(flen - start);
+        let mut dst = vec![0u8; take as usize];
+        whole.copy_to(start, &mut dst);
+        self.metrics.bytes_copied += take;
+        out.charge += self.cost.cached_copy(take);
+        (dst, out)
+    }
+
+    /// Backward-compatible `write`: copies the caller's bytes into
+    /// IO-Lite buffers, then behaves like [`Kernel::iol_write`].
+    pub fn posix_write(&mut self, pid: Pid, file: FileId, offset: u64, data: &[u8]) -> IoOutcome {
+        let agg = Aggregate::from_bytes(&self.cache_pool, data);
+        self.metrics.bytes_copied += data.len() as u64;
+        let mut out = self.iol_write(pid, file, offset, &agg);
+        out.charge += self.cost.copy(data.len() as u64);
+        out
+    }
+
+    /// Maps a whole file (§3.8 `mmap`): contiguous view, lazy alignment
+    /// copies, COW against cached snapshots.
+    pub fn mmap(&mut self, pid: Pid, file: FileId) -> (MmapView, IoOutcome) {
+        let mut out = IoOutcome {
+            charge: Charge::us(self.cost.syscall_us),
+            ..IoOutcome::default()
+        };
+        self.metrics.syscalls += 1;
+        let whole = self.read_whole_cached(file, &mut out);
+        let pages = self.transfer_to(&whole, pid.domain());
+        out.mapped_pages += pages;
+        out.charge += self.cost.page_maps(pages);
+        (MmapView::new(whole), out)
+    }
+
+    /// Cache-or-disk read of the whole file, maintaining budgets.
+    fn read_whole_cached(&mut self, file: FileId, out: &mut IoOutcome) -> Aggregate {
+        let key = CacheKey::whole(file);
+        if let Some(agg) = self.cache.lookup(&key) {
+            out.cache_hit = true;
+            return agg;
+        }
+        let len = self.store.len(file).unwrap_or(0);
+        let bytes = self.store.read(file, 0, len).unwrap_or_default();
+        let agg = Aggregate::from_bytes_aligned(&self.cache_pool, &bytes, iolite_buf::PAGE_SIZE);
+        out.disk_bytes = len;
+        out.disk_time = self.disk.access_time(len);
+        self.metrics.disk_ops += 1;
+        self.metrics.disk_bytes += len;
+        // Admit, then shrink to budget; evicted chunks that drained
+        // return to the pool and are eventually released.
+        self.cache.insert(key, agg.clone());
+        self.rebalance_cache();
+        self.cache_pool.release_free_chunks(u64::MAX);
+        agg
+    }
+
+    /// Makes an aggregate's chunks readable in `domain`, charging only
+    /// first-time mappings (§3.2). Returns newly mapped pages.
+    pub fn transfer_to(&mut self, agg: &Aggregate, domain: DomainId) -> u64 {
+        let chunks: Vec<ChunkId> = agg.slices().iter().map(|s| s.id().chunk).collect();
+        let pages = self
+            .window
+            .transfer(&chunks, domain, &self.cache_pool_acl.clone())
+            .unwrap_or(0);
+        self.metrics.pages_mapped += pages;
+        pages
+    }
+
+    /// Like [`Kernel::transfer_to`] but enforcing an explicit ACL
+    /// (pipe transfers between mutually untrusting processes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`iolite_vm::AccessDenied`] when `domain` is not on
+    /// `acl`.
+    pub fn transfer_with_acl(
+        &mut self,
+        agg: &Aggregate,
+        domain: DomainId,
+        acl: &Acl,
+    ) -> Result<u64, iolite_vm::AccessDenied> {
+        let chunks: Vec<ChunkId> = agg.slices().iter().map(|s| s.id().chunk).collect();
+        let pages = self.window.transfer(&chunks, domain, acl)?;
+        self.metrics.pages_mapped += pages;
+        Ok(pages)
+    }
+
+    // ---- pipes -----------------------------------------------------------
+
+    /// Creates a pipe in the given mode with the BSD 64KB buffer.
+    pub fn pipe_create(&mut self, mode: PipeMode) -> PipeId {
+        let id = PipeId(self.next_pipe);
+        self.next_pipe += 1;
+        self.pipes.insert(id, Pipe::new(mode, 64 * 1024));
+        id
+    }
+
+    /// Writes to a pipe, returning accepted bytes and the cost.
+    ///
+    /// A short write means the pipe is full; the caller must let the
+    /// reader run (a context switch, charged by the run loop).
+    pub fn pipe_write(&mut self, _pid: Pid, id: PipeId, data: &Aggregate) -> (u64, IoOutcome) {
+        let mut out = IoOutcome {
+            charge: Charge::us(self.cost.syscall_us),
+            ..IoOutcome::default()
+        };
+        self.metrics.syscalls += 1;
+        let pipe = self.pipes.get_mut(&id).expect("unknown pipe");
+        let before = pipe.stats().bytes_copied;
+        let accepted = pipe.write(data);
+        let copied = pipe.stats().bytes_copied - before;
+        if copied > 0 {
+            self.metrics.bytes_copied += copied;
+            out.charge += self.cost.copy(copied);
+        }
+        (accepted, out)
+    }
+
+    /// Reads from a pipe; zero-copy pipes also transfer the received
+    /// chunks into the reader's domain (first time only — recycled
+    /// buffers ride existing mappings, §3.2).
+    pub fn pipe_read(&mut self, pid: Pid, id: PipeId, max: u64) -> (Option<Aggregate>, IoOutcome) {
+        let mut out = IoOutcome {
+            charge: Charge::us(self.cost.syscall_us),
+            ..IoOutcome::default()
+        };
+        self.metrics.syscalls += 1;
+        let pipe = self.pipes.get_mut(&id).expect("unknown pipe");
+        let mode = pipe.mode();
+        let before = pipe.stats().bytes_copied;
+        let got = pipe.read(max);
+        let copied = pipe.stats().bytes_copied - before;
+        if copied > 0 {
+            self.metrics.bytes_copied += copied;
+            out.charge += self.cost.copy(copied);
+        }
+        if let (Some(agg), PipeMode::ZeroCopy) = (&got, mode) {
+            // Pass-by-reference: the reader needs (at most first-time)
+            // read mappings. The writer's pool ACL must allow it; pipes
+            // between cooperating processes use a shared pool, so the
+            // kernel transfers with a permissive ACL here and relies on
+            // pool ACLs at allocation sites.
+            let pages = self.transfer_to(agg, pid.domain());
+            out.mapped_pages += pages;
+            out.charge += self.cost.page_maps(pages);
+        }
+        (got, out)
+    }
+
+    // ---- file descriptors (§3.4: the IOL calls act on any fd) -----------
+
+    /// Opens a file by path, returning a descriptor with offset 0.
+    ///
+    /// Returns `None` (with the metadata-lookup charge applied) when the
+    /// path does not resolve.
+    pub fn open(&mut self, pid: Pid, path: &str) -> (Option<Fd>, Charge) {
+        let (id, charge) = self.lookup(path);
+        let fd = id.map(|file| self.fds.table(pid).install(FdObject::File(file)));
+        (fd, charge + Charge::us(self.cost.syscall_us))
+    }
+
+    /// Creates a pipe and returns `(read_fd, write_fd)` in `pid`'s table
+    /// (both ends in one process, as after `pipe(2)` before `fork`;
+    /// hand the ends to other processes with [`Kernel::install_fd`]).
+    pub fn pipe_fds(&mut self, pid: Pid, mode: PipeMode) -> (Fd, Fd) {
+        let id = self.pipe_create(mode);
+        let table = self.fds.table(pid);
+        let r = table.install(FdObject::PipeRead(id));
+        let w = table.install(FdObject::PipeWrite(id));
+        (r, w)
+    }
+
+    /// Installs an existing object in `pid`'s descriptor table (the
+    /// moral equivalent of inheriting an fd across `fork`/`exec`).
+    pub fn install_fd(&mut self, pid: Pid, object: FdObject) -> Fd {
+        self.fds.table(pid).install(object)
+    }
+
+    /// Duplicates a descriptor (`dup(2)`): both numbers share one file
+    /// offset.
+    pub fn dup_fd(&mut self, pid: Pid, fd: Fd) -> Option<Fd> {
+        self.fds.table(pid).dup(fd)
+    }
+
+    /// Closes a descriptor (`close(2)`).
+    pub fn close_fd(&mut self, pid: Pid, fd: Fd) -> bool {
+        self.fds.table(pid).close(fd)
+    }
+
+    /// Repositions a file descriptor (`lseek(2)` with `SEEK_SET`).
+    /// Returns the new offset, or `None` for pipes/unknown fds.
+    pub fn lseek(&mut self, pid: Pid, fd: Fd, pos: u64) -> Option<u64> {
+        let desc = self.fds.table(pid).get(fd)?;
+        let mut open = desc.borrow_mut();
+        match open.object {
+            FdObject::File(_) => {
+                open.pos = pos;
+                Some(pos)
+            }
+            _ => None,
+        }
+    }
+
+    /// `IOL_read` on a descriptor: files read at (and advance) the
+    /// shared offset; pipe read-ends drain the pipe.
+    ///
+    /// Returns an empty aggregate for unknown descriptors or wrong-end
+    /// pipe access (EBADF analog — the charge still applies, as the
+    /// kernel did the work of rejecting the call).
+    pub fn iol_read_fd(&mut self, pid: Pid, fd: Fd, len: u64) -> (Aggregate, IoOutcome) {
+        let Some(desc) = self.fds.table(pid).get(fd) else {
+            return (
+                Aggregate::empty(),
+                IoOutcome {
+                    charge: Charge::us(self.cost.syscall_us),
+                    ..IoOutcome::default()
+                },
+            );
+        };
+        let object = desc.borrow().object;
+        match object {
+            FdObject::File(file) => {
+                let pos = desc.borrow().pos;
+                let (agg, out) = self.iol_read(pid, file, pos, len);
+                desc.borrow_mut().pos = pos + agg.len();
+                (agg, out)
+            }
+            FdObject::PipeRead(pipe) => {
+                let (got, out) = self.pipe_read(pid, pipe, len);
+                (got.unwrap_or_default(), out)
+            }
+            FdObject::PipeWrite(_) => (
+                Aggregate::empty(),
+                IoOutcome {
+                    charge: Charge::us(self.cost.syscall_us),
+                    ..IoOutcome::default()
+                },
+            ),
+        }
+    }
+
+    /// `IOL_write` on a descriptor: files replace at (and advance) the
+    /// shared offset; pipe write-ends enqueue. Returns bytes accepted.
+    pub fn iol_write_fd(&mut self, pid: Pid, fd: Fd, agg: &Aggregate) -> (u64, IoOutcome) {
+        let Some(desc) = self.fds.table(pid).get(fd) else {
+            return (
+                0,
+                IoOutcome {
+                    charge: Charge::us(self.cost.syscall_us),
+                    ..IoOutcome::default()
+                },
+            );
+        };
+        let object = desc.borrow().object;
+        match object {
+            FdObject::File(file) => {
+                let pos = desc.borrow().pos;
+                let out = self.iol_write(pid, file, pos, agg);
+                desc.borrow_mut().pos = pos + agg.len();
+                (agg.len(), out)
+            }
+            FdObject::PipeWrite(pipe) => self.pipe_write(pid, pipe, agg),
+            FdObject::PipeRead(_) => (
+                0,
+                IoOutcome {
+                    charge: Charge::us(self.cost.syscall_us),
+                    ..IoOutcome::default()
+                },
+            ),
+        }
+    }
+
+    /// Closes a pipe's write end.
+    pub fn pipe_close(&mut self, id: PipeId) {
+        if let Some(p) = self.pipes.get_mut(&id) {
+            p.close();
+        }
+    }
+
+    /// Immutable access to a pipe (tests, stats).
+    pub fn pipe(&self, id: PipeId) -> &Pipe {
+        &self.pipes[&id]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel() -> Kernel {
+        Kernel::new(CostModel::pentium_ii_333())
+    }
+
+    #[test]
+    fn iol_read_hits_cache_second_time() {
+        let mut k = kernel();
+        let pid = k.spawn("app");
+        let f = k.create_synthetic_file("/f", 100_000, 1);
+        let (a1, o1) = k.iol_read(pid, f, 0, 100_000);
+        assert!(!o1.cache_hit);
+        assert!(o1.disk_bytes == 100_000 && o1.disk_time > SimTime::ZERO);
+        let (a2, o2) = k.iol_read(pid, f, 0, 100_000);
+        assert!(o2.cache_hit);
+        assert_eq!(o2.disk_bytes, 0);
+        assert!(a1.content_eq(&a2));
+        // Same physical copy.
+        assert!(a1.slices()[0].same_buffer(&a2.slices()[0]));
+    }
+
+    #[test]
+    fn iol_read_short_at_eof() {
+        let mut k = kernel();
+        let pid = k.spawn("app");
+        let f = k.create_file("/f", b"abcdef");
+        let (agg, _) = k.iol_read(pid, f, 4, 100);
+        assert_eq!(agg.to_vec(), b"ef");
+        let (empty, _) = k.iol_read(pid, f, 100, 10);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn mapping_cost_amortizes() {
+        let mut k = kernel();
+        let pid = k.spawn("app");
+        let f = k.create_synthetic_file("/f", 64 * 1024, 1);
+        let (_, o1) = k.iol_read(pid, f, 0, 64 * 1024);
+        assert!(o1.mapped_pages > 0);
+        let (_, o2) = k.iol_read(pid, f, 0, 64 * 1024);
+        assert_eq!(o2.mapped_pages, 0, "second read rides warm mappings");
+        assert!(o2.charge.time < o1.charge.time);
+    }
+
+    #[test]
+    fn posix_read_copies_iol_read_does_not() {
+        let mut k = kernel();
+        let pid = k.spawn("app");
+        let f = k.create_synthetic_file("/f", 10_000, 1);
+        let (data, _) = k.posix_read(pid, f, 0, 10_000);
+        assert_eq!(k.metrics.bytes_copied, 10_000);
+        let (agg, _) = k.iol_read(pid, f, 0, 10_000);
+        assert_eq!(k.metrics.bytes_copied, 10_000, "IOL_read adds no copy");
+        assert_eq!(agg.to_vec(), data);
+    }
+
+    #[test]
+    fn iol_write_preserves_reader_snapshots() {
+        let mut k = kernel();
+        let pid = k.spawn("app");
+        let f = k.create_file("/f", b"old-contents");
+        let (snapshot, _) = k.iol_read(pid, f, 0, 100);
+        let patch = Aggregate::from_bytes(k.process(pid).pool(), b"NEW");
+        k.iol_write(pid, f, 0, &patch);
+        // Reader's snapshot unchanged; store and cache updated.
+        assert_eq!(snapshot.to_vec(), b"old-contents");
+        assert_eq!(k.store.read(f, 0, 100).unwrap(), b"NEW-contents");
+        let (now, o) = k.iol_read(pid, f, 0, 100);
+        assert!(o.cache_hit);
+        assert_eq!(now.to_vec(), b"NEW-contents");
+    }
+
+    #[test]
+    fn lookup_uses_metadata_cache() {
+        let mut k = kernel();
+        k.create_file("/x", b"1");
+        let (id1, c1) = k.lookup("/x");
+        let (id2, c2) = k.lookup("/x");
+        assert_eq!(id1, id2);
+        assert!(c2.time < c1.time, "metadata hit is cheaper");
+        assert_eq!(k.lookup("/missing").0, None);
+    }
+
+    #[test]
+    fn cache_budget_respects_memory_pressure() {
+        let mut k = kernel();
+        let pid = k.spawn("app");
+        let f = k.create_synthetic_file("/f", 1 << 20, 1);
+        k.iol_read(pid, f, 0, 1 << 20);
+        assert!(k.cache.resident_bytes() > 0);
+        // Reserve (almost) all remaining memory: cache must shrink.
+        let avail = k.physmem.available();
+        k.physmem
+            .reserve(MemAccount::SocketCopies, avail + (1 << 20));
+        k.rebalance_cache();
+        assert_eq!(k.cache.resident_bytes(), 0, "budget squeeze evicts all");
+    }
+
+    #[test]
+    fn zero_copy_pipe_transfer_maps_once() {
+        let mut k = kernel();
+        let a = k.spawn("producer");
+        let b = k.spawn("consumer");
+        let pipe = k.pipe_create(PipeMode::ZeroCopy);
+        let pool = k.process(a).pool().clone();
+        // First message: fresh chunk, reader pays mapping.
+        let m1 = Aggregate::from_bytes(&pool, &[1u8; 64 * 1024]);
+        k.pipe_write(a, pipe, &m1);
+        drop(m1);
+        let (got, o1) = k.pipe_read(b, pipe, u64::MAX);
+        assert_eq!(got.unwrap().len(), 64 * 1024);
+        assert!(o1.mapped_pages > 0);
+        // Recycled chunk: no new mappings (the §3.2 fast path).
+        let m2 = Aggregate::from_bytes(&pool, &[2u8; 64 * 1024]);
+        k.pipe_write(a, pipe, &m2);
+        drop(m2);
+        let (_, o2) = k.pipe_read(b, pipe, u64::MAX);
+        assert_eq!(o2.mapped_pages, 0);
+        assert_eq!(k.pipe(pipe).stats().bytes_copied, 0);
+    }
+
+    #[test]
+    fn copy_pipe_charges_copies() {
+        let mut k = kernel();
+        let a = k.spawn("producer");
+        let b = k.spawn("consumer");
+        let pipe = k.pipe_create(PipeMode::Copy);
+        let pool = k.process(a).pool().clone();
+        let msg = Aggregate::from_bytes(&pool, &[1u8; 1000]);
+        let (n, wout) = k.pipe_write(a, pipe, &msg);
+        assert_eq!(n, 1000);
+        assert!(wout.charge.time > Charge::us(5.0).time);
+        let (_, rout) = k.pipe_read(b, pipe, u64::MAX);
+        assert!(rout.charge.time > Charge::us(5.0).time);
+        assert_eq!(k.metrics.bytes_copied, 2000);
+    }
+
+    #[test]
+    fn mmap_returns_working_view() {
+        let mut k = kernel();
+        let pid = k.spawn("app");
+        let f = k.create_synthetic_file("/f", 10_000, 3);
+        let (mut view, o) = k.mmap(pid, f);
+        assert_eq!(view.len(), 10_000);
+        assert!(o.mapped_pages > 0);
+        let direct = k.store.read(f, 0, 10_000).unwrap();
+        assert_eq!(view.read_all(), direct);
+    }
+
+    #[test]
+    fn fd_reads_advance_shared_offsets() {
+        let mut k = kernel();
+        let pid = k.spawn("app");
+        k.create_file("/seq", b"abcdefghij");
+        let (fd, _) = k.open(pid, "/seq");
+        let fd = fd.unwrap();
+        let (first, _) = k.iol_read_fd(pid, fd, 4);
+        assert_eq!(first.to_vec(), b"abcd");
+        // A dup shares the offset.
+        let dup = k.dup_fd(pid, fd).unwrap();
+        let (second, _) = k.iol_read_fd(pid, dup, 4);
+        assert_eq!(second.to_vec(), b"efgh");
+        let (third, _) = k.iol_read_fd(pid, fd, 4);
+        assert_eq!(third.to_vec(), b"ij");
+        // lseek rewinds.
+        assert_eq!(k.lseek(pid, fd, 0), Some(0));
+        let (again, _) = k.iol_read_fd(pid, dup, 2);
+        assert_eq!(again.to_vec(), b"ab");
+    }
+
+    #[test]
+    fn fd_pipes_and_bad_fds() {
+        let mut k = kernel();
+        let a = k.spawn("producer");
+        let b = k.spawn("consumer");
+        let (r, w) = k.pipe_fds(a, PipeMode::ZeroCopy);
+        // Hand the read end to the consumer.
+        let robj = k.fds.table(a).get(r).unwrap().borrow().object;
+        let r_in_b = k.install_fd(b, robj);
+        let pool = k.process(a).pool().clone();
+        let msg = Aggregate::from_bytes(&pool, b"through the fd layer");
+        let (n, _) = k.iol_write_fd(a, w, &msg);
+        assert_eq!(n, 20);
+        let (got, _) = k.iol_read_fd(b, r_in_b, 100);
+        assert_eq!(got.to_vec(), b"through the fd layer");
+        // Wrong-end access and unknown fds degrade gracefully.
+        let (none, _) = k.iol_read_fd(a, w, 10);
+        assert!(none.is_empty());
+        let (zero, _) = k.iol_write_fd(b, r_in_b, &msg);
+        assert_eq!(zero, 0);
+        let (ghost, _) = k.iol_read_fd(a, Fd(999), 10);
+        assert!(ghost.is_empty());
+        // Opening a missing path fails with a charge.
+        let (none_fd, c) = k.open(a, "/nope");
+        assert!(none_fd.is_none());
+        assert!(c.time > iolite_sim::SimTime::ZERO);
+        // lseek on a pipe is refused.
+        assert_eq!(k.lseek(a, w, 5), None);
+    }
+
+    #[test]
+    fn fd_file_writes_land_at_the_offset() {
+        let mut k = kernel();
+        let pid = k.spawn("app");
+        k.create_file("/f", b"0123456789");
+        let (fd, _) = k.open(pid, "/f");
+        let fd = fd.unwrap();
+        k.lseek(pid, fd, 4);
+        let pool = k.process(pid).pool().clone();
+        let patch = Aggregate::from_bytes(&pool, b"XY");
+        let (n, _) = k.iol_write_fd(pid, fd, &patch);
+        assert_eq!(n, 2);
+        let file = k.lookup("/f").0.unwrap();
+        assert_eq!(k.store.read(file, 0, 20).unwrap(), b"0123XY6789");
+        // The offset advanced past the write.
+        let (rest, _) = k.iol_read_fd(pid, fd, 10);
+        assert_eq!(rest.to_vec(), b"6789");
+    }
+
+    #[test]
+    fn pageout_trigger_evicts_under_cache_heavy_replacement() {
+        let mut k = kernel();
+        let pid = k.spawn("app");
+        // Fill the cache, then squeeze it so replacements are dominated
+        // by cached-I/O pages.
+        for i in 0..8 {
+            let f = k.create_synthetic_file(&format!("/f{i}"), 1 << 20, i);
+            k.iol_read(pid, f, 0, 1 << 20);
+        }
+        let resident_before = k.cache.resident_bytes();
+        assert!(resident_before > 0);
+        let squeeze = k.physmem.available() + resident_before / 2;
+        k.physmem.reserve(MemAccount::SocketCopies, squeeze);
+        k.rebalance_cache();
+        // The daemon saw cached-I/O replacements; light "other" traffic
+        // must now trigger the half rule.
+        assert!(k.pageout.total_cached_io() > 0);
+        let evicted = k.vm_pressure(1);
+        assert!(evicted, "majority cached-I/O traffic must evict");
+        assert!(k.pageout.evictions() >= 1);
+        assert!(k.pageout.backing_writes() >= 1);
+        // Heavy non-cache pressure resets the balance: no more evictions.
+        let again = k.vm_pressure(10_000);
+        assert!(!again, "other-page traffic dominates now");
+    }
+
+    #[test]
+    fn clock_and_charging() {
+        let mut k = kernel();
+        assert_eq!(k.now(), SimTime::ZERO);
+        k.charge(CostCategory::Copy, Charge::us(100.0));
+        k.advance(SimTime::from_us(50.0));
+        assert_eq!(k.now(), SimTime::from_us(150.0));
+        assert_eq!(
+            k.metrics.time_in(CostCategory::Copy),
+            SimTime::from_us(100.0)
+        );
+        k.reset_clock();
+        assert_eq!(k.now(), SimTime::ZERO);
+    }
+}

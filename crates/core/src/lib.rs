@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+//! The IO-Lite kernel facade: processes, the IOL API, the POSIX
+//! baseline, the cost model, and system-wide metrics (paper §3.4, §4).
+//!
+//! [`Kernel`] composes every substrate — the buffer system
+//! (`iolite-buf`), the VM window and memory accountant (`iolite-vm`),
+//! the file system and unified cache (`iolite-fs`), the network
+//! subsystem (`iolite-net`), and IPC (`iolite-ipc`) — behind the
+//! system-call surface the paper defines:
+//!
+//! * [`Kernel::iol_read`] / [`Kernel::iol_write`] — the §3.4 core API
+//!   with snapshot semantics and buffer-aggregate transfer.
+//! * [`Kernel::posix_read`] / [`Kernel::posix_write`] — the backward-
+//!   compatible copying interface ("a data copy operation is used to
+//!   move data between application buffers and IO-Lite buffers", §4.2).
+//! * [`Kernel::mmap`] — the contiguous-mapping escape hatch of §3.8.
+//! * Pipe calls in both conventional and IO-Lite modes (§4.4).
+//!
+//! Every operation does its real data-plane work *and* returns a
+//! [`Charge`] — the simulated CPU time it would have cost on the paper's
+//! 333MHz Pentium II testbed, per the calibrated [`CostModel`]. Drivers
+//! submit charges to a simulated CPU; sequential programs accumulate
+//! them on the kernel clock.
+
+pub mod api;
+pub mod cost;
+pub mod fd;
+pub mod kernel;
+pub mod metrics;
+pub mod process;
+pub mod stdio;
+
+pub use api::IolAgg;
+pub use cost::{Charge, CostCategory, CostModel};
+pub use fd::{Fd, FdObject, FdTable};
+pub use kernel::{IoOutcome, Kernel, MappedFileCache, PipeEnd, PipeId};
+pub use metrics::Metrics;
+pub use process::{Pid, Process};
+pub use stdio::{StdioIn, StdioMode, StdioOut};

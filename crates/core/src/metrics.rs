@@ -1,0 +1,111 @@
+//! System-wide instrumentation.
+//!
+//! Counts the mechanism-level events (copies, checksums, mappings,
+//! switches, disk I/O) whose elimination is the paper's whole thesis.
+//! EXPERIMENTS.md reports these next to throughput so the *cause* of
+//! each speedup is visible, not just the effect.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use iolite_sim::SimTime;
+
+use crate::cost::CostCategory;
+
+/// Mechanism-level event and time accounting.
+#[derive(Debug, Default, Clone)]
+pub struct Metrics {
+    /// Bytes physically copied, by any subsystem.
+    pub bytes_copied: u64,
+    /// Bytes touched by checksum computation.
+    pub bytes_checksummed: u64,
+    /// Bytes whose checksum was served from the §3.9 cache.
+    pub bytes_checksum_cached: u64,
+    /// New page mappings established in the IO-Lite window.
+    pub pages_mapped: u64,
+    /// System calls executed.
+    pub syscalls: u64,
+    /// Context switches.
+    pub context_switches: u64,
+    /// Disk accesses.
+    pub disk_ops: u64,
+    /// Bytes moved from disk.
+    pub disk_bytes: u64,
+    /// Simulated CPU time by category.
+    pub time_by_category: BTreeMap<CostCategory, SimTime>,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Adds simulated time under a category.
+    pub fn charge(&mut self, cat: CostCategory, t: SimTime) {
+        *self.time_by_category.entry(cat).or_insert(SimTime::ZERO) += t;
+    }
+
+    /// Total simulated CPU time across categories.
+    pub fn total_time(&self) -> SimTime {
+        self.time_by_category
+            .values()
+            .fold(SimTime::ZERO, |acc, &t| acc + t)
+    }
+
+    /// Time recorded under one category.
+    pub fn time_in(&self, cat: CostCategory) -> SimTime {
+        self.time_by_category
+            .get(&cat)
+            .copied()
+            .unwrap_or(SimTime::ZERO)
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "copied={}KB checksummed={}KB (cached {}KB) pages_mapped={} \
+             syscalls={} ctx={} disk_ops={} disk={}KB",
+            self.bytes_copied >> 10,
+            self.bytes_checksummed >> 10,
+            self.bytes_checksum_cached >> 10,
+            self.pages_mapped,
+            self.syscalls,
+            self.context_switches,
+            self.disk_ops,
+            self.disk_bytes >> 10,
+        )?;
+        for (cat, t) in &self.time_by_category {
+            writeln!(f, "  {cat:?}: {t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_accumulates_by_category() {
+        let mut m = Metrics::new();
+        m.charge(CostCategory::Copy, SimTime::from_us(10.0));
+        m.charge(CostCategory::Copy, SimTime::from_us(5.0));
+        m.charge(CostCategory::Checksum, SimTime::from_us(2.0));
+        assert_eq!(m.time_in(CostCategory::Copy), SimTime::from_us(15.0));
+        assert_eq!(m.total_time(), SimTime::from_us(17.0));
+        assert_eq!(m.time_in(CostCategory::Packet), SimTime::ZERO);
+    }
+
+    #[test]
+    fn display_is_humane() {
+        let mut m = Metrics::new();
+        m.bytes_copied = 2048;
+        m.charge(CostCategory::Syscall, SimTime::from_us(1.0));
+        let s = m.to_string();
+        assert!(s.contains("copied=2KB"));
+        assert!(s.contains("Syscall"));
+    }
+}

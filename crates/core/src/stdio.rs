@@ -1,0 +1,277 @@
+//! A stdio-like buffered I/O library over kernel pipes (§3.4, §5.8).
+//!
+//! "Language-specific runtime I/O libraries, like the ANSI C stdio
+//! library, can be converted to use the new API internally. Doing so
+//! reduces data copying without changing the library's API." The gcc
+//! experiment (§5.8) relinks the compiler chain against exactly such a
+//! library.
+//!
+//! The copy structure is faithful:
+//!
+//! * **POSIX mode**: `fwrite` copies into the stdio buffer; flushing
+//!   copies into the kernel pipe; the reader copies out of the pipe into
+//!   its stdio buffer and once more to the caller. (Four copies per
+//!   byte across a pipe.)
+//! * **IO-Lite mode**: the stdio buffer *is* an IO-Lite allocation;
+//!   `fwrite` copies into it once, flushing passes it by reference, and
+//!   `fread` copies from the received aggregate to the caller. The
+//!   interprocess copies are gone, but — as the paper notes for gcc —
+//!   "data copying between the applications and the stdio library still
+//!   exists."
+
+use iolite_buf::{Aggregate, BufferPool};
+
+use crate::cost::CostCategory;
+use crate::kernel::{Kernel, PipeId};
+use crate::process::Pid;
+
+/// Which API the stdio implementation uses internally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StdioMode {
+    /// Conventional `read`/`write` on the pipe.
+    Posix,
+    /// `IOL_read`/`IOL_write`: buffers pass by reference.
+    IoLite,
+}
+
+/// Default stdio buffer size (BUFSIZ analog; 64KB keeps pipe rounds
+/// aligned with the kernel buffer).
+pub const STDIO_BUF: usize = 64 * 1024;
+
+/// A buffered output stream over a kernel pipe (`FILE*` opened for
+/// writing).
+pub struct StdioOut {
+    pid: Pid,
+    pipe: PipeId,
+    mode: StdioMode,
+    pool: BufferPool,
+    buffer: Vec<u8>,
+}
+
+impl StdioOut {
+    /// Wraps the write end of `pipe` for process `pid`.
+    pub fn new(kernel: &Kernel, pid: Pid, pipe: PipeId, mode: StdioMode) -> Self {
+        StdioOut {
+            pid,
+            pipe,
+            mode,
+            pool: kernel.process(pid).pool().clone(),
+            buffer: Vec::with_capacity(STDIO_BUF),
+        }
+    }
+
+    /// Buffered write: copies into the stdio buffer (this copy exists in
+    /// both modes), flushing full buffers to the pipe.
+    ///
+    /// Returns bytes not yet accepted by the pipe on flush (pipe full):
+    /// the caller must let the reader drain and call
+    /// [`StdioOut::flush`] again. Returns 0 when everything is buffered
+    /// or flushed.
+    pub fn fwrite(&mut self, kernel: &mut Kernel, data: &[u8]) -> u64 {
+        // The application→library copy.
+        kernel.charge(
+            CostCategory::Copy,
+            kernel.cost.cached_copy(data.len() as u64),
+        );
+        kernel.metrics.bytes_copied += data.len() as u64;
+        self.buffer.extend_from_slice(data);
+        if self.buffer.len() >= STDIO_BUF {
+            self.flush(kernel)
+        } else {
+            0
+        }
+    }
+
+    /// Flushes the buffer to the pipe; returns bytes that did not fit.
+    pub fn flush(&mut self, kernel: &mut Kernel) -> u64 {
+        if self.buffer.is_empty() {
+            return 0;
+        }
+        let agg = Aggregate::from_bytes(&self.pool, &self.buffer);
+        let (accepted, out) = kernel.pipe_write(self.pid, self.pipe, &agg);
+        kernel.charge(CostCategory::Syscall, out.charge);
+        let leftover = self.buffer.len() as u64 - accepted;
+        self.buffer.drain(..accepted as usize);
+        let _ = self.mode; // Copy structure is carried by the pipe mode.
+        leftover
+    }
+
+    /// Bytes currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+}
+
+/// A buffered input stream over a kernel pipe (`FILE*` opened for
+/// reading).
+pub struct StdioIn {
+    pid: Pid,
+    pipe: PipeId,
+    mode: StdioMode,
+    pending: Aggregate,
+}
+
+impl StdioIn {
+    /// Wraps the read end of `pipe` for process `pid`.
+    pub fn new(pid: Pid, pipe: PipeId, mode: StdioMode) -> Self {
+        StdioIn {
+            pid,
+            pipe,
+            mode,
+            pending: Aggregate::empty(),
+        }
+    }
+
+    /// Buffered read: fills from the pipe as needed, then copies up to
+    /// `dst.len()` bytes to the caller (the library→application copy,
+    /// present in both modes). Returns bytes delivered (0 = would
+    /// block / EOF).
+    pub fn fread(&mut self, kernel: &mut Kernel, dst: &mut [u8]) -> usize {
+        if self.pending.is_empty() {
+            let (got, out) = kernel.pipe_read(self.pid, self.pipe, STDIO_BUF as u64);
+            kernel.charge(CostCategory::Syscall, out.charge);
+            if let Some(agg) = got {
+                self.pending = agg;
+            }
+        }
+        let take = (dst.len() as u64).min(self.pending.len());
+        if take == 0 {
+            return 0;
+        }
+        self.pending.copy_to(0, &mut dst[..take as usize]);
+        self.pending.advance(take);
+        kernel.charge(CostCategory::Copy, kernel.cost.cached_copy(take));
+        kernel.metrics.bytes_copied += take;
+        let _ = self.mode;
+        take as usize
+    }
+
+    /// Reads everything currently available without the caller copy —
+    /// only meaningful for IO-Lite-aware applications that can consume
+    /// aggregates directly (the `wc` conversion of §5.8).
+    pub fn fread_agg(&mut self, kernel: &mut Kernel) -> Option<Aggregate> {
+        if self.pending.is_empty() {
+            let (got, out) = kernel.pipe_read(self.pid, self.pipe, STDIO_BUF as u64);
+            kernel.charge(CostCategory::Syscall, out.charge);
+            if let Some(agg) = got {
+                self.pending = agg;
+            }
+        }
+        if self.pending.is_empty() {
+            None
+        } else {
+            Some(std::mem::take(&mut self.pending))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use iolite_ipc::PipeMode;
+
+    fn setup(mode: StdioMode) -> (Kernel, Pid, Pid, PipeId) {
+        let mut k = Kernel::new(CostModel::pentium_ii_333());
+        let w = k.spawn("writer");
+        let r = k.spawn("reader");
+        let pipe_mode = match mode {
+            StdioMode::Posix => PipeMode::Copy,
+            StdioMode::IoLite => PipeMode::ZeroCopy,
+        };
+        let pipe = k.pipe_create(pipe_mode);
+        (k, w, r, pipe)
+    }
+
+    #[test]
+    fn data_round_trips_both_modes() {
+        for mode in [StdioMode::Posix, StdioMode::IoLite] {
+            let (mut k, w, r, pipe) = setup(mode);
+            let mut out = StdioOut::new(&k, w, pipe, mode);
+            let mut inp = StdioIn::new(r, pipe, mode);
+            let message = b"buffered hello across the pipe";
+            out.fwrite(&mut k, message);
+            assert_eq!(out.buffered(), message.len(), "small write stays buffered");
+            out.flush(&mut k);
+            let mut got = vec![0u8; message.len()];
+            assert_eq!(inp.fread(&mut k, &mut got), message.len());
+            assert_eq!(&got, message, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn large_write_flushes_automatically() {
+        let (mut k, w, r, pipe) = setup(StdioMode::IoLite);
+        let mut out = StdioOut::new(&k, w, pipe, StdioMode::IoLite);
+        let mut inp = StdioIn::new(r, pipe, StdioMode::IoLite);
+        let data = vec![7u8; STDIO_BUF + 100];
+        out.fwrite(&mut k, &data);
+        // The pipe (64KB) is now full; the tail stays buffered until the
+        // reader drains — the producer/consumer round structure.
+        assert_eq!(out.buffered(), 100);
+        let mut received = Vec::new();
+        let mut chunk = vec![0u8; 8 * 1024];
+        loop {
+            let n = inp.fread(&mut k, &mut chunk);
+            if n == 0 {
+                if out.flush(&mut k) == 0 && out.buffered() == 0 {
+                    break;
+                }
+                continue;
+            }
+            received.extend_from_slice(&chunk[..n]);
+        }
+        // Drain whatever the final flush queued.
+        loop {
+            let n = inp.fread(&mut k, &mut chunk);
+            if n == 0 {
+                break;
+            }
+            received.extend_from_slice(&chunk[..n]);
+        }
+        assert_eq!(received.len(), data.len());
+        assert_eq!(received, data);
+    }
+
+    #[test]
+    fn iolite_mode_halves_copied_bytes() {
+        let count_copies = |mode: StdioMode| {
+            let (mut k, w, r, pipe) = setup(mode);
+            let mut out = StdioOut::new(&k, w, pipe, mode);
+            let mut inp = StdioIn::new(r, pipe, mode);
+            let data = vec![1u8; 32 * 1024];
+            out.fwrite(&mut k, &data);
+            out.flush(&mut k);
+            let mut sink = vec![0u8; 32 * 1024];
+            let mut total = 0;
+            while total < data.len() {
+                let n = inp.fread(&mut k, &mut sink);
+                if n == 0 {
+                    break;
+                }
+                total += n;
+            }
+            k.metrics.bytes_copied
+        };
+        let posix = count_copies(StdioMode::Posix);
+        let iolite = count_copies(StdioMode::IoLite);
+        // POSIX: app->stdio, stdio->pipe, pipe->reader, reader->app = 4n.
+        // IO-Lite: app->stdio, reader->app = 2n ("data copying between
+        // the applications and the stdio library still exists").
+        assert_eq!(posix, 4 * 32 * 1024);
+        assert_eq!(iolite, 2 * 32 * 1024);
+    }
+
+    #[test]
+    fn aggregate_read_skips_the_caller_copy() {
+        let (mut k, w, r, pipe) = setup(StdioMode::IoLite);
+        let mut out = StdioOut::new(&k, w, pipe, StdioMode::IoLite);
+        let mut inp = StdioIn::new(r, pipe, StdioMode::IoLite);
+        out.fwrite(&mut k, b"zero-copy consumer");
+        out.flush(&mut k);
+        let before = k.metrics.bytes_copied;
+        let agg = inp.fread_agg(&mut k).unwrap();
+        assert_eq!(agg.to_vec(), b"zero-copy consumer");
+        assert_eq!(k.metrics.bytes_copied, before, "no extra copy");
+    }
+}

@@ -1,0 +1,470 @@
+//! The unified IO-Lite file cache (§3.5, §3.7).
+//!
+//! Maps ⟨file-id, offset⟩ → buffer aggregates. The cache "has no
+//! statically allocated storage": it holds references into pageable
+//! IO-Lite buffers, so an entry's memory is shared with every other
+//! subsystem referencing the same buffers.
+//!
+//! Key semantics reproduced here:
+//!
+//! * **Snapshot writes** (§3.5): a write *replaces* the cached aggregate;
+//!   the replaced buffers "persist as long as other references to them
+//!   exist" — automatic, because entries hold refcounted slices.
+//! * **Reference-aware eviction** (§3.7): entries currently referenced
+//!   outside the cache (tracked with explicit pins by the kernel, e.g.
+//!   while the network transmits them) are evicted only as a last
+//!   resort.
+//! * **Budgeted size**: the eviction loop drives residency to the budget
+//!   the physical-memory accountant grants — this is the lever the WAN
+//!   experiment (§5.7) turns.
+
+use std::collections::{BTreeSet, HashMap};
+
+use iolite_buf::Aggregate;
+
+use crate::disk::FileId;
+use crate::policy::Policy;
+
+/// Cache entry key: which extent of which file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CacheKey {
+    /// The file.
+    pub file: FileId,
+    /// Byte offset of the extent (0 for whole-file entries).
+    pub offset: u64,
+}
+
+impl CacheKey {
+    /// Key for a whole-file entry.
+    pub fn whole(file: FileId) -> Self {
+        CacheKey { file, offset: 0 }
+    }
+}
+
+/// Cache activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookup hits.
+    pub hits: u64,
+    /// Lookup misses.
+    pub misses: u64,
+    /// Bytes served from cache.
+    pub bytes_hit: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Entries evicted by the policy.
+    pub evictions: u64,
+    /// Entries replaced by writes (snapshot semantics).
+    pub write_replacements: u64,
+    /// Evictions that had to sacrifice a pinned (referenced) entry.
+    pub pinned_evictions: u64,
+}
+
+struct Entry {
+    agg: Aggregate,
+    len: u64,
+    pins: u32,
+    ord: u64,
+    freq: u64,
+}
+
+/// The unified file cache.
+///
+/// # Examples
+///
+/// ```
+/// use iolite_buf::{Acl, Aggregate, BufferPool, PoolId};
+/// use iolite_fs::{CacheKey, FileId, Policy, UnifiedCache};
+///
+/// let pool = BufferPool::new(PoolId(1), Acl::kernel_only(), 64 * 1024);
+/// let mut cache = UnifiedCache::new(Policy::Lru, 1 << 20);
+/// let key = CacheKey::whole(FileId(1));
+/// cache.insert(key, Aggregate::from_bytes(&pool, b"doc"));
+/// assert!(cache.lookup(&key).is_some());
+/// ```
+pub struct UnifiedCache {
+    policy: Policy,
+    budget: u64,
+    entries: HashMap<CacheKey, Entry>,
+    queue: BTreeSet<(u64, CacheKey)>,
+    clock: u64,
+    gds_l: u64,
+    resident: u64,
+    stats: CacheStats,
+}
+
+impl UnifiedCache {
+    /// Creates a cache with the given policy and initial byte budget.
+    pub fn new(policy: Policy, budget: u64) -> Self {
+        UnifiedCache {
+            policy,
+            budget,
+            entries: HashMap::new(),
+            queue: BTreeSet::new(),
+            clock: 0,
+            gds_l: 0,
+            resident: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The active replacement policy.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// Bytes of file data currently cached.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Updates the byte budget (the physical-memory accountant calls
+    /// this as competing reservations change) and evicts down to it.
+    ///
+    /// Returns the evicted entries so callers can account for buffers
+    /// that remain alive through other references.
+    pub fn set_budget(&mut self, budget: u64) -> Vec<(CacheKey, Aggregate)> {
+        self.budget = budget;
+        self.enforce_budget()
+    }
+
+    /// The current byte budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Whether `key` is cached.
+    pub fn contains(&self, key: &CacheKey) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Looks up an extent, refreshing its replacement priority.
+    ///
+    /// The returned aggregate shares buffers with the cache entry — this
+    /// is the single-physical-copy sharing of §3.1.
+    pub fn lookup(&mut self, key: &CacheKey) -> Option<Aggregate> {
+        self.clock += 1;
+        let (policy, clock, gds_l) = (self.policy, self.clock, self.gds_l);
+        match self.entries.get_mut(key) {
+            Some(entry) => {
+                // Refresh ordering.
+                self.queue.remove(&(entry.ord, *key));
+                entry.freq += 1;
+                entry.ord = policy.order_key(clock, gds_l, entry.len, entry.freq);
+                self.queue.insert((entry.ord, *key));
+                self.stats.hits += 1;
+                self.stats.bytes_hit += entry.len;
+                Some(entry.agg.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or overwrites) an extent, then evicts to budget.
+    ///
+    /// Returns evicted entries.
+    pub fn insert(&mut self, key: CacheKey, agg: Aggregate) -> Vec<(CacheKey, Aggregate)> {
+        self.clock += 1;
+        let len = agg.len();
+        if let Some(old) = self.remove(&key) {
+            // Overwrite: drop the old entry's accounting first.
+            drop(old);
+        }
+        let ord = self.policy.order_key(self.clock, self.gds_l, len, 1);
+        self.entries.insert(
+            key,
+            Entry {
+                agg,
+                len,
+                pins: 0,
+                ord,
+                freq: 1,
+            },
+        );
+        self.queue.insert((ord, key));
+        self.resident += len;
+        self.stats.insertions += 1;
+        self.enforce_budget()
+    }
+
+    /// Removes an entry (IOL_write replacement, §3.5), returning its
+    /// aggregate. The buffers persist while other references exist.
+    pub fn remove(&mut self, key: &CacheKey) -> Option<Aggregate> {
+        let entry = self.entries.remove(key)?;
+        self.queue.remove(&(entry.ord, *key));
+        self.resident -= entry.len;
+        Some(entry.agg)
+    }
+
+    /// Removes an entry as part of a write (counts as replacement).
+    pub fn replace_for_write(&mut self, key: &CacheKey) -> Option<Aggregate> {
+        let out = self.remove(key);
+        if out.is_some() {
+            self.stats.write_replacements += 1;
+        }
+        out
+    }
+
+    /// Marks an entry as referenced outside the cache (network holds it,
+    /// an application holds it...).
+    pub fn pin(&mut self, key: &CacheKey) {
+        if let Some(e) = self.entries.get_mut(key) {
+            e.pins += 1;
+        }
+    }
+
+    /// Releases one outside reference.
+    pub fn unpin(&mut self, key: &CacheKey) {
+        if let Some(e) = self.entries.get_mut(key) {
+            e.pins = e.pins.saturating_sub(1);
+        }
+    }
+
+    /// Number of pins on an entry (0 if absent).
+    pub fn pins(&self, key: &CacheKey) -> u32 {
+        self.entries.get(key).map_or(0, |e| e.pins)
+    }
+
+    /// Evicts entries until residency fits the budget.
+    pub fn enforce_budget(&mut self) -> Vec<(CacheKey, Aggregate)> {
+        let mut evicted = Vec::new();
+        while self.resident > self.budget {
+            match self.evict_one() {
+                Some(kv) => evicted.push(kv),
+                None => break,
+            }
+        }
+        evicted
+    }
+
+    /// Evicts a single entry by the active policy: the best unpinned
+    /// victim, else the best pinned one (the §3.7 two-level rule).
+    ///
+    /// Also used directly by the pageout-daemon trigger.
+    pub fn evict_one(&mut self) -> Option<(CacheKey, Aggregate)> {
+        let victim = self
+            .queue
+            .iter()
+            .find(|(_, k)| self.entries[k].pins == 0)
+            .or_else(|| self.queue.iter().next())
+            .copied()?;
+        let (ord, key) = victim;
+        if self.entries[&key].pins > 0 {
+            self.stats.pinned_evictions += 1;
+        }
+        if matches!(self.policy, Policy::Gds | Policy::Gdsf) {
+            // The evicted entry's H becomes the new floor L.
+            self.gds_l = ord;
+        }
+        self.stats.evictions += 1;
+        let agg = self.remove(&key)?;
+        Some((key, agg))
+    }
+
+    /// Iterates over cached keys (diagnostics, tests).
+    pub fn keys(&self) -> impl Iterator<Item = &CacheKey> {
+        self.entries.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iolite_buf::{Acl, BufferPool, PoolId};
+
+    fn pool() -> BufferPool {
+        BufferPool::new(PoolId(1), Acl::kernel_only(), 64 * 1024)
+    }
+
+    fn agg(p: &BufferPool, n: usize) -> Aggregate {
+        Aggregate::from_bytes(p, &vec![0xAB; n])
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let p = pool();
+        let mut c = UnifiedCache::new(Policy::Lru, 1 << 20);
+        let k = CacheKey::whole(FileId(1));
+        assert!(c.lookup(&k).is_none());
+        c.insert(k, agg(&p, 100));
+        let got = c.lookup(&k).unwrap();
+        assert_eq!(got.len(), 100);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.bytes_hit), (1, 1, 100));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let p = pool();
+        let mut c = UnifiedCache::new(Policy::Lru, 250);
+        let (k1, k2, k3) = (
+            CacheKey::whole(FileId(1)),
+            CacheKey::whole(FileId(2)),
+            CacheKey::whole(FileId(3)),
+        );
+        c.insert(k1, agg(&p, 100));
+        c.insert(k2, agg(&p, 100));
+        // Touch k1 so k2 becomes LRU.
+        c.lookup(&k1);
+        let evicted = c.insert(k3, agg(&p, 100));
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].0, k2);
+        assert!(c.contains(&k1) && c.contains(&k3));
+    }
+
+    #[test]
+    fn gds_prefers_evicting_large_entries() {
+        let p = pool();
+        let mut c = UnifiedCache::new(Policy::Gds, 100_000);
+        let small = CacheKey::whole(FileId(1));
+        let large = CacheKey::whole(FileId(2));
+        c.insert(small, agg(&p, 1_000));
+        c.insert(large, agg(&p, 60_000));
+        // Both inserted; now overflow the budget.
+        let trigger = CacheKey::whole(FileId(3));
+        let evicted = c.insert(trigger, agg(&p, 50_000));
+        assert_eq!(evicted[0].0, large, "GDS evicts the big file first");
+        assert!(c.contains(&small));
+    }
+
+    #[test]
+    fn gds_floor_ages_old_entries() {
+        let p = pool();
+        let mut c = UnifiedCache::new(Policy::Gds, 3_000);
+        let key = CacheKey::whole;
+        c.insert(key(FileId(1)), agg(&p, 1_000));
+        c.insert(key(FileId(2)), agg(&p, 1_000));
+        c.insert(key(FileId(3)), agg(&p, 1_000));
+        // Force one eviction: equal H values, so the floor L rises to
+        // that common H.
+        let first = c.insert(key(FileId(4)), agg(&p, 1_000));
+        assert_eq!(first.len(), 1);
+        // Touch FileId(2): its H is recomputed above the raised floor.
+        c.lookup(&key(FileId(2)));
+        // Next eviction must take an untouched entry, not the refreshed
+        // one — recency enters GDS exactly through the L floor.
+        let second = c.insert(key(FileId(5)), agg(&p, 1_000));
+        assert_ne!(second[0].0, key(FileId(2)));
+        assert!(c.contains(&key(FileId(2))));
+    }
+
+    #[test]
+    fn pinned_entries_survive_unpinned_ones() {
+        let p = pool();
+        let mut c = UnifiedCache::new(Policy::Lru, 250);
+        let (k1, k2, k3) = (
+            CacheKey::whole(FileId(1)),
+            CacheKey::whole(FileId(2)),
+            CacheKey::whole(FileId(3)),
+        );
+        c.insert(k1, agg(&p, 100));
+        c.insert(k2, agg(&p, 100));
+        c.pin(&k1);
+        // k1 is older, but pinned: k2 must be the victim.
+        let evicted = c.insert(k3, agg(&p, 100));
+        assert_eq!(evicted[0].0, k2);
+        assert_eq!(c.stats().pinned_evictions, 0);
+    }
+
+    #[test]
+    fn all_pinned_falls_back_to_pinned_eviction() {
+        let p = pool();
+        let mut c = UnifiedCache::new(Policy::Lru, 1 << 20);
+        let k1 = CacheKey::whole(FileId(1));
+        let k2 = CacheKey::whole(FileId(2));
+        c.insert(k1, agg(&p, 100));
+        c.insert(k2, agg(&p, 100));
+        c.pin(&k1);
+        c.pin(&k2);
+        // Everything is referenced; shrinking the budget must still make
+        // progress, sacrificing pinned entries LRU-first.
+        let evicted = c.set_budget(150);
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].0, k1);
+        assert_eq!(c.stats().pinned_evictions, 1);
+    }
+
+    #[test]
+    fn write_replacement_preserves_old_buffers() {
+        let p = pool();
+        let mut c = UnifiedCache::new(Policy::Lru, 1 << 20);
+        let k = CacheKey::whole(FileId(1));
+        c.insert(k, Aggregate::from_bytes(&p, b"version-1"));
+        // A reader holds the old snapshot.
+        let snapshot = c.lookup(&k).unwrap();
+        let _old = c.replace_for_write(&k).unwrap();
+        c.insert(k, Aggregate::from_bytes(&p, b"version-2"));
+        // The reader's snapshot still reads the old value.
+        assert_eq!(snapshot.to_vec(), b"version-1");
+        assert_eq!(c.lookup(&k).unwrap().to_vec(), b"version-2");
+        assert_eq!(c.stats().write_replacements, 1);
+    }
+
+    #[test]
+    fn budget_shrink_evicts() {
+        let p = pool();
+        let mut c = UnifiedCache::new(Policy::Lru, 1 << 20);
+        for i in 0..10 {
+            c.insert(CacheKey::whole(FileId(i)), agg(&p, 1_000));
+        }
+        assert_eq!(c.resident_bytes(), 10_000);
+        let evicted = c.set_budget(4_500);
+        assert_eq!(evicted.len(), 6);
+        assert!(c.resident_bytes() <= 4_500);
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn unpin_reenables_eviction() {
+        let p = pool();
+        let mut c = UnifiedCache::new(Policy::Lru, 1 << 20);
+        let k = CacheKey::whole(FileId(1));
+        c.insert(k, agg(&p, 100));
+        c.pin(&k);
+        c.pin(&k);
+        c.unpin(&k);
+        assert_eq!(c.pins(&k), 1);
+        c.unpin(&k);
+        assert_eq!(c.pins(&k), 0);
+        let (victim, _) = c.evict_one().unwrap();
+        assert_eq!(victim, k);
+        assert_eq!(c.stats().pinned_evictions, 0);
+    }
+
+    #[test]
+    fn extent_keys_are_distinct() {
+        let p = pool();
+        let mut c = UnifiedCache::new(Policy::Lru, 1 << 20);
+        let a = CacheKey {
+            file: FileId(1),
+            offset: 0,
+        };
+        let b = CacheKey {
+            file: FileId(1),
+            offset: 4096,
+        };
+        c.insert(a, Aggregate::from_bytes(&p, b"first"));
+        c.insert(b, Aggregate::from_bytes(&p, b"second"));
+        assert_eq!(c.lookup(&a).unwrap().to_vec(), b"first");
+        assert_eq!(c.lookup(&b).unwrap().to_vec(), b"second");
+        assert_eq!(c.len(), 2);
+    }
+}

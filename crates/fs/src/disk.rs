@@ -1,0 +1,278 @@
+//! Simulated disk: file contents and access timing.
+//!
+//! Contents are *real bytes* — the end-to-end tests verify byte equality
+//! through the whole server path — but large files are generated
+//! deterministically on demand (`FileContent::Synthetic`) so trace data
+//! sets of hundreds of megabytes cost no host memory until read.
+
+use std::collections::BTreeMap;
+
+use iolite_sim::SimTime;
+
+/// A file identifier (inode-number analog).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FileId(pub u64);
+
+/// How a file's bytes are stored.
+#[derive(Debug, Clone)]
+pub enum FileContent {
+    /// Deterministic pseudo-random bytes parameterized by a seed.
+    ///
+    /// Byte `i` of the file is a pure function of `(seed, i)`, so any
+    /// extent can be generated independently.
+    Synthetic {
+        /// File length in bytes.
+        len: u64,
+        /// Content seed.
+        seed: u64,
+    },
+    /// Explicitly stored bytes (files written by tests/applications).
+    Explicit(Vec<u8>),
+}
+
+impl FileContent {
+    /// The file's length.
+    pub fn len(&self) -> u64 {
+        match self {
+            FileContent::Synthetic { len, .. } => *len,
+            FileContent::Explicit(v) => v.len() as u64,
+        }
+    }
+
+    /// Whether the file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The 8 bytes of synthetic block `block`: a SplitMix64 hash of the
+/// block index. Cheap and deterministic.
+fn synthetic_block(seed: u64, block: u64) -> [u8; 8] {
+    let mut z = seed ^ block.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    z.to_le_bytes()
+}
+
+/// Generates byte `i` of a synthetic file (unaligned remainder path).
+fn synthetic_byte(seed: u64, i: u64) -> u8 {
+    synthetic_block(seed, i / 8)[(i % 8) as usize]
+}
+
+/// The server's file store: names, sizes, contents.
+#[derive(Debug, Default)]
+pub struct FileStore {
+    files: BTreeMap<FileId, FileContent>,
+    names: BTreeMap<String, FileId>,
+    next_id: u64,
+}
+
+impl FileStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        FileStore::default()
+    }
+
+    /// Creates a file with the given content, returning its id.
+    pub fn create(&mut self, name: impl Into<String>, content: FileContent) -> FileId {
+        let id = FileId(self.next_id);
+        self.next_id += 1;
+        self.files.insert(id, content);
+        self.names.insert(name.into(), id);
+        id
+    }
+
+    /// Creates a synthetic file of `len` bytes.
+    pub fn create_synthetic(&mut self, name: impl Into<String>, len: u64, seed: u64) -> FileId {
+        self.create(name, FileContent::Synthetic { len, seed })
+    }
+
+    /// Looks a file up by name.
+    pub fn lookup(&self, name: &str) -> Option<FileId> {
+        self.names.get(name).copied()
+    }
+
+    /// The file's length, or `None` if it does not exist.
+    pub fn len(&self, id: FileId) -> Option<u64> {
+        self.files.get(&id).map(|c| c.len())
+    }
+
+    /// Number of files.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Total bytes across all files.
+    pub fn total_bytes(&self) -> u64 {
+        self.files.values().map(|c| c.len()).sum()
+    }
+
+    /// Reads `len` bytes at `offset`, clamped to the file end.
+    ///
+    /// Returns `None` for unknown files.
+    pub fn read(&self, id: FileId, offset: u64, len: u64) -> Option<Vec<u8>> {
+        let content = self.files.get(&id)?;
+        let flen = content.len();
+        let start = offset.min(flen);
+        let end = (offset + len).min(flen);
+        let mut out = Vec::with_capacity((end - start) as usize);
+        match content {
+            FileContent::Synthetic { seed, .. } => {
+                // Generate blockwise: one hash per 8-byte block.
+                let mut i = start;
+                while i < end {
+                    if i % 8 == 0 && i + 8 <= end {
+                        out.extend_from_slice(&synthetic_block(*seed, i / 8));
+                        i += 8;
+                    } else {
+                        out.push(synthetic_byte(*seed, i));
+                        i += 1;
+                    }
+                }
+            }
+            FileContent::Explicit(v) => {
+                out.extend_from_slice(&v[start as usize..end as usize]);
+            }
+        }
+        Some(out)
+    }
+
+    /// Writes `data` at `offset`, growing the file if needed.
+    ///
+    /// Synthetic files are materialized on first write (only small files
+    /// are written in the experiments). Returns `false` for unknown
+    /// files.
+    pub fn write(&mut self, id: FileId, offset: u64, data: &[u8]) -> bool {
+        let Some(content) = self.files.get_mut(&id) else {
+            return false;
+        };
+        if let FileContent::Synthetic { len, seed } = *content {
+            let mut materialized = Vec::with_capacity(len as usize);
+            let mut i = 0;
+            while i < len {
+                if i % 8 == 0 && i + 8 <= len {
+                    materialized.extend_from_slice(&synthetic_block(seed, i / 8));
+                    i += 8;
+                } else {
+                    materialized.push(synthetic_byte(seed, i));
+                    i += 1;
+                }
+            }
+            *content = FileContent::Explicit(materialized);
+        }
+        let FileContent::Explicit(v) = content else {
+            unreachable!()
+        };
+        let end = offset as usize + data.len();
+        if v.len() < end {
+            v.resize(end, 0);
+        }
+        v[offset as usize..end].copy_from_slice(data);
+        true
+    }
+}
+
+/// Disk timing: average positioning (seek + rotation) plus sequential
+/// transfer, representative of the paper's late-90s SCSI server disk.
+#[derive(Debug, Clone, Copy)]
+pub struct DiskModel {
+    /// Average positioning time per access, in milliseconds.
+    pub avg_position_ms: f64,
+    /// Sequential transfer rate, MB/s.
+    pub transfer_mb_s: f64,
+}
+
+impl DiskModel {
+    /// The default model used by every experiment (DESIGN.md §4).
+    pub fn default_late_90s() -> Self {
+        DiskModel {
+            avg_position_ms: 8.5,
+            transfer_mb_s: 14.0,
+        }
+    }
+
+    /// Service time for one access of `bytes`.
+    pub fn access_time(&self, bytes: u64) -> SimTime {
+        SimTime::from_ms(self.avg_position_ms)
+            + SimTime::from_secs(bytes as f64 / (self.transfer_mb_s * 1_000_000.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_reads_are_deterministic() {
+        let mut fs = FileStore::new();
+        let id = fs.create_synthetic("a", 1000, 42);
+        let a = fs.read(id, 0, 1000).unwrap();
+        let b = fs.read(id, 0, 1000).unwrap();
+        assert_eq!(a, b);
+        // An extent read equals the corresponding slice of a full read.
+        let mid = fs.read(id, 100, 50).unwrap();
+        assert_eq!(mid, &a[100..150]);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut fs = FileStore::new();
+        let a = fs.create_synthetic("a", 256, 1);
+        let b = fs.create_synthetic("b", 256, 2);
+        assert_ne!(fs.read(a, 0, 256), fs.read(b, 0, 256));
+    }
+
+    #[test]
+    fn reads_clamp_to_eof() {
+        let mut fs = FileStore::new();
+        let id = fs.create("f", FileContent::Explicit(b"hello".to_vec()));
+        assert_eq!(fs.read(id, 3, 100).unwrap(), b"lo");
+        assert_eq!(fs.read(id, 10, 5).unwrap(), b"");
+        assert!(fs.read(FileId(99), 0, 1).is_none());
+    }
+
+    #[test]
+    fn write_grows_and_patches() {
+        let mut fs = FileStore::new();
+        let id = fs.create("f", FileContent::Explicit(b"hello".to_vec()));
+        assert!(fs.write(id, 3, b"p!"));
+        assert_eq!(fs.read(id, 0, 10).unwrap(), b"help!");
+        assert!(fs.write(id, 6, b"x"));
+        assert_eq!(fs.read(id, 0, 10).unwrap(), b"help!\0x");
+    }
+
+    #[test]
+    fn synthetic_materializes_on_write() {
+        let mut fs = FileStore::new();
+        let id = fs.create_synthetic("f", 100, 7);
+        let before = fs.read(id, 0, 100).unwrap();
+        assert!(fs.write(id, 50, b"ZZZ"));
+        let after = fs.read(id, 0, 100).unwrap();
+        assert_eq!(&after[..50], &before[..50]);
+        assert_eq!(&after[50..53], b"ZZZ");
+        assert_eq!(&after[53..], &before[53..]);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let mut fs = FileStore::new();
+        let id = fs.create_synthetic("/docs/index.html", 512, 1);
+        assert_eq!(fs.lookup("/docs/index.html"), Some(id));
+        assert_eq!(fs.lookup("/nope"), None);
+        assert_eq!(fs.len(id), Some(512));
+        assert_eq!(fs.file_count(), 1);
+        assert_eq!(fs.total_bytes(), 512);
+    }
+
+    #[test]
+    fn disk_model_times() {
+        let d = DiskModel {
+            avg_position_ms: 10.0,
+            transfer_mb_s: 10.0,
+        };
+        // 1MB at 10MB/s = 100ms, plus 10ms positioning.
+        let t = d.access_time(1_000_000);
+        assert!((t.as_ms() - 110.0).abs() < 1e-6, "{t}");
+    }
+}

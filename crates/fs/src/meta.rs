@@ -1,0 +1,144 @@
+//! The "old" buffer cache, retained for file-system metadata (§4.2).
+//!
+//! "As in the original BSD kernel, the file system continues to use the
+//! 'old' buffer cache to hold file system metadata." Name→inode lookups
+//! go through this LRU cache; a miss stands for a metadata disk access.
+
+use std::collections::HashMap;
+
+use crate::disk::FileId;
+
+/// A fixed-capacity LRU cache of name→file metadata lookups.
+#[derive(Debug)]
+pub struct MetadataCache {
+    capacity: usize,
+    clock: u64,
+    entries: HashMap<String, (FileId, u64)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl MetadataCache {
+    /// Creates a cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        MetadataCache {
+            capacity,
+            clock: 0,
+            entries: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up a name; on a miss, `resolve` supplies the id (a metadata
+    /// disk access in the timing model) and the result is cached.
+    ///
+    /// Returns `(id, was_hit)`.
+    pub fn lookup(
+        &mut self,
+        name: &str,
+        resolve: impl FnOnce() -> Option<FileId>,
+    ) -> Option<(FileId, bool)> {
+        self.clock += 1;
+        if let Some((id, stamp)) = self.entries.get_mut(name) {
+            *stamp = self.clock;
+            self.hits += 1;
+            return Some((*id, true));
+        }
+        let id = resolve()?;
+        self.misses += 1;
+        if self.entries.len() >= self.capacity {
+            // Evict the least recently used entry.
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(name.to_string(), (id, self.clock));
+        Some((id, false))
+    }
+
+    /// Invalidates one name (file removal/rename).
+    pub fn invalidate(&mut self, name: &str) {
+        self.entries.remove(name);
+    }
+
+    /// Hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = MetadataCache::new(4);
+        let (id, hit) = c.lookup("/a", || Some(FileId(1))).unwrap();
+        assert_eq!(id, FileId(1));
+        assert!(!hit);
+        let (id, hit) = c.lookup("/a", || unreachable!()).unwrap();
+        assert_eq!(id, FileId(1));
+        assert!(hit);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn unknown_name_not_cached() {
+        let mut c = MetadataCache::new(4);
+        assert!(c.lookup("/missing", || None).is_none());
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let mut c = MetadataCache::new(2);
+        c.lookup("/a", || Some(FileId(1)));
+        c.lookup("/b", || Some(FileId(2)));
+        // Touch /a so /b is the LRU.
+        c.lookup("/a", || unreachable!());
+        c.lookup("/c", || Some(FileId(3)));
+        assert_eq!(c.len(), 2);
+        // /b was evicted; /a survived.
+        let (_, hit_a) = c.lookup("/a", || Some(FileId(1))).unwrap();
+        assert!(hit_a);
+        let (_, hit_b) = c.lookup("/b", || Some(FileId(2))).unwrap();
+        assert!(!hit_b);
+    }
+
+    #[test]
+    fn invalidate_forces_miss() {
+        let mut c = MetadataCache::new(4);
+        c.lookup("/a", || Some(FileId(1)));
+        c.invalidate("/a");
+        let (_, hit) = c.lookup("/a", || Some(FileId(9))).unwrap();
+        assert!(!hit);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the unified file cache: snapshot semantics,
+//! budget discipline, and policy invariants under random operation
+//! sequences.
+
+use iolite_buf::{Acl, Aggregate, BufferPool, PoolId};
+use iolite_fs::{CacheKey, FileId, Policy, UnifiedCache};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u8),
+    Lookup(u8),
+    Remove(u8),
+    Pin(u8),
+    Unpin(u8),
+    SetBudget(u32),
+    EvictOne,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<u8>().prop_map(Op::Insert),
+        any::<u8>().prop_map(Op::Lookup),
+        any::<u8>().prop_map(Op::Remove),
+        any::<u8>().prop_map(Op::Pin),
+        any::<u8>().prop_map(Op::Unpin),
+        (0u32..1 << 20).prop_map(Op::SetBudget),
+        Just(Op::EvictOne),
+    ]
+}
+
+fn value_for(key: u8, version: u32) -> Vec<u8> {
+    format!("file-{key}-v{version}-")
+        .into_bytes()
+        .repeat(3 + key as usize % 5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever the operation sequence, a lookup returns exactly the
+    /// last inserted value for that key, and residency never exceeds
+    /// budget unless pins force it.
+    #[test]
+    fn cache_is_a_map_with_budget(ops in proptest::collection::vec(op_strategy(), 1..200),
+                                  policy in prop_oneof![Just(Policy::Lru), Just(Policy::Gds)]) {
+        let pool = BufferPool::new(PoolId(1), Acl::kernel_only(), 64 * 1024);
+        let mut cache = UnifiedCache::new(policy, 1 << 20);
+        let mut versions = std::collections::HashMap::new();
+        let mut pins: std::collections::HashMap<u8, u32> = std::collections::HashMap::new();
+
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                Op::Insert(k) => {
+                    let v = i as u32;
+                    versions.insert(*k, v);
+                    let agg = Aggregate::from_bytes(&pool, &value_for(*k, v));
+                    cache.insert(CacheKey::whole(FileId(*k as u64)), agg);
+                }
+                Op::Lookup(k) => {
+                    if let Some(agg) = cache.lookup(&CacheKey::whole(FileId(*k as u64))) {
+                        let v = versions.get(k).expect("hit implies inserted");
+                        prop_assert_eq!(agg.to_vec(), value_for(*k, *v));
+                    }
+                }
+                Op::Remove(k) => {
+                    cache.remove(&CacheKey::whole(FileId(*k as u64)));
+                }
+                Op::Pin(k) => {
+                    if cache.contains(&CacheKey::whole(FileId(*k as u64))) {
+                        cache.pin(&CacheKey::whole(FileId(*k as u64)));
+                        *pins.entry(*k).or_default() += 1;
+                    }
+                }
+                Op::Unpin(k) => {
+                    cache.unpin(&CacheKey::whole(FileId(*k as u64)));
+                    if let Some(p) = pins.get_mut(k) {
+                        *p = p.saturating_sub(1);
+                    }
+                }
+                Op::SetBudget(b) => {
+                    cache.set_budget(*b as u64);
+                }
+                Op::EvictOne => {
+                    cache.evict_one();
+                }
+            }
+            // Residency accounting is exact.
+            let keys: Vec<CacheKey> = cache.keys().copied().collect();
+            let manual: u64 = keys
+                .iter()
+                .map(|k| cache.lookup(k).map(|a| a.len()).unwrap_or(0))
+                .sum();
+            prop_assert_eq!(manual, cache.resident_bytes());
+        }
+    }
+
+    /// Snapshots taken before overwrites and evictions keep their bytes.
+    #[test]
+    fn snapshots_are_immortal(n_updates in 1usize..20) {
+        let pool = BufferPool::new(PoolId(2), Acl::kernel_only(), 64 * 1024);
+        let mut cache = UnifiedCache::new(Policy::Lru, 1 << 20);
+        let key = CacheKey::whole(FileId(1));
+        let mut snapshots = Vec::new();
+        for v in 0..n_updates as u32 {
+            cache.insert(key, Aggregate::from_bytes(&pool, &value_for(1, v)));
+            snapshots.push((v, cache.lookup(&key).unwrap()));
+        }
+        cache.set_budget(0);
+        for (v, snap) in &snapshots {
+            prop_assert_eq!(snap.to_vec(), value_for(1, *v));
+        }
+    }
+}

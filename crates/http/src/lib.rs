@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! The Web-server harness: HTTP engine, the three server models of §5
+//! (Flash, Flash-Lite, Apache), FastCGI support, and the closed-loop
+//! experiment driver behind every figure.
+//!
+//! The three servers share one HTTP engine and differ exactly where the
+//! paper says they differ:
+//!
+//! | | data path | cache policy | concurrency |
+//! |---|---|---|---|
+//! | Flash | mmap + copying `writev` | LRU page cache | event-driven |
+//! | Flash-Lite | `IOL_read`/`IOL_write`, checksum cache | GDS (custom) | event-driven |
+//! | Apache | mmap + copying `write` | LRU page cache | process-per-connection |
+//!
+//! The driver ([`driver::Experiment`]) runs closed-loop clients against
+//! a simulated testbed (CPU, disk, five links) and reports aggregate
+//! bandwidth exactly the way the paper's figures do.
+
+pub mod cgi;
+pub mod driver;
+pub mod message;
+pub mod server;
+pub mod workloads;
+
+pub use cgi::CgiProcess;
+pub use driver::{Experiment, ExperimentConfig, ExperimentResult};
+pub use message::{parse_request, request_bytes, response_header, Request};
+pub use server::{RequestCosts, ServerKind};
+pub use workloads::WorkloadKind;

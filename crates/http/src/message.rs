@@ -1,0 +1,118 @@
+//! HTTP/1.0 and HTTP/1.1 request/response formatting and parsing.
+//!
+//! Real bytes: the end-to-end tests drive requests through parsing, and
+//! response headers are the "internally generated data" whose checksum
+//! Flash-Lite still computes per response (§3.10).
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request path ("/f00042").
+    pub path: String,
+    /// Whether the connection should persist (HTTP/1.1 keep-alive).
+    pub keep_alive: bool,
+}
+
+/// Formats a GET request.
+pub fn request_bytes(path: &str, keep_alive: bool) -> Vec<u8> {
+    let version = if keep_alive { "1.1" } else { "1.0" };
+    let conn = if keep_alive {
+        "Connection: keep-alive\r\n"
+    } else {
+        ""
+    };
+    format!(
+        "GET {path} HTTP/{version}\r\nHost: server.rice.edu\r\nUser-Agent: iolite-client/1.0\r\n{conn}\r\n"
+    )
+    .into_bytes()
+}
+
+/// Parses a request; returns `None` on malformed input.
+pub fn parse_request(bytes: &[u8]) -> Option<Request> {
+    let text = std::str::from_utf8(bytes).ok()?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next()?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next()?;
+    if method != "GET" {
+        return None;
+    }
+    let path = parts.next()?.to_string();
+    let version = parts.next()?;
+    let http11 = version == "HTTP/1.1";
+    let mut keep_alive = http11; // Default in 1.1.
+    for line in lines {
+        let lower = line.to_ascii_lowercase();
+        if lower.starts_with("connection:") {
+            keep_alive = lower.contains("keep-alive");
+        }
+    }
+    Some(Request { path, keep_alive })
+}
+
+/// Formats a 200 response header for a body of `content_len` bytes.
+///
+/// Sized realistically (~170 bytes): headers ride in their own buffer
+/// and are checksummed per response even under checksum caching.
+pub fn response_header(content_len: u64, keep_alive: bool) -> Vec<u8> {
+    let conn = if keep_alive { "keep-alive" } else { "close" };
+    format!(
+        "HTTP/1.1 200 OK\r\nServer: Flash/IO-Lite\r\nDate: Thu, 01 Jan 1998 00:00:00 GMT\r\nContent-Type: text/html\r\nContent-Length: {content_len}\r\nConnection: {conn}\r\n\r\n"
+    )
+    .into_bytes()
+}
+
+/// Formats a 404 response.
+pub fn not_found() -> Vec<u8> {
+    b"HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n".to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip_http10() {
+        let bytes = request_bytes("/index.html", false);
+        let req = parse_request(&bytes).unwrap();
+        assert_eq!(req.path, "/index.html");
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn request_roundtrip_http11() {
+        let bytes = request_bytes("/a", true);
+        let req = parse_request(&bytes).unwrap();
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_request(b"POST / HTTP/1.0\r\n\r\n").is_none());
+        assert!(parse_request(&[0xFF, 0xFE]).is_none());
+        assert!(parse_request(b"").is_none());
+    }
+
+    #[test]
+    fn response_header_contains_length() {
+        let h = response_header(12345, true);
+        let text = String::from_utf8(h).unwrap();
+        assert!(text.contains("Content-Length: 12345"));
+        assert!(text.contains("keep-alive"));
+        assert!(text.ends_with("\r\n\r\n"));
+        let h2 = String::from_utf8(response_header(1, false)).unwrap();
+        assert!(h2.contains("close"));
+    }
+
+    #[test]
+    fn header_size_is_realistic() {
+        let h = response_header(200_000, false);
+        assert!(h.len() > 120 && h.len() < 300, "len {}", h.len());
+    }
+
+    #[test]
+    fn not_found_parses_as_http() {
+        let n = not_found();
+        assert!(n.starts_with(b"HTTP/1.1 404"));
+    }
+}

@@ -1,0 +1,338 @@
+//! The three server models (§5).
+//!
+//! One request = one call to [`serve_static`] (or
+//! [`crate::cgi::CgiProcess::serve`]): the function drives the *real*
+//! kernel data structures (unified cache, window, checksum cache) and
+//! returns the request's cost decomposition for the event driver to
+//! schedule. Servers differ only in the mechanisms the paper names —
+//! the cost model itself is shared.
+
+use iolite_buf::Aggregate;
+use iolite_core::{Charge, CostCategory, Kernel, Pid};
+use iolite_fs::{CacheKey, FileId};
+use iolite_net::{BufferMode, TcpConn};
+use iolite_sim::SimTime;
+
+use crate::message::response_header;
+
+/// Which server is running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerKind {
+    /// Event-driven, mmap + copying writev (the paper's aggressive
+    /// baseline).
+    Flash,
+    /// Flash ported to the IO-Lite API (zero-copy, checksum cache, GDS).
+    FlashLite,
+    /// Process-per-connection Apache 1.3.1 model.
+    Apache,
+}
+
+impl ServerKind {
+    /// The TCP buffering mode this server's sends use.
+    pub fn buffer_mode(self) -> BufferMode {
+        match self {
+            ServerKind::FlashLite => BufferMode::ZeroCopy,
+            _ => BufferMode::Copy,
+        }
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServerKind::Flash => "Flash",
+            ServerKind::FlashLite => "Flash-Lite",
+            ServerKind::Apache => "Apache",
+        }
+    }
+}
+
+/// The cost decomposition of one served request.
+#[derive(Debug, Default)]
+pub struct RequestCosts {
+    /// CPU charges by category, in execution order.
+    pub parts: Vec<(CostCategory, Charge)>,
+    /// Device time for a cache miss (schedule on the disk resource).
+    pub disk_time: SimTime,
+    /// Whether the file cache hit.
+    pub cache_hit: bool,
+    /// Response bytes at the application layer (header + body).
+    pub response_bytes: u64,
+    /// Bytes on the wire (application bytes + per-segment TCP/IP
+    /// headers).
+    pub wire_bytes: u64,
+    /// Owned socket-buffer memory pinned while the response drains
+    /// (copies for conventional servers; mbuf headers for IO-Lite).
+    pub owned_sock_bytes: u64,
+    /// Cache entry to pin until transmission completes (Flash-Lite:
+    /// the network references the entry, §3.7).
+    pub pin_key: Option<CacheKey>,
+}
+
+impl RequestCosts {
+    /// Total CPU time across parts.
+    pub fn cpu_total(&self) -> SimTime {
+        self.parts
+            .iter()
+            .fold(SimTime::ZERO, |acc, (_, c)| acc + c.time)
+    }
+
+    fn push(&mut self, cat: CostCategory, c: Charge) {
+        if c.time > SimTime::ZERO {
+            self.parts.push((cat, c));
+        }
+    }
+}
+
+/// Serves one static-file request on `conn`, returning its costs.
+///
+/// `server_pid` is the server process (the domain file data transfers
+/// into). The caller charges TCP setup/teardown separately, because
+/// connection lifetime is the driver's business (persistent vs not).
+pub fn serve_static(
+    kernel: &mut Kernel,
+    kind: ServerKind,
+    conn: &mut TcpConn,
+    server_pid: Pid,
+    file: FileId,
+) -> RequestCosts {
+    let mut rc = RequestCosts::default();
+    // Request parse + event-loop bookkeeping (all servers).
+    rc.push(
+        CostCategory::Request,
+        Charge::us(kernel.cost.http_parse_us + kernel.cost.server_fixed_us),
+    );
+    match kind {
+        ServerKind::FlashLite => serve_iolite(kernel, conn, server_pid, file, &mut rc),
+        ServerKind::Flash => serve_conventional(kernel, conn, server_pid, file, &mut rc, false),
+        ServerKind::Apache => serve_conventional(kernel, conn, server_pid, file, &mut rc, true),
+    }
+    rc
+}
+
+/// The Flash-Lite path: `IOL_read`, aggregate concatenation, `IOL_write`
+/// (§3.10's walk-through).
+fn serve_iolite(
+    kernel: &mut Kernel,
+    conn: &mut TcpConn,
+    server_pid: Pid,
+    file: FileId,
+    rc: &mut RequestCosts,
+) {
+    // The IOL API's own per-request bookkeeping (aggregate and pool
+    // management; see cost-model docs).
+    rc.push(
+        CostCategory::Request,
+        Charge::us(kernel.cost.iol_request_extra_us),
+    );
+    let len = kernel.store.len(file).unwrap_or(0);
+    // IOL_read: snapshot aggregate of the whole document.
+    let (body, outcome) = kernel.iol_read(server_pid, file, 0, len);
+    rc.cache_hit = outcome.cache_hit;
+    rc.disk_time = outcome.disk_time;
+    rc.push(CostCategory::Syscall, Charge::us(kernel.cost.syscall_us));
+    if outcome.mapped_pages > 0 {
+        rc.push(
+            CostCategory::PageMap,
+            kernel.cost.page_maps(outcome.mapped_pages),
+        );
+    }
+    // Response header: allocated in IO-Lite space (the paper: "allocating
+    // memory for response headers ... is handled with memory allocation
+    // from IO-Lite space"), then concatenated with the body by
+    // reference.
+    let header = response_header(body.len(), true);
+    let mut response = Aggregate::from_bytes(kernel.process(server_pid).pool(), &header);
+    response.append(&body);
+    rc.response_bytes = response.len();
+    // IOL_write on the socket: zero-copy send with checksum caching.
+    let send = conn.send(&response, &mut kernel.cksum);
+    rc.push(CostCategory::Syscall, Charge::us(kernel.cost.syscall_us));
+    rc.push(
+        CostCategory::Checksum,
+        kernel.cost.wire_checksum(send.csum_bytes_computed),
+    );
+    rc.push(CostCategory::Packet, kernel.cost.packets(send.segments));
+    kernel.metrics.bytes_checksummed += send.csum_bytes_computed;
+    kernel.metrics.bytes_checksum_cached += send.csum_bytes_cached;
+    rc.wire_bytes = rc.response_bytes + send.header_bytes;
+    rc.owned_sock_bytes = send.owned_occupancy;
+    // The network now references the cached entry: pin until drained.
+    rc.pin_key = Some(CacheKey::whole(file));
+    kernel.cache.pin(&CacheKey::whole(file));
+}
+
+/// The Flash/Apache path: mmap'd file cache, copying send.
+fn serve_conventional(
+    kernel: &mut Kernel,
+    conn: &mut TcpConn,
+    server_pid: Pid,
+    file: FileId,
+    rc: &mut RequestCosts,
+    apache: bool,
+) {
+    let len = kernel.store.len(file).unwrap_or(0);
+    // mmap the document. Flash keeps a bounded mapped-file cache; a
+    // miss (tail files) costs an mmap/munmap cycle. Apache maps and
+    // unmaps per request (its cache capacity is zero here).
+    let mapped = if apache {
+        false
+    } else {
+        kernel.mapped_files.touch(file)
+    };
+    if !mapped {
+        rc.push(CostCategory::PageMap, Charge::us(kernel.cost.mmap_cycle_us));
+    }
+    // mmap-backed read through the page cache: the file cache is
+    // consulted for real; mapping cost amortizes via the mapped-file
+    // cache (the window remembers per-domain chunk mappings).
+    let (body, outcome) = kernel.iol_read(server_pid, file, 0, len);
+    rc.cache_hit = outcome.cache_hit;
+    rc.disk_time = outcome.disk_time;
+    if outcome.mapped_pages > 0 {
+        rc.push(
+            CostCategory::PageMap,
+            kernel.cost.page_maps(outcome.mapped_pages),
+        );
+    }
+    let header = response_header(len, true);
+    let response_len = header.len() as u64 + body.len();
+    rc.response_bytes = response_len;
+    // writev(header, body): one syscall, then the kernel copies payload
+    // into socket mbufs and checksums everything, every time.
+    rc.push(CostCategory::Syscall, Charge::us(kernel.cost.syscall_us));
+    let send = conn.send_accounted(response_len);
+    rc.push(
+        CostCategory::Copy,
+        kernel.cost.socket_copy(send.bytes_copied),
+    );
+    rc.push(
+        CostCategory::Checksum,
+        kernel.cost.wire_checksum(send.csum_bytes_computed),
+    );
+    rc.push(CostCategory::Packet, kernel.cost.packets(send.segments));
+    kernel.metrics.bytes_copied += send.bytes_copied;
+    kernel.metrics.bytes_checksummed += send.csum_bytes_computed;
+    rc.wire_bytes = response_len + send.header_bytes;
+    rc.owned_sock_bytes = send.owned_occupancy;
+    if apache {
+        // The process-per-connection model: scheduling, inter-process
+        // select, per-request process work (§5.1: Apache trails Flash
+        // even on identical data paths), plus slower internal buffer
+        // management per byte.
+        rc.push(
+            CostCategory::ProcessModel,
+            Charge::us(
+                kernel.cost.apache_request_extra_us
+                    + response_len as f64 * kernel.cost.apache_extra_ns_per_byte / 1000.0,
+            ),
+        );
+    }
+    drop(body);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iolite_core::CostModel;
+    use iolite_fs::Policy;
+    use iolite_net::{DEFAULT_MSS, DEFAULT_TSS};
+
+    fn setup(kind: ServerKind) -> (Kernel, Pid, FileId, TcpConn) {
+        let policy = if kind == ServerKind::FlashLite {
+            Policy::Gds
+        } else {
+            Policy::Lru
+        };
+        let mut k = Kernel::with_policy(CostModel::pentium_ii_333(), policy);
+        let pid = k.spawn("server");
+        let f = k.create_synthetic_file("/doc", 100_000, 9);
+        let conn = TcpConn::new(1, kind.buffer_mode(), DEFAULT_MSS, DEFAULT_TSS);
+        (k, pid, f, conn)
+    }
+
+    #[test]
+    fn flash_lite_hot_request_touches_no_data() {
+        let (mut k, pid, f, mut conn) = setup(ServerKind::FlashLite);
+        // Warm the caches.
+        let first = serve_static(&mut k, ServerKind::FlashLite, &mut conn, pid, f);
+        assert!(!first.cache_hit);
+        k.cache.unpin(&CacheKey::whole(f));
+        let warm = serve_static(&mut k, ServerKind::FlashLite, &mut conn, pid, f);
+        assert!(warm.cache_hit);
+        // Only the fresh response header is checksummed; the body rides
+        // the checksum cache. No copies at all.
+        let csum: SimTime = warm
+            .parts
+            .iter()
+            .filter(|(c, _)| *c == CostCategory::Checksum)
+            .map(|(_, c)| c.time)
+            .fold(SimTime::ZERO, |a, b| a + b);
+        assert!(
+            csum < k.cost.checksum(1000).time,
+            "body checksum must be cached: {csum}"
+        );
+        assert!(warm.parts.iter().all(|(c, _)| *c != CostCategory::Copy));
+    }
+
+    #[test]
+    fn flash_hot_request_copies_and_checksums_everything() {
+        let (mut k, pid, f, mut conn) = setup(ServerKind::Flash);
+        serve_static(&mut k, ServerKind::Flash, &mut conn, pid, f);
+        let warm = serve_static(&mut k, ServerKind::Flash, &mut conn, pid, f);
+        assert!(warm.cache_hit);
+        let copy_time: SimTime = warm
+            .parts
+            .iter()
+            .filter(|(c, _)| *c == CostCategory::Copy)
+            .map(|(_, c)| c.time)
+            .fold(SimTime::ZERO, |a, b| a + b);
+        assert!(copy_time >= k.cost.socket_copy(100_000).time);
+    }
+
+    #[test]
+    fn apache_pays_process_model_extra() {
+        let (mut k, pid, f, mut conn) = setup(ServerKind::Apache);
+        serve_static(&mut k, ServerKind::Apache, &mut conn, pid, f);
+        let warm = serve_static(&mut k, ServerKind::Apache, &mut conn, pid, f);
+        let (mut k2, pid2, f2, mut conn2) = setup(ServerKind::Flash);
+        serve_static(&mut k2, ServerKind::Flash, &mut conn2, pid2, f2);
+        let flash_warm = serve_static(&mut k2, ServerKind::Flash, &mut conn2, pid2, f2);
+        assert!(warm.cpu_total() > flash_warm.cpu_total());
+    }
+
+    #[test]
+    fn ordering_flashlite_fastest_on_hot_files() {
+        let mut totals = Vec::new();
+        for kind in [ServerKind::FlashLite, ServerKind::Flash, ServerKind::Apache] {
+            let (mut k, pid, f, mut conn) = setup(kind);
+            serve_static(&mut k, kind, &mut conn, pid, f);
+            if kind == ServerKind::FlashLite {
+                k.cache.unpin(&CacheKey::whole(f));
+            }
+            let warm = serve_static(&mut k, kind, &mut conn, pid, f);
+            totals.push((kind.label(), warm.cpu_total()));
+        }
+        assert!(totals[0].1 < totals[1].1, "{totals:?}");
+        assert!(totals[1].1 < totals[2].1, "{totals:?}");
+    }
+
+    #[test]
+    fn miss_costs_disk_time() {
+        let (mut k, pid, f, mut conn) = setup(ServerKind::Flash);
+        let cold = serve_static(&mut k, ServerKind::Flash, &mut conn, pid, f);
+        assert!(!cold.cache_hit);
+        assert!(cold.disk_time > SimTime::from_ms(8.0));
+    }
+
+    #[test]
+    fn memory_occupancy_differs_by_mode() {
+        let (mut k, pid, f, mut conn) = setup(ServerKind::Flash);
+        let rc = serve_static(&mut k, ServerKind::Flash, &mut conn, pid, f);
+        assert_eq!(rc.owned_sock_bytes, 64 * 1024, "Tss-capped copies");
+        let (mut k2, pid2, f2, mut conn2) = setup(ServerKind::FlashLite);
+        let rc2 = serve_static(&mut k2, ServerKind::FlashLite, &mut conn2, pid2, f2);
+        assert!(rc2.owned_sock_bytes < 16 * 1024, "references, not copies");
+        assert!(rc2.pin_key.is_some());
+        assert!(k2.cache.pins(&rc2.pin_key.unwrap()) > 0);
+    }
+}

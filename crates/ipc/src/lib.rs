@@ -1,0 +1,344 @@
+#![warn(missing_docs)]
+//! Interprocess communication: pipes and UNIX-domain sockets (paper
+//! §3.2, §4.4).
+//!
+//! "If the processes on both ends of a pipe or UNIX domain socket-pair
+//! use the IO-Lite API, then the data transfer proceeds copy-free by
+//! passing the associated IO-Lite buffers by reference."
+//!
+//! [`Pipe`] implements both worlds over real data:
+//!
+//! * [`PipeMode::Copy`] — conventional BSD: the writer copies bytes into
+//!   a bounded kernel buffer, the reader copies them out again (two
+//!   copies per byte), and a large transfer degenerates into many
+//!   fill/drain rounds with context switches — the CGI bottleneck of
+//!   Figs. 5/6.
+//! * [`PipeMode::ZeroCopy`] — IO-Lite: aggregates queue by reference;
+//!   no byte is touched, and recycled buffers make the steady state
+//!   approach shared-memory cost (the `permute` result of §5.8).
+//!
+//! The crate reports copies/rounds; the kernel layer charges time.
+
+use std::collections::VecDeque;
+
+use iolite_buf::Aggregate;
+
+/// Buffering behaviour of a pipe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipeMode {
+    /// Conventional copy-in/copy-out through a kernel buffer.
+    Copy,
+    /// IO-Lite pass-by-reference.
+    ZeroCopy,
+}
+
+/// Pipe activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipeStats {
+    /// Bytes accepted from writers.
+    pub bytes_written: u64,
+    /// Bytes delivered to readers.
+    pub bytes_read: u64,
+    /// Bytes physically copied (0 in zero-copy mode).
+    pub bytes_copied: u64,
+    /// Write calls that found the pipe full (producer/consumer rounds;
+    /// each implies a context-switch pair in the timing model).
+    pub full_events: u64,
+    /// Write system calls.
+    pub writes: u64,
+    /// Read system calls.
+    pub reads: u64,
+}
+
+/// A bounded, unidirectional byte channel between two domains.
+///
+/// # Examples
+///
+/// ```
+/// use iolite_buf::{Acl, Aggregate, BufferPool, PoolId};
+/// use iolite_ipc::{Pipe, PipeMode};
+///
+/// let pool = BufferPool::new(PoolId(1), Acl::kernel_only(), 4096);
+/// let mut pipe = Pipe::new(PipeMode::ZeroCopy, 64 * 1024);
+/// let msg = Aggregate::from_bytes(&pool, b"hello");
+/// assert_eq!(pipe.write(&msg), 5);
+/// let got = pipe.read(100).unwrap();
+/// assert_eq!(got.to_vec(), b"hello");
+/// ```
+#[derive(Debug)]
+pub struct Pipe {
+    mode: PipeMode,
+    capacity: u64,
+    queue: VecDeque<Aggregate>,
+    buffered: u64,
+    closed: bool,
+    stats: PipeStats,
+}
+
+impl Pipe {
+    /// Creates a pipe with the given mode and kernel-buffer capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(mode: PipeMode, capacity: u64) -> Self {
+        assert!(capacity > 0);
+        Pipe {
+            mode,
+            capacity,
+            queue: VecDeque::new(),
+            buffered: 0,
+            closed: false,
+            stats: PipeStats::default(),
+        }
+    }
+
+    /// The pipe's mode.
+    pub fn mode(&self) -> PipeMode {
+        self.mode
+    }
+
+    /// Bytes currently buffered in the pipe.
+    pub fn buffered(&self) -> u64 {
+        self.buffered
+    }
+
+    /// Remaining capacity.
+    pub fn space(&self) -> u64 {
+        self.capacity - self.buffered
+    }
+
+    /// Whether the write end has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Closes the write end; readers drain what remains then see EOF.
+    pub fn close(&mut self) {
+        self.closed = true;
+    }
+
+    /// Writes as much of `data` as fits, returning the bytes accepted.
+    ///
+    /// Zero-copy mode enqueues a sub-aggregate by reference; copy mode
+    /// physically duplicates the accepted bytes (the kernel-buffer
+    /// copy-in). A short write means the pipe is full: the producer must
+    /// block until a reader drains it (one fill/drain round).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipe is closed.
+    pub fn write(&mut self, data: &Aggregate) -> u64 {
+        assert!(!self.closed, "write to closed pipe");
+        self.stats.writes += 1;
+        let take = data.len().min(self.space());
+        if take < data.len() {
+            self.stats.full_events += 1;
+        }
+        if take == 0 {
+            return 0;
+        }
+        let part = data.range(0, take).expect("in range");
+        let queued = match self.mode {
+            PipeMode::ZeroCopy => part,
+            PipeMode::Copy => {
+                // Copy-in: the kernel buffer holds its own bytes.
+                self.stats.bytes_copied += take;
+                copy_aggregate(&part)
+            }
+        };
+        self.queue.push_back(queued);
+        self.buffered += take;
+        self.stats.bytes_written += take;
+        take
+    }
+
+    /// Reads up to `max` bytes.
+    ///
+    /// Returns `None` when the pipe is empty (EAGAIN, or EOF if closed).
+    /// Copy mode charges the copy-out; zero-copy hands references
+    /// through.
+    pub fn read(&mut self, max: u64) -> Option<Aggregate> {
+        if max == 0 || self.queue.is_empty() {
+            return None;
+        }
+        self.stats.reads += 1;
+        let mut out = Aggregate::empty();
+        while out.len() < max {
+            let Some(front) = self.queue.front_mut() else {
+                break;
+            };
+            let want = max - out.len();
+            if front.len() <= want {
+                out.append(front);
+                self.queue.pop_front();
+            } else {
+                let head = front.range(0, want).expect("in range");
+                front.advance(want);
+                out.append(&head);
+            }
+        }
+        self.buffered -= out.len();
+        self.stats.bytes_read += out.len();
+        if self.mode == PipeMode::Copy {
+            // Copy-out into the reader's buffer.
+            self.stats.bytes_copied += out.len();
+        }
+        Some(out)
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> PipeStats {
+        self.stats
+    }
+}
+
+/// Physically duplicates an aggregate's bytes (models the kernel-buffer
+/// copy; intentionally not an IO-Lite pool allocation, since the
+/// conventional kernel buffer is anonymous memory).
+fn copy_aggregate(a: &Aggregate) -> Aggregate {
+    use iolite_buf::{Acl, BufferPool, PoolId};
+    // A throwaway kernel-side pool: identity does not matter for copies.
+    let scratch = BufferPool::new(PoolId(u32::MAX), Acl::kernel_only(), 64 * 1024);
+    Aggregate::from_bytes(&scratch, &a.to_vec())
+}
+
+/// A bidirectional UNIX-domain socket pair: two pipes.
+#[derive(Debug)]
+pub struct UnixSocketPair {
+    /// Direction A→B.
+    pub a_to_b: Pipe,
+    /// Direction B→A.
+    pub b_to_a: Pipe,
+}
+
+impl UnixSocketPair {
+    /// Creates a socket pair in the given mode.
+    pub fn new(mode: PipeMode, capacity: u64) -> Self {
+        UnixSocketPair {
+            a_to_b: Pipe::new(mode, capacity),
+            b_to_a: Pipe::new(mode, capacity),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iolite_buf::{Acl, BufferPool, PoolId};
+
+    fn pool() -> BufferPool {
+        BufferPool::new(PoolId(1), Acl::kernel_only(), 64 * 1024)
+    }
+
+    fn agg(data: &[u8]) -> Aggregate {
+        Aggregate::from_bytes(&pool(), data)
+    }
+
+    #[test]
+    fn zero_copy_roundtrip_no_copies() {
+        let mut p = Pipe::new(PipeMode::ZeroCopy, 1024);
+        let msg = agg(b"payload");
+        assert_eq!(p.write(&msg), 7);
+        let got = p.read(100).unwrap();
+        assert_eq!(got.to_vec(), b"payload");
+        assert_eq!(p.stats().bytes_copied, 0);
+        // The reader's aggregate references the writer's buffer.
+        assert!(got.slices()[0].same_buffer(&msg.slices()[0]));
+    }
+
+    #[test]
+    fn copy_mode_copies_twice() {
+        let mut p = Pipe::new(PipeMode::Copy, 1024);
+        let msg = agg(b"payload");
+        p.write(&msg);
+        let got = p.read(100).unwrap();
+        assert_eq!(got.to_vec(), b"payload");
+        // Copy-in + copy-out.
+        assert_eq!(p.stats().bytes_copied, 14);
+        assert!(!got.slices()[0].same_buffer(&msg.slices()[0]));
+    }
+
+    #[test]
+    fn capacity_forces_short_writes() {
+        let mut p = Pipe::new(PipeMode::ZeroCopy, 10);
+        let msg = agg(&[1u8; 25]);
+        assert_eq!(p.write(&msg), 10);
+        assert_eq!(p.stats().full_events, 1);
+        assert_eq!(p.space(), 0);
+        // Drain and continue: the fill/drain round structure.
+        let got = p.read(10).unwrap();
+        assert_eq!(got.len(), 10);
+        let rest = msg.range(10, 15).unwrap();
+        assert_eq!(p.write(&rest), 10);
+    }
+
+    #[test]
+    fn partial_reads_preserve_order() {
+        let mut p = Pipe::new(PipeMode::ZeroCopy, 1024);
+        p.write(&agg(b"abcdef"));
+        p.write(&agg(b"ghij"));
+        let first = p.read(4).unwrap();
+        assert_eq!(first.to_vec(), b"abcd");
+        let second = p.read(100).unwrap();
+        assert_eq!(second.to_vec(), b"efghij");
+        assert!(p.read(10).is_none());
+    }
+
+    #[test]
+    fn read_spans_queued_messages() {
+        let mut p = Pipe::new(PipeMode::Copy, 1024);
+        p.write(&agg(b"one"));
+        p.write(&agg(b"two"));
+        let got = p.read(6).unwrap();
+        assert_eq!(got.to_vec(), b"onetwo");
+        assert_eq!(p.buffered(), 0);
+    }
+
+    #[test]
+    fn close_semantics() {
+        let mut p = Pipe::new(PipeMode::ZeroCopy, 1024);
+        p.write(&agg(b"last"));
+        p.close();
+        assert!(p.is_closed());
+        // Remaining data still drains after close.
+        assert_eq!(p.read(10).unwrap().to_vec(), b"last");
+        assert!(p.read(10).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "closed pipe")]
+    fn write_after_close_panics() {
+        let mut p = Pipe::new(PipeMode::Copy, 16);
+        p.close();
+        p.write(&agg(b"x"));
+    }
+
+    #[test]
+    fn socket_pair_is_bidirectional() {
+        let mut sp = UnixSocketPair::new(PipeMode::ZeroCopy, 1024);
+        sp.a_to_b.write(&agg(b"request"));
+        sp.b_to_a.write(&agg(b"response"));
+        assert_eq!(sp.a_to_b.read(100).unwrap().to_vec(), b"request");
+        assert_eq!(sp.b_to_a.read(100).unwrap().to_vec(), b"response");
+    }
+
+    #[test]
+    fn stats_track_rounds() {
+        let mut p = Pipe::new(PipeMode::Copy, 8);
+        let msg = agg(&[0u8; 64]);
+        let mut offset = 0u64;
+        let mut rounds = 0;
+        while offset < 64 {
+            let part = msg.range(offset, 64 - offset).unwrap();
+            let n = p.write(&part);
+            offset += n;
+            if offset < 64 {
+                p.read(8).unwrap();
+                rounds += 1;
+            }
+        }
+        assert_eq!(rounds, 7, "64 bytes through an 8-byte pipe");
+        assert!(p.stats().full_events >= 7);
+    }
+}

@@ -1,0 +1,219 @@
+//! The Internet checksum cache (§3.9).
+//!
+//! "IO-Lite provides with each buffer a generation number ... this
+//! generation number, combined with the buffer's address, provides a
+//! systemwide unique identifier for the contents of the buffer", which
+//! lets TCP reuse a previously computed checksum whenever the same slice
+//! is transmitted again — eliminating "the only remaining data-touching
+//! operation on the critical I/O path" for cached documents.
+
+use std::collections::HashMap;
+
+use iolite_buf::{BufferId, Generation, Slice};
+
+use crate::checksum::{slice_sum, PartialSum};
+
+/// Cache key: the systemwide-unique content identifier of a slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    buffer: BufferId,
+    generation: Generation,
+    offset: u32,
+    len: u32,
+}
+
+impl Key {
+    fn of(s: &Slice) -> Key {
+        Key {
+            buffer: s.id(),
+            generation: s.generation(),
+            offset: s.offset_in_buffer() as u32,
+            len: s.len() as u32,
+        }
+    }
+}
+
+/// Cache effectiveness counters; the cost model charges data-touching
+/// time only for [`CksumCacheStats::bytes_computed`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CksumCacheStats {
+    /// Slice sums served from cache.
+    pub hits: u64,
+    /// Slice sums computed (and inserted).
+    pub misses: u64,
+    /// Bytes whose checksum came for free.
+    pub bytes_cached: u64,
+    /// Bytes actually touched by the checksum loop.
+    pub bytes_computed: u64,
+}
+
+/// A bounded map from slice identity to its partial checksum.
+///
+/// # Examples
+///
+/// ```
+/// use iolite_buf::{Acl, Aggregate, BufferPool, PoolId};
+/// use iolite_net::ChecksumCache;
+///
+/// let pool = BufferPool::new(PoolId(1), Acl::kernel_only(), 4096);
+/// let agg = Aggregate::from_bytes(&pool, b"hot document");
+/// let mut cache = ChecksumCache::new(1024);
+/// let s = &agg.slices()[0];
+/// let first = cache.sum_for(s);
+/// let second = cache.sum_for(s);
+/// assert_eq!(first, second);
+/// assert_eq!(cache.stats().hits, 1);
+/// ```
+#[derive(Debug)]
+pub struct ChecksumCache {
+    capacity: usize,
+    enabled: bool,
+    map: HashMap<Key, PartialSum>,
+    stats: CksumCacheStats,
+}
+
+impl ChecksumCache {
+    /// Creates a cache bounded to `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        ChecksumCache {
+            capacity: capacity.max(1),
+            enabled: true,
+            map: HashMap::new(),
+            stats: CksumCacheStats::default(),
+        }
+    }
+
+    /// Enables or disables caching (the Fig. 11 ablation switch).
+    /// Disabled, every request recomputes — exactly the conventional
+    /// network stack's behaviour.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether caching is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Returns the partial sum for a slice, from cache when possible.
+    pub fn sum_for(&mut self, s: &Slice) -> PartialSum {
+        if !self.enabled {
+            self.stats.misses += 1;
+            self.stats.bytes_computed += s.len() as u64;
+            return slice_sum(s);
+        }
+        let key = Key::of(s);
+        if let Some(&sum) = self.map.get(&key) {
+            self.stats.hits += 1;
+            self.stats.bytes_cached += s.len() as u64;
+            return sum;
+        }
+        let sum = slice_sum(s);
+        self.stats.misses += 1;
+        self.stats.bytes_computed += s.len() as u64;
+        if self.map.len() >= self.capacity {
+            // Cheap bounded behaviour: drop everything rather than track
+            // LRU; the working set re-warms in one pass. (The prototype's
+            // cache is similarly simple — one entry per buffer.)
+            self.map.clear();
+        }
+        self.map.insert(key, sum);
+        sum
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CksumCacheStats {
+        self.stats
+    }
+
+    /// Cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iolite_buf::{Acl, Aggregate, BufferPool, PoolId};
+
+    fn slice(pool: &BufferPool, data: &[u8]) -> Slice {
+        Aggregate::from_bytes(pool, data).slices()[0].clone()
+    }
+
+    #[test]
+    fn second_transmission_hits() {
+        let pool = BufferPool::new(PoolId(1), Acl::kernel_only(), 4096);
+        let s = slice(&pool, b"document body");
+        let mut c = ChecksumCache::new(16);
+        let a = c.sum_for(&s);
+        let b = c.sum_for(&s);
+        assert_eq!(a, b);
+        let st = c.stats();
+        assert_eq!((st.hits, st.misses), (1, 1));
+        assert_eq!(st.bytes_cached, 13);
+        assert_eq!(st.bytes_computed, 13);
+    }
+
+    #[test]
+    fn different_subranges_are_distinct_keys() {
+        let pool = BufferPool::new(PoolId(1), Acl::kernel_only(), 4096);
+        let s = slice(&pool, b"abcdefgh");
+        let mut c = ChecksumCache::new(16);
+        c.sum_for(&s);
+        let sub = s.sub(0, 4).unwrap();
+        c.sum_for(&sub);
+        assert_eq!(
+            c.stats().misses,
+            2,
+            "sub-range must not hit whole-slice sum"
+        );
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn recycled_buffer_generation_prevents_stale_hit() {
+        let pool = BufferPool::new(PoolId(1), Acl::kernel_only(), 64);
+        let mut c = ChecksumCache::new(16);
+        // Fill the chunk completely so recycling reuses the same address.
+        let s1 = slice(&pool, &[0x11; 64]);
+        let id1 = (s1.id(), s1.generation());
+        let sum1 = c.sum_for(&s1);
+        drop(s1);
+        let s2 = slice(&pool, &[0x22; 64]);
+        assert_eq!(s2.id(), id1.0, "address must be reused for this test");
+        assert_ne!(s2.generation(), id1.1);
+        let sum2 = c.sum_for(&s2);
+        assert_ne!(sum1.sum, sum2.sum);
+        assert_eq!(c.stats().hits, 0, "no stale hit across generations");
+    }
+
+    #[test]
+    fn disabled_cache_always_computes() {
+        let pool = BufferPool::new(PoolId(1), Acl::kernel_only(), 4096);
+        let s = slice(&pool, b"body");
+        let mut c = ChecksumCache::new(16);
+        c.set_enabled(false);
+        c.sum_for(&s);
+        c.sum_for(&s);
+        assert_eq!(c.stats().misses, 2);
+        assert_eq!(c.stats().bytes_computed, 8);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn capacity_bound_holds() {
+        let pool = BufferPool::new(PoolId(1), Acl::kernel_only(), 4096);
+        let mut c = ChecksumCache::new(4);
+        let slices: Vec<Slice> = (0..10).map(|i| slice(&pool, &[i as u8; 8])).collect();
+        for s in &slices {
+            c.sum_for(s);
+        }
+        assert!(c.len() <= 4);
+    }
+}

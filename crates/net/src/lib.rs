@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+//! Network subsystem: mbufs over IO-Lite buffers, Internet checksum
+//! caching, early demultiplexing, and a TCP connection model (paper
+//! §3.6, §3.9, §4.1).
+//!
+//! The paper adapts the BSD network stack by pointing mbufs' out-of-line
+//! data at IO-Lite buffers: "small data items such as network packet
+//! headers are still stored inline in mbufs, but the performance-critical
+//! bulk data reside in IO-Lite buffers". Two cross-subsystem mechanisms
+//! ride on that:
+//!
+//! * **Checksum caching** (§3.9): the Internet checksum module caches the
+//!   sum for each ⟨buffer, generation, range⟩; retransmitting a hot
+//!   document costs no data-touching at all.
+//! * **Early demultiplexing** (§3.6): a packet filter maps incoming
+//!   packets to their I/O stream *before* the payload is stored, so it
+//!   can be placed directly into a buffer with the right ACL.
+//!
+//! [`TcpConn`] models a connection's send path: real segment
+//! construction over mbuf chains, checksum computation (cache-aware in
+//! zero-copy mode), socket-buffer occupancy (copies vs references — the
+//! double-buffering distinction that drives the WAN experiment of §5.7),
+//! and window-limited throughput.
+
+pub mod checksum;
+pub mod cksum_cache;
+pub mod filter;
+pub mod mbuf;
+pub mod packet;
+pub mod reassembly;
+pub mod rx;
+pub mod tcp;
+
+pub use checksum::{combine, internet_checksum, slice_sum};
+pub use cksum_cache::{ChecksumCache, CksumCacheStats};
+pub use filter::{FilterRule, PacketFilter, StreamId};
+pub use mbuf::{Mbuf, MbufChain, MbufData};
+pub use packet::{SegmentHeader, TCP_IP_HEADER_BYTES};
+pub use reassembly::{ReassemblyStats, TcpReceiver};
+pub use rx::{RxPath, RxStats};
+pub use tcp::{BufferMode, SendOutcome, TcpConn};
+
+/// Default TCP maximum segment size on the paper's Fast Ethernet.
+pub const DEFAULT_MSS: usize = 1460;
+
+/// Default socket send-buffer size: "All Web servers were configured to
+/// use a TCP socket send buffer size of 64KB" (§5).
+pub const DEFAULT_TSS: usize = 64 * 1024;

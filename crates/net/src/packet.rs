@@ -1,0 +1,111 @@
+//! TCP/IP segment headers.
+//!
+//! Real 40-byte header construction so checksums cover genuine header
+//! bytes and the end-to-end tests can parse what was "sent".
+
+/// Combined IPv4 + TCP header size without options.
+pub const TCP_IP_HEADER_BYTES: usize = 40;
+
+/// The fields of a simplified TCP/IP segment header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentHeader {
+    /// Source IPv4 address.
+    pub src_ip: u32,
+    /// Destination IPv4 address.
+    pub dst_ip: u32,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgment number.
+    pub ack: u32,
+    /// TCP flags (SYN=0x02, ACK=0x10, FIN=0x01, PSH=0x08).
+    pub flags: u8,
+    /// Payload length (carried in the IP total-length field).
+    pub payload_len: u16,
+}
+
+impl SegmentHeader {
+    /// Serializes to the 40 wire bytes (IPv4 header then TCP header).
+    pub fn to_bytes(&self) -> [u8; TCP_IP_HEADER_BYTES] {
+        let mut b = [0u8; TCP_IP_HEADER_BYTES];
+        // --- IPv4 ---
+        b[0] = 0x45; // Version 4, IHL 5.
+        let total_len = (20 + 20 + self.payload_len as u32) as u16;
+        b[2..4].copy_from_slice(&total_len.to_be_bytes());
+        b[8] = 64; // TTL.
+        b[9] = 6; // Protocol: TCP.
+        b[12..16].copy_from_slice(&self.src_ip.to_be_bytes());
+        b[16..20].copy_from_slice(&self.dst_ip.to_be_bytes());
+        // --- TCP ---
+        b[20..22].copy_from_slice(&self.src_port.to_be_bytes());
+        b[22..24].copy_from_slice(&self.dst_port.to_be_bytes());
+        b[24..28].copy_from_slice(&self.seq.to_be_bytes());
+        b[28..32].copy_from_slice(&self.ack.to_be_bytes());
+        b[32] = 5 << 4; // Data offset: 5 words.
+        b[33] = self.flags;
+        b[34..36].copy_from_slice(&0xFFFFu16.to_be_bytes()); // Window.
+        b
+    }
+
+    /// Parses wire bytes back into header fields (tests, demux).
+    ///
+    /// Returns `None` when the buffer is too short or malformed.
+    pub fn parse(b: &[u8]) -> Option<SegmentHeader> {
+        if b.len() < TCP_IP_HEADER_BYTES || b[0] != 0x45 || b[9] != 6 {
+            return None;
+        }
+        let total_len = u16::from_be_bytes([b[2], b[3]]);
+        Some(SegmentHeader {
+            src_ip: u32::from_be_bytes([b[12], b[13], b[14], b[15]]),
+            dst_ip: u32::from_be_bytes([b[16], b[17], b[18], b[19]]),
+            src_port: u16::from_be_bytes([b[20], b[21]]),
+            dst_port: u16::from_be_bytes([b[22], b[23]]),
+            seq: u32::from_be_bytes([b[24], b[25], b[26], b[27]]),
+            ack: u32::from_be_bytes([b[28], b[29], b[30], b[31]]),
+            flags: b[33],
+            payload_len: total_len.saturating_sub(40),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> SegmentHeader {
+        SegmentHeader {
+            src_ip: 0x0A000001,
+            dst_ip: 0x0A000002,
+            src_port: 8080,
+            dst_port: 31337,
+            seq: 123456,
+            ack: 654321,
+            flags: 0x18,
+            payload_len: 1460,
+        }
+    }
+
+    #[test]
+    fn serialize_parse_roundtrip() {
+        let h = header();
+        let bytes = h.to_bytes();
+        let parsed = SegmentHeader::parse(&bytes).unwrap();
+        assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn parse_rejects_short_or_bad() {
+        assert!(SegmentHeader::parse(&[0u8; 10]).is_none());
+        let mut bytes = header().to_bytes();
+        bytes[0] = 0x46; // Wrong IHL.
+        assert!(SegmentHeader::parse(&bytes).is_none());
+    }
+
+    #[test]
+    fn header_is_forty_bytes() {
+        assert_eq!(header().to_bytes().len(), 40);
+    }
+}

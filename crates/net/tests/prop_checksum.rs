@@ -1,0 +1,64 @@
+//! Property tests for the Internet checksum algebra and the checksum
+//! cache's generation discipline.
+
+use iolite_buf::{Acl, Aggregate, BufferPool, PoolId};
+use iolite_net::checksum::{bytes_sum, combine, finalize, reference_checksum};
+use iolite_net::{internet_checksum, ChecksumCache};
+use proptest::prelude::*;
+
+proptest! {
+    /// Splitting a message anywhere and folding partial sums equals the
+    /// whole-message checksum (the property per-slice caching needs).
+    #[test]
+    fn combine_is_concatenation(data in proptest::collection::vec(any::<u8>(), 0..512),
+                                splits in proptest::collection::vec(any::<usize>(), 0..6)) {
+        let mut cut_points: Vec<usize> = splits
+            .into_iter()
+            .map(|s| if data.is_empty() { 0 } else { s % (data.len() + 1) })
+            .collect();
+        cut_points.push(0);
+        cut_points.push(data.len());
+        cut_points.sort_unstable();
+        let mut acc = bytes_sum(&[]);
+        for pair in cut_points.windows(2) {
+            acc = combine(acc, bytes_sum(&data[pair[0]..pair[1]]));
+        }
+        prop_assert_eq!(finalize(acc), reference_checksum(&data));
+    }
+
+    /// Any fragmentation of an aggregate yields the same checksum.
+    #[test]
+    fn aggregate_checksum_fragmentation_invariant(
+        data in proptest::collection::vec(any::<u8>(), 1..1024),
+        chunk in 1usize..128,
+    ) {
+        let pool = BufferPool::new(PoolId(1), Acl::kernel_only(), chunk);
+        let agg = Aggregate::from_bytes(&pool, &data);
+        prop_assert_eq!(internet_checksum(&agg), reference_checksum(&data));
+    }
+
+    /// The cache never serves a sum that differs from recomputation,
+    /// across arbitrary allocate/drop/recompute interleavings (the
+    /// generation-number discipline of §3.9).
+    #[test]
+    fn cache_never_stale(rounds in proptest::collection::vec(
+        (proptest::collection::vec(any::<u8>(), 1..128), any::<bool>()), 1..40)) {
+        // Tiny chunks force heavy recycling, the dangerous case.
+        let pool = BufferPool::new(PoolId(2), Acl::kernel_only(), 128);
+        let mut cache = ChecksumCache::new(8);
+        let mut held: Vec<Aggregate> = Vec::new();
+        for (data, drop_after) in rounds {
+            let agg = Aggregate::from_bytes(&pool, &data);
+            for s in agg.slices() {
+                let cached = cache.sum_for(s);
+                let fresh = iolite_net::slice_sum(s);
+                prop_assert_eq!(cached, fresh, "stale checksum served");
+            }
+            if drop_after {
+                held.clear();
+            } else {
+                held.push(agg);
+            }
+        }
+    }
+}

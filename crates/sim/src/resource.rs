@@ -1,0 +1,149 @@
+//! FIFO single-server resources (CPU, disk).
+//!
+//! The experiment drivers model the server CPU and the disk as FIFO
+//! queues: a job arriving at `now` with service demand `d` completes at
+//! `max(now, next_free) + d`. This is the standard event-calculus shortcut
+//! for M/G/1-style stations and is exact for FIFO service.
+
+use crate::time::SimTime;
+
+/// A FIFO single-server queueing resource.
+///
+/// Tracks when the server next becomes free, total busy time, and job
+/// counts, so drivers can report utilization.
+///
+/// # Examples
+///
+/// ```
+/// use iolite_sim::{FifoResource, SimTime};
+///
+/// let mut cpu = FifoResource::new("cpu");
+/// let done1 = cpu.submit(SimTime::ZERO, SimTime::from_us(10.0));
+/// let done2 = cpu.submit(SimTime::ZERO, SimTime::from_us(5.0));
+/// assert_eq!(done1, SimTime::from_us(10.0));
+/// // The second job queues behind the first.
+/// assert_eq!(done2, SimTime::from_us(15.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FifoResource {
+    name: &'static str,
+    next_free: SimTime,
+    busy: SimTime,
+    jobs: u64,
+}
+
+impl FifoResource {
+    /// Creates an idle resource.
+    pub fn new(name: &'static str) -> Self {
+        FifoResource {
+            name,
+            next_free: SimTime::ZERO,
+            busy: SimTime::ZERO,
+            jobs: 0,
+        }
+    }
+
+    /// Submits a job at `now` with the given service demand and returns
+    /// its completion time.
+    pub fn submit(&mut self, now: SimTime, service: SimTime) -> SimTime {
+        let start = self.next_free.max(now);
+        let done = start + service;
+        self.next_free = done;
+        self.busy += service;
+        self.jobs += 1;
+        done
+    }
+
+    /// Time at which the server next becomes free.
+    pub fn next_free(&self) -> SimTime {
+        self.next_free
+    }
+
+    /// Queueing delay a job submitted at `now` would experience.
+    pub fn backlog(&self, now: SimTime) -> SimTime {
+        self.next_free.saturating_sub(now)
+    }
+
+    /// Total service time accumulated.
+    pub fn busy_time(&self) -> SimTime {
+        self.busy
+    }
+
+    /// Number of jobs served.
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Utilization over `[0, horizon]`.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon == SimTime::ZERO {
+            0.0
+        } else {
+            (self.busy.as_secs() / horizon.as_secs()).min(1.0)
+        }
+    }
+
+    /// The resource's diagnostic name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Resets the resource to idle, clearing statistics.
+    pub fn reset(&mut self) {
+        self.next_free = SimTime::ZERO;
+        self.busy = SimTime::ZERO;
+        self.jobs = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_server_starts_immediately() {
+        let mut r = FifoResource::new("t");
+        let done = r.submit(SimTime::from_us(100.0), SimTime::from_us(10.0));
+        assert_eq!(done, SimTime::from_us(110.0));
+    }
+
+    #[test]
+    fn jobs_queue_fifo() {
+        let mut r = FifoResource::new("t");
+        let a = r.submit(SimTime::ZERO, SimTime::from_us(10.0));
+        let b = r.submit(SimTime::from_us(2.0), SimTime::from_us(10.0));
+        let c = r.submit(SimTime::from_us(25.0), SimTime::from_us(10.0));
+        assert_eq!(a, SimTime::from_us(10.0));
+        assert_eq!(b, SimTime::from_us(20.0));
+        // Arrives after the queue drained: starts at its arrival.
+        assert_eq!(c, SimTime::from_us(35.0));
+    }
+
+    #[test]
+    fn utilization_accounts_busy_time() {
+        let mut r = FifoResource::new("t");
+        r.submit(SimTime::ZERO, SimTime::from_us(30.0));
+        r.submit(SimTime::ZERO, SimTime::from_us(20.0));
+        assert_eq!(r.busy_time(), SimTime::from_us(50.0));
+        assert!((r.utilization(SimTime::from_us(100.0)) - 0.5).abs() < 1e-12);
+        assert_eq!(r.jobs(), 2);
+    }
+
+    #[test]
+    fn backlog_reports_wait() {
+        let mut r = FifoResource::new("t");
+        r.submit(SimTime::ZERO, SimTime::from_us(10.0));
+        assert_eq!(r.backlog(SimTime::from_us(4.0)), SimTime::from_us(6.0));
+        assert_eq!(r.backlog(SimTime::from_us(40.0)), SimTime::ZERO);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut r = FifoResource::new("t");
+        r.submit(SimTime::ZERO, SimTime::from_us(10.0));
+        r.reset();
+        assert_eq!(r.jobs(), 0);
+        assert_eq!(r.busy_time(), SimTime::ZERO);
+        assert_eq!(r.next_free(), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,222 @@
+//! Statistics collectors used by the experiment harness.
+
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Online summary of a stream of samples: count, mean, min, max and an
+/// exact quantile over retained samples.
+///
+/// Retains every sample; experiments produce at most a few hundred
+/// thousand samples per run, so exact quantiles are affordable and keep
+/// EXPERIMENTS.md reproducible to the digit.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: f64) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max)
+        }
+    }
+
+    /// Exact `q`-quantile (0 ≤ q ≤ 1) by nearest-rank, or 0 when empty.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.samples.len() as f64 - 1.0) * q).round() as usize;
+        self.samples[idx]
+    }
+
+    /// Sum of all samples.
+    pub fn total(&self) -> f64 {
+        self.samples.iter().sum()
+    }
+}
+
+/// Measures throughput: bytes (or events) accumulated over simulated time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RateMeter {
+    amount: f64,
+    started: SimTime,
+    ended: SimTime,
+}
+
+impl RateMeter {
+    /// Creates a meter with the window starting at `start`.
+    pub fn new(start: SimTime) -> Self {
+        RateMeter {
+            amount: 0.0,
+            started: start,
+            ended: start,
+        }
+    }
+
+    /// Records `amount` delivered at time `at`.
+    pub fn record(&mut self, at: SimTime, amount: f64) {
+        self.amount += amount;
+        self.ended = self.ended.max(at);
+    }
+
+    /// Closes the measurement window at `at` without adding volume.
+    pub fn close(&mut self, at: SimTime) {
+        self.ended = self.ended.max(at);
+    }
+
+    /// Total amount recorded.
+    pub fn total(&self) -> f64 {
+        self.amount
+    }
+
+    /// Average rate in amount/second over the window.
+    pub fn per_second(&self) -> f64 {
+        let span = self.ended.saturating_sub(self.started).as_secs();
+        if span <= 0.0 {
+            0.0
+        } else {
+            self.amount / span
+        }
+    }
+
+    /// Convenience: rate in megabits per second when amounts are bytes.
+    pub fn mbit_per_sec(&self) -> f64 {
+        self.per_second() * 8.0 / 1_000_000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(format!("{c}"), "5");
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let mut s = Summary::new();
+        for v in [4.0, 1.0, 3.0, 2.0, 5.0] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 5);
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 5.0);
+        assert_eq!(s.quantile(0.5), 3.0);
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 5.0);
+        assert!((s.total() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty_is_zero() {
+        let mut s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn rate_meter_computes_mbps() {
+        let mut m = RateMeter::new(SimTime::ZERO);
+        m.record(SimTime::from_secs(1.0), 500_000.0);
+        m.record(SimTime::from_secs(2.0), 500_000.0);
+        // 1_000_000 bytes over 2 seconds = 4 Mb/s.
+        assert!((m.mbit_per_sec() - 4.0).abs() < 1e-9);
+        assert_eq!(m.total(), 1_000_000.0);
+    }
+
+    #[test]
+    fn rate_meter_zero_window() {
+        let m = RateMeter::new(SimTime::ZERO);
+        assert_eq!(m.per_second(), 0.0);
+    }
+}

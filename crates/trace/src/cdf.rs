@@ -1,0 +1,82 @@
+//! Cumulative-distribution series for Figures 7 and 9.
+//!
+//! The paper plots, for files sorted by request count, the cumulative
+//! fraction of requests and of static data size. These series are what
+//! the `fig07`/`fig09` regenerators print.
+
+use crate::workload::Workload;
+
+/// One point of the Fig. 7 / Fig. 9 curves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CdfPoint {
+    /// Number of files considered (sorted by request count, descending).
+    pub files: usize,
+    /// Cumulative fraction of all requests they receive.
+    pub cum_requests: f64,
+    /// Cumulative fraction of the total static data size they hold.
+    pub cum_bytes: f64,
+}
+
+/// Computes the cumulative curves, decimated to at most `points` points
+/// (plus the exact endpoint).
+pub fn cdf_series(w: &Workload, points: usize) -> Vec<CdfPoint> {
+    let n = w.len();
+    assert!(points >= 2 && n >= 1);
+    let total_bytes = w.total_bytes() as f64;
+    let mut out = Vec::with_capacity(points + 1);
+    let stride = (n as f64 / points as f64).max(1.0);
+    let mut cum_req = 0.0;
+    let mut cum_bytes = 0u64;
+    let mut next_emit = 0.0;
+    for (i, f) in w.files().iter().enumerate() {
+        cum_req += f.weight;
+        cum_bytes += f.bytes;
+        if (i + 1) as f64 >= next_emit || i + 1 == n {
+            out.push(CdfPoint {
+                files: i + 1,
+                cum_requests: cum_req,
+                cum_bytes: cum_bytes as f64 / total_bytes,
+            });
+            next_emit += stride;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::TraceSpec;
+    use crate::workload::Workload;
+
+    #[test]
+    fn series_is_monotone_and_ends_at_one() {
+        let w = Workload::synthesize(&TraceSpec::subtrace_150mb(), 4);
+        let series = cdf_series(&w, 50);
+        assert!(series.len() >= 50);
+        for pair in series.windows(2) {
+            assert!(pair[1].cum_requests >= pair[0].cum_requests);
+            assert!(pair[1].cum_bytes >= pair[0].cum_bytes);
+            assert!(pair[1].files > pair[0].files);
+        }
+        let last = series.last().unwrap();
+        assert_eq!(last.files, w.len());
+        assert!((last.cum_requests - 1.0).abs() < 1e-9);
+        assert!((last.cum_bytes - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn requests_concentrate_faster_than_bytes() {
+        // The defining shape of Figs. 7/9: the request curve dominates
+        // the size curve everywhere.
+        let w = Workload::synthesize(&TraceSpec::subtrace_150mb(), 4);
+        let series = cdf_series(&w, 20);
+        let mid = &series[series.len() / 4];
+        assert!(
+            mid.cum_requests > mid.cum_bytes,
+            "requests {} vs bytes {}",
+            mid.cum_requests,
+            mid.cum_bytes
+        );
+    }
+}

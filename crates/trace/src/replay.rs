@@ -1,0 +1,152 @@
+//! Request-stream generation for the two replay methodologies of §5.4
+//! and §5.5.
+
+use iolite_sim::SimRng;
+
+use crate::workload::Workload;
+
+/// A source of requests: each call yields the index of the file the next
+/// client request targets, or `None` when the stream is exhausted.
+pub trait RequestStream {
+    /// The next request's file index.
+    fn next_request(&mut self, rng: &mut SimRng) -> Option<usize>;
+
+    /// Total requests this stream will produce (`None` if unbounded).
+    fn remaining(&self) -> Option<u64>;
+}
+
+/// The §5.4 methodology: "the clients share the access log, and as each
+/// request finishes, the client issues the next unsent request from the
+/// log". We pre-materialize a popularity-faithful log of bounded length
+/// and hand entries out in order.
+#[derive(Debug)]
+pub struct SharedLogReplay {
+    log: Vec<u32>,
+    cursor: usize,
+}
+
+impl SharedLogReplay {
+    /// Builds a log of `len` entries sampled from the workload's
+    /// popularity distribution (a statistically equivalent prefix of the
+    /// full multi-million-request log).
+    pub fn new(workload: &Workload, len: u64, seed: u64) -> Self {
+        let mut rng = SimRng::new(seed ^ 0x0106);
+        let log = (0..len)
+            .map(|_| workload.sample_request(&mut rng) as u32)
+            .collect();
+        SharedLogReplay { log, cursor: 0 }
+    }
+
+    /// Entries in the log.
+    pub fn len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.log.is_empty()
+    }
+}
+
+impl RequestStream for SharedLogReplay {
+    fn next_request(&mut self, _rng: &mut SimRng) -> Option<usize> {
+        let entry = self.log.get(self.cursor)?;
+        self.cursor += 1;
+        Some(*entry as usize)
+    }
+
+    fn remaining(&self) -> Option<u64> {
+        Some((self.log.len() - self.cursor) as u64)
+    }
+}
+
+/// The §5.5 methodology ("similar to the SpecWeb96 benchmark"): clients
+/// "randomly pick entries from the subtraces", i.e. sample the log with
+/// replacement — equivalently, sample files by popularity weight.
+#[derive(Debug)]
+pub struct RandomSampler {
+    workload: Workload,
+    budget: Option<u64>,
+}
+
+impl RandomSampler {
+    /// An unbounded sampler over the workload.
+    pub fn new(workload: Workload) -> Self {
+        RandomSampler {
+            workload,
+            budget: None,
+        }
+    }
+
+    /// A sampler that stops after `n` requests.
+    pub fn with_budget(workload: Workload, n: u64) -> Self {
+        RandomSampler {
+            workload,
+            budget: Some(n),
+        }
+    }
+}
+
+impl RequestStream for RandomSampler {
+    fn next_request(&mut self, rng: &mut SimRng) -> Option<usize> {
+        if let Some(b) = &mut self.budget {
+            if *b == 0 {
+                return None;
+            }
+            *b -= 1;
+        }
+        Some(self.workload.sample_request(rng))
+    }
+
+    fn remaining(&self) -> Option<u64> {
+        self.budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::TraceSpec;
+
+    fn workload() -> Workload {
+        Workload::synthesize(&TraceSpec::subtrace_150mb(), 5)
+    }
+
+    #[test]
+    fn shared_log_is_deterministic_and_ordered() {
+        let w = workload();
+        let mut a = SharedLogReplay::new(&w, 100, 1);
+        let mut b = SharedLogReplay::new(&w, 100, 1);
+        let mut rng = SimRng::new(0);
+        for _ in 0..100 {
+            assert_eq!(a.next_request(&mut rng), b.next_request(&mut rng));
+        }
+        assert_eq!(a.next_request(&mut rng), None);
+        assert_eq!(a.remaining(), Some(0));
+    }
+
+    #[test]
+    fn random_sampler_budget() {
+        let w = workload();
+        let mut s = RandomSampler::with_budget(w, 5);
+        let mut rng = SimRng::new(2);
+        let mut n = 0;
+        while s.next_request(&mut rng).is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn unbounded_sampler_keeps_going() {
+        let w = workload();
+        let files = w.len();
+        let mut s = RandomSampler::new(w);
+        let mut rng = SimRng::new(3);
+        for _ in 0..1000 {
+            let idx = s.next_request(&mut rng).unwrap();
+            assert!(idx < files);
+        }
+        assert_eq!(s.remaining(), None);
+    }
+}

@@ -1,0 +1,273 @@
+//! The IO-Lite window: chunk-granularity mapping state per protection
+//! domain (§3.3, §4.5, Figure 1).
+//!
+//! The window "appears in the virtual address spaces of all protection
+//! domains, including the kernel". Transferring an aggregate across a
+//! domain boundary makes the underlying chunks readable in the receiving
+//! domain. Mappings are established lazily and **persist** after buffer
+//! deallocation, forming the "lazily established pool of read-only
+//! shared-memory pages" of §3.2 — so recycled chunks transfer at shared-
+//! memory cost, and only first-time transfers pay page-mapping cost.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use iolite_buf::{Acl, ChunkId, DomainId, PAGE_SIZE};
+
+/// Access-control violation: the receiving domain is not on the ACL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessDenied {
+    /// The domain that was refused.
+    pub domain: DomainId,
+}
+
+impl fmt::Display for AccessDenied {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "domain {} is not on the buffer pool's ACL", self.domain)
+    }
+}
+
+impl std::error::Error for AccessDenied {}
+
+/// Access permission a domain holds on a chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Perm {
+    /// Read-only mapping (consumers).
+    Read,
+    /// Read-write mapping (the producer while filling; §3.2's "temporary
+    /// write permissions").
+    ReadWrite,
+}
+
+/// Counters describing mapping activity (drives simulated VM cost).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MapStats {
+    /// Map operations that created a new chunk mapping.
+    pub chunk_maps: u64,
+    /// Pages covered by those new mappings.
+    pub pages_mapped: u64,
+    /// Transfers that required no new mapping (recycled/warm chunks).
+    pub warm_transfers: u64,
+    /// Write-permission toggles for untrusted producers.
+    pub write_toggles: u64,
+    /// Access-control denials.
+    pub denials: u64,
+}
+
+/// Per-domain chunk mapping tables for the IO-Lite window.
+///
+/// # Examples
+///
+/// ```
+/// use iolite_buf::{Acl, ChunkId, DomainId};
+/// use iolite_vm::IoLiteWindow;
+///
+/// let mut w = IoLiteWindow::new(64 * 1024);
+/// let acl = Acl::with_domain(DomainId(3));
+/// // First transfer of a chunk maps 16 pages; repeats are free.
+/// assert_eq!(w.transfer(&[ChunkId(0)], DomainId(3), &acl).unwrap(), 16);
+/// assert_eq!(w.transfer(&[ChunkId(0)], DomainId(3), &acl).unwrap(), 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct IoLiteWindow {
+    chunk_size: usize,
+    maps: HashMap<DomainId, HashMap<ChunkId, Perm>>,
+    stats: MapStats,
+}
+
+impl IoLiteWindow {
+    /// Creates a window for chunks of the given size.
+    pub fn new(chunk_size: usize) -> Self {
+        IoLiteWindow {
+            chunk_size,
+            maps: HashMap::new(),
+            stats: MapStats::default(),
+        }
+    }
+
+    /// Pages per chunk for cost accounting.
+    pub fn pages_per_chunk(&self) -> u64 {
+        (self.chunk_size / PAGE_SIZE) as u64
+    }
+
+    /// Transfers buffers occupying `chunks` to `domain`, enforcing the
+    /// pool ACL, and returns the number of **newly mapped pages** (zero
+    /// for warm transfers).
+    ///
+    /// The kernel domain is implicitly mapped (it "has access ... by
+    /// virtue of being part of the kernel", §3.10) and costs nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccessDenied`] and counts a denial if `domain` is not
+    /// on the ACL; callers surface this as an access-control fault.
+    pub fn transfer(
+        &mut self,
+        chunks: &[ChunkId],
+        domain: DomainId,
+        acl: &Acl,
+    ) -> Result<u64, AccessDenied> {
+        if domain == DomainId::KERNEL {
+            return Ok(0);
+        }
+        if !acl.allows(domain) {
+            self.stats.denials += 1;
+            return Err(AccessDenied { domain });
+        }
+        let table = self.maps.entry(domain).or_default();
+        let mut new_pages = 0;
+        for &c in chunks {
+            if table.contains_key(&c) {
+                continue;
+            }
+            table.insert(c, Perm::Read);
+            self.stats.chunk_maps += 1;
+            new_pages += (self.chunk_size / PAGE_SIZE) as u64;
+        }
+        if new_pages == 0 {
+            self.stats.warm_transfers += 1;
+        } else {
+            self.stats.pages_mapped += new_pages;
+        }
+        Ok(new_pages)
+    }
+
+    /// Grants the producer temporary write permission on a chunk while it
+    /// fills buffers (§3.2). Trusted (kernel) producers skip this.
+    ///
+    /// Returns the number of newly mapped pages (a fresh writable chunk
+    /// needs a map; toggling an existing read mapping is cheaper and is
+    /// counted in [`MapStats::write_toggles`]).
+    pub fn grant_write(&mut self, chunk: ChunkId, domain: DomainId) -> u64 {
+        if domain == DomainId::KERNEL {
+            return 0;
+        }
+        let pages = (self.chunk_size / PAGE_SIZE) as u64;
+        let table = self.maps.entry(domain).or_default();
+        match table.get(&chunk) {
+            Some(Perm::ReadWrite) => 0,
+            Some(Perm::Read) => {
+                table.insert(chunk, Perm::ReadWrite);
+                self.stats.write_toggles += 1;
+                0
+            }
+            None => {
+                table.insert(chunk, Perm::ReadWrite);
+                self.stats.chunk_maps += 1;
+                self.stats.pages_mapped += pages;
+                pages
+            }
+        }
+    }
+
+    /// Revokes write permission after the producer seals its buffers.
+    pub fn revoke_write(&mut self, chunk: ChunkId, domain: DomainId) {
+        if domain == DomainId::KERNEL {
+            return;
+        }
+        if let Some(table) = self.maps.get_mut(&domain) {
+            if let Some(p) = table.get_mut(&chunk) {
+                if *p == Perm::ReadWrite {
+                    *p = Perm::Read;
+                    self.stats.write_toggles += 1;
+                }
+            }
+        }
+    }
+
+    /// Whether `domain` currently maps `chunk`.
+    pub fn is_mapped(&self, chunk: ChunkId, domain: DomainId) -> bool {
+        domain == DomainId::KERNEL
+            || self
+                .maps
+                .get(&domain)
+                .is_some_and(|t| t.contains_key(&chunk))
+    }
+
+    /// Number of chunks mapped in `domain`.
+    pub fn mapped_chunks(&self, domain: DomainId) -> usize {
+        self.maps.get(&domain).map_or(0, |t| t.len())
+    }
+
+    /// Drops all of `domain`'s mappings (process exit).
+    pub fn unmap_domain(&mut self, domain: DomainId) {
+        self.maps.remove(&domain);
+    }
+
+    /// Mapping-activity counters.
+    pub fn stats(&self) -> MapStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acl_for(d: DomainId) -> Acl {
+        Acl::with_domain(d)
+    }
+
+    #[test]
+    fn first_transfer_maps_then_warm() {
+        let mut w = IoLiteWindow::new(64 * 1024);
+        let d = DomainId(1);
+        let acl = acl_for(d);
+        let pages = w.transfer(&[ChunkId(0), ChunkId(1)], d, &acl).unwrap();
+        assert_eq!(pages, 32);
+        assert_eq!(w.stats().chunk_maps, 2);
+        let pages = w.transfer(&[ChunkId(0), ChunkId(1)], d, &acl).unwrap();
+        assert_eq!(pages, 0);
+        assert_eq!(w.stats().warm_transfers, 1);
+    }
+
+    #[test]
+    fn kernel_transfers_are_free() {
+        let mut w = IoLiteWindow::new(64 * 1024);
+        let acl = Acl::kernel_only();
+        assert_eq!(w.transfer(&[ChunkId(5)], DomainId::KERNEL, &acl), Ok(0));
+        assert_eq!(w.stats().chunk_maps, 0);
+        assert!(w.is_mapped(ChunkId(5), DomainId::KERNEL));
+    }
+
+    #[test]
+    fn acl_denial_counted() {
+        let mut w = IoLiteWindow::new(64 * 1024);
+        let acl = acl_for(DomainId(1));
+        assert!(w.transfer(&[ChunkId(0)], DomainId(2), &acl).is_err());
+        assert_eq!(w.stats().denials, 1);
+        assert!(!w.is_mapped(ChunkId(0), DomainId(2)));
+    }
+
+    #[test]
+    fn write_grant_and_revoke_toggle() {
+        let mut w = IoLiteWindow::new(64 * 1024);
+        let d = DomainId(1);
+        // Fresh writable chunk pays the map.
+        assert_eq!(w.grant_write(ChunkId(0), d), 16);
+        // Re-granting is free.
+        assert_eq!(w.grant_write(ChunkId(0), d), 0);
+        w.revoke_write(ChunkId(0), d);
+        // Upgrading an existing read mapping only toggles.
+        assert_eq!(w.grant_write(ChunkId(0), d), 0);
+        assert_eq!(w.stats().write_toggles, 2);
+        assert_eq!(w.stats().chunk_maps, 1);
+    }
+
+    #[test]
+    fn mappings_persist_per_domain() {
+        let mut w = IoLiteWindow::new(64 * 1024);
+        let d1 = DomainId(1);
+        let d2 = DomainId(2);
+        let acl = Acl::with_domains(&[d1, d2]);
+        w.transfer(&[ChunkId(7)], d1, &acl).unwrap();
+        assert!(w.is_mapped(ChunkId(7), d1));
+        assert!(!w.is_mapped(ChunkId(7), d2));
+        w.transfer(&[ChunkId(7)], d2, &acl).unwrap();
+        assert_eq!(w.mapped_chunks(d1), 1);
+        assert_eq!(w.mapped_chunks(d2), 1);
+        w.unmap_domain(d1);
+        assert!(!w.is_mapped(ChunkId(7), d1));
+        assert!(w.is_mapped(ChunkId(7), d2));
+    }
+}

@@ -1,0 +1,67 @@
+//! Quickstart: the IO-Lite buffer system in five minutes.
+//!
+//! Demonstrates the paper's §3.1 core ideas — immutable buffers, mutable
+//! aggregates, pool recycling with generation numbers — and the §3.9
+//! checksum cache riding on them.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use iolite::buf::{Acl, Aggregate, BufferPool, DomainId, PoolId};
+use iolite::net::{internet_checksum, ChecksumCache};
+
+fn main() {
+    // --- 1. Pools and aggregates -------------------------------------
+    // A pool determines the ACL of everything allocated from it (§3.3).
+    let server = DomainId(1);
+    let pool = BufferPool::new(PoolId(1), Acl::with_domain(server), 64 * 1024);
+
+    let body = Aggregate::from_bytes(&pool, b"<html>hello, unified I/O</html>");
+    let header = Aggregate::from_bytes(&pool, b"HTTP/1.0 200 OK\r\n\r\n");
+
+    // Concatenation is pointer manipulation: no bytes move.
+    let response = header.concat(&body);
+    println!(
+        "response: {} bytes in {} slices",
+        response.len(),
+        response.num_slices()
+    );
+
+    // --- 2. Mutation without mutation ---------------------------------
+    // Buffers are immutable; aggregates mutate by chaining (§3.8).
+    let edited = response
+        .replace(&pool, response.len() - 7, 0, b" (edited)")
+        .expect("in range");
+    println!("edited:   {}", String::from_utf8_lossy(&edited.to_vec()));
+    println!("original: {}", String::from_utf8_lossy(&response.to_vec()));
+
+    // --- 3. Checksum caching (§3.9) -----------------------------------
+    let mut cache = ChecksumCache::new(1024);
+    let slice = &body.slices()[0];
+    let first = cache.sum_for(slice);
+    let second = cache.sum_for(slice);
+    assert_eq!(first, second);
+    println!(
+        "checksum 0x{:04x}: computed {} bytes, then {} bytes served from cache",
+        internet_checksum(&body),
+        cache.stats().bytes_computed,
+        cache.stats().bytes_cached,
+    );
+
+    // --- 4. Recycling and generations ---------------------------------
+    // Drop everything: the pool's chunks drain and recycle with bumped
+    // generation numbers, so stale checksums can never be served.
+    let old_id = slice.id();
+    let old_gen = slice.generation();
+    drop((body, header, response, edited));
+    let fresh = Aggregate::from_bytes(&pool, &vec![0u8; 64 * 1024]);
+    let s = &fresh.slices()[0];
+    println!(
+        "chunk {} reused: generation {} -> {} (checksum cache key changed)",
+        s.id().chunk,
+        old_gen,
+        s.generation()
+    );
+    assert_eq!(s.id().chunk, old_id.chunk);
+    assert_ne!(s.generation(), old_gen);
+    println!("pool stats: {:?}", pool.stats());
+}

@@ -1,0 +1,39 @@
+//! Web-server shoot-out: Flash vs Flash-Lite vs Apache (paper §5.1).
+//!
+//! A reduced version of Figure 3: 40 clients repeatedly request one
+//! document; aggregate bandwidth vs document size, per server.
+//!
+//! Run with: `cargo run --release --example web_server`
+
+use iolite::http::{Experiment, ExperimentConfig, ServerKind, WorkloadKind};
+
+fn main() {
+    let sizes: &[(u64, &str)] = &[
+        (5 << 10, "5KB"),
+        (20 << 10, "20KB"),
+        (50 << 10, "50KB"),
+        (200 << 10, "200KB"),
+    ];
+    println!("HTTP single-file test, 40 clients, non-persistent (Fig. 3 excerpt)");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "size", "Flash-Lite", "Flash", "Apache"
+    );
+    for &(bytes, label) in sizes {
+        let mut row = Vec::new();
+        for server in [ServerKind::FlashLite, ServerKind::Flash, ServerKind::Apache] {
+            let mut cfg = ExperimentConfig::new(server, WorkloadKind::SingleFile { bytes });
+            cfg.requests = 3000;
+            cfg.warmup = 300;
+            let r = Experiment::run_config(cfg);
+            row.push(r.mbit_s);
+        }
+        println!(
+            "{:>8} {:>10.1}Mb {:>10.1}Mb {:>10.1}Mb",
+            label, row[0], row[1], row[2]
+        );
+    }
+    println!();
+    println!("Expected shape (paper): Flash-Lite saturates the network by ~30-50KB;");
+    println!("Flash plateaus ~40% lower; Apache trails; all converge below 5KB.");
+}

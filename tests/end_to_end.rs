@@ -1,0 +1,125 @@
+//! End-to-end data-path integrity: the bytes a client reassembles from
+//! TCP segments must equal the bytes on disk, through every server
+//! model, the CGI path, and both pipe modes.
+
+use iolite::buf::Aggregate;
+use iolite::core::{CostModel, Kernel};
+use iolite::http::{parse_request, request_bytes, response_header, CgiProcess, ServerKind};
+use iolite::ipc::PipeMode;
+use iolite::net::{BufferMode, SegmentHeader, TcpConn, DEFAULT_MSS, DEFAULT_TSS};
+
+/// Reassembles the payload bytes of a segment stream.
+fn reassemble(chains: &[iolite::net::MbufChain]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for chain in chains {
+        let wire = chain.to_vec();
+        let h = SegmentHeader::parse(&wire).expect("valid header");
+        assert_eq!(h.payload_len as usize, wire.len() - 40);
+        out.extend_from_slice(&wire[40..]);
+    }
+    out
+}
+
+#[test]
+fn static_file_reaches_client_byte_exact_zero_copy() {
+    let mut k = Kernel::new(CostModel::pentium_ii_333());
+    let pid = k.spawn("server");
+    let file = k.create_synthetic_file("/doc", 150_000, 99);
+    let disk_bytes = k.store.read(file, 0, 150_000).unwrap();
+
+    // The Flash-Lite path: IOL_read, concat header, segment.
+    let (body, _) = k.iol_read(pid, file, 0, 150_000);
+    let header = response_header(body.len(), false);
+    let mut response = Aggregate::from_bytes(k.process(pid).pool(), &header);
+    response.append(&body);
+
+    let mut conn = TcpConn::new(7, BufferMode::ZeroCopy, DEFAULT_MSS, DEFAULT_TSS);
+    let segments = conn.build_segments(&response);
+    let received = reassemble(&segments);
+    assert_eq!(&received[..header.len()], &header[..]);
+    assert_eq!(&received[header.len()..], &disk_bytes[..]);
+    // Zero-copy: the segments own only their 40-byte headers.
+    let owned: usize = segments.iter().map(|c| c.owned_bytes()).sum();
+    assert_eq!(owned, segments.len() * 40);
+}
+
+#[test]
+fn static_file_reaches_client_byte_exact_copy_mode() {
+    let mut k = Kernel::new(CostModel::pentium_ii_333());
+    let pid = k.spawn("server");
+    let file = k.create_synthetic_file("/doc", 80_000, 5);
+    let disk_bytes = k.store.read(file, 0, 80_000).unwrap();
+    let (body, _) = k.iol_read(pid, file, 0, 80_000);
+
+    let mut conn = TcpConn::new(8, BufferMode::Copy, DEFAULT_MSS, DEFAULT_TSS);
+    let segments = conn.build_segments(&body);
+    assert_eq!(reassemble(&segments), disk_bytes);
+    // Copy mode: the segments own the payload too.
+    let owned: usize = segments.iter().map(|c| c.owned_bytes()).sum();
+    assert_eq!(owned, segments.len() * 40 + 80_000);
+}
+
+#[test]
+fn cgi_document_reaches_server_byte_exact_via_both_pipe_modes() {
+    for mode in [PipeMode::Copy, PipeMode::ZeroCopy] {
+        let mut k = Kernel::new(CostModel::pentium_ii_333());
+        let server = k.spawn("server");
+        let cgi = CgiProcess::new(&mut k, server, 50_000, mode);
+        let expected = cgi.document().to_vec();
+
+        // Push the document through a kernel pipe exactly as the CGI
+        // request path does.
+        let pipe = k.pipe_create(mode);
+        let mut received = Vec::new();
+        let mut offset = 0u64;
+        while offset < expected.len() as u64 {
+            let rest = cgi
+                .document()
+                .range(offset, expected.len() as u64 - offset)
+                .unwrap();
+            let (n, _) = k.pipe_write(cgi.pid, pipe, &rest);
+            offset += n;
+            if let (Some(chunk), _) = k.pipe_read(server, pipe, u64::MAX) {
+                received.extend_from_slice(&chunk.to_vec());
+            }
+        }
+        assert_eq!(received, expected, "mode {mode:?}");
+    }
+}
+
+#[test]
+fn http_messages_round_trip_through_parser() {
+    let req = request_bytes("/f00042", true);
+    let parsed = parse_request(&req).unwrap();
+    assert_eq!(parsed.path, "/f00042");
+    assert!(parsed.keep_alive);
+}
+
+#[test]
+fn checksum_cache_agrees_with_reference_over_server_path() {
+    use iolite::net::checksum::reference_checksum;
+    use iolite::net::internet_checksum;
+
+    let mut k = Kernel::new(CostModel::pentium_ii_333());
+    let pid = k.spawn("server");
+    let file = k.create_synthetic_file("/doc", 30_000, 17);
+    let (body, _) = k.iol_read(pid, file, 0, 30_000);
+    let direct = k.store.read(file, 0, 30_000).unwrap();
+    assert_eq!(internet_checksum(&body), reference_checksum(&direct));
+}
+
+#[test]
+fn serve_static_is_deterministic_across_kernels() {
+    for kind in [ServerKind::Flash, ServerKind::FlashLite, ServerKind::Apache] {
+        let run = || {
+            let mut k = Kernel::new(CostModel::pentium_ii_333());
+            let pid = k.spawn("server");
+            let f = k.create_synthetic_file("/d", 40_000, 1);
+            let mut conn = TcpConn::new(1, kind.buffer_mode(), DEFAULT_MSS, DEFAULT_TSS);
+            let a = iolite::http::server::serve_static(&mut k, kind, &mut conn, pid, f);
+            let b = iolite::http::server::serve_static(&mut k, kind, &mut conn, pid, f);
+            (a.cpu_total(), b.cpu_total(), a.response_bytes)
+        };
+        assert_eq!(run(), run(), "{kind:?}");
+    }
+}

@@ -1,0 +1,180 @@
+//! Failure injection: every error path a user of the public API can
+//! hit must fail loudly, precisely, and without corrupting state.
+
+use iolite::buf::{Acl, Aggregate, BufError, BufferPool, PoolId};
+use iolite::core::{CostModel, Kernel};
+use iolite::ipc::{Pipe, PipeMode};
+use iolite::net::SegmentHeader;
+
+#[test]
+fn oversized_allocation_is_rejected_not_truncated() {
+    let pool = BufferPool::new(PoolId(1), Acl::kernel_only(), 4096);
+    let err = pool.alloc(4097).unwrap_err();
+    assert_eq!(
+        err,
+        BufError::TooLarge {
+            requested: 4097,
+            max: 4096
+        }
+    );
+    // The pool remains usable.
+    assert!(pool.alloc(4096).is_ok());
+    assert_eq!(pool.stats().allocs, 1);
+}
+
+#[test]
+fn aggregate_range_errors_are_precise() {
+    let pool = BufferPool::new(PoolId(1), Acl::kernel_only(), 4096);
+    let agg = Aggregate::from_bytes(&pool, b"12345");
+    match agg.range(3, 3) {
+        Err(BufError::OutOfRange {
+            requested,
+            available,
+        }) => {
+            assert_eq!(requested, 6);
+            assert_eq!(available, 5);
+        }
+        other => panic!("expected OutOfRange, got {other:?}"),
+    }
+    // replace past the end fails and leaves the aggregate intact.
+    assert!(agg.replace(&pool, 4, 2, b"xx").is_err());
+    assert_eq!(agg.to_vec(), b"12345");
+}
+
+#[test]
+fn shared_buffer_refuses_in_place_mutation() {
+    let pool = BufferPool::new(PoolId(1), Acl::kernel_only(), 4096);
+    let agg = Aggregate::from_bytes(&pool, b"shared");
+    let mut s1 = agg.slices()[0].clone();
+    // The aggregate still holds a reference.
+    assert_eq!(
+        s1.try_mutate_in_place(|_| panic!("must not run")),
+        Err(BufError::Shared)
+    );
+    // Value untouched.
+    assert_eq!(agg.to_vec(), b"shared");
+}
+
+#[test]
+fn acl_denial_leaves_no_mapping_behind() {
+    let mut k = Kernel::new(CostModel::pentium_ii_333());
+    let owner = k.spawn("owner");
+    let intruder = k.spawn("intruder");
+    let pool = k.create_pool(Acl::with_domain(owner.domain()));
+    let secret = Aggregate::from_bytes(&pool, b"top secret");
+    let chunk = secret.slices()[0].id().chunk;
+
+    let denied = k.transfer_with_acl(&secret, intruder.domain(), &pool.acl());
+    assert!(denied.is_err());
+    assert_eq!(denied.unwrap_err().domain, intruder.domain());
+    assert!(
+        !k.window.is_mapped(chunk, intruder.domain()),
+        "denial must not leak a mapping"
+    );
+    // The owner still transfers fine afterwards.
+    assert!(k
+        .transfer_with_acl(&secret, owner.domain(), &pool.acl())
+        .is_ok());
+}
+
+#[test]
+fn reads_of_unknown_files_are_empty_not_fatal() {
+    let mut k = Kernel::new(CostModel::pentium_ii_333());
+    let pid = k.spawn("app");
+    let ghost = iolite::fs::FileId(9999);
+    let (agg, out) = k.iol_read(pid, ghost, 0, 100);
+    assert!(agg.is_empty());
+    assert!(!out.cache_hit);
+    let (bytes, _) = k.posix_read(pid, ghost, 0, 100);
+    assert!(bytes.is_empty());
+    assert_eq!(k.lookup("/no/such/file").0, None);
+}
+
+#[test]
+fn pipe_misuse_is_contained() {
+    // Reading an empty pipe is EAGAIN, not an error.
+    let mut p = Pipe::new(PipeMode::ZeroCopy, 64);
+    assert!(p.read(10).is_none());
+    // Zero-length reads never dequeue.
+    let pool = BufferPool::new(PoolId(1), Acl::kernel_only(), 4096);
+    p.write(&Aggregate::from_bytes(&pool, b"x"));
+    assert!(p.read(0).is_none());
+    assert_eq!(p.buffered(), 1);
+    // Writing to a full pipe accepts zero bytes and counts the event.
+    let big = Aggregate::from_bytes(&pool, &[0u8; 64]);
+    p.write(&big);
+    let accepted = p.write(&big);
+    assert_eq!(accepted, 0);
+    assert!(p.stats().full_events >= 1);
+}
+
+#[test]
+#[should_panic(expected = "closed pipe")]
+fn writing_a_closed_pipe_panics_like_epipe() {
+    let mut p = Pipe::new(PipeMode::Copy, 64);
+    p.close();
+    let pool = BufferPool::new(PoolId(1), Acl::kernel_only(), 4096);
+    p.write(&Aggregate::from_bytes(&pool, b"sigpipe"));
+}
+
+#[test]
+fn malformed_packets_do_not_demux() {
+    assert!(SegmentHeader::parse(&[]).is_none());
+    assert!(SegmentHeader::parse(&[0u8; 39]).is_none());
+    let mut ok = SegmentHeader {
+        src_ip: 1,
+        dst_ip: 2,
+        src_port: 3,
+        dst_port: 80,
+        seq: 0,
+        ack: 0,
+        flags: 0,
+        payload_len: 0,
+    }
+    .to_bytes();
+    ok[9] = 17; // UDP, not TCP.
+    assert!(SegmentHeader::parse(&ok).is_none());
+}
+
+#[test]
+fn cache_budget_zero_still_serves_reads() {
+    // A pathological memory squeeze must degrade, not break.
+    let mut k = Kernel::new(CostModel::pentium_ii_333());
+    let pid = k.spawn("app");
+    let f = k.create_synthetic_file("/f", 50_000, 1);
+    k.physmem
+        .reserve(iolite::vm::MemAccount::SocketCopies, u64::MAX / 2);
+    k.rebalance_cache();
+    let (a, o1) = k.iol_read(pid, f, 0, 50_000);
+    let (b, o2) = k.iol_read(pid, f, 0, 50_000);
+    // Every read misses (nothing fits), but data stays correct.
+    assert!(!o1.cache_hit && !o2.cache_hit);
+    assert!(a.content_eq(&b));
+    assert_eq!(a.len(), 50_000);
+}
+
+#[test]
+fn mmap_bounds_are_enforced() {
+    let mut k = Kernel::new(CostModel::pentium_ii_333());
+    let pid = k.spawn("app");
+    let f = k.create_file("/f", b"abc");
+    let (mut view, _) = k.mmap(pid, f);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut buf = [0u8; 4];
+        view.read(0, &mut buf);
+    }));
+    assert!(result.is_err(), "reading past the mapping must panic");
+}
+
+#[test]
+fn empty_file_round_trips_everywhere() {
+    let mut k = Kernel::new(CostModel::pentium_ii_333());
+    let pid = k.spawn("app");
+    let f = k.create_file("/empty", b"");
+    let (agg, _) = k.iol_read(pid, f, 0, 100);
+    assert!(agg.is_empty());
+    let (mut view, _) = k.mmap(pid, f);
+    assert!(view.read_all().is_empty());
+    let (bytes, _) = k.posix_read(pid, f, 0, 100);
+    assert!(bytes.is_empty());
+}

@@ -1,0 +1,137 @@
+//! The full inbound pipeline: wire segments → early demux → per-pool
+//! placement → zero-copy reassembly → HTTP parsing; plus multi-CGI
+//! pool isolation (§3.6, §3.10).
+
+use iolite::buf::{Acl, Aggregate, BufferPool, DomainId, PoolId};
+use iolite::core::{CostModel, Kernel};
+use iolite::http::{parse_request, request_bytes, CgiProcess, ServerKind};
+use iolite::ipc::PipeMode;
+use iolite::net::{BufferMode, DEFAULT_MSS, DEFAULT_TSS};
+use iolite::net::{FilterRule, RxPath, SegmentHeader, StreamId, TcpConn, TcpReceiver};
+
+fn server_header(src_port: u16, seq: u32, len: u16) -> SegmentHeader {
+    SegmentHeader {
+        src_ip: 0x0A00_0001,
+        dst_ip: 0x0A00_0002,
+        src_port,
+        dst_port: 80,
+        seq,
+        ack: 0,
+        flags: 0x18,
+        payload_len: len,
+    }
+}
+
+#[test]
+fn request_travels_wire_to_parser_zero_copy() {
+    // A client's HTTP request arrives as out-of-order TCP segments; the
+    // driver demuxes each into the server's pool, the receiver
+    // reassembles by reference, and the parser sees the exact bytes.
+    let mut rx = RxPath::new();
+    rx.filter_mut().add_rule(FilterRule {
+        dst_port: 80,
+        src_ip: None,
+        src_port: None,
+        stream: StreamId(7),
+    });
+    let server_pool = BufferPool::new(PoolId(3), Acl::with_domain(DomainId(1)), 64 * 1024);
+    rx.bind_stream(StreamId(7), server_pool);
+
+    let request = request_bytes("/f00042", true);
+    let mid = request.len() / 2;
+    let mut receiver = TcpReceiver::new(0);
+
+    // Second half first.
+    let (agg2, copied2) = rx.receive(
+        &server_header(5000, mid as u32, (request.len() - mid) as u16),
+        &request[mid..],
+    );
+    assert!(!copied2);
+    receiver.on_segment(mid as u64, agg2);
+    assert!(receiver.read_available().is_none(), "hole before it");
+
+    let (agg1, copied1) = rx.receive(&server_header(5000, 0, mid as u16), &request[..mid]);
+    assert!(!copied1);
+    receiver.on_segment(0, agg1);
+
+    let assembled = receiver.read_available().unwrap();
+    assert_eq!(assembled.to_vec(), request);
+    let parsed = parse_request(&assembled.to_vec()).unwrap();
+    assert_eq!(parsed.path, "/f00042");
+    assert!(parsed.keep_alive);
+    assert_eq!(rx.stats().bytes_copied, 0, "nothing copied end to end");
+}
+
+#[test]
+fn send_and_receive_compose_byte_exact() {
+    // Serve a document, put its segments "on the wire", reassemble on
+    // the client side in reverse order: bytes must match the store.
+    let mut k = Kernel::new(CostModel::pentium_ii_333());
+    let pid = k.spawn("server");
+    let file = k.create_synthetic_file("/doc", 10_000, 4);
+    let expected = k.store.read(file, 0, 10_000).unwrap();
+    let (body, _) = k.iol_read(pid, file, 0, 10_000);
+
+    let mut conn = TcpConn::new(3, BufferMode::ZeroCopy, DEFAULT_MSS, DEFAULT_TSS);
+    let mut segments = conn.build_segments(&body);
+    segments.reverse(); // Worst-case delivery order.
+
+    let mut receiver = TcpReceiver::new(1); // build_segments starts at seq 1.
+    for chain in &segments {
+        let wire = chain.to_vec();
+        let h = SegmentHeader::parse(&wire).unwrap();
+        let pool = BufferPool::new(PoolId(9), Acl::kernel_only(), 64 * 1024);
+        let payload = Aggregate::from_bytes(&pool, &wire[40..]);
+        receiver.on_segment(h.seq as u64, payload);
+    }
+    let got = receiver.read_available().unwrap();
+    assert_eq!(got.to_vec(), expected);
+    assert!(
+        receiver.stats().out_of_order > 0,
+        "order was actually reversed"
+    );
+}
+
+#[test]
+fn cgi_instances_have_isolated_pools() {
+    // §3.10: "the server process and every CGI application instance
+    // have separate buffer pools with different ACLs."
+    let mut k = Kernel::new(CostModel::pentium_ii_333());
+    let server = k.spawn("server");
+    let cgi_a = CgiProcess::new(&mut k, server, 10_000, PipeMode::ZeroCopy);
+    let cgi_b = CgiProcess::new(&mut k, server, 10_000, PipeMode::ZeroCopy);
+
+    // Each CGI's pool admits itself and the server — not its sibling.
+    assert!(cgi_a.pool.acl().allows(cgi_a.pid.domain()));
+    assert!(cgi_a.pool.acl().allows(server.domain()));
+    assert!(!cgi_a.pool.acl().allows(cgi_b.pid.domain()));
+
+    // The kernel refuses to map A's output into B.
+    let doc = cgi_a.document().clone();
+    assert!(k
+        .transfer_with_acl(&doc, cgi_b.pid.domain(), &cgi_a.pool.acl())
+        .is_err());
+    assert!(k
+        .transfer_with_acl(&doc, server.domain(), &cgi_a.pool.acl())
+        .is_ok());
+}
+
+#[test]
+fn two_cgi_processes_serve_distinct_content_through_one_server() {
+    let mut k = Kernel::new(CostModel::pentium_ii_333());
+    let server = k.spawn("server");
+    let mut cgi_a = CgiProcess::new(&mut k, server, 5_000, PipeMode::ZeroCopy);
+    let mut cgi_b = CgiProcess::new(&mut k, server, 7_000, PipeMode::ZeroCopy);
+    let mut conn = TcpConn::new(1, BufferMode::ZeroCopy, DEFAULT_MSS, DEFAULT_TSS);
+
+    let ra = cgi_a.serve(&mut k, ServerKind::FlashLite, &mut conn, server);
+    let rb = cgi_b.serve(&mut k, ServerKind::FlashLite, &mut conn, server);
+    assert!(rb.response_bytes > ra.response_bytes);
+    // Still zero copies anywhere.
+    assert_eq!(k.metrics.bytes_copied, 0);
+    // Both CGIs' chunks are now mapped in the server, independently.
+    let chunk_a = cgi_a.document().slices()[0].id().chunk;
+    let chunk_b = cgi_b.document().slices()[0].id().chunk;
+    assert!(k.window.is_mapped(chunk_a, server.domain()));
+    assert!(k.window.is_mapped(chunk_b, server.domain()));
+}

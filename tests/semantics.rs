@@ -1,0 +1,135 @@
+//! Cross-crate semantic invariants: snapshot isolation, access control,
+//! unified-cache sharing, and memory-accounting conservation.
+
+use iolite::buf::{Acl, Aggregate, DomainId};
+use iolite::core::{CostModel, Kernel};
+use iolite::vm::MemAccount;
+
+#[test]
+fn iol_read_snapshots_survive_writes_and_evictions() {
+    let mut k = Kernel::new(CostModel::pentium_ii_333());
+    let pid = k.spawn("app");
+    let f = k.create_file("/f", b"generation-one-content");
+    let (snap1, _) = k.iol_read(pid, f, 0, 100);
+
+    // Overwrite the file; take a second snapshot.
+    let patch = Aggregate::from_bytes(k.process(pid).pool(), b"generation-TWO-content!");
+    k.iol_write(pid, f, 0, &patch);
+    let (snap2, _) = k.iol_read(pid, f, 0, 100);
+
+    // Evict everything from the cache (budget to zero and back).
+    k.cache.set_budget(0);
+    k.cache.set_budget(u64::MAX);
+
+    // Both snapshots still read their respective generations.
+    assert_eq!(snap1.to_vec(), b"generation-one-content");
+    assert_eq!(snap2.to_vec(), b"generation-TWO-content!");
+
+    // A fresh read misses (evicted) but returns current content.
+    let (now, out) = k.iol_read(pid, f, 0, 100);
+    assert!(!out.cache_hit);
+    assert_eq!(now.to_vec(), b"generation-TWO-content!");
+}
+
+#[test]
+fn concurrent_readers_share_one_physical_copy() {
+    let mut k = Kernel::new(CostModel::pentium_ii_333());
+    let a = k.spawn("reader-a");
+    let b = k.spawn("reader-b");
+    let f = k.create_synthetic_file("/shared", 100_000, 3);
+    let (agg_a, _) = k.iol_read(a, f, 0, 100_000);
+    let (agg_b, _) = k.iol_read(b, f, 0, 100_000);
+    // Same buffers, not equal copies.
+    for (sa, sb) in agg_a.slices().iter().zip(agg_b.slices()) {
+        assert!(sa.same_buffer(sb));
+    }
+    // And the cache entry is the same storage too.
+    let (agg_c, out) = k.iol_read(a, f, 0, 100_000);
+    assert!(out.cache_hit);
+    assert!(agg_c.slices()[0].same_buffer(&agg_a.slices()[0]));
+}
+
+#[test]
+fn acl_denies_foreign_domains() {
+    let mut k = Kernel::new(CostModel::pentium_ii_333());
+    let owner = k.spawn("owner");
+    let stranger = k.spawn("stranger");
+    let private = k.create_pool(Acl::with_domain(owner.domain()));
+    let secret = Aggregate::from_bytes(&private, b"secret bytes");
+    // Transfer to the owner succeeds; to the stranger, denied.
+    assert!(k
+        .transfer_with_acl(&secret, owner.domain(), &private.acl())
+        .is_ok());
+    assert!(k
+        .transfer_with_acl(&secret, stranger.domain(), &private.acl())
+        .is_err());
+    assert_eq!(k.window.stats().denials, 1);
+    // The kernel itself always has access (§3.10).
+    assert!(k
+        .transfer_with_acl(&secret, DomainId::KERNEL, &private.acl())
+        .is_ok());
+}
+
+#[test]
+fn memory_accounts_are_conserved() {
+    let mut k = Kernel::new(CostModel::pentium_ii_333());
+    let pid = k.spawn("app");
+    let total = k.physmem.total();
+    // Load some files, squeeze, release, and verify accounting closes.
+    for i in 0..20 {
+        let f = k.create_synthetic_file(&format!("/f{i}"), 1 << 20, i);
+        k.iol_read(pid, f, 0, 1 << 20);
+    }
+    k.rebalance_cache();
+    assert_eq!(
+        k.physmem.held(MemAccount::FileCache),
+        k.cache.resident_bytes()
+    );
+    assert!(k.physmem.used() <= total, "no phantom memory");
+
+    k.physmem.reserve(MemAccount::SocketCopies, 100 << 20);
+    k.rebalance_cache();
+    // The cache shrank to fit.
+    assert!(k.cache.resident_bytes() <= k.physmem.cache_budget());
+    k.physmem.release(MemAccount::SocketCopies, 100 << 20);
+    k.rebalance_cache();
+    assert_eq!(k.physmem.held(MemAccount::SocketCopies), 0);
+}
+
+#[test]
+fn mmap_cow_preserves_cache_snapshot() {
+    let mut k = Kernel::new(CostModel::pentium_ii_333());
+    let pid = k.spawn("app");
+    let f = k.create_file("/f", &vec![9u8; 8192]);
+    // Reader takes an IOL snapshot; a mapper stores through mmap.
+    let (snapshot, _) = k.iol_read(pid, f, 0, 8192);
+    let (mut view, _) = k.mmap(pid, f);
+    view.write(0, &[1, 2, 3]);
+    // The store hit private COW pages, not the shared buffer.
+    assert_eq!(snapshot.to_vec(), vec![9u8; 8192]);
+    let mut first = [0u8; 4];
+    view.read(0, &mut first);
+    assert_eq!(first, [1, 2, 3, 9]);
+    assert_eq!(view.stats().cow_faults, 1);
+}
+
+#[test]
+fn pool_recycling_is_observable_system_wide() {
+    // A chunk drained and reused must present a new generation to the
+    // checksum cache through the whole stack.
+    let mut k = Kernel::new(CostModel::pentium_ii_333());
+    let pid = k.spawn("app");
+    let pool = k.process(pid).pool().clone();
+    let a1 = Aggregate::from_bytes(&pool, &[0xAAu8; 64 * 1024]);
+    let s1 = a1.slices()[0].clone();
+    let sum1 = k.cksum.sum_for(&s1);
+    let key1 = (s1.id(), s1.generation());
+    drop((a1, s1));
+    let a2 = Aggregate::from_bytes(&pool, &[0xBBu8; 64 * 1024]);
+    let s2 = a2.slices()[0].clone();
+    assert_eq!(s2.id(), key1.0, "chunk address reused");
+    assert_ne!(s2.generation(), key1.1, "generation bumped");
+    let sum2 = k.cksum.sum_for(&s2);
+    assert_ne!(sum1, sum2, "no stale checksum served");
+    assert_eq!(k.cksum.stats().hits, 0);
+}
