@@ -1,0 +1,273 @@
+//! Minimal offline stand-in for the `criterion` bench harness.
+//!
+//! The build environment has no crates.io access, so this shim provides
+//! the subset of criterion this workspace's benches use: [`Criterion`],
+//! [`BenchmarkGroup`] (with `sample_size` / `warm_up_time` /
+//! `measurement_time` / `throughput`), [`Bencher::iter`] and
+//! [`Bencher::iter_batched`], [`Throughput`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is a short calibrated wall-clock loop printing a
+//! `time/iter` line (plus throughput when declared) — good enough for a
+//! baseline harness and for `cargo bench --no-run` compile gating, with
+//! none of criterion's statistics or HTML reports. Passing `--quick-ci`
+//! (or setting `CRITERION_SHIM_FAST=1`) shortens every measurement so a
+//! full `cargo bench` run finishes quickly.
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle, passed to each bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(
+        &mut self,
+        name: S,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up: Duration::from_millis(100),
+            measurement: Duration::from_millis(500),
+            throughput: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Register a benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("ungrouped");
+        g.bench_function(name, f);
+        g.finish();
+        self
+    }
+}
+
+pub mod measurement {
+    /// Marker trait for measurement clocks (only wall time is modeled).
+    pub trait Measurement {}
+
+    /// Wall-clock measurement (the only clock in the shim).
+    #[derive(Debug, Default)]
+    pub struct WallTime;
+
+    impl Measurement for WallTime {}
+}
+
+/// Declared throughput for a group, used to derive rate lines.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Batch sizing hints for [`Bencher::iter_batched`]; the shim only uses
+/// them to pick how many setup outputs to pre-build per sample.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs; batches of ~64.
+    SmallInput,
+    /// Large per-iteration inputs; batches of ~8.
+    LargeInput,
+    /// Re-run setup for every iteration.
+    PerIteration,
+}
+
+/// A named group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a, M: measurement::Measurement = measurement::WallTime> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    _marker: std::marker::PhantomData<M>,
+}
+
+fn fast_mode() -> bool {
+    std::env::var_os("CRITERION_SHIM_FAST").is_some()
+        || std::env::args().any(|a| a == "--quick-ci" || a == "--test")
+}
+
+impl<M: measurement::Measurement> BenchmarkGroup<'_, M> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the warm-up duration before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set the total measurement duration budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Declare per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark and print its timing line.
+    pub fn bench_function<S, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let (warm_up, measurement) = if fast_mode() {
+            (Duration::from_millis(5), Duration::from_millis(20))
+        } else {
+            (self.warm_up, self.measurement)
+        };
+        let mut bencher = Bencher {
+            warm_up,
+            measurement,
+            sample_size: self.sample_size,
+            ns_per_iter: f64::NAN,
+        };
+        f(&mut bencher);
+        let ns = bencher.ns_per_iter;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(b)) if ns > 0.0 => {
+                let mib_s = b as f64 / (ns / 1e9) / (1024.0 * 1024.0);
+                format!("  thrpt: {mib_s:>10.1} MiB/s")
+            }
+            Some(Throughput::Elements(e)) if ns > 0.0 => {
+                let elem_s = e as f64 / (ns / 1e9);
+                format!("  thrpt: {elem_s:>10.0} elem/s")
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{group}/{id:<24} time: {time:>12}{rate}",
+            group = self.name,
+            time = format_ns(ns),
+        );
+        self
+    }
+
+    /// End the group (no-op beyond matching criterion's API).
+    pub fn finish(self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if !ns.is_finite() {
+        "n/a".into()
+    } else if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measure `f` called back-to-back; records the best sample mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and calibrate how many iterations fill one sample.
+        let warm_end = Instant::now() + self.warm_up;
+        let mut iters_done = 0u64;
+        let cal_start = Instant::now();
+        loop {
+            std::hint::black_box(f());
+            iters_done += 1;
+            if Instant::now() >= warm_end {
+                break;
+            }
+        }
+        let per_iter = cal_start.elapsed().as_secs_f64() / iters_done as f64;
+        let sample_budget = self.measurement.as_secs_f64() / self.sample_size as f64;
+        let iters = ((sample_budget / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        let mut best = f64::INFINITY;
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let mean = t0.elapsed().as_secs_f64() / iters as f64;
+            best = best.min(mean);
+        }
+        self.ns_per_iter = best * 1e9;
+    }
+
+    /// Measure `routine` over inputs produced (untimed) by `setup`;
+    /// honors the group's `measurement_time` and records the best
+    /// per-batch mean (setup cost excluded) like [`Bencher::iter`].
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let batch = match size {
+            BatchSize::SmallInput => 64,
+            BatchSize::LargeInput => 8,
+            BatchSize::PerIteration => 1,
+        };
+        let mut best = f64::INFINITY;
+        let mut batches = 0u64;
+        let deadline = Instant::now() + self.measurement;
+        while batches == 0 || Instant::now() < deadline {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let t0 = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            best = best.min(t0.elapsed().as_secs_f64() / batch as f64);
+            batches += 1;
+        }
+        self.ns_per_iter = best * 1e9;
+    }
+}
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Group bench functions under one callable, as real criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `fn main` running the named groups (benches use `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
