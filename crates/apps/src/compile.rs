@@ -147,7 +147,11 @@ impl CompilePipeline {
             let (got, rout) = kernel.pipe_read(consumer, pipe, u64::MAX);
             kernel.charge(CostCategory::Copy, rout.charge);
             if let Some(chunk) = got {
-                received.extend_from_slice(&chunk.to_vec());
+                // Consumer copy into its own contiguous working memory:
+                // one copy per byte, no intermediate materialization.
+                for run in chunk.chunks() {
+                    received.extend_from_slice(run);
+                }
             }
             if sent < agg.len() {
                 kernel.charge(CostCategory::ContextSwitch, kernel.cost.context_switches(2));

@@ -143,14 +143,18 @@ pub fn run_cat_grep(
                 );
                 match mode {
                     ApiMode::Posix => {
-                        // The copied-out data is contiguous user memory.
-                        state.feed_contiguous(&agg.to_vec(), false);
+                        // The copied-out data is contiguous user memory;
+                        // the copy itself is already charged by the pipe,
+                        // so scan the runs without re-materializing.
+                        for run in agg.chunks() {
+                            state.feed_contiguous(run, false);
+                        }
                     }
                     ApiMode::IoLite => {
-                        // Process slice by slice; split lines get copied
+                        // Process run by run; split lines get copied
                         // (and charged below).
-                        for s in agg.slices() {
-                            state.feed_contiguous(s.as_bytes(), true);
+                        for run in agg.chunks() {
+                            state.feed_contiguous(run, true);
                         }
                     }
                 }

@@ -114,8 +114,8 @@ pub fn run_permute_wc(
                     CostCategory::AppCompute,
                     Charge::us(chunk.len() as f64 * costs.wc_scan_ns_per_byte / 1000.0),
                 );
-                for s in chunk.slices() {
-                    count_chunk(s.as_bytes(), &mut counts, &mut in_word);
+                for run in chunk.chunks() {
+                    count_chunk(run, &mut counts, &mut in_word);
                 }
             }
             if sent < agg.len() {

@@ -67,9 +67,9 @@ pub fn run_wc(
                 let (agg, out) = kernel.iol_read(pid, file, offset, want);
                 kernel.charge(CostCategory::PageMap, out.charge);
                 kernel.advance(out.disk_time);
-                // Iterate the slices in place: no contiguity needed.
-                for s in agg.slices() {
-                    count_chunk(s.as_bytes(), &mut counts, &mut in_word);
+                // Iterate the byte runs in place: no contiguity needed.
+                for run in agg.chunks() {
+                    count_chunk(run, &mut counts, &mut in_word);
                 }
             }
         }

@@ -56,7 +56,7 @@ fn policy_hit_rates() -> Vec<(Policy, f64)> {
 fn placeholder(pool: &BufferPool, size: u64) -> Aggregate {
     // One real slice, repeated by reference to reach `size` cheaply.
     let base = Aggregate::from_bytes(pool, &[0u8; 4096]);
-    let slice = base.slices()[0].clone();
+    let slice = base.slice_at(0).clone();
     let mut agg = Aggregate::empty();
     let mut remaining = size;
     while remaining > 0 {
@@ -77,7 +77,7 @@ fn recycling_delta() -> (u64, u64) {
         let mut keep = Vec::new();
         for _ in 0..100 {
             let msg = Aggregate::from_bytes(&pool, &[0u8; 64 * 1024]);
-            let chunks: Vec<_> = msg.slices().iter().map(|s| s.id().chunk).collect();
+            let chunks: Vec<_> = msg.slices().map(|s| s.id().chunk).collect();
             window.transfer(&chunks, DomainId(1), &acl).unwrap();
             if hold {
                 // Prevent recycling: every message keeps its buffers
@@ -132,7 +132,7 @@ fn bench_inplace(c: &mut Criterion) {
     g.bench_function("unshared_in_place", |b| {
         b.iter(|| {
             let agg = Aggregate::from_bytes(&pool, &[0u8; 4096]);
-            let mut s = agg.slices()[0].clone();
+            let mut s = agg.slice_at(0).clone();
             drop(agg);
             s.try_mutate_in_place(|bytes| bytes[100] = 7).unwrap();
             s
@@ -157,7 +157,7 @@ fn chunk_size_sweep() -> Vec<(usize, u64)> {
             let mut held = Vec::new();
             for _ in 0..16 {
                 let msg = Aggregate::from_bytes(&pool, &vec![0u8; 64 * 1024]);
-                let chunks: Vec<_> = msg.slices().iter().map(|s| s.id().chunk).collect();
+                let chunks: Vec<_> = msg.slices().map(|s| s.id().chunk).collect();
                 window.transfer(&chunks, DomainId(1), &acl).unwrap();
                 held.push(msg);
             }

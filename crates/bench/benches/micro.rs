@@ -42,6 +42,99 @@ fn bench_aggregates(c: &mut Criterion) {
     g.finish();
 }
 
+/// A 256-slice aggregate (64KB in 256-byte buffers): the fragmentation
+/// degree §3.8's indexing-cost analysis worries about. These benches
+/// make the aggregate core's structural costs visible so index/cursor
+/// changes are measurable (before/after tables live in EXPERIMENTS.md).
+fn frag_aggregate() -> (BufferPool, Aggregate) {
+    let tiny = BufferPool::new(PoolId(3), Acl::with_domain(DomainId(1)), 256);
+    let data = vec![0x3Cu8; 64 * 1024];
+    let agg = Aggregate::from_bytes(&tiny, &data);
+    assert_eq!(agg.num_slices(), 256);
+    (tiny, agg)
+}
+
+fn bench_fragmented(c: &mut Criterion) {
+    let (_tiny, agg) = frag_aggregate();
+    let big = pool();
+    let mut g = quick(c.benchmark_group("aggregate_frag256"));
+    g.bench_function("advance_sweep_256x256", |b| {
+        // Consume the whole aggregate front-to-back in 256-byte steps.
+        b.iter_batched(
+            || agg.clone(),
+            |mut a| {
+                while !a.is_empty() {
+                    a.advance(256);
+                }
+                a
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("byte_at_sweep_1k", |b| {
+        // 1024 random-ish probes across the full range.
+        b.iter(|| {
+            let mut acc = 0u64;
+            let mut i = 7u64;
+            for _ in 0..1024 {
+                i = (i * 31 + 17) % agg.len();
+                acc += agg.byte_at(i).unwrap() as u64;
+            }
+            acc
+        })
+    });
+    g.bench_function("copy_to_4k_mid", |b| {
+        let mut dst = vec![0u8; 4096];
+        b.iter(|| agg.copy_to(30 * 1024, &mut dst))
+    });
+    g.bench_function("copy_to_256b_deep", |b| {
+        // Small window deep in the aggregate: slice location, not the
+        // memcpy, is the dominant cost being measured.
+        let mut dst = vec![0u8; 256];
+        b.iter(|| agg.copy_to(60 * 1024, &mut dst))
+    });
+    g.bench_function("range_4k_mid", |b| b.iter(|| agg.range(30 * 1024, 4096)));
+    g.bench_function("truncate_tail", |b| {
+        b.iter_batched(
+            || agg.clone(),
+            |mut a| {
+                a.truncate(63 * 1024);
+                a
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("prepend_64_slices", |b| {
+        let single = Aggregate::from_bytes(&big, &[0u8; 64]);
+        b.iter_batched(
+            || agg.clone(),
+            |mut a| {
+                for _ in 0..64 {
+                    a.prepend(&single);
+                }
+                a
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("pack_64k", |b| b.iter(|| agg.pack(&big)));
+    g.bench_function("iter_bytes_scan_64k", |b| {
+        b.iter(|| agg.iter_bytes().fold(0u64, |a, x| a + x as u64))
+    });
+    g.bench_function("cursor_scan_64k", |b| {
+        // The vectored fast path: run-wise scan via the zero-alloc cursor.
+        b.iter(|| {
+            let mut cur = agg.cursor();
+            let mut acc = 0u64;
+            while let Some(chunk) = cur.next_chunk() {
+                acc += chunk.iter().map(|&x| x as u64).sum::<u64>();
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
 fn bench_pool(c: &mut Criterion) {
     let mut g = quick(c.benchmark_group("pool"));
     g.bench_function("alloc_freeze_recycle_4k", |b| {
@@ -79,8 +172,8 @@ fn bench_checksum(c: &mut Criterion) {
     g.bench_function("compute_64k", |b| b.iter(|| internet_checksum(&agg)));
     g.bench_function("cached_64k", |b| {
         let mut cache = ChecksumCache::new(1024);
-        cache.sum_for(&agg.slices()[0]);
-        b.iter(|| cache.sum_for(&agg.slices()[0]))
+        cache.sum_for(agg.slice_at(0));
+        b.iter(|| cache.sum_for(agg.slice_at(0)))
     });
     g.finish();
 }
@@ -169,6 +262,7 @@ fn bench_mmap(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_aggregates,
+    bench_fragmented,
     bench_pool,
     bench_checksum,
     bench_unified_cache,

@@ -11,13 +11,40 @@
 //! chained with unmodified slices) and the "case 3" escape hatch
 //! (`pack`: defragment into one contiguous buffer when chaining costs
 //! exceed a copy).
+//!
+//! # Complexity
+//!
+//! The slice list is a deque paired with a cumulative-offset index
+//! (`ends[i]` = end offset of slice `i`), so §3.8's "indexing cost" is
+//! logarithmic rather than linear in the fragmentation degree. With
+//! `n` = slice count and `k` = slices overlapping the touched range:
+//!
+//! | operation | cost |
+//! |---|---|
+//! | [`Aggregate::byte_at`] | O(log n) |
+//! | [`Aggregate::range`], [`Aggregate::copy_to`] | O(log n + k) |
+//! | [`Aggregate::advance`], [`Aggregate::truncate`] | O(k) in place, amortized O(1) per dropped slice |
+//! | [`Aggregate::append_slice`], [`Aggregate::prepend_slice`] | O(1) amortized |
+//! | [`Aggregate::append`], [`Aggregate::prepend`] | O(other's n) |
+//! | [`Aggregate::pack`], [`Aggregate::copy_from_agg`] | O(bytes), exactly one copy |
+//! | [`Aggregate::cursor`], [`Aggregate::chunks`] | O(1) to create, zero-alloc to iterate |
 
+use std::collections::{HashSet, VecDeque};
 use std::fmt;
 
+use crate::cursor::AggCursor;
 use crate::error::BufError;
 use crate::pool::BufferPool;
 use crate::reader::AggReader;
 use crate::slice::Slice;
+
+/// The absolute coordinate of logical offset 0 in a fresh aggregate.
+///
+/// Offsets in the index are kept in a monotonically increasing absolute
+/// coordinate space so `advance` (base moves up) and `prepend_slice`
+/// (base moves down) both avoid renumbering. Starting mid-range leaves
+/// 2^63 bytes of headroom in each direction.
+const ORIGIN: u64 = 1 << 63;
 
 /// A mutable buffer aggregate over immutable IO-Lite buffers.
 ///
@@ -32,10 +59,26 @@ use crate::slice::Slice;
 /// assert_eq!(verb.to_vec(), b"GET");
 /// assert_eq!(rest.to_vec(), b" /index.html");
 /// ```
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Aggregate {
-    slices: Vec<Slice>,
+    slices: VecDeque<Slice>,
+    /// `ends[i]` is the absolute end offset of `slices[i]`; strictly
+    /// increasing because empty slices are never stored.
+    ends: VecDeque<u64>,
+    /// Absolute offset of logical byte 0.
+    base: u64,
     len: u64,
+}
+
+impl Default for Aggregate {
+    fn default() -> Self {
+        Aggregate {
+            slices: VecDeque::new(),
+            ends: VecDeque::new(),
+            base: ORIGIN,
+            len: 0,
+        }
+    }
 }
 
 impl Aggregate {
@@ -46,14 +89,9 @@ impl Aggregate {
 
     /// Creates an aggregate viewing a single slice.
     pub fn from_slice(s: Slice) -> Self {
-        let len = s.len() as u64;
-        if len == 0 {
-            return Aggregate::empty();
-        }
-        Aggregate {
-            slices: vec![s],
-            len,
-        }
+        let mut agg = Aggregate::empty();
+        agg.append_slice(s);
+        agg
     }
 
     /// Allocates buffers from `pool` and copies `data` into them.
@@ -113,40 +151,100 @@ impl Aggregate {
     }
 
     /// The slices, in order.
-    pub fn slices(&self) -> &[Slice] {
+    pub fn slices(
+        &self,
+    ) -> impl ExactSizeIterator<Item = &Slice> + DoubleEndedIterator + Clone + '_ {
+        self.slices.iter()
+    }
+
+    /// The `i`-th slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.num_slices()`.
+    pub fn slice_at(&self, i: usize) -> &Slice {
+        &self.slices[i]
+    }
+
+    /// The contiguous byte runs, in order — the vectored (`iovec`) view
+    /// hot consumers iterate instead of indexing per byte.
+    pub fn chunks(&self) -> impl ExactSizeIterator<Item = &[u8]> + Clone + '_ {
+        self.slices.iter().map(Slice::as_bytes)
+    }
+
+    /// Fills `out` with the aggregate's byte runs (an `iovec` array for
+    /// vectored I/O). `out` is cleared first; reusing one `Vec` across
+    /// calls keeps the steady state allocation-free.
+    pub fn as_iovecs<'a>(&'a self, out: &mut Vec<&'a [u8]>) {
+        out.clear();
+        out.extend(self.chunks());
+    }
+
+    /// A borrowing cursor positioned at `offset` (clamped to the end).
+    ///
+    /// Creation is O(log n); all traversal from there is zero-alloc.
+    pub fn cursor_at(&self, offset: u64) -> AggCursor<'_> {
+        AggCursor::new(self, offset)
+    }
+
+    /// A borrowing cursor positioned at the start.
+    pub fn cursor(&self) -> AggCursor<'_> {
+        self.cursor_at(0)
+    }
+
+    pub(crate) fn slice_deque(&self) -> &VecDeque<Slice> {
         &self.slices
     }
 
-    /// Appends one slice.
+    /// Locates the slice containing logical offset `idx`, returning
+    /// `(slice index, offset within that slice)`. O(log n).
+    ///
+    /// Precondition: `idx < self.len`.
+    pub(crate) fn locate(&self, idx: u64) -> (usize, usize) {
+        debug_assert!(idx < self.len);
+        let target = self.base + idx;
+        // First slice whose end is strictly beyond the target.
+        let i = self.ends.partition_point(|&e| e <= target);
+        let start = self.ends[i] - self.slices[i].len() as u64;
+        (i, (target - start) as usize)
+    }
+
+    /// Appends one slice. O(1) amortized.
     pub fn append_slice(&mut self, s: Slice) {
         if s.is_empty() {
             return;
         }
+        let end = self.ends.back().copied().unwrap_or(self.base) + s.len() as u64;
         self.len += s.len() as u64;
-        self.slices.push(s);
+        self.ends.push_back(end);
+        self.slices.push_back(s);
     }
 
-    /// Prepends one slice.
+    /// Prepends one slice. O(1) amortized (no renumbering: the base
+    /// offset moves down instead).
     pub fn prepend_slice(&mut self, s: Slice) {
         if s.is_empty() {
             return;
         }
         self.len += s.len() as u64;
-        self.slices.insert(0, s);
+        self.ends.push_front(self.base);
+        self.base -= s.len() as u64;
+        self.slices.push_front(s);
     }
 
     /// Appends all slices of `other` (by reference; no payload copy).
     pub fn append(&mut self, other: &Aggregate) {
-        self.slices.extend(other.slices.iter().cloned());
-        self.len += other.len;
+        for s in &other.slices {
+            self.append_slice(s.clone());
+        }
     }
 
-    /// Prepends all slices of `other`.
+    /// Prepends all slices of `other`. O(other's slice count); `self`'s
+    /// existing slices are not shifted.
     pub fn prepend(&mut self, other: &Aggregate) {
-        let mut slices = other.slices.clone();
-        slices.append(&mut self.slices);
-        self.slices = slices;
-        self.len += other.len;
+        for s in other.slices.iter().rev() {
+            self.prepend_slice(s.clone());
+        }
     }
 
     /// Returns `self ++ other` without modifying either.
@@ -161,111 +259,156 @@ impl Aggregate {
     /// `mid` is clamped to the aggregate's length.
     pub fn split_at(&self, mid: u64) -> (Aggregate, Aggregate) {
         let mid = mid.min(self.len);
-        let mut head = Aggregate::empty();
-        let mut tail = Aggregate::empty();
-        let mut remaining = mid;
-        for s in &self.slices {
-            let sl = s.len() as u64;
-            if remaining >= sl {
-                head.append_slice(s.clone());
-                remaining -= sl;
-            } else if remaining > 0 {
-                let cut = remaining as usize;
-                head.append_slice(s.sub(0, cut).expect("cut < len"));
-                tail.append_slice(s.sub(cut, s.len() - cut).expect("in range"));
-                remaining = 0;
-            } else {
-                tail.append_slice(s.clone());
-            }
-        }
+        let head = self.range(0, mid).expect("clamped");
+        let tail = self.range(mid, self.len - mid).expect("clamped");
         (head, tail)
     }
 
-    /// Keeps only the first `len` bytes.
+    /// Keeps only the first `len` bytes, in place: trailing slices are
+    /// dropped and at most one boundary slice is trimmed; nothing is
+    /// rebuilt or cloned.
     pub fn truncate(&mut self, len: u64) {
         if len >= self.len {
             return;
         }
-        *self = self.split_at(len).0;
+        let target = self.base + len;
+        while let Some(&end) = self.ends.back() {
+            let slen = self.slices.back().expect("parallel deques").len() as u64;
+            if end - slen >= target {
+                self.ends.pop_back();
+                self.slices.pop_back();
+            } else {
+                break;
+            }
+        }
+        if let (Some(end), Some(last)) = (self.ends.back_mut(), self.slices.back_mut()) {
+            if *end > target {
+                let keep = (last.len() as u64 - (*end - target)) as usize;
+                *last = last.sub(0, keep).expect("keep < len");
+                *end = target;
+            }
+        }
+        self.len = len;
     }
 
-    /// Drops the first `n` bytes.
+    /// Drops the first `n` bytes, in place: leading slices are dropped
+    /// and at most one boundary slice is trimmed (the zero-copy trim TCP
+    /// reassembly leans on).
     pub fn advance(&mut self, n: u64) {
         if n == 0 {
             return;
         }
-        *self = self.split_at(n).1;
+        let n = n.min(self.len);
+        let target = self.base + n;
+        while let Some(&end) = self.ends.front() {
+            if end <= target {
+                self.ends.pop_front();
+                self.slices.pop_front();
+            } else {
+                break;
+            }
+        }
+        if let (Some(&end), Some(front)) = (self.ends.front(), self.slices.front_mut()) {
+            let keep = (end - target) as usize;
+            if keep < front.len() {
+                let cut = front.len() - keep;
+                *front = front.sub(cut, keep).expect("in range");
+            }
+        }
+        self.base = target;
+        self.len -= n;
     }
 
     /// A zero-copy view of `len` bytes starting at `start`.
     ///
+    /// O(log n + k) where `k` is the number of slices in the range — the
+    /// slices outside it are never visited.
+    ///
     /// # Errors
     ///
     /// Returns [`BufError::OutOfRange`] if the range exceeds the
-    /// aggregate.
+    /// aggregate (including on arithmetic overflow of `start + len`).
     pub fn range(&self, start: u64, len: u64) -> Result<Aggregate, BufError> {
-        if start + len > self.len {
+        let end = start.checked_add(len).ok_or(BufError::OutOfRange {
+            requested: u64::MAX,
+            available: self.len,
+        })?;
+        if end > self.len {
             return Err(BufError::OutOfRange {
-                requested: start + len,
+                requested: end,
                 available: self.len,
             });
         }
-        let (_, tail) = self.split_at(start);
-        let (mid, _) = tail.split_at(len);
-        Ok(mid)
+        let mut out = Aggregate::empty();
+        if len == 0 {
+            return Ok(out);
+        }
+        let (mut i, off) = self.locate(start);
+        let mut remaining = len;
+        // First slice: trim the front.
+        let first = &self.slices[i];
+        let avail = first.len() - off;
+        let take = (remaining as usize).min(avail);
+        out.append_slice(first.sub(off, take).expect("in range"));
+        remaining -= take as u64;
+        i += 1;
+        while remaining > 0 {
+            let s = &self.slices[i];
+            if (s.len() as u64) <= remaining {
+                out.append_slice(s.clone());
+                remaining -= s.len() as u64;
+            } else {
+                out.append_slice(s.sub(0, remaining as usize).expect("in range"));
+                remaining = 0;
+            }
+            i += 1;
+        }
+        Ok(out)
     }
 
     /// Copies the aggregate's value into a fresh `Vec`.
     pub fn to_vec(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.len as usize);
-        for s in &self.slices {
-            out.extend_from_slice(s.as_bytes());
+        for chunk in self.chunks() {
+            out.extend_from_slice(chunk);
         }
         out
     }
 
     /// Copies up to `dst.len()` bytes starting at `offset` into `dst`,
-    /// returning how many were copied.
+    /// returning how many were copied. O(log n + copied bytes).
     pub fn copy_to(&self, offset: u64, dst: &mut [u8]) -> usize {
-        let mut skipped = 0u64;
-        let mut written = 0usize;
-        for s in &self.slices {
-            let bytes = s.as_bytes();
-            let sl = bytes.len() as u64;
-            if skipped + sl <= offset {
-                skipped += sl;
-                continue;
-            }
-            let start = (offset.saturating_sub(skipped)) as usize;
-            let avail = &bytes[start..];
-            let take = avail.len().min(dst.len() - written);
-            dst[written..written + take].copy_from_slice(&avail[..take]);
-            written += take;
-            skipped += sl;
-            if written == dst.len() {
-                break;
-            }
+        if offset >= self.len || dst.is_empty() {
+            return 0;
         }
-        written
+        self.cursor_at(offset).copy_to(dst)
     }
 
     /// The byte at `idx`, or `None` past the end.
     ///
-    /// This is the §3.8 "indexing cost" operation: it walks the slice
-    /// list, so heavily fragmented aggregates pay more.
+    /// This is the §3.8 "indexing cost" operation; the offset index
+    /// makes it O(log n) in the slice count.
     pub fn byte_at(&self, idx: u64) -> Option<u8> {
         if idx >= self.len {
             return None;
         }
-        let mut skipped = 0u64;
-        for s in &self.slices {
-            let sl = s.len() as u64;
-            if idx < skipped + sl {
-                return Some(s.as_bytes()[(idx - skipped) as usize]);
-            }
-            skipped += sl;
+        let (i, off) = self.locate(idx);
+        Some(self.slices[i].as_bytes()[off])
+    }
+
+    /// The logical offset of the first occurrence of `byte` at or after
+    /// `start`, scanning the byte runs without allocation.
+    pub fn find_byte(&self, start: u64, byte: u8) -> Option<u64> {
+        if start >= self.len {
+            return None;
         }
-        None
+        self.cursor_at(start).find_byte(byte)
+    }
+
+    /// Whether the aggregate's value begins with `needle` (byte-wise,
+    /// across slice boundaries, without materializing).
+    pub fn starts_with(&self, needle: &[u8]) -> bool {
+        self.cursor().starts_with(needle)
     }
 
     /// Value equality (byte-wise), independent of fragmentation.
@@ -273,23 +416,27 @@ impl Aggregate {
         if self.len != other.len {
             return false;
         }
-        // Compare without materializing either side.
-        let mut a = self.iter_bytes();
-        let mut b = other.iter_bytes();
-        loop {
-            match (a.next(), b.next()) {
-                (None, None) => return true,
-                (Some(x), Some(y)) if x == y => continue,
-                _ => return false,
+        // Compare run-by-run without materializing either side.
+        let mut a = self.cursor();
+        let mut b = other.cursor();
+        while let (Some(ca), Some(cb)) = (a.peek_chunk(), b.peek_chunk()) {
+            let n = ca.len().min(cb.len());
+            if ca[..n] != cb[..n] {
+                return false;
             }
+            a.advance(n as u64);
+            b.advance(n as u64);
         }
+        true
     }
 
     /// Iterates over the aggregate's bytes.
+    ///
+    /// Prefer [`Aggregate::chunks`] or [`Aggregate::cursor`] on hot
+    /// paths: run-wise access lets the consumer use slice operations
+    /// instead of paying per-byte iterator overhead.
     pub fn iter_bytes(&self) -> impl Iterator<Item = u8> + '_ {
-        self.slices
-            .iter()
-            .flat_map(|s| s.as_bytes().iter().copied())
+        self.chunks().flat_map(|c| c.iter().copied())
     }
 
     /// A `std::io::Read` adapter over the aggregate.
@@ -304,7 +451,7 @@ impl Aggregate {
     /// # Errors
     ///
     /// Returns [`BufError::OutOfRange`] if `start + len` exceeds the
-    /// aggregate.
+    /// aggregate (including on arithmetic overflow).
     pub fn replace(
         &self,
         pool: &BufferPool,
@@ -312,39 +459,72 @@ impl Aggregate {
         len: u64,
         new_data: &[u8],
     ) -> Result<Aggregate, BufError> {
-        if start + len > self.len {
+        let end = start.checked_add(len).ok_or(BufError::OutOfRange {
+            requested: u64::MAX,
+            available: self.len,
+        })?;
+        if end > self.len {
             return Err(BufError::OutOfRange {
-                requested: start + len,
+                requested: end,
                 available: self.len,
             });
         }
-        let (head, rest) = self.split_at(start);
-        let (_, tail) = rest.split_at(len);
-        let mut out = head;
+        let mut out = self.range(0, start).expect("validated");
         out.append(&Aggregate::from_bytes(pool, new_data));
-        out.append(&tail);
+        out.append(&self.range(end, self.len - end).expect("validated"));
         Ok(out)
     }
 
     /// Defragments into a minimal number of contiguous buffers (the
-    /// §3.8 "case 3" full copy, and the layout `mmap` needs).
+    /// §3.8 "case 3" full copy, and the layout `mmap` needs). Each byte
+    /// is copied exactly once, straight into the destination buffers.
     pub fn pack(&self, pool: &BufferPool) -> Aggregate {
-        Aggregate::from_bytes(pool, &self.to_vec())
+        let mut out = Aggregate::empty();
+        out.copy_from_agg(pool, self);
+        out
+    }
+
+    /// Appends a *deep copy* of `src`'s value, allocated from `pool`,
+    /// copying each byte exactly once (no intermediate `Vec`).
+    pub fn copy_from_agg(&mut self, pool: &BufferPool, src: &Aggregate) {
+        let max = pool.chunk_size();
+        let mut cur = src.cursor();
+        while cur.remaining() > 0 {
+            let take = (cur.remaining() as usize).min(max);
+            let mut b = pool
+                .alloc(take)
+                .expect("chunk-size-bounded allocation cannot fail");
+            let mut filled = 0;
+            while filled < take {
+                let chunk = cur.peek_chunk().expect("length accounted");
+                let n = chunk.len().min(take - filled);
+                b.put(&chunk[..n]);
+                cur.advance(n as u64);
+                filled += n;
+            }
+            self.append_slice(b.freeze());
+        }
     }
 
     /// Sum of distinct buffer bytes referenced, counting each underlying
-    /// buffer once (used by memory accounting: overlapping or repeated
-    /// slices don't double-bill).
+    /// buffer once at its **full** allocated size (used by memory
+    /// accounting: overlapping or repeated slices don't double-bill, and
+    /// a partial view still pins the whole buffer).
     pub fn distinct_buffer_bytes(&self) -> u64 {
-        let mut seen: Vec<&Slice> = Vec::new();
-        let mut total = 0u64;
-        for s in &self.slices {
-            if !seen.iter().any(|t| t.same_buffer(s)) {
-                total += s.len() as u64;
-                seen.push(s);
+        match self.slices.len() {
+            0 => 0,
+            1 => self.slices[0].buffer_len() as u64,
+            _ => {
+                let mut seen = HashSet::with_capacity(self.slices.len());
+                let mut total = 0u64;
+                for s in &self.slices {
+                    if seen.insert(s.buffer_key()) {
+                        total += s.buffer_len() as u64;
+                    }
+                }
+                total
             }
         }
-        total
     }
 }
 
@@ -398,6 +578,22 @@ mod tests {
     }
 
     #[test]
+    fn prepend_keeps_index_consistent() {
+        let p = pool();
+        let mut a = Aggregate::from_bytes(&p, b"world");
+        a.prepend(&Aggregate::from_bytes(&p, b"hello "));
+        a.prepend(&Aggregate::from_bytes(&p, b">> "));
+        assert_eq!(a.to_vec(), b">> hello world");
+        for (i, &b) in b">> hello world".iter().enumerate() {
+            assert_eq!(a.byte_at(i as u64), Some(b));
+        }
+        // Mixed front/back mutation after prepending.
+        a.advance(3);
+        a.append_slice(Aggregate::from_bytes(&p, b"!").slice_at(0).clone());
+        assert_eq!(a.to_vec(), b"hello world!");
+    }
+
+    #[test]
     fn split_at_various_points() {
         let p = pool();
         let a = Aggregate::from_bytes(&p, b"abcdef");
@@ -431,12 +627,56 @@ mod tests {
     }
 
     #[test]
+    fn advance_and_truncate_are_in_place() {
+        // 16-byte buffers: a 64-byte value has 4 slices.
+        let p = BufferPool::new(PoolId(3), Acl::kernel_only(), 16);
+        let data: Vec<u8> = (0..64u8).collect();
+        let mut a = Aggregate::from_bytes(&p, &data);
+        assert_eq!(a.num_slices(), 4);
+        a.advance(20); // Drops one slice, trims the next.
+        assert_eq!(a.num_slices(), 3);
+        assert_eq!(a.to_vec(), &data[20..]);
+        a.truncate(30); // 20..50: drops the tail slice, trims the new last.
+        assert_eq!(a.to_vec(), &data[20..50]);
+        for (i, &b) in data[20..50].iter().enumerate() {
+            assert_eq!(a.byte_at(i as u64), Some(b));
+        }
+        a.advance(30);
+        assert!(a.is_empty());
+        assert_eq!(a.num_slices(), 0);
+    }
+
+    #[test]
     fn range_is_zero_copy_view() {
         let p = pool();
         let a = Aggregate::from_bytes(&p, b"abcdefgh");
         let r = a.range(2, 4).unwrap();
         assert_eq!(r.to_vec(), b"cdef");
         assert!(a.range(5, 10).is_err());
+    }
+
+    #[test]
+    fn range_rejects_overflowing_bounds() {
+        let p = pool();
+        let a = Aggregate::from_bytes(&p, b"abcdefgh");
+        // start + len wraps around u64: must be OutOfRange, not a panic
+        // or a bogus success.
+        assert!(matches!(
+            a.range(u64::MAX, 2),
+            Err(BufError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            a.range(2, u64::MAX),
+            Err(BufError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            a.replace(&p, u64::MAX, 2, b"x"),
+            Err(BufError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            a.replace(&p, 2, u64::MAX - 1, b"x"),
+            Err(BufError::OutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -475,6 +715,35 @@ mod tests {
     }
 
     #[test]
+    fn find_byte_and_starts_with() {
+        let p = BufferPool::new(PoolId(4), Acl::kernel_only(), 4);
+        let a = Aggregate::from_bytes(&p, b"GET /x HTTP/1.1\r\n");
+        assert!(a.num_slices() > 2, "spans buffers");
+        assert!(a.starts_with(b"GET /x"));
+        assert!(!a.starts_with(b"GET /y"));
+        assert!(!a.starts_with(b"GET /x HTTP/1.1\r\n++"));
+        assert_eq!(a.find_byte(0, b' '), Some(3));
+        assert_eq!(a.find_byte(4, b' '), Some(6));
+        assert_eq!(a.find_byte(0, b'\r'), Some(15));
+        assert_eq!(a.find_byte(0, b'Z'), None);
+        assert_eq!(a.find_byte(100, b'G'), None);
+    }
+
+    #[test]
+    fn as_iovecs_reuses_scratch() {
+        let p = BufferPool::new(PoolId(4), Acl::kernel_only(), 4);
+        let a = Aggregate::from_bytes(&p, b"0123456789");
+        let mut iov = Vec::new();
+        a.as_iovecs(&mut iov);
+        assert_eq!(iov.len(), a.num_slices());
+        let flat: Vec<u8> = iov.concat();
+        assert_eq!(flat, b"0123456789");
+        // Second call clears rather than appends.
+        a.as_iovecs(&mut iov);
+        assert_eq!(iov.len(), a.num_slices());
+    }
+
+    #[test]
     fn replace_chains_new_buffer() {
         let p = pool();
         let a = Aggregate::from_bytes(&p, b"GET /old.html HTTP/1.0");
@@ -483,7 +752,7 @@ mod tests {
         // Original is untouched (immutability).
         assert_eq!(a.to_vec(), b"GET /old.html HTTP/1.0");
         // The unmodified head and tail share buffers with the original.
-        assert!(b.slices()[0].same_buffer(&a.slices()[0]));
+        assert!(b.slice_at(0).same_buffer(a.slice_at(0)));
     }
 
     #[test]
@@ -511,10 +780,21 @@ mod tests {
     }
 
     #[test]
+    fn pack_spans_destination_chunks() {
+        let src = BufferPool::new(PoolId(2), Acl::kernel_only(), 7);
+        let dst = BufferPool::new(PoolId(3), Acl::kernel_only(), 64);
+        let data: Vec<u8> = (0..200u8).collect();
+        let frag = Aggregate::from_bytes(&src, &data);
+        let packed = frag.pack(&dst);
+        assert_eq!(packed.to_vec(), data);
+        assert_eq!(packed.num_slices(), 4, "200 bytes over 64-byte chunks");
+    }
+
+    #[test]
     fn distinct_buffer_bytes_dedups() {
         let p = pool();
         let a = Aggregate::from_bytes(&p, b"abcd");
-        let s = a.slices()[0].clone();
+        let s = a.slice_at(0).clone();
         let mut dup = Aggregate::from_slice(s.clone());
         dup.append_slice(s);
         assert_eq!(dup.len(), 8);
@@ -522,10 +802,23 @@ mod tests {
     }
 
     #[test]
+    fn distinct_buffer_bytes_bills_whole_buffers() {
+        let p = pool();
+        let a = Aggregate::from_bytes(&p, b"abcdefgh");
+        let s = a.slice_at(0);
+        // Two disjoint partial views of one 8-byte buffer: the buffer is
+        // pinned once, at its full size.
+        let mut views = Aggregate::from_slice(s.sub(0, 2).unwrap());
+        views.append_slice(s.sub(5, 3).unwrap());
+        assert_eq!(views.len(), 5);
+        assert_eq!(views.distinct_buffer_bytes(), 8);
+    }
+
+    #[test]
     fn empty_slices_are_dropped() {
         let p = pool();
         let mut a = Aggregate::empty();
-        let s = Aggregate::from_bytes(&p, b"ab").slices()[0].clone();
+        let s = Aggregate::from_bytes(&p, b"ab").slice_at(0).clone();
         a.append_slice(s.sub(0, 0).unwrap());
         assert!(a.is_empty());
         assert_eq!(a.num_slices(), 0);

@@ -24,6 +24,21 @@
 //! simulated VM-mapping cost. It is deliberately single-threaded (`Rc`);
 //! the enclosing simulation is deterministic and sequential.
 //!
+//! # Fast-path guarantees
+//!
+//! Aggregates keep a cumulative-offset index over their slice deque, so
+//! the structural operations match the cost model the paper argues from
+//! (§3.8) rather than degrading linearly with fragmentation: indexing
+//! ([`Aggregate::byte_at`]) is O(log n) in the slice count,
+//! [`Aggregate::range`]/[`Aggregate::copy_to`] are O(log n + k) for k
+//! slices touched, [`Aggregate::advance`]/[`Aggregate::truncate`] trim
+//! in place (amortized O(1) per dropped slice), prepending is O(1)
+//! amortized per slice, and [`Aggregate::pack`] copies each byte exactly
+//! once. Hot consumers iterate byte runs through the zero-alloc
+//! [`AggCursor`] / [`Aggregate::chunks`] / [`Aggregate::as_iovecs`]
+//! APIs instead of per-byte indexing or `to_vec` materialization; see
+//! the [`aggregate`] module docs for the full complexity table.
+//!
 //! # Examples
 //!
 //! ```
@@ -38,6 +53,7 @@
 
 pub mod acl;
 pub mod aggregate;
+pub mod cursor;
 pub mod error;
 pub mod ids;
 pub mod pool;
@@ -46,6 +62,7 @@ pub mod slice;
 
 pub use acl::Acl;
 pub use aggregate::Aggregate;
+pub use cursor::AggCursor;
 pub use error::BufError;
 pub use ids::{BufferId, ChunkId, DomainId, Generation, PoolId};
 pub use pool::{AllocEvent, BufMut, BufferPool, PoolStats};

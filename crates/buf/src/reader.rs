@@ -2,62 +2,33 @@
 //!
 //! Lets converted applications (the §5.8 UNIX utilities) consume
 //! aggregate data through standard-library interfaces without
-//! materializing the value.
+//! materializing the value. Backed by [`AggCursor`], so `remaining`
+//! is O(1) and reads advance run-by-run.
 
 use std::io::{self, Read};
 
 use crate::aggregate::Aggregate;
+use crate::cursor::AggCursor;
 
 /// A cursor that reads an [`Aggregate`]'s bytes sequentially.
 pub struct AggReader<'a> {
-    agg: &'a Aggregate,
-    slice_idx: usize,
-    offset: usize,
+    cur: AggCursor<'a>,
 }
 
 impl<'a> AggReader<'a> {
     pub(crate) fn new(agg: &'a Aggregate) -> Self {
-        AggReader {
-            agg,
-            slice_idx: 0,
-            offset: 0,
-        }
+        AggReader { cur: agg.cursor() }
     }
 
     /// Bytes remaining to read.
     pub fn remaining(&self) -> u64 {
-        let consumed: u64 = self
-            .agg
-            .slices()
-            .iter()
-            .take(self.slice_idx)
-            .map(|s| s.len() as u64)
-            .sum::<u64>()
-            + self.offset as u64;
-        self.agg.len() - consumed
+        self.cur.remaining()
     }
 }
 
 impl Read for AggReader<'_> {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        let mut written = 0;
-        while written < buf.len() {
-            let Some(slice) = self.agg.slices().get(self.slice_idx) else {
-                break;
-            };
-            let bytes = slice.as_bytes();
-            let avail = &bytes[self.offset..];
-            if avail.is_empty() {
-                self.slice_idx += 1;
-                self.offset = 0;
-                continue;
-            }
-            let take = avail.len().min(buf.len() - written);
-            buf[written..written + take].copy_from_slice(&avail[..take]);
-            written += take;
-            self.offset += take;
-        }
-        Ok(written)
+        Ok(self.cur.copy_to(buf))
     }
 }
 

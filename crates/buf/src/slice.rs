@@ -176,6 +176,18 @@ impl Slice {
         Rc::ptr_eq(&self.inner, &other.inner)
     }
 
+    /// Total byte count of the underlying buffer (the whole allocation,
+    /// not just this view) — what memory accounting bills per buffer.
+    pub fn buffer_len(&self) -> usize {
+        self.inner.bytes.len()
+    }
+
+    /// A key identifying the underlying buffer *instance* (stable across
+    /// clones and sub-views, distinct across generations).
+    pub(crate) fn buffer_key(&self) -> usize {
+        Rc::as_ptr(&self.inner) as usize
+    }
+
     /// Number of live references to the underlying buffer.
     pub fn ref_count(&self) -> usize {
         Rc::strong_count(&self.inner)

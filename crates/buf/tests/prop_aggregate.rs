@@ -131,6 +131,83 @@ proptest! {
     }
 
     #[test]
+    fn cursor_and_iovecs_match_to_vec_across_mutations(
+        data in proptest::collection::vec(any::<u8>(), 1..1024),
+        chunk in 1usize..96,
+        ops in proptest::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 1..24),
+    ) {
+        // Drive an aggregate and a Vec<u8> model through the same random
+        // sequence of advance / truncate / sub-range / replace, checking
+        // after every step that the zero-alloc access paths (cursor
+        // chunks, interior cursor copy, iovec view, byte_at) agree with
+        // the materialized value.
+        let p = pool(chunk);
+        let mut agg = Aggregate::from_bytes(&p, &data);
+        let mut model = data.clone();
+        for (op, x, y) in ops {
+            let len = model.len() as u64;
+            match op % 4 {
+                0 => {
+                    let n = x % (len + 1);
+                    agg.advance(n);
+                    model.drain(..n as usize);
+                }
+                1 => {
+                    let n = x % (len + 1);
+                    agg.truncate(n);
+                    model.truncate(n as usize);
+                }
+                2 => {
+                    let start = x % (len + 1);
+                    let sub = y % (len - start + 1);
+                    agg = agg.range(start, sub).unwrap();
+                    model = model[start as usize..(start + sub) as usize].to_vec();
+                }
+                _ => {
+                    let start = x % (len + 1);
+                    let cut = y % (len - start + 1);
+                    let patch: Vec<u8> =
+                        (0..(y % 40) as u8).map(|i| i.wrapping_mul(31)).collect();
+                    agg = agg.replace(&p, start, cut, &patch).unwrap();
+                    model.splice(
+                        start as usize..(start + cut) as usize,
+                        patch.iter().copied(),
+                    );
+                }
+            }
+            prop_assert_eq!(agg.len(), model.len() as u64);
+            // Cursor chunk walk reconstructs the value.
+            let mut via_cursor = Vec::with_capacity(model.len());
+            let mut cur = agg.cursor();
+            while let Some(c) = cur.next_chunk() {
+                via_cursor.extend_from_slice(c);
+            }
+            prop_assert_eq!(&via_cursor, &model);
+            prop_assert_eq!(&agg.to_vec(), &model);
+            // The iovec view flattens to the same value.
+            let mut iov = Vec::new();
+            agg.as_iovecs(&mut iov);
+            prop_assert_eq!(iov.concat(), model.clone());
+            if !model.is_empty() {
+                // Interior cursor: copy the tail from a random offset.
+                let off = (x ^ y) % model.len() as u64;
+                let mut buf = vec![0u8; model.len() - off as usize];
+                prop_assert_eq!(agg.cursor_at(off).copy_to(&mut buf), buf.len());
+                prop_assert_eq!(&buf[..], &model[off as usize..]);
+                // Indexed probe agrees with the model.
+                prop_assert_eq!(agg.byte_at(off), Some(model[off as usize]));
+                // find_byte agrees with the model's linear scan.
+                let target = model[off as usize];
+                let expect = model
+                    .iter()
+                    .position(|&b| b == target)
+                    .map(|i| i as u64);
+                prop_assert_eq!(agg.find_byte(0, target), expect);
+            }
+        }
+    }
+
+    #[test]
     fn recycling_never_corrupts_live_data(sizes in proptest::collection::vec(1usize..512, 1..40)) {
         // Interleave allocations and drops; live aggregates must keep
         // their values even as chunks recycle underneath the pool.

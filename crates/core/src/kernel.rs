@@ -375,23 +375,24 @@ impl Kernel {
             ..IoOutcome::default()
         };
         self.metrics.syscalls += 1;
-        // Update the backing store (write-back happens off the critical
-        // path; no device time charged here).
-        let bytes = agg.to_vec();
-        self.store.write(file, offset, &bytes);
+        // Update the backing store vectored, run by run (write-back
+        // happens off the critical path; no device time charged here,
+        // and no materialization of the aggregate).
+        let mut run_offset = offset;
+        for chunk in agg.chunks() {
+            self.store.write(file, run_offset, chunk);
+            run_offset += chunk.len() as u64;
+        }
         // Snapshot-preserving cache replacement: rebuild the whole-file
-        // entry as head ++ agg ++ tail, chaining by reference.
+        // entry as head ++ agg ++ tail, chaining by reference (indexed
+        // range views; slices outside the extent are not walked twice).
         let key = CacheKey::whole(file);
         if let Some(old) = self.cache.replace_for_write(&key) {
-            let (head, _) = old.split_at(offset);
-            let rest = if offset + agg.len() < old.len() {
-                old.split_at(offset + agg.len()).1
-            } else {
-                Aggregate::empty()
-            };
-            let mut rebuilt = head;
+            let head_len = offset.min(old.len());
+            let mut rebuilt = old.range(0, head_len).expect("clamped");
             rebuilt.append(agg);
-            rebuilt.append(&rest);
+            let tail_start = (offset + agg.len()).min(old.len());
+            rebuilt.append(&old.range(tail_start, old.len() - tail_start).expect("clamped"));
             self.cache.insert(key, rebuilt);
             self.rebalance_cache();
         }
@@ -475,7 +476,7 @@ impl Kernel {
     /// Makes an aggregate's chunks readable in `domain`, charging only
     /// first-time mappings (§3.2). Returns newly mapped pages.
     pub fn transfer_to(&mut self, agg: &Aggregate, domain: DomainId) -> u64 {
-        let chunks: Vec<ChunkId> = agg.slices().iter().map(|s| s.id().chunk).collect();
+        let chunks: Vec<ChunkId> = agg.slices().map(|s| s.id().chunk).collect();
         let pages = self
             .window
             .transfer(&chunks, domain, &self.cache_pool_acl.clone())
@@ -497,7 +498,7 @@ impl Kernel {
         domain: DomainId,
         acl: &Acl,
     ) -> Result<u64, iolite_vm::AccessDenied> {
-        let chunks: Vec<ChunkId> = agg.slices().iter().map(|s| s.id().chunk).collect();
+        let chunks: Vec<ChunkId> = agg.slices().map(|s| s.id().chunk).collect();
         let pages = self.window.transfer(&chunks, domain, acl)?;
         self.metrics.pages_mapped += pages;
         Ok(pages)
@@ -722,7 +723,7 @@ mod tests {
         assert_eq!(o2.disk_bytes, 0);
         assert!(a1.content_eq(&a2));
         // Same physical copy.
-        assert!(a1.slices()[0].same_buffer(&a2.slices()[0]));
+        assert!(a1.slice_at(0).same_buffer(a2.slice_at(0)));
     }
 
     #[test]

@@ -24,6 +24,6 @@ pub mod workloads;
 
 pub use cgi::CgiProcess;
 pub use driver::{Experiment, ExperimentConfig, ExperimentResult};
-pub use message::{parse_request, request_bytes, response_header, Request};
+pub use message::{parse_request, parse_request_agg, request_bytes, response_header, Request};
 pub use server::{RequestCosts, ServerKind};
 pub use workloads::WorkloadKind;

@@ -3,6 +3,14 @@
 //! Real bytes: the end-to-end tests drive requests through parsing, and
 //! response headers are the "internally generated data" whose checksum
 //! Flash-Lite still computes per response (§3.10).
+//!
+//! Requests reassembled from the network arrive as buffer aggregates;
+//! [`parse_request_agg`] scans them run-by-run (a carry buffer is
+//! touched only when a header line straddles a buffer boundary), so the
+//! steady-state parse never materializes the request or walks it per
+//! byte through `byte_at`.
+
+use iolite_buf::Aggregate;
 
 /// A parsed HTTP request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,27 +35,107 @@ pub fn request_bytes(path: &str, keep_alive: bool) -> Vec<u8> {
     .into_bytes()
 }
 
-/// Parses a request; returns `None` on malformed input.
-pub fn parse_request(bytes: &[u8]) -> Option<Request> {
-    let text = std::str::from_utf8(bytes).ok()?;
-    let mut lines = text.split("\r\n");
-    let request_line = lines.next()?;
-    let mut parts = request_line.split(' ');
-    let method = parts.next()?;
-    if method != "GET" {
-        return None;
-    }
-    let path = parts.next()?.to_string();
-    let version = parts.next()?;
-    let http11 = version == "HTTP/1.1";
-    let mut keep_alive = http11; // Default in 1.1.
-    for line in lines {
-        let lower = line.to_ascii_lowercase();
-        if lower.starts_with("connection:") {
-            keep_alive = lower.contains("keep-alive");
+/// Incremental request parser fed one header line at a time.
+#[derive(Default)]
+struct LineParser {
+    request: Option<Request>,
+    seen_first: bool,
+    failed: bool,
+}
+
+impl LineParser {
+    fn feed_line(&mut self, line: &[u8]) {
+        if self.failed {
+            return;
+        }
+        let Ok(text) = std::str::from_utf8(line) else {
+            self.failed = true;
+            return;
+        };
+        if !self.seen_first {
+            self.seen_first = true;
+            let mut parts = text.split(' ');
+            let (Some("GET"), Some(path), Some(version)) =
+                (parts.next(), parts.next(), parts.next())
+            else {
+                self.failed = true;
+                return;
+            };
+            self.request = Some(Request {
+                path: path.to_string(),
+                keep_alive: version == "HTTP/1.1", // Default in 1.1.
+            });
+            return;
+        }
+        if line.len() >= 11 && line[..11].eq_ignore_ascii_case(b"connection:") {
+            if let Some(req) = &mut self.request {
+                req.keep_alive = contains_ignore_case(line, b"keep-alive");
+            }
         }
     }
-    Some(Request { path, keep_alive })
+
+    fn finish(self) -> Option<Request> {
+        if self.failed {
+            None
+        } else {
+            self.request
+        }
+    }
+}
+
+/// ASCII-case-insensitive substring search (header values are ASCII).
+fn contains_ignore_case(haystack: &[u8], needle: &[u8]) -> bool {
+    haystack
+        .windows(needle.len())
+        .any(|w| w.eq_ignore_ascii_case(needle))
+}
+
+/// Drives a [`LineParser`] over CRLF-separated lines delivered as
+/// arbitrary byte runs. Only lines that straddle a run boundary are
+/// copied into the carry buffer; lines within one run are borrowed.
+fn parse_lines<'a>(chunks: impl Iterator<Item = &'a [u8]>) -> Option<Request> {
+    let mut parser = LineParser::default();
+    let mut carry: Vec<u8> = Vec::new();
+    for chunk in chunks {
+        let mut rest = chunk;
+        while let Some(nl) = rest.iter().position(|&b| b == b'\n') {
+            let (line, after) = rest.split_at(nl);
+            rest = &after[1..];
+            if carry.is_empty() {
+                parser.feed_line(strip_cr(line));
+            } else {
+                carry.extend_from_slice(line);
+                let whole = std::mem::take(&mut carry);
+                parser.feed_line(strip_cr(&whole));
+            }
+        }
+        if !rest.is_empty() {
+            carry.extend_from_slice(rest);
+        }
+    }
+    if !carry.is_empty() {
+        parser.feed_line(strip_cr(&carry));
+    }
+    parser.finish()
+}
+
+fn strip_cr(line: &[u8]) -> &[u8] {
+    line.strip_suffix(b"\r").unwrap_or(line)
+}
+
+/// Parses a request; returns `None` on malformed input.
+///
+/// Lines are terminated by CRLF; per RFC 9112 §2.2's allowance for
+/// lenient recipients, a bare LF is also accepted as a terminator.
+pub fn parse_request(bytes: &[u8]) -> Option<Request> {
+    parse_lines(std::iter::once(bytes))
+}
+
+/// Parses a request straight out of a (possibly fragmented) aggregate —
+/// the zero-copy receive path's header scan. No materialization, no
+/// per-byte indexing: the scanner walks the aggregate's byte runs.
+pub fn parse_request_agg(agg: &Aggregate) -> Option<Request> {
+    parse_lines(agg.chunks())
 }
 
 /// Formats a 200 response header for a body of `content_len` bytes.
@@ -91,6 +179,33 @@ mod tests {
         assert!(parse_request(b"POST / HTTP/1.0\r\n\r\n").is_none());
         assert!(parse_request(&[0xFF, 0xFE]).is_none());
         assert!(parse_request(b"").is_none());
+    }
+
+    #[test]
+    fn aggregate_parse_matches_contiguous_parse() {
+        use iolite_buf::{Acl, BufferPool, PoolId};
+        let cases: Vec<Vec<u8>> = vec![
+            request_bytes("/f00042", true),
+            request_bytes("/index.html", false),
+            b"POST / HTTP/1.0\r\n\r\n".to_vec(),
+            b"GET /x HTTP/1.1\r\nConnection: close\r\n\r\n".to_vec(),
+            b"GET /x HTTP/1.0\r\nCONNECTION: Keep-Alive\r\n\r\n".to_vec(),
+            vec![0xFF, 0xFE],
+            Vec::new(),
+        ];
+        // Fragment every request aggressively: lines straddle buffers.
+        for chunk_size in [3usize, 7, 64, 4096] {
+            let pool = BufferPool::new(PoolId(1), Acl::kernel_only(), chunk_size);
+            for case in &cases {
+                let agg = Aggregate::from_bytes(&pool, case);
+                assert_eq!(
+                    parse_request_agg(&agg),
+                    parse_request(case),
+                    "chunk {chunk_size}, case {:?}",
+                    String::from_utf8_lossy(case)
+                );
+            }
+        }
     }
 
     #[test]

@@ -195,12 +195,14 @@ impl Pipe {
 
 /// Physically duplicates an aggregate's bytes (models the kernel-buffer
 /// copy; intentionally not an IO-Lite pool allocation, since the
-/// conventional kernel buffer is anonymous memory).
+/// conventional kernel buffer is anonymous memory). Each byte is copied
+/// exactly once, straight into the destination buffers — the conventional
+/// path pays one copy-in, not a materialize-then-copy double.
 fn copy_aggregate(a: &Aggregate) -> Aggregate {
     use iolite_buf::{Acl, BufferPool, PoolId};
     // A throwaway kernel-side pool: identity does not matter for copies.
     let scratch = BufferPool::new(PoolId(u32::MAX), Acl::kernel_only(), 64 * 1024);
-    Aggregate::from_bytes(&scratch, &a.to_vec())
+    a.pack(&scratch)
 }
 
 /// A bidirectional UNIX-domain socket pair: two pipes.
@@ -244,7 +246,7 @@ mod tests {
         assert_eq!(got.to_vec(), b"payload");
         assert_eq!(p.stats().bytes_copied, 0);
         // The reader's aggregate references the writer's buffer.
-        assert!(got.slices()[0].same_buffer(&msg.slices()[0]));
+        assert!(got.slice_at(0).same_buffer(msg.slice_at(0)));
     }
 
     #[test]
@@ -256,7 +258,7 @@ mod tests {
         assert_eq!(got.to_vec(), b"payload");
         // Copy-in + copy-out.
         assert_eq!(p.stats().bytes_copied, 14);
-        assert!(!got.slices()[0].same_buffer(&msg.slices()[0]));
+        assert!(!got.slice_at(0).same_buffer(msg.slice_at(0)));
     }
 
     #[test]

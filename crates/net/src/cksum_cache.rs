@@ -58,7 +58,7 @@ pub struct CksumCacheStats {
 /// let pool = BufferPool::new(PoolId(1), Acl::kernel_only(), 4096);
 /// let agg = Aggregate::from_bytes(&pool, b"hot document");
 /// let mut cache = ChecksumCache::new(1024);
-/// let s = &agg.slices()[0];
+/// let s = &agg.slice_at(0);
 /// let first = cache.sum_for(s);
 /// let second = cache.sum_for(s);
 /// assert_eq!(first, second);
@@ -143,7 +143,7 @@ mod tests {
     use iolite_buf::{Acl, Aggregate, BufferPool, PoolId};
 
     fn slice(pool: &BufferPool, data: &[u8]) -> Slice {
-        Aggregate::from_bytes(pool, data).slices()[0].clone()
+        Aggregate::from_bytes(pool, data).slice_at(0).clone()
     }
 
     #[test]

@@ -112,6 +112,18 @@ impl MbufChain {
         chain
     }
 
+    /// Like [`MbufChain::packet_copied`] but sourcing the payload from an
+    /// aggregate: the materialized `Vec` *is* the owned cluster, so the
+    /// copy into it is the only copy the conventional path pays.
+    pub fn packet_copied_from_agg(header: &[u8], payload: &Aggregate) -> Self {
+        let mut chain = MbufChain::new();
+        chain.push(Mbuf::inline(header));
+        chain.push(Mbuf {
+            data: MbufData::Inline(payload.to_vec()),
+        });
+        chain
+    }
+
     /// Appends one mbuf.
     pub fn push(&mut self, m: Mbuf) {
         self.mbufs.push(m);
@@ -174,6 +186,17 @@ mod tests {
     }
 
     #[test]
+    fn copied_from_agg_is_byte_exact_and_owned() {
+        let pool = BufferPool::new(PoolId(2), Acl::kernel_only(), 64);
+        let data: Vec<u8> = (0..500u32).map(|i| i as u8).collect();
+        let payload = Aggregate::from_bytes(&pool, &data);
+        assert!(payload.num_slices() > 1, "fragmented source");
+        let chain = MbufChain::packet_copied_from_agg(&[0xAA; 40], &payload);
+        assert_eq!(chain.owned_bytes(), 540, "header + copied cluster");
+        assert_eq!(&chain.to_vec()[40..], &data[..]);
+    }
+
+    #[test]
     fn wire_bytes_concatenate_in_order() {
         let payload = agg(b"worldwide");
         let chain = MbufChain::packet(b"hello ", &payload);
@@ -186,7 +209,7 @@ mod tests {
         let chain = MbufChain::packet(b"", &payload);
         let ext = &chain.mbufs()[1];
         match ext.data() {
-            MbufData::Ext(s) => assert!(s.same_buffer(&payload.slices()[0])),
+            MbufData::Ext(s) => assert!(s.same_buffer(payload.slice_at(0))),
             MbufData::Inline(_) => panic!("payload must be external"),
         }
     }

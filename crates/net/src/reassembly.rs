@@ -209,10 +209,10 @@ mod tests {
     fn reassembly_shares_buffers_with_segments() {
         let mut rx = TcpReceiver::new(0);
         let seg = agg(b"zero-copy");
-        let slice = seg.slices()[0].clone();
+        let slice = seg.slice_at(0).clone();
         rx.on_segment(0, seg);
         let out = rx.read_available().unwrap();
-        assert!(out.slices()[0].same_buffer(&slice), "no payload copy");
+        assert!(out.slice_at(0).same_buffer(&slice), "no payload copy");
     }
 
     #[test]

@@ -86,7 +86,7 @@ impl RxPath {
                     .next()
                     .cloned()
                     .unwrap_or_else(|| self.anon_pool.clone());
-                let copied = Aggregate::from_bytes(&dest, &anon.to_vec());
+                let copied = anon.pack(&dest);
                 self.stats.bytes_copied += payload.len() as u64;
                 (copied, true)
             }
@@ -143,8 +143,8 @@ mod tests {
         let (agg, copied) = rx.receive(&header(80), b"hello");
         assert!(!copied);
         assert_eq!(agg.to_vec(), b"hello");
-        assert_eq!(agg.slices()[0].pool(), PoolId(5));
-        assert!(agg.slices()[0].acl().allows(DomainId(3)));
+        assert_eq!(agg.slice_at(0).pool(), PoolId(5));
+        assert!(agg.slice_at(0).acl().allows(DomainId(3)));
         assert_eq!(rx.stats().direct, 1);
         assert_eq!(rx.stats().bytes_copied, 0);
     }

@@ -222,7 +222,7 @@ impl TcpConn {
             };
             let chain = match self.mode {
                 BufferMode::ZeroCopy => MbufChain::packet(&header.to_bytes(), &part),
-                BufferMode::Copy => MbufChain::packet_copied(&header.to_bytes(), &part.to_vec()),
+                BufferMode::Copy => MbufChain::packet_copied_from_agg(&header.to_bytes(), &part),
             };
             chains.push(chain);
             seq = seq.wrapping_add(take as u32);

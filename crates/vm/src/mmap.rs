@@ -62,8 +62,10 @@ impl MmapView {
     pub fn new(source: Aggregate) -> Self {
         let len = source.len() as usize;
         let pages = len.div_ceil(PAGE_SIZE).max(1);
-        let backing = match source.slices() {
-            [only] if only.offset_in_buffer() % PAGE_SIZE == 0 => Backing::Direct(only.clone()),
+        let backing = match source.num_slices() {
+            1 if source.slice_at(0).offset_in_buffer().is_multiple_of(PAGE_SIZE) => {
+                Backing::Direct(source.slice_at(0).clone())
+            }
             _ => Backing::Private,
         };
         MmapView {
@@ -250,7 +252,7 @@ mod tests {
     fn store_to_shared_page_triggers_cow() {
         let data = vec![7u8; 2 * PAGE_SIZE];
         let agg = Aggregate::from_bytes_aligned(&big_pool(), &data, PAGE_SIZE);
-        let source_slice = agg.slices()[0].clone();
+        let source_slice = agg.slice_at(0).clone();
         let mut v = MmapView::new(agg);
         v.write(0, &[1, 2, 3]);
         assert_eq!(v.stats().cow_faults, 1);

@@ -36,7 +36,7 @@ fn main() {
 
     // --- 3. Checksum caching (§3.9) -----------------------------------
     let mut cache = ChecksumCache::new(1024);
-    let slice = &body.slices()[0];
+    let slice = &body.slice_at(0);
     let first = cache.sum_for(slice);
     let second = cache.sum_for(slice);
     assert_eq!(first, second);
@@ -54,7 +54,7 @@ fn main() {
     let old_gen = slice.generation();
     drop((body, header, response, edited));
     let fresh = Aggregate::from_bytes(&pool, &vec![0u8; 64 * 1024]);
-    let s = &fresh.slices()[0];
+    let s = &fresh.slice_at(0);
     println!(
         "chunk {} reused: generation {} -> {} (checksum cache key changed)",
         s.id().chunk,

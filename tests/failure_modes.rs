@@ -45,7 +45,7 @@ fn aggregate_range_errors_are_precise() {
 fn shared_buffer_refuses_in_place_mutation() {
     let pool = BufferPool::new(PoolId(1), Acl::kernel_only(), 4096);
     let agg = Aggregate::from_bytes(&pool, b"shared");
-    let mut s1 = agg.slices()[0].clone();
+    let mut s1 = agg.slice_at(0).clone();
     // The aggregate still holds a reference.
     assert_eq!(
         s1.try_mutate_in_place(|_| panic!("must not run")),
@@ -62,7 +62,7 @@ fn acl_denial_leaves_no_mapping_behind() {
     let intruder = k.spawn("intruder");
     let pool = k.create_pool(Acl::with_domain(owner.domain()));
     let secret = Aggregate::from_bytes(&pool, b"top secret");
-    let chunk = secret.slices()[0].id().chunk;
+    let chunk = secret.slice_at(0).id().chunk;
 
     let denied = k.transfer_with_acl(&secret, intruder.domain(), &pool.acl());
     assert!(denied.is_err());

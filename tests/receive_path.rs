@@ -4,7 +4,7 @@
 
 use iolite::buf::{Acl, Aggregate, BufferPool, DomainId, PoolId};
 use iolite::core::{CostModel, Kernel};
-use iolite::http::{parse_request, request_bytes, CgiProcess, ServerKind};
+use iolite::http::{parse_request_agg, request_bytes, CgiProcess, ServerKind};
 use iolite::ipc::PipeMode;
 use iolite::net::{BufferMode, DEFAULT_MSS, DEFAULT_TSS};
 use iolite::net::{FilterRule, RxPath, SegmentHeader, StreamId, TcpConn, TcpReceiver};
@@ -56,7 +56,9 @@ fn request_travels_wire_to_parser_zero_copy() {
 
     let assembled = receiver.read_available().unwrap();
     assert_eq!(assembled.to_vec(), request);
-    let parsed = parse_request(&assembled.to_vec()).unwrap();
+    // Header scan straight off the fragmented aggregate: no
+    // materialization between the wire and the parser.
+    let parsed = parse_request_agg(&assembled).unwrap();
     assert_eq!(parsed.path, "/f00042");
     assert!(parsed.keep_alive);
     assert_eq!(rx.stats().bytes_copied, 0, "nothing copied end to end");
@@ -130,8 +132,8 @@ fn two_cgi_processes_serve_distinct_content_through_one_server() {
     // Still zero copies anywhere.
     assert_eq!(k.metrics.bytes_copied, 0);
     // Both CGIs' chunks are now mapped in the server, independently.
-    let chunk_a = cgi_a.document().slices()[0].id().chunk;
-    let chunk_b = cgi_b.document().slices()[0].id().chunk;
+    let chunk_a = cgi_a.document().slice_at(0).id().chunk;
+    let chunk_b = cgi_b.document().slice_at(0).id().chunk;
     assert!(k.window.is_mapped(chunk_a, server.domain()));
     assert!(k.window.is_mapped(chunk_b, server.domain()));
 }

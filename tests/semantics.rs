@@ -40,13 +40,13 @@ fn concurrent_readers_share_one_physical_copy() {
     let (agg_a, _) = k.iol_read(a, f, 0, 100_000);
     let (agg_b, _) = k.iol_read(b, f, 0, 100_000);
     // Same buffers, not equal copies.
-    for (sa, sb) in agg_a.slices().iter().zip(agg_b.slices()) {
+    for (sa, sb) in agg_a.slices().zip(agg_b.slices()) {
         assert!(sa.same_buffer(sb));
     }
     // And the cache entry is the same storage too.
     let (agg_c, out) = k.iol_read(a, f, 0, 100_000);
     assert!(out.cache_hit);
-    assert!(agg_c.slices()[0].same_buffer(&agg_a.slices()[0]));
+    assert!(agg_c.slice_at(0).same_buffer(agg_a.slice_at(0)));
 }
 
 #[test]
@@ -121,12 +121,12 @@ fn pool_recycling_is_observable_system_wide() {
     let pid = k.spawn("app");
     let pool = k.process(pid).pool().clone();
     let a1 = Aggregate::from_bytes(&pool, &[0xAAu8; 64 * 1024]);
-    let s1 = a1.slices()[0].clone();
+    let s1 = a1.slice_at(0).clone();
     let sum1 = k.cksum.sum_for(&s1);
     let key1 = (s1.id(), s1.generation());
     drop((a1, s1));
     let a2 = Aggregate::from_bytes(&pool, &[0xBBu8; 64 * 1024]);
-    let s2 = a2.slices()[0].clone();
+    let s2 = a2.slice_at(0).clone();
     assert_eq!(s2.id(), key1.0, "chunk address reused");
     assert_ne!(s2.generation(), key1.1, "generation bumped");
     let sum2 = k.cksum.sum_for(&s2);
