@@ -1,0 +1,265 @@
+//! `serve_scale`: reference-aware caching at production scale (§3.7,
+//! §3.9).
+//!
+//! Three scenarios guard the cache layer's scaling behaviour:
+//!
+//! * `request_churn_10k` — the real HTTP driver path (`serve_static`)
+//!   over a 10k-file Zipf corpus with thousands of concurrent
+//!   connections holding pins mid-transmission, while the memory
+//!   accountant wobbles the cache budget under load. A deterministic
+//!   stats pass prints eviction counts and hit rates (recorded in
+//!   EXPERIMENTS.md) before the timed run.
+//! * `evict_pinned_prefix` — adversarial eviction cost vs entry count:
+//!   every entry except the best victim is pinned, so a scan-based
+//!   `evict_one` walks the whole pinned prefix while an indexed one
+//!   stays O(log n).
+//! * `cksum_cold_pressure` — a hot slice's checksum must survive an
+//!   overflow of cold slices through the bounded checksum cache.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use iolite_buf::{Acl, Aggregate, BufferPool, PoolId, Slice};
+use iolite_core::{CostModel, Kernel};
+use iolite_fs::{CacheKey, FileId, Policy, UnifiedCache};
+use iolite_http::{server::serve_static, ServerKind};
+use iolite_net::{ChecksumCache, TcpConn, DEFAULT_MSS, DEFAULT_TSS};
+use iolite_sim::SimRng;
+use iolite_trace::{TraceSpec, Workload};
+use iolite_vm::MemAccount;
+
+/// Short measurement windows: benches document magnitudes, not publishable
+/// microbenchmark precision.
+fn quick<M: criterion::measurement::Measurement>(
+    mut g: criterion::BenchmarkGroup<'_, M>,
+) -> criterion::BenchmarkGroup<'_, M> {
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    g
+}
+
+/// The 10k-file corpus: Zipf popularity, log-normal sizes, three times
+/// the cache budget so eviction never stops.
+fn scale_spec() -> TraceSpec {
+    TraceSpec {
+        name: "SCALE-10K",
+        files: 10_000,
+        total_bytes: 192 << 20,
+        requests: 1_000_000,
+        mean_request_bytes: 16 << 10,
+        zipf_s: 1.0,
+        size_sigma: 1.4,
+    }
+}
+
+/// Number of simulated concurrent connections (and the depth of the
+/// in-flight pin queue: every response in flight pins its cache entry
+/// until the transmission drains, §3.7).
+const CONNS: usize = 2048;
+const PIN_DEPTH: usize = 4096;
+/// Budget wobble: extra socket-copy reservation toggled under load.
+const WOBBLE_BYTES: u64 = 24 << 20;
+/// Length of the deterministic stats pass.
+const STATS_REQUESTS: u64 = 30_000;
+
+struct ScaleRig {
+    kernel: Kernel,
+    pid: iolite_core::Pid,
+    files: Vec<FileId>,
+    conns: Vec<TcpConn>,
+    workload: Workload,
+    rng: SimRng,
+    inflight: VecDeque<CacheKey>,
+    served: u64,
+    wobbled: bool,
+}
+
+impl ScaleRig {
+    fn new() -> Self {
+        let workload = Workload::synthesize(&scale_spec(), 7);
+        let mut cost = CostModel::pentium_ii_333();
+        cost.ram_bytes = 64 << 20;
+        let mut kernel = Kernel::with_policy(cost, Policy::Gds);
+        // Undersize the checksum cache relative to the corpus's slice
+        // population so its replacement policy is actually exercised
+        // (the kernel default never overflows in a 30k-request pass).
+        kernel.cksum = ChecksumCache::new(8192);
+        kernel
+            .physmem
+            .reserve(MemAccount::Server, cost.server_reserve_bytes);
+        let pid = kernel.spawn("server");
+        let files: Vec<FileId> = workload
+            .files()
+            .iter()
+            .map(|f| kernel.create_synthetic_file(&f.name, f.bytes, 7 ^ f.bytes))
+            .collect();
+        let conns = (0..CONNS)
+            .map(|i| TcpConn::new(i as u64, ServerKind::FlashLite.buffer_mode(), DEFAULT_MSS, DEFAULT_TSS))
+            .collect();
+        ScaleRig {
+            kernel,
+            pid,
+            files,
+            conns,
+            workload,
+            rng: SimRng::new(11),
+            inflight: VecDeque::with_capacity(PIN_DEPTH + 1),
+            served: 0,
+            wobbled: false,
+        }
+    }
+
+    /// Serves one Zipf-sampled request with pin churn and periodic
+    /// budget wobble; returns response bytes.
+    fn step(&mut self) -> u64 {
+        let idx = self.workload.sample_request(&mut self.rng);
+        let file = self.files[idx];
+        let conn = &mut self.conns[self.served as usize % CONNS];
+        let rc = serve_static(&mut self.kernel, ServerKind::FlashLite, conn, self.pid, file);
+        if let Some(key) = rc.pin_key {
+            self.inflight.push_back(key);
+        }
+        // The oldest in-flight transmission drains: release its pin.
+        if self.inflight.len() > PIN_DEPTH {
+            let key = self.inflight.pop_front().expect("non-empty");
+            self.kernel.cache.unpin(&key);
+        }
+        self.served += 1;
+        // Budget shrink under load: competing socket-buffer memory
+        // appears and disappears; rebalance drives set_budget.
+        if self.served.is_multiple_of(512) {
+            if self.wobbled {
+                self.kernel
+                    .physmem
+                    .release(MemAccount::SocketCopies, WOBBLE_BYTES);
+            } else {
+                self.kernel
+                    .physmem
+                    .reserve(MemAccount::SocketCopies, WOBBLE_BYTES);
+            }
+            self.wobbled = !self.wobbled;
+            self.kernel.rebalance_cache();
+        }
+        rc.response_bytes
+    }
+}
+
+fn bench_request_churn(c: &mut Criterion) {
+    let mut rig = ScaleRig::new();
+    // Deterministic stats pass: same numbers on every run, recorded in
+    // EXPERIMENTS.md as the before/after comparison.
+    for _ in 0..STATS_REQUESTS {
+        rig.step();
+    }
+    let cs = rig.kernel.cache.stats();
+    let ck = rig.kernel.cksum.stats();
+    println!(
+        "serve_scale stats after {STATS_REQUESTS} requests: \
+         file cache {} entries, {} evictions ({} pinned), hit rate {:.3}; \
+         checksum cache hit rate {:.3} ({} hits / {} misses)",
+        rig.kernel.cache.len(),
+        cs.evictions,
+        cs.pinned_evictions,
+        cs.hits as f64 / (cs.hits + cs.misses).max(1) as f64,
+        ck.hits as f64 / (ck.hits + ck.misses).max(1) as f64,
+        ck.hits,
+        ck.misses,
+    );
+    let mut g = quick(c.benchmark_group("serve_scale"));
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("request_churn_10k", |b| b.iter(|| rig.step()));
+    g.finish();
+}
+
+fn bench_evict_pinned_prefix(c: &mut Criterion) {
+    let mut g = quick(c.benchmark_group("cache_evict"));
+    g.throughput(Throughput::Elements(1));
+    for n in [1_000u64, 10_000, 50_000] {
+        let pool = BufferPool::new(PoolId(1), Acl::kernel_only(), 64 * 1024);
+        let mut cache = UnifiedCache::new(Policy::Lru, u64::MAX);
+        for i in 0..n {
+            let key = CacheKey::whole(FileId(i));
+            cache.insert(key, Aggregate::from_bytes(&pool, &[0xEE; 256]));
+            // Pin everything except the newest entry: the network holds
+            // the rest mid-transmission, so the victim search must pass
+            // over the whole pinned population.
+            if i < n - 1 {
+                cache.pin(&key);
+            }
+        }
+        g.bench_function(format!("pinned_prefix_{n}"), |b| {
+            b.iter(|| {
+                // Steady state: evict the single unpinned entry and
+                // reinsert it as the newest unpinned one.
+                let (key, agg) = cache.evict_one().expect("victim");
+                cache.insert(key, agg);
+                key
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_cksum_cold_pressure(c: &mut Criterion) {
+    let pool = BufferPool::new(PoolId(2), Acl::kernel_only(), 64 * 1024);
+    let hot_agg = Aggregate::from_bytes(&pool, &[0x5A; 1000]);
+    let hot = hot_agg.slice_at(0).clone();
+    let cold: Vec<Slice> = (0..8192)
+        .map(|i| {
+            Aggregate::from_bytes(&pool, &[(i % 251) as u8; 32])
+                .slice_at(0)
+                .clone()
+        })
+        .collect();
+    // Deterministic stats pass: a hot document is retransmitted every 8
+    // requests while 8192 one-off cold slices stream through a
+    // 1024-entry cache.
+    let mut cache = ChecksumCache::new(1024);
+    cache.sum_for(&hot);
+    let mut hot_hits = 0u64;
+    let mut hot_accesses = 0u64;
+    for (i, s) in cold.iter().enumerate() {
+        cache.sum_for(s);
+        if i % 8 == 0 {
+            let computed_before = cache.stats().bytes_computed;
+            cache.sum_for(&hot);
+            hot_accesses += 1;
+            if cache.stats().bytes_computed == computed_before {
+                hot_hits += 1;
+            }
+        }
+    }
+    let st = cache.stats();
+    println!(
+        "cksum_cold_pressure stats: hot slice hit {hot_hits}/{hot_accesses}, \
+         overall hit rate {:.3} ({} hits / {} misses)",
+        st.hits as f64 / (st.hits + st.misses).max(1) as f64,
+        st.hits,
+        st.misses,
+    );
+    let mut g = quick(c.benchmark_group("cksum_cold_pressure"));
+    g.throughput(Throughput::Elements(9));
+    let mut i = 0usize;
+    g.bench_function("sum_under_pressure", |b| {
+        b.iter(|| {
+            // 8 cold slices + 1 hot retransmission per iteration.
+            let mut acc = 0u16;
+            for _ in 0..8 {
+                acc ^= cache.sum_for(&cold[i % cold.len()]).sum;
+                i += 1;
+            }
+            acc ^ cache.sum_for(&hot).sum
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_request_churn,
+    bench_evict_pinned_prefix,
+    bench_cksum_cold_pressure
+);
+criterion_main!(benches);

@@ -363,6 +363,12 @@ impl Kernel {
     /// Replaces a file extent with the contents of `agg` (`IOL_write`,
     /// §3.4): the cached aggregate is replaced, never mutated, so prior
     /// readers keep their snapshots (§3.5).
+    ///
+    /// Pins held on the key (e.g. by the network mid-transmission)
+    /// survive the replacement: the cache keys pin counts by
+    /// [`CacheKey`], not by entry generation, so a deferred unpin from
+    /// a pre-write transmission cannot strip the protection of a
+    /// post-write one.
     pub fn iol_write(
         &mut self,
         _pid: Pid,
@@ -786,6 +792,37 @@ mod tests {
         assert_eq!(id1, id2);
         assert!(c2.time < c1.time, "metadata hit is cheaper");
         assert_eq!(k.lookup("/missing").0, None);
+    }
+
+    /// Regression (pin-steal interleaving across the kernel surface):
+    /// a transmission pins the key, `IOL_write` replaces the entry, a
+    /// second transmission pins the key, then the first transmission's
+    /// deferred unpin fires. The second transmission's data must stay
+    /// referenced.
+    #[test]
+    fn iol_write_replacement_keeps_transmission_pins() {
+        let mut k = kernel();
+        let pid = k.spawn("server");
+        let f = k.create_file("/doc", b"version-1");
+        let key = CacheKey::whole(f);
+        // Transmission A: read + pin (the serve path's pin lifecycle).
+        let (_snap, _) = k.iol_read(pid, f, 0, 100);
+        k.cache.pin(&key);
+        // A write replaces the cached entry mid-transmission.
+        let patch = Aggregate::from_bytes(k.process(pid).pool(), b"version-2");
+        k.iol_write(pid, f, 0, &patch);
+        // Transmission B starts on the new snapshot.
+        let (_snap2, o2) = k.iol_read(pid, f, 0, 100);
+        assert!(o2.cache_hit);
+        k.cache.pin(&key);
+        // Transmission A drains: its deferred unpin fires.
+        k.cache.unpin(&key);
+        assert_eq!(k.cache.pins(&key), 1, "B's pin must survive A's unpin");
+        // Under total memory pressure the in-flight entry is evicted
+        // only as a last resort (counted as a pinned eviction).
+        let before = k.cache.stats().pinned_evictions;
+        k.cache.set_budget(0);
+        assert_eq!(k.cache.stats().pinned_evictions, before + 1);
     }
 
     #[test]

@@ -17,6 +17,36 @@
 //! * **Budgeted size**: the eviction loop drives residency to the budget
 //!   the physical-memory accountant grants — this is the lever the WAN
 //!   experiment (§5.7) turns.
+//!
+//! # Complexity contract
+//!
+//! The cache is built for corpora of tens of thousands of entries with
+//! large pinned populations (thousands of in-flight transmissions).
+//! Pinned and unpinned entries live in *separate* ordered indexes, so
+//! the victim search never scans past pinned entries:
+//!
+//! * [`UnifiedCache::lookup`] — O(1) expected hash probe plus O(log n)
+//!   priority refresh.
+//! * [`UnifiedCache::evict_one`] — O(log n) regardless of how many
+//!   entries are pinned (`min` of the unpinned index, else `min` of the
+//!   pinned index; no O(#entries) scan).
+//! * [`UnifiedCache::pin`] / [`UnifiedCache::unpin`] — O(1) on
+//!   already-pinned entries; O(log n) on the 0↔1 transitions that move
+//!   an entry between the two indexes.
+//! * [`UnifiedCache::insert`] / [`UnifiedCache::remove`] — O(log n)
+//!   plus whatever [`UnifiedCache::enforce_budget`] evicts.
+//!
+//! # Pin accounting
+//!
+//! Pin counts are keyed by [`CacheKey`], *independent of entry
+//! lifetime*: a write that replaces an entry (snapshot semantics), or
+//! an eviction followed by re-admission, carries the key's outstanding
+//! pin count over to the new entry. This is load-bearing for
+//! correctness — the kernel releases pins when a transmission drains,
+//! possibly long after the entry it originally pinned was replaced.
+//! With per-entry counts, an unpin belonging to a *replaced* entry
+//! would steal the pin of a newer in-flight request on the same key,
+//! leaving data the network still references evictable.
 
 use std::collections::{BTreeSet, HashMap};
 
@@ -63,12 +93,18 @@ pub struct CacheStats {
 struct Entry {
     agg: Aggregate,
     len: u64,
-    pins: u32,
     ord: u64,
     freq: u64,
+    /// Which ordered index holds this entry — kept in lockstep with the
+    /// key's presence in `pin_counts` by `pin`/`unpin`, so hot paths
+    /// never re-derive it with a second hash probe.
+    pinned: bool,
 }
 
 /// The unified file cache.
+///
+/// See the [module docs](self) for the complexity contract and the
+/// key-scoped pin-accounting rules.
 ///
 /// # Examples
 ///
@@ -86,7 +122,14 @@ pub struct UnifiedCache {
     policy: Policy,
     budget: u64,
     entries: HashMap<CacheKey, Entry>,
-    queue: BTreeSet<(u64, CacheKey)>,
+    /// Eviction order over entries with no outside references.
+    unpinned: BTreeSet<(u64, CacheKey)>,
+    /// Eviction order over referenced entries — the §3.7 last-resort
+    /// victims, segregated so the normal victim search never sees them.
+    pinned: BTreeSet<(u64, CacheKey)>,
+    /// Outstanding outside references per key; absent means zero.
+    /// Survives entry replacement and eviction (see module docs).
+    pin_counts: HashMap<CacheKey, u32>,
     clock: u64,
     gds_l: u64,
     resident: u64,
@@ -100,7 +143,9 @@ impl UnifiedCache {
             policy,
             budget,
             entries: HashMap::new(),
-            queue: BTreeSet::new(),
+            unpinned: BTreeSet::new(),
+            pinned: BTreeSet::new(),
+            pin_counts: HashMap::new(),
             clock: 0,
             gds_l: 0,
             resident: 0,
@@ -162,11 +207,16 @@ impl UnifiedCache {
         let (policy, clock, gds_l) = (self.policy, self.clock, self.gds_l);
         match self.entries.get_mut(key) {
             Some(entry) => {
-                // Refresh ordering.
-                self.queue.remove(&(entry.ord, *key));
+                // Refresh ordering within the entry's own index.
+                let index = if entry.pinned {
+                    &mut self.pinned
+                } else {
+                    &mut self.unpinned
+                };
+                index.remove(&(entry.ord, *key));
                 entry.freq += 1;
                 entry.ord = policy.order_key(clock, gds_l, entry.len, entry.freq);
-                self.queue.insert((entry.ord, *key));
+                index.insert((entry.ord, *key));
                 self.stats.hits += 1;
                 self.stats.bytes_hit += entry.len;
                 Some(entry.agg.clone())
@@ -180,36 +230,50 @@ impl UnifiedCache {
 
     /// Inserts (or overwrites) an extent, then evicts to budget.
     ///
+    /// A key's outstanding pin count carries over to the new entry (see
+    /// the module docs): data inserted under a key the network still
+    /// references is itself treated as referenced.
+    ///
     /// Returns evicted entries.
     pub fn insert(&mut self, key: CacheKey, agg: Aggregate) -> Vec<(CacheKey, Aggregate)> {
         self.clock += 1;
         let len = agg.len();
-        if let Some(old) = self.remove(&key) {
-            // Overwrite: drop the old entry's accounting first.
-            drop(old);
-        }
+        // Overwrite: the old entry's index/residency accounting unwinds
+        // in `remove`; its buffers persist while referenced.
+        self.remove(&key);
         let ord = self.policy.order_key(self.clock, self.gds_l, len, 1);
+        let pinned = self.pin_counts.contains_key(&key);
         self.entries.insert(
             key,
             Entry {
                 agg,
                 len,
-                pins: 0,
                 ord,
                 freq: 1,
+                pinned,
             },
         );
-        self.queue.insert((ord, key));
+        if pinned {
+            self.pinned.insert((ord, key));
+        } else {
+            self.unpinned.insert((ord, key));
+        }
         self.resident += len;
         self.stats.insertions += 1;
         self.enforce_budget()
     }
 
     /// Removes an entry (IOL_write replacement, §3.5), returning its
-    /// aggregate. The buffers persist while other references exist.
+    /// aggregate. The buffers persist while other references exist, and
+    /// so does the key's pin count — outstanding references are a
+    /// property of the key's consumers, not of one entry generation.
     pub fn remove(&mut self, key: &CacheKey) -> Option<Aggregate> {
         let entry = self.entries.remove(key)?;
-        self.queue.remove(&(entry.ord, *key));
+        if entry.pinned {
+            self.pinned.remove(&(entry.ord, *key));
+        } else {
+            self.unpinned.remove(&(entry.ord, *key));
+        }
         self.resident -= entry.len;
         Some(entry.agg)
     }
@@ -223,24 +287,45 @@ impl UnifiedCache {
         out
     }
 
-    /// Marks an entry as referenced outside the cache (network holds it,
-    /// an application holds it...).
+    /// Marks `key` as referenced outside the cache (network holds it,
+    /// an application holds it...). O(log n) on the 0→1 transition,
+    /// O(1) otherwise.
+    ///
+    /// The count registers even when no entry is currently cached under
+    /// `key` (it may have been evicted between the caller's read and
+    /// its pin): a later insert under the key is then born referenced.
     pub fn pin(&mut self, key: &CacheKey) {
-        if let Some(e) = self.entries.get_mut(key) {
-            e.pins += 1;
+        let count = self.pin_counts.entry(*key).or_insert(0);
+        *count += 1;
+        if *count == 1 {
+            if let Some(e) = self.entries.get_mut(key) {
+                e.pinned = true;
+                self.unpinned.remove(&(e.ord, *key));
+                self.pinned.insert((e.ord, *key));
+            }
         }
     }
 
-    /// Releases one outside reference.
+    /// Releases one outside reference. O(log n) on the 1→0 transition,
+    /// O(1) otherwise.
     pub fn unpin(&mut self, key: &CacheKey) {
-        if let Some(e) = self.entries.get_mut(key) {
-            e.pins = e.pins.saturating_sub(1);
+        let Some(count) = self.pin_counts.get_mut(key) else {
+            return;
+        };
+        *count -= 1;
+        if *count == 0 {
+            self.pin_counts.remove(key);
+            if let Some(e) = self.entries.get_mut(key) {
+                e.pinned = false;
+                self.pinned.remove(&(e.ord, *key));
+                self.unpinned.insert((e.ord, *key));
+            }
         }
     }
 
-    /// Number of pins on an entry (0 if absent).
+    /// Number of pins on a key (0 if never pinned or fully released).
     pub fn pins(&self, key: &CacheKey) -> u32 {
-        self.entries.get(key).map_or(0, |e| e.pins)
+        self.pin_counts.get(key).copied().unwrap_or(0)
     }
 
     /// Evicts entries until residency fits the budget.
@@ -257,19 +342,18 @@ impl UnifiedCache {
 
     /// Evicts a single entry by the active policy: the best unpinned
     /// victim, else the best pinned one (the §3.7 two-level rule).
+    /// O(log n) — each level is a `min` of its own ordered index.
     ///
     /// Also used directly by the pageout-daemon trigger.
     pub fn evict_one(&mut self) -> Option<(CacheKey, Aggregate)> {
-        let victim = self
-            .queue
-            .iter()
-            .find(|(_, k)| self.entries[k].pins == 0)
-            .or_else(|| self.queue.iter().next())
-            .copied()?;
-        let (ord, key) = victim;
-        if self.entries[&key].pins > 0 {
-            self.stats.pinned_evictions += 1;
-        }
+        let (ord, key) = match self.unpinned.first() {
+            Some(&victim) => victim,
+            None => {
+                let &victim = self.pinned.first()?;
+                self.stats.pinned_evictions += 1;
+                victim
+            }
+        };
         if matches!(self.policy, Policy::Gds | Policy::Gdsf) {
             // The evicted entry's H becomes the new floor L.
             self.gds_l = ord;
@@ -466,5 +550,88 @@ mod tests {
         assert_eq!(c.lookup(&a).unwrap().to_vec(), b"first");
         assert_eq!(c.lookup(&b).unwrap().to_vec(), b"second");
         assert_eq!(c.len(), 2);
+    }
+
+    /// Regression for the pin-steal interleaving: request A pins the
+    /// key, a write replaces the entry, request B pins the key, then
+    /// A's deferred unpin fires. With per-entry pin counts the
+    /// replacement dropped A's pin, so A's unpin stole B's and left
+    /// B's in-flight entry evictable.
+    #[test]
+    fn write_replacement_preserves_pin_counts() {
+        let p = pool();
+        let mut c = UnifiedCache::new(Policy::Lru, 1 << 20);
+        let hot = CacheKey::whole(FileId(1));
+        let cold = CacheKey::whole(FileId(2));
+        c.insert(hot, Aggregate::from_bytes(&p, b"version-1"));
+        c.insert(cold, agg(&p, 9));
+        // Request A starts transmitting the hot document.
+        c.pin(&hot);
+        // A write replaces the entry mid-transmission (§3.5 snapshot).
+        let _old = c.replace_for_write(&hot);
+        assert_eq!(c.pins(&hot), 1, "pin survives the entry's removal");
+        c.insert(hot, Aggregate::from_bytes(&p, b"version-2"));
+        assert_eq!(c.pins(&hot), 1, "pin carries onto the new entry");
+        // Request B starts transmitting the new version.
+        c.pin(&hot);
+        assert_eq!(c.pins(&hot), 2);
+        // A's transmission drains; its deferred unpin fires.
+        c.unpin(&hot);
+        // B's pin must still protect the entry: the victim is the cold
+        // unpinned entry, not the hot in-flight one.
+        assert_eq!(c.pins(&hot), 1);
+        let (victim, _) = c.evict_one().unwrap();
+        assert_eq!(victim, cold, "in-flight entry must not be the victim");
+        assert!(c.contains(&hot));
+        assert_eq!(c.stats().pinned_evictions, 0);
+    }
+
+    /// A pin registered while the key's entry is evicted (the kernel
+    /// pinned after its read raced an eviction) still guards a
+    /// re-admitted entry, and the balanced unpin releases it.
+    #[test]
+    fn pin_outlives_eviction_and_readmission() {
+        let p = pool();
+        let mut c = UnifiedCache::new(Policy::Lru, 1 << 20);
+        let k = CacheKey::whole(FileId(1));
+        c.insert(k, agg(&p, 100));
+        c.pin(&k);
+        let (victim, _) = c.evict_one().unwrap();
+        assert_eq!(victim, k);
+        assert_eq!(c.stats().pinned_evictions, 1);
+        assert_eq!(c.pins(&k), 1, "outside reference outlives the entry");
+        // Re-admission under the still-referenced key: born pinned.
+        c.insert(k, agg(&p, 100));
+        c.insert(CacheKey::whole(FileId(2)), agg(&p, 100));
+        let (victim, _) = c.evict_one().unwrap();
+        assert_eq!(victim, CacheKey::whole(FileId(2)));
+        // The deferred release finally fires: k becomes evictable.
+        c.unpin(&k);
+        let (victim, _) = c.evict_one().unwrap();
+        assert_eq!(victim, k);
+    }
+
+    /// The ordered indexes stay consistent through pin/unpin/lookup
+    /// interleavings: exactly one index entry per cached key, in the
+    /// index matching its pin state.
+    #[test]
+    fn pin_transitions_move_between_indexes() {
+        let p = pool();
+        let mut c = UnifiedCache::new(Policy::Lru, 1 << 20);
+        let (k1, k2) = (CacheKey::whole(FileId(1)), CacheKey::whole(FileId(2)));
+        c.insert(k1, agg(&p, 100));
+        c.insert(k2, agg(&p, 100));
+        c.pin(&k1);
+        // Refresh the pinned entry's priority: it must stay pinned-ranked.
+        c.lookup(&k1);
+        // k2 is the only unpinned entry and must be the victim even
+        // though k1 is older by insertion.
+        let (victim, _) = c.evict_one().unwrap();
+        assert_eq!(victim, k2);
+        c.unpin(&k1);
+        let (victim, _) = c.evict_one().unwrap();
+        assert_eq!(victim, k1);
+        assert_eq!(c.stats().pinned_evictions, 0);
+        assert!(c.is_empty());
     }
 }

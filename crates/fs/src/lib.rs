@@ -20,7 +20,10 @@
 //!   entries, and pluggable replacement ([`Policy::Lru`] — which, with
 //!   pin-awareness, is exactly the paper's default two-level rule — and
 //!   [`Policy::Gds`], the Greedy Dual-Size policy Flash-Lite installs,
-//!   §5).
+//!   §5). Built for scale: pinned and unpinned entries live in
+//!   separate ordered indexes, so eviction is O(log n) no matter how
+//!   many entries the network holds referenced (see the
+//!   [`cache`] module docs for the full complexity contract).
 
 pub mod cache;
 pub mod disk;

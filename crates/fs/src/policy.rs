@@ -42,7 +42,12 @@ impl Policy {
     /// * LRU: the current logical clock.
     /// * GDS: `L + SCALE / size` (uniform cost).
     /// * GDSF: `L + freq * SCALE / size`.
-    pub(crate) fn order_key(self, clock: u64, gds_l: u64, size: u64, freq: u64) -> u64 {
+    ///
+    /// Public but hidden: the cache-equivalence property suite shares
+    /// this single implementation with its reference model so formula
+    /// changes cannot silently diverge from the test's expectations.
+    #[doc(hidden)]
+    pub fn order_key(self, clock: u64, gds_l: u64, size: u64, freq: u64) -> u64 {
         match self {
             Policy::Lru => clock,
             Policy::Gds => gds_l + GDS_SCALE / size.max(1),

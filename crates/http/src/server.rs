@@ -157,6 +157,10 @@ fn serve_iolite(
     rc.wire_bytes = rc.response_bytes + send.header_bytes;
     rc.owned_sock_bytes = send.owned_occupancy;
     // The network now references the cached entry: pin until drained.
+    // The pin is keyed by CacheKey and registers even if the entry was
+    // evicted between the IOL_read above and here (or is later replaced
+    // by a write), so the driver's deferred unpin at transmission
+    // completion is always balanced against exactly this reference.
     rc.pin_key = Some(CacheKey::whole(file));
     kernel.cache.pin(&CacheKey::whole(file));
 }
@@ -314,6 +318,39 @@ mod tests {
         }
         assert!(totals[0].1 < totals[1].1, "{totals:?}");
         assert!(totals[1].1 < totals[2].1, "{totals:?}");
+    }
+
+    /// Regression for the driver pin lifecycle: two overlapping
+    /// transmissions of one document with a snapshot write between
+    /// them. The first response's deferred unpin (the driver's
+    /// `Release::Unpin`) must not strip the second response's pin.
+    #[test]
+    fn overlapping_transmissions_survive_write_replacement() {
+        let (mut k, pid, f, mut conn) = setup(ServerKind::FlashLite);
+        let key = CacheKey::whole(f);
+        // Response A goes out and holds its pin while draining.
+        let rc_a = serve_static(&mut k, ServerKind::FlashLite, &mut conn, pid, f);
+        assert_eq!(rc_a.pin_key, Some(key));
+        // A writer replaces the document mid-transmission (§3.5).
+        let patch = Aggregate::from_bytes(k.process(pid).pool(), &[0x42; 64]);
+        k.iol_write(pid, f, 0, &patch);
+        // Response B starts on the new snapshot.
+        let rc_b = serve_static(&mut k, ServerKind::FlashLite, &mut conn, pid, f);
+        assert_eq!(rc_b.pin_key, Some(key));
+        assert_eq!(k.cache.pins(&key), 2);
+        // A's transmission drains first: the driver releases its pin.
+        k.cache.unpin(&rc_a.pin_key.unwrap());
+        // B is still in flight: its entry must not be the next victim.
+        assert_eq!(k.cache.pins(&key), 1);
+        let other = k.create_synthetic_file("/other", 1_000, 3);
+        serve_static(&mut k, ServerKind::FlashLite, &mut conn, pid, other);
+        k.cache.unpin(&CacheKey::whole(other));
+        let (victim, _) = k.cache.evict_one().unwrap();
+        assert_eq!(victim, CacheKey::whole(other), "in-flight doc survives");
+        assert!(k.cache.contains(&key));
+        // B drains: now the document is evictable again.
+        k.cache.unpin(&rc_b.pin_key.unwrap());
+        assert_eq!(k.cache.pins(&key), 0);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 
 use std::collections::VecDeque;
 
-use iolite_buf::Aggregate;
+use iolite_buf::{Acl, Aggregate, BufferPool, PoolId};
 
 /// Buffering behaviour of a pipe.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,6 +73,12 @@ pub struct Pipe {
     buffered: u64,
     closed: bool,
     stats: PipeStats,
+    /// The kernel-buffer backing for copy mode, persistent across
+    /// writes: drained copies return their chunks to this pool's free
+    /// list, so the steady-state hot pipe path (the Fig. 5/6 CGI
+    /// experiment) recycles chunks instead of allocating a fresh pool
+    /// per `write`. `None` for zero-copy pipes, which never copy.
+    scratch: Option<BufferPool>,
 }
 
 impl Pipe {
@@ -90,6 +96,15 @@ impl Pipe {
             buffered: 0,
             closed: false,
             stats: PipeStats::default(),
+            // A kernel-side pool holding anonymous copies, allocated
+            // only when the mode can copy. Its id must still be unique:
+            // chunk ids and generations are per-pool counters, and the
+            // checksum cache keys on ⟨pool, buffer, generation⟩ — two
+            // pools sharing one id would alias each other's slice
+            // identities and could serve a stale checksum on the wire.
+            scratch: (mode == PipeMode::Copy).then(|| {
+                BufferPool::new(next_scratch_pool_id(), Acl::kernel_only(), 64 * 1024)
+            }),
         }
     }
 
@@ -142,9 +157,13 @@ impl Pipe {
         let queued = match self.mode {
             PipeMode::ZeroCopy => part,
             PipeMode::Copy => {
-                // Copy-in: the kernel buffer holds its own bytes.
+                // Copy-in: the kernel buffer holds its own bytes. Each
+                // byte is copied exactly once, straight into recycled
+                // scratch chunks — the conventional path pays one
+                // copy-in, not a materialize-then-copy double, and no
+                // allocation in the steady state.
                 self.stats.bytes_copied += take;
-                copy_aggregate(&part)
+                part.pack(self.scratch.as_ref().expect("copy mode has scratch"))
             }
         };
         self.queue.push_back(queued);
@@ -193,16 +212,19 @@ impl Pipe {
     }
 }
 
-/// Physically duplicates an aggregate's bytes (models the kernel-buffer
-/// copy; intentionally not an IO-Lite pool allocation, since the
-/// conventional kernel buffer is anonymous memory). Each byte is copied
-/// exactly once, straight into the destination buffers — the conventional
-/// path pays one copy-in, not a materialize-then-copy double.
-fn copy_aggregate(a: &Aggregate) -> Aggregate {
-    use iolite_buf::{Acl, BufferPool, PoolId};
-    // A throwaway kernel-side pool: identity does not matter for copies.
-    let scratch = BufferPool::new(PoolId(u32::MAX), Acl::kernel_only(), 64 * 1024);
-    a.pack(&scratch)
+/// Allocates a unique id for a pipe's kernel-side scratch pool. Ids
+/// descend from just below the top of the id space: the kernel assigns
+/// process/user pool ids ascending from 1, and the topmost ids are
+/// reserved for fixed kernel sentinels (the rx path's anonymous pool
+/// is `u32::MAX - 1`), so the bands never meet.
+fn next_scratch_pool_id() -> PoolId {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    static NEXT: AtomicU32 = AtomicU32::new(u32::MAX - 256);
+    let id = NEXT.fetch_sub(1, Ordering::Relaxed);
+    // Fail loudly long before wrap-around could walk the descending
+    // band into kernel-assigned ids and alias pool identities.
+    assert!(id > u32::MAX / 2, "scratch pool id space exhausted");
+    PoolId(id)
 }
 
 /// A bidirectional UNIX-domain socket pair: two pipes.
@@ -259,6 +281,59 @@ mod tests {
         // Copy-in + copy-out.
         assert_eq!(p.stats().bytes_copied, 14);
         assert!(!got.slice_at(0).same_buffer(msg.slice_at(0)));
+    }
+
+    /// Regression: copy mode used to allocate a brand-new `BufferPool`
+    /// on every `write` — allocation churn on the hot pipe path the
+    /// Fig. 5/6 CGI experiment measures. The persistent scratch pool
+    /// must recycle its chunks in the steady state.
+    #[test]
+    fn copy_mode_scratch_pool_recycles_chunks() {
+        let msg = agg(&[7u8; 32 * 1024]);
+        let mut p = Pipe::new(PipeMode::Copy, 64 * 1024);
+        for _ in 0..100 {
+            assert_eq!(p.write(&msg), 32 * 1024);
+            let got = p.read(u64::MAX).unwrap();
+            assert_eq!(got.len(), 32 * 1024);
+        }
+        let scratch = p.scratch.as_ref().expect("copy mode has scratch");
+        let st = scratch.stats();
+        assert!(
+            st.chunks_created <= 3,
+            "steady state must not allocate fresh chunks: {}",
+            st.chunks_created
+        );
+        // Two 32KB copies pack into each 64KB chunk, so every other
+        // write drains-and-recycles one chunk.
+        assert!(
+            st.chunks_recycled >= 45,
+            "drained copies must recycle: {}",
+            st.chunks_recycled
+        );
+        assert!(scratch.resident_bytes() <= 3 * 64 * 1024);
+    }
+
+    /// Regression: two pipes' scratch pools must not alias. Chunk ids
+    /// and generations are per-pool counters, so same-shaped first
+    /// copies land on identical per-pool coordinates — only the pool id
+    /// keeps their checksum-cache identities distinct.
+    #[test]
+    fn scratch_pools_have_distinct_identities() {
+        let mut p1 = Pipe::new(PipeMode::Copy, 1024);
+        let mut p2 = Pipe::new(PipeMode::Copy, 1024);
+        p1.write(&agg(b"first pipe"));
+        p2.write(&agg(b"other data"));
+        let a = p1.read(100).unwrap();
+        let b = p2.read(100).unwrap();
+        assert_eq!(a.slice_at(0).id(), b.slice_at(0).id());
+        assert_eq!(a.slice_at(0).generation(), b.slice_at(0).generation());
+        assert_ne!(a.slice_at(0).pool(), b.slice_at(0).pool());
+        // Scratch ids stay clear of the fixed kernel sentinels at the
+        // very top of the id space (e.g. the rx path's anonymous pool).
+        assert!(a.slice_at(0).pool().0 <= u32::MAX - 256);
+        assert!(b.slice_at(0).pool().0 <= u32::MAX - 256);
+        // Zero-copy pipes never allocate a scratch pool at all.
+        assert!(Pipe::new(PipeMode::ZeroCopy, 1024).scratch.is_none());
     }
 
     #[test]

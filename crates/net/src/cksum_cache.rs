@@ -6,31 +6,55 @@
 //! lets TCP reuse a previously computed checksum whenever the same slice
 //! is transmitted again — eliminating "the only remaining data-touching
 //! operation on the critical I/O path" for cached documents.
+//!
+//! The cache is bounded by real per-entry eviction (second-chance /
+//! CLOCK over the entry table): when a cold slice arrives at a full
+//! cache, it replaces the least-recently-referenced entry instead of
+//! flushing the whole map, so the hot-document working set survives
+//! cold-tail traffic. Hits are O(1); replacement is amortized O(1)
+//! (one hand sweep can clear up to a full table of reference bits).
 
 use std::collections::HashMap;
 
-use iolite_buf::{BufferId, Generation, Slice};
+use iolite_buf::{BufferId, Generation, PoolId, Slice};
 
 use crate::checksum::{slice_sum, PartialSum};
 
 /// Cache key: the systemwide-unique content identifier of a slice.
+///
+/// Offsets and lengths are kept at full `u64` width: two distinct
+/// slices ≥4 GiB apart in one buffer must never collide, since a
+/// collision serves a stale checksum on the wire. The pool id is part
+/// of the key for the same reason — chunk ids and generations are
+/// per-pool counters, so slices from two pools can otherwise share a
+/// ⟨buffer, generation⟩ pair while holding different bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct Key {
+    pool: PoolId,
     buffer: BufferId,
     generation: Generation,
-    offset: u32,
-    len: u32,
+    offset: u64,
+    len: u64,
 }
 
 impl Key {
     fn of(s: &Slice) -> Key {
         Key {
+            pool: s.pool(),
             buffer: s.id(),
             generation: s.generation(),
-            offset: s.offset_in_buffer() as u32,
-            len: s.len() as u32,
+            offset: s.offset_in_buffer() as u64,
+            len: s.len() as u64,
         }
     }
+}
+
+/// One resident checksum with its CLOCK reference bit.
+#[derive(Debug)]
+struct Slot {
+    key: Key,
+    sum: PartialSum,
+    referenced: bool,
 }
 
 /// Cache effectiveness counters; the cost model charges data-touching
@@ -45,6 +69,8 @@ pub struct CksumCacheStats {
     pub bytes_cached: u64,
     /// Bytes actually touched by the checksum loop.
     pub bytes_computed: u64,
+    /// Entries replaced by the CLOCK hand to admit new slices.
+    pub evictions: u64,
 }
 
 /// A bounded map from slice identity to its partial checksum.
@@ -68,7 +94,9 @@ pub struct CksumCacheStats {
 pub struct ChecksumCache {
     capacity: usize,
     enabled: bool,
-    map: HashMap<Key, PartialSum>,
+    map: HashMap<Key, usize>,
+    slots: Vec<Slot>,
+    hand: usize,
     stats: CksumCacheStats,
 }
 
@@ -78,7 +106,11 @@ impl ChecksumCache {
         ChecksumCache {
             capacity: capacity.max(1),
             enabled: true,
+            // Grows lazily alongside `slots`: the kernel default is
+            // 2¹⁶ entries, which would be megabytes if preallocated.
             map: HashMap::new(),
+            slots: Vec::new(),
+            hand: 0,
             stats: CksumCacheStats::default(),
         }
     }
@@ -103,21 +135,39 @@ impl ChecksumCache {
             return slice_sum(s);
         }
         let key = Key::of(s);
-        if let Some(&sum) = self.map.get(&key) {
+        if let Some(&idx) = self.map.get(&key) {
+            self.slots[idx].referenced = true;
             self.stats.hits += 1;
             self.stats.bytes_cached += s.len() as u64;
-            return sum;
+            return self.slots[idx].sum;
         }
         let sum = slice_sum(s);
         self.stats.misses += 1;
         self.stats.bytes_computed += s.len() as u64;
-        if self.map.len() >= self.capacity {
-            // Cheap bounded behaviour: drop everything rather than track
-            // LRU; the working set re-warms in one pass. (The prototype's
-            // cache is similarly simple — one entry per buffer.)
-            self.map.clear();
+        if self.slots.len() < self.capacity {
+            self.map.insert(key, self.slots.len());
+            self.slots.push(Slot {
+                key,
+                sum,
+                referenced: false,
+            });
+        } else {
+            // Second chance: sweep the hand past recently referenced
+            // slots (clearing their bits) to the first unreferenced one,
+            // and replace it. Terminates within two sweeps.
+            while self.slots[self.hand].referenced {
+                self.slots[self.hand].referenced = false;
+                self.hand = (self.hand + 1) % self.capacity;
+            }
+            let slot = &mut self.slots[self.hand];
+            self.map.remove(&slot.key);
+            self.map.insert(key, self.hand);
+            slot.key = key;
+            slot.sum = sum;
+            slot.referenced = false;
+            self.stats.evictions += 1;
+            self.hand = (self.hand + 1) % self.capacity;
         }
-        self.map.insert(key, sum);
         sum
     }
 
@@ -140,7 +190,7 @@ impl ChecksumCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use iolite_buf::{Acl, Aggregate, BufferPool, PoolId};
+    use iolite_buf::{Acl, Aggregate, BufferPool, ChunkId, PoolId};
 
     fn slice(pool: &BufferPool, data: &[u8]) -> Slice {
         Aggregate::from_bytes(pool, data).slice_at(0).clone()
@@ -215,5 +265,135 @@ mod tests {
             c.sum_for(s);
         }
         assert!(c.len() <= 4);
+        assert_eq!(c.stats().evictions, 6, "each overflow replaces one entry");
+    }
+
+    /// Regression: the old clear-all bound dropped the entire map when a
+    /// single cold slice overflowed it. A recently referenced hot slice
+    /// must survive an arbitrary stream of one-off cold slices.
+    #[test]
+    fn hot_slice_survives_cold_overflow() {
+        let pool = BufferPool::new(PoolId(1), Acl::kernel_only(), 64 * 1024);
+        let hot = slice(&pool, &[0x5A; 100]);
+        let mut c = ChecksumCache::new(8);
+        c.sum_for(&hot);
+        let cold: Vec<Slice> = (0..64).map(|i| slice(&pool, &[i as u8; 16])).collect();
+        for (i, s) in cold.iter().enumerate() {
+            c.sum_for(s);
+            if i % 3 == 0 {
+                // Retransmission keeps the hot entry's reference bit set.
+                let computed = c.stats().bytes_computed;
+                c.sum_for(&hot);
+                assert_eq!(
+                    c.stats().bytes_computed,
+                    computed,
+                    "hot slice recomputed after {i} cold slices"
+                );
+            }
+        }
+        assert!(c.len() <= 8);
+        // Every hot access after the first was a hit.
+        assert_eq!(c.stats().bytes_computed as usize, 100 + 64 * 16);
+    }
+
+    /// Regression: `Key` used to truncate `offset_in_buffer`/`len` to
+    /// `u32`, so two distinct slices ≥4 GiB apart in one buffer (or
+    /// whose lengths differ by a multiple of 2³²) collided and served a
+    /// stale checksum on the wire. Keys are synthesized directly: no
+    /// test can allocate a 4 GiB buffer, but the collision was purely a
+    /// property of the key arithmetic.
+    #[test]
+    fn distant_subranges_do_not_collide_under_truncation() {
+        let pool = PoolId(1);
+        let buffer = BufferId {
+            chunk: ChunkId(1),
+            offset: 0,
+        };
+        let generation = Generation(1);
+        let near = Key {
+            pool,
+            buffer,
+            generation,
+            offset: 0,
+            len: 1460,
+        };
+        let far = Key {
+            pool,
+            buffer,
+            generation,
+            offset: 1 << 32,
+            len: 1460,
+        };
+        let long = Key {
+            pool,
+            buffer,
+            generation,
+            offset: 0,
+            len: (1u64 << 32) + 1460,
+        };
+        // These are exactly the pairs `as u32` used to conflate.
+        assert_eq!(near.offset as u32, far.offset as u32);
+        assert_eq!(near.len as u32, long.len as u32);
+        assert_ne!(near, far);
+        assert_ne!(near, long);
+        // And a map keyed on them keeps the sums distinct.
+        let mut map = HashMap::new();
+        map.insert(near, 1u16);
+        map.insert(far, 2u16);
+        map.insert(long, 3u16);
+        assert_eq!(map.len(), 3);
+        assert_eq!(map[&near], 1);
+    }
+
+    /// Regression: chunk ids and generations are per-pool counters, so
+    /// the first allocation of every pool is ⟨chunk 0, offset 0,
+    /// generation 0⟩. Two pools' same-length first slices must not
+    /// share a checksum entry (e.g. two CGI instances, each with its
+    /// own pool, §3.10).
+    #[test]
+    fn different_pools_do_not_collide() {
+        let a = BufferPool::new(PoolId(1), Acl::kernel_only(), 4096);
+        let b = BufferPool::new(PoolId(2), Acl::kernel_only(), 4096);
+        let sa = slice(&a, &[0x11; 64]);
+        let sb = slice(&b, &[0x22; 64]);
+        assert_eq!(sa.id(), sb.id(), "per-pool ids must coincide for this test");
+        assert_eq!(sa.generation(), sb.generation());
+        let mut c = ChecksumCache::new(16);
+        let sum_a = c.sum_for(&sa);
+        let sum_b = c.sum_for(&sb);
+        assert_ne!(sum_a.sum, sum_b.sum, "no stale cross-pool checksum");
+        assert_eq!(c.stats().hits, 0);
+        assert_eq!(c.len(), 2);
+    }
+
+    /// CLOCK gives one-shot entries a second chance only when
+    /// re-referenced: a scan that reuses nothing cycles through the
+    /// table without disturbing entries whose bits are set.
+    #[test]
+    fn clock_hand_skips_referenced_entries() {
+        let pool = BufferPool::new(PoolId(1), Acl::kernel_only(), 4096);
+        let mut c = ChecksumCache::new(4);
+        let keep: Vec<Slice> = (0..3).map(|i| slice(&pool, &[0xF0 + i as u8; 24])).collect();
+        for s in &keep {
+            c.sum_for(s);
+        }
+        // Re-reference all three: their bits are set.
+        for s in &keep {
+            c.sum_for(s);
+        }
+        // Two cold slices overflow the 4-entry table; each eviction must
+        // take the single unreferenced slot (the previous cold entry),
+        // never one of the referenced hot three... as long as the hot
+        // set is re-referenced between overflows.
+        for i in 0..8u8 {
+            c.sum_for(&slice(&pool, &[i; 12]));
+            for s in &keep {
+                c.sum_for(s);
+            }
+        }
+        let st = c.stats();
+        // 3 first-touch computes + 8 cold computes; every other access hit.
+        assert_eq!(st.misses, 11);
+        assert_eq!(st.bytes_computed as usize, 3 * 24 + 8 * 12);
     }
 }

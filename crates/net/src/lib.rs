@@ -11,7 +11,9 @@
 //!
 //! * **Checksum caching** (§3.9): the Internet checksum module caches the
 //!   sum for each ⟨buffer, generation, range⟩; retransmitting a hot
-//!   document costs no data-touching at all.
+//!   document costs no data-touching at all. The cache is bounded by
+//!   per-entry second-chance (CLOCK) eviction, so the hot-document
+//!   working set survives cold-tail traffic.
 //! * **Early demultiplexing** (§3.6): a packet filter maps incoming
 //!   packets to their I/O stream *before* the payload is stored, so it
 //!   can be placed directly into a buffer with the right ACL.
