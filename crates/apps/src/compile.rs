@@ -14,7 +14,7 @@
 //! data copying has been eliminated."
 
 use iolite_buf::Aggregate;
-use iolite_core::{Charge, CostCategory, Kernel, Pid};
+use iolite_core::{short_ok, Charge, CostCategory, IolError, Kernel, Pid};
 use iolite_fs::FileId;
 use iolite_sim::SimTime;
 
@@ -80,22 +80,28 @@ impl CompilePipeline {
         costs: &AppCosts,
     ) -> (Vec<u8>, SimTime) {
         let start = kernel.now();
-        // Driver reads the source.
-        let len = kernel.store.len(source).unwrap_or(0);
+        // Driver opens and reads the source through its descriptor.
+        let src_fd = kernel.open_file(self.driver, source);
+        let len = kernel.fd_len(self.driver, src_fd).unwrap_or(0);
         let source_bytes = match mode {
             ApiMode::Posix => {
-                let (bytes, out) = kernel.posix_read(self.driver, source, 0, len);
+                let (bytes, out) = kernel
+                    .posix_read_fd(self.driver, src_fd, len)
+                    .expect("open source");
                 kernel.charge(CostCategory::Copy, out.charge);
                 kernel.advance(out.disk_time);
                 bytes
             }
             ApiMode::IoLite => {
-                let (agg, out) = kernel.iol_read(self.driver, source, 0, len);
+                let (agg, out) = kernel
+                    .iol_read_fd(self.driver, src_fd, len)
+                    .expect("open source");
                 kernel.charge(CostCategory::PageMap, out.charge);
                 kernel.advance(out.disk_time);
                 agg.to_vec()
             }
         };
+        kernel.close_fd(self.driver, src_fd).expect("close source");
         // Stage 1: cpp.
         let expanded = self.stage(kernel, self.driver, self.cpp, &source_bytes, mode, |b| {
             cpp_transform(b)
@@ -134,31 +140,39 @@ impl CompilePipeline {
         mode: ApiMode,
         transform: impl Fn(&[u8]) -> Vec<u8>,
     ) -> Vec<u8> {
-        let pipe = kernel.pipe_create(mode.pipe_mode());
+        let (wfd, rfd) = kernel.pipe_between(producer, consumer, mode.pipe_mode());
         let pool = kernel.process(producer).pool().clone();
         let agg = Aggregate::from_bytes(&pool, input);
         let mut received = Vec::with_capacity(input.len());
         let mut sent = 0u64;
         while sent < agg.len() {
             let rest = agg.range(sent, agg.len() - sent).expect("in range");
-            let (accepted, wout) = kernel.pipe_write(producer, pipe, &rest);
+            let (accepted, wout) = short_ok(kernel.iol_write_fd(producer, wfd, &rest))
+                .expect("consumer holds the read end");
             kernel.charge(CostCategory::Copy, wout.charge);
             sent += accepted;
-            let (got, rout) = kernel.pipe_read(consumer, pipe, u64::MAX);
-            kernel.charge(CostCategory::Copy, rout.charge);
-            if let Some(chunk) = got {
-                // Consumer copy into its own contiguous working memory:
-                // one copy per byte, no intermediate materialization.
-                for run in chunk.chunks() {
-                    received.extend_from_slice(run);
+            match kernel.iol_read_fd(consumer, rfd, u64::MAX) {
+                Ok((chunk, rout)) => {
+                    kernel.charge(CostCategory::Copy, rout.charge);
+                    // Consumer copy into its own contiguous working
+                    // memory: one copy per byte, no intermediate
+                    // materialization.
+                    for run in chunk.chunks() {
+                        received.extend_from_slice(run);
+                    }
                 }
+                Err(IolError::WouldBlock { outcome }) => {
+                    kernel.charge(CostCategory::Syscall, outcome.charge);
+                }
+                Err(e) => panic!("stage read failed: {e}"),
             }
             if sent < agg.len() {
                 kernel.charge(CostCategory::ContextSwitch, kernel.cost.context_switches(2));
                 kernel.metrics.context_switches += 2;
             }
         }
-        kernel.pipe_close(pipe);
+        kernel.close_fd(producer, wfd).expect("close stage write end");
+        kernel.close_fd(consumer, rfd).expect("close stage read end");
         transform(&received)
     }
 }

@@ -7,7 +7,7 @@
 //! buffers were copied into dynamically allocated contiguous memory."
 
 use iolite_buf::Aggregate;
-use iolite_core::{Charge, CostCategory, Kernel, Pid};
+use iolite_core::{short_ok, Charge, CostCategory, IolError, Kernel, Pid};
 use iolite_fs::FileId;
 use iolite_sim::SimTime;
 
@@ -82,7 +82,9 @@ impl GrepState {
 }
 
 /// Runs `cat file | grep pattern`, returning the (real) match counts
-/// and the simulated runtime.
+/// and the simulated runtime. The pipe is a kernel pipe addressed by
+/// descriptors: cat holds the write end, grep the read end, exactly as
+/// the shell would wire them.
 pub fn run_cat_grep(
     kernel: &mut Kernel,
     cat_pid: Pid,
@@ -93,8 +95,9 @@ pub fn run_cat_grep(
     costs: &AppCosts,
 ) -> (GrepResult, SimTime) {
     let start = kernel.now();
-    let pipe = kernel.pipe_create(mode.pipe_mode());
-    let len = kernel.store.len(file).unwrap_or(0);
+    let (wfd, rfd) = kernel.pipe_between(cat_pid, grep_pid, mode.pipe_mode());
+    let in_fd = kernel.open_file(cat_pid, file);
+    let len = kernel.fd_len(cat_pid, in_fd).unwrap_or(0);
     let chunk = 64 * 1024u64;
     let mut state = GrepState {
         pattern: pattern.to_vec(),
@@ -107,16 +110,16 @@ pub fn run_cat_grep(
     let mut offset = 0u64;
     while offset < len {
         let want = chunk.min(len - offset);
-        // --- cat: read one chunk ---
+        // --- cat: read one chunk sequentially off its descriptor ---
         let data: Aggregate = match mode {
             ApiMode::Posix => {
-                let (bytes, out) = kernel.posix_read(cat_pid, file, offset, want);
+                let (bytes, out) = kernel.posix_read_fd(cat_pid, in_fd, want).expect("open file");
                 kernel.charge(CostCategory::Copy, out.charge);
                 kernel.advance(out.disk_time);
                 Aggregate::from_bytes(&scratch, &bytes)
             }
             ApiMode::IoLite => {
-                let (agg, out) = kernel.iol_read(cat_pid, file, offset, want);
+                let (agg, out) = kernel.iol_read_fd(cat_pid, in_fd, want).expect("open file");
                 kernel.charge(CostCategory::PageMap, out.charge);
                 kernel.advance(out.disk_time);
                 agg
@@ -130,34 +133,41 @@ pub fn run_cat_grep(
         let mut sent = 0u64;
         while sent < data.len() {
             let rest = data.range(sent, data.len() - sent).expect("in range");
-            let (accepted, wout) = kernel.pipe_write(cat_pid, pipe, &rest);
+            let (accepted, wout) = short_ok(kernel.iol_write_fd(cat_pid, wfd, &rest))
+                .expect("grep holds the read end");
             kernel.charge(CostCategory::Copy, wout.charge);
             sent += accepted;
-            let (got, rout) = kernel.pipe_read(grep_pid, pipe, u64::MAX);
-            kernel.charge(CostCategory::Copy, rout.charge);
-            if let Some(agg) = got {
-                // grep processes what arrived.
-                kernel.charge(
-                    CostCategory::AppCompute,
-                    Charge::us(agg.len() as f64 * costs.grep_scan_ns_per_byte / 1000.0),
-                );
-                match mode {
-                    ApiMode::Posix => {
-                        // The copied-out data is contiguous user memory;
-                        // the copy itself is already charged by the pipe,
-                        // so scan the runs without re-materializing.
-                        for run in agg.chunks() {
-                            state.feed_contiguous(run, false);
+            match kernel.iol_read_fd(grep_pid, rfd, u64::MAX) {
+                Ok((agg, rout)) => {
+                    kernel.charge(CostCategory::Copy, rout.charge);
+                    // grep processes what arrived.
+                    kernel.charge(
+                        CostCategory::AppCompute,
+                        Charge::us(agg.len() as f64 * costs.grep_scan_ns_per_byte / 1000.0),
+                    );
+                    match mode {
+                        ApiMode::Posix => {
+                            // The copied-out data is contiguous user
+                            // memory; the copy itself is already charged
+                            // by the pipe, so scan the runs without
+                            // re-materializing.
+                            for run in agg.chunks() {
+                                state.feed_contiguous(run, false);
+                            }
                         }
-                    }
-                    ApiMode::IoLite => {
-                        // Process run by run; split lines get copied
-                        // (and charged below).
-                        for run in agg.chunks() {
-                            state.feed_contiguous(run, true);
+                        ApiMode::IoLite => {
+                            // Process run by run; split lines get copied
+                            // (and charged below).
+                            for run in agg.chunks() {
+                                state.feed_contiguous(run, true);
+                            }
                         }
                     }
                 }
+                Err(IolError::WouldBlock { outcome }) => {
+                    kernel.charge(CostCategory::Syscall, outcome.charge);
+                }
+                Err(e) => panic!("grep read failed: {e}"),
             }
             if sent < data.len() {
                 // Blocked on a full pipe: producer/consumer switch pair.
@@ -174,7 +184,9 @@ pub fn run_cat_grep(
         kernel.charge(CostCategory::Copy, c);
         kernel.metrics.bytes_copied += state.split_copied;
     }
-    kernel.pipe_close(pipe);
+    kernel.close_fd(cat_pid, in_fd).expect("close cat input");
+    kernel.close_fd(cat_pid, wfd).expect("close pipe write end");
+    kernel.close_fd(grep_pid, rfd).expect("close pipe read end");
     (state.result, kernel.now().saturating_sub(start))
 }
 

@@ -9,7 +9,7 @@
 //! cost.
 
 use iolite_buf::Aggregate;
-use iolite_core::{Charge, CostCategory, Kernel, Pid};
+use iolite_core::{short_ok, Charge, CostCategory, IolError, Kernel, Pid};
 use iolite_sim::SimTime;
 
 use crate::costs::AppCosts;
@@ -84,7 +84,7 @@ pub fn run_permute_wc(
     costs: &AppCosts,
 ) -> (WcCounts, SimTime) {
     let start = kernel.now();
-    let pipe = kernel.pipe_create(mode.pipe_mode());
+    let (wfd, rfd) = kernel.pipe_between(perm_pid, wc_pid, mode.pipe_mode());
     let pool = kernel.process(perm_pid).pool().clone();
     let mut counts = WcCounts::default();
     let mut in_word = false;
@@ -104,19 +104,25 @@ pub fn run_permute_wc(
         let mut sent = 0u64;
         while sent < agg.len() {
             let rest = agg.range(sent, agg.len() - sent).expect("in range");
-            let (accepted, wout) = kernel.pipe_write(perm_pid, pipe, &rest);
+            let (accepted, wout) = short_ok(kernel.iol_write_fd(perm_pid, wfd, &rest))
+                .expect("wc holds the read end");
             kernel.charge(CostCategory::Copy, wout.charge);
             sent += accepted;
-            let (got, rout) = kernel.pipe_read(wc_pid, pipe, u64::MAX);
-            kernel.charge(CostCategory::Copy, rout.charge);
-            if let Some(chunk) = got {
-                kernel.charge(
-                    CostCategory::AppCompute,
-                    Charge::us(chunk.len() as f64 * costs.wc_scan_ns_per_byte / 1000.0),
-                );
-                for run in chunk.chunks() {
-                    count_chunk(run, &mut counts, &mut in_word);
+            match kernel.iol_read_fd(wc_pid, rfd, u64::MAX) {
+                Ok((chunk, rout)) => {
+                    kernel.charge(CostCategory::Copy, rout.charge);
+                    kernel.charge(
+                        CostCategory::AppCompute,
+                        Charge::us(chunk.len() as f64 * costs.wc_scan_ns_per_byte / 1000.0),
+                    );
+                    for run in chunk.chunks() {
+                        count_chunk(run, &mut counts, &mut in_word);
+                    }
                 }
+                Err(IolError::WouldBlock { outcome }) => {
+                    kernel.charge(CostCategory::Syscall, outcome.charge);
+                }
+                Err(e) => panic!("wc read failed: {e}"),
             }
             if sent < agg.len() {
                 kernel.charge(CostCategory::ContextSwitch, kernel.cost.context_switches(2));
@@ -135,7 +141,8 @@ pub fn run_permute_wc(
         generate_permutations(n, &mut emit);
     }
     flush(kernel, &mut stage);
-    kernel.pipe_close(pipe);
+    kernel.close_fd(perm_pid, wfd).expect("close pipe write end");
+    kernel.close_fd(wc_pid, rfd).expect("close pipe read end");
     (counts, kernel.now().saturating_sub(start))
 }
 

@@ -40,7 +40,8 @@ fn count_chunk(data: &[u8], counts: &mut WcCounts, in_word: &mut bool) {
 }
 
 /// Runs `wc` on a file, returning the (real) counts and the simulated
-/// runtime.
+/// runtime. The program opens its own descriptor and reads
+/// sequentially, exactly like the real `wc` reading `stdin`-style.
 pub fn run_wc(
     kernel: &mut Kernel,
     pid: Pid,
@@ -49,7 +50,8 @@ pub fn run_wc(
     costs: &AppCosts,
 ) -> (WcCounts, SimTime) {
     let start = kernel.now();
-    let len = kernel.store.len(file).unwrap_or(0);
+    let fd = kernel.open_file(pid, file);
+    let len = kernel.fd_len(pid, fd).unwrap_or(0);
     let chunk = 64 * 1024u64;
     let mut counts = WcCounts::default();
     let mut in_word = false;
@@ -58,13 +60,13 @@ pub fn run_wc(
         let want = chunk.min(len - offset);
         match mode {
             ApiMode::Posix => {
-                let (data, out) = kernel.posix_read(pid, file, offset, want);
+                let (data, out) = kernel.posix_read_fd(pid, fd, want).expect("open file");
                 kernel.charge(CostCategory::Copy, out.charge);
                 kernel.advance(out.disk_time);
                 count_chunk(&data, &mut counts, &mut in_word);
             }
             ApiMode::IoLite => {
-                let (agg, out) = kernel.iol_read(pid, file, offset, want);
+                let (agg, out) = kernel.iol_read_fd(pid, fd, want).expect("open file");
                 kernel.charge(CostCategory::PageMap, out.charge);
                 kernel.advance(out.disk_time);
                 // Iterate the byte runs in place: no contiguity needed.
@@ -79,6 +81,7 @@ pub fn run_wc(
         );
         offset += want;
     }
+    kernel.close_fd(pid, fd).expect("close wc input");
     (counts, kernel.now().saturating_sub(start))
 }
 

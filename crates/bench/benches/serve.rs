@@ -6,7 +6,7 @@ use iolite_core::{CostModel, Kernel};
 use iolite_fs::{CacheKey, Policy};
 use iolite_http::{server::serve_static, CgiProcess, ServerKind};
 use iolite_ipc::PipeMode;
-use iolite_net::{TcpConn, DEFAULT_MSS, DEFAULT_TSS};
+use iolite_net::{DEFAULT_MSS, DEFAULT_TSS};
 
 /// Short measurement windows: benches document magnitudes, not publishable
 /// microbenchmark precision.
@@ -32,13 +32,14 @@ fn bench_serve_static(c: &mut Criterion) {
             let mut kernel = Kernel::with_policy(CostModel::pentium_ii_333(), policy);
             let pid = kernel.spawn("server");
             let file = kernel.create_synthetic_file("/doc", size, 1);
-            let mut conn = TcpConn::new(1, kind.buffer_mode(), DEFAULT_MSS, DEFAULT_TSS);
+            let file_fd = kernel.open_file(pid, file);
+            let sock = kernel.socket_create(pid, kind.buffer_mode(), DEFAULT_MSS, DEFAULT_TSS);
             // Warm everything.
-            serve_static(&mut kernel, kind, &mut conn, pid, file);
+            serve_static(&mut kernel, kind, sock, pid, file_fd);
             kernel.cache.unpin(&CacheKey::whole(file));
             g.bench_function(kind.label(), |b| {
                 b.iter(|| {
-                    let rc = serve_static(&mut kernel, kind, &mut conn, pid, file);
+                    let rc = serve_static(&mut kernel, kind, sock, pid, file_fd);
                     if let Some(k) = rc.pin_key {
                         kernel.cache.unpin(&k);
                     }
@@ -60,13 +61,10 @@ fn bench_serve_cgi(c: &mut Criterion) {
         let mut kernel = Kernel::new(CostModel::pentium_ii_333());
         let server = kernel.spawn("server");
         let mut cgi = CgiProcess::new(&mut kernel, server, 100 << 10, mode);
-        let mut conn = TcpConn::new(1, kind.buffer_mode(), DEFAULT_MSS, DEFAULT_TSS);
-        cgi.serve(&mut kernel, kind, &mut conn, server);
+        let sock = kernel.socket_create(server, kind.buffer_mode(), DEFAULT_MSS, DEFAULT_TSS);
+        cgi.serve(&mut kernel, kind, sock, server);
         g.bench_function(kind.label(), |b| {
-            b.iter(|| {
-                cgi.serve(&mut kernel, kind, &mut conn, server)
-                    .response_bytes
-            })
+            b.iter(|| cgi.serve(&mut kernel, kind, sock, server).response_bytes)
         });
     }
     g.finish();

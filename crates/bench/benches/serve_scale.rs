@@ -21,10 +21,10 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use iolite_buf::{Acl, Aggregate, BufferPool, PoolId, Slice};
-use iolite_core::{CostModel, Kernel};
+use iolite_core::{CostModel, Fd, Kernel};
 use iolite_fs::{CacheKey, FileId, Policy, UnifiedCache};
 use iolite_http::{server::serve_static, ServerKind};
-use iolite_net::{ChecksumCache, TcpConn, DEFAULT_MSS, DEFAULT_TSS};
+use iolite_net::{ChecksumCache, DEFAULT_MSS, DEFAULT_TSS};
 use iolite_sim::SimRng;
 use iolite_trace::{TraceSpec, Workload};
 use iolite_vm::MemAccount;
@@ -67,8 +67,10 @@ const STATS_REQUESTS: u64 = 30_000;
 struct ScaleRig {
     kernel: Kernel,
     pid: iolite_core::Pid,
-    files: Vec<FileId>,
-    conns: Vec<TcpConn>,
+    /// The server's open-file set (one descriptor per corpus file).
+    files: Vec<Fd>,
+    /// Kernel socket descriptors, one per simulated connection.
+    socks: Vec<Fd>,
     workload: Workload,
     rng: SimRng,
     inflight: VecDeque<CacheKey>,
@@ -90,19 +92,24 @@ impl ScaleRig {
             .physmem
             .reserve(MemAccount::Server, cost.server_reserve_bytes);
         let pid = kernel.spawn("server");
-        let files: Vec<FileId> = workload
+        let files: Vec<Fd> = workload
             .files()
             .iter()
-            .map(|f| kernel.create_synthetic_file(&f.name, f.bytes, 7 ^ f.bytes))
+            .map(|f| {
+                let id = kernel.create_synthetic_file(&f.name, f.bytes, 7 ^ f.bytes);
+                kernel.open_file(pid, id)
+            })
             .collect();
-        let conns = (0..CONNS)
-            .map(|i| TcpConn::new(i as u64, ServerKind::FlashLite.buffer_mode(), DEFAULT_MSS, DEFAULT_TSS))
+        let socks = (0..CONNS)
+            .map(|_| {
+                kernel.socket_create(pid, ServerKind::FlashLite.buffer_mode(), DEFAULT_MSS, DEFAULT_TSS)
+            })
             .collect();
         ScaleRig {
             kernel,
             pid,
             files,
-            conns,
+            socks,
             workload,
             rng: SimRng::new(11),
             inflight: VecDeque::with_capacity(PIN_DEPTH + 1),
@@ -116,8 +123,8 @@ impl ScaleRig {
     fn step(&mut self) -> u64 {
         let idx = self.workload.sample_request(&mut self.rng);
         let file = self.files[idx];
-        let conn = &mut self.conns[self.served as usize % CONNS];
-        let rc = serve_static(&mut self.kernel, ServerKind::FlashLite, conn, self.pid, file);
+        let sock = self.socks[self.served as usize % CONNS];
+        let rc = serve_static(&mut self.kernel, ServerKind::FlashLite, sock, self.pid, file);
         if let Some(key) = rc.pin_key {
             self.inflight.push_back(key);
         }

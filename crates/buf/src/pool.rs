@@ -48,6 +48,13 @@ pub struct PoolStats {
     pub chunks_recycled: u64,
     /// Chunks released back to the VM system by [`BufferPool::release_free_chunks`].
     pub chunks_released: u64,
+    /// Reads whose placement was billed to this pool (`IOL_read` with an
+    /// explicit allocation pool, §3.4). The data may physically live in
+    /// the file cache; attribution records which pool the caller asked
+    /// the placement to be accounted against.
+    pub reads_attributed: u64,
+    /// Bytes covered by attributed reads.
+    pub bytes_attributed: u64,
 }
 
 struct PoolInner {
@@ -212,6 +219,16 @@ impl BufferPool {
     /// Snapshot of the pool's counters.
     pub fn stats(&self) -> PoolStats {
         self.inner.borrow().stats
+    }
+
+    /// Bills a pool-directed read of `bytes` to this pool's counters
+    /// (§3.4: "a version of IOL_read allows applications to specify an
+    /// allocation pool"). Cached file data stays in the cache's physical
+    /// buffers, so attribution is an accounting act, not an allocation.
+    pub fn attribute_read(&self, bytes: u64) {
+        let mut inner = self.inner.borrow_mut();
+        inner.stats.reads_attributed += 1;
+        inner.stats.bytes_attributed += bytes;
     }
 
     /// Bytes of chunk storage currently resident (live + free chunks).

@@ -1,16 +1,27 @@
-//! The IO-Lite API exactly as Figure 2 and §3.4 present it.
+//! The IO-Lite API exactly as Figure 2 and §3.4 present it — on file
+//! descriptors, as the paper demands: `IOL_read` and `IOL_write` "can
+//! act on any UNIX file descriptor, including those associated with
+//! network sockets, disk files, pipes, and special devices."
 //!
 //! The paper's API surface, mapped to this implementation:
 //!
 //! | paper (Fig. 2 / §3.4) | here |
 //! |---|---|
 //! | `IOL_Agg` | [`IolAgg`] (= [`iolite_buf::Aggregate`]) |
-//! | `IOL_read(fd, size)` | [`iol_read`] |
-//! | `IOL_write(fd, agg)` | [`iol_write`] |
-//! | `IOL_read` w/ allocation pool | [`iol_read_pool`] |
+//! | `IOL_read(fd, size)` | [`iol_read`]`(kernel, pid, fd, size)` → [`IoResult<IolAgg>`] |
+//! | `IOL_write(fd, agg)` | [`iol_write`]`(kernel, pid, fd, agg)` → [`IoResult<u64>`] |
+//! | `IOL_read` w/ allocation pool | [`iol_read_pool`] (ACL-checked, pool-attributed) |
 //! | create/delete allocation pools | [`iol_create_pool`] |
 //! | aggregate create/dup/concat/trunc | methods on [`IolAgg`] |
 //! | `mmap` | [`iol_mmap`] |
+//! | "all other file-descriptor-related UNIX system calls" | [`Kernel::open`], [`Kernel::lseek`] ([`crate::Whence`]), [`Kernel::dup_fd`]/[`Kernel::dup2_fd`], [`Kernel::close_fd`], `pipe(2)` via [`Kernel::pipe_fds`]/[`Kernel::pipe_between`], sockets via [`Kernel::socket_create`] |
+//!
+//! The descriptor is the *only* application-level capability: whether
+//! it names a cached disk file, a pipe end, a TCP socket, or the stdio
+//! triple installed at [`Kernel::spawn`], the same two calls move data
+//! — and every call returns [`IoResult`], so misuse (`NotOpen`,
+//! `BadFdKind`, ACL denial, EOF vs `WouldBlock`, short writes) is a
+//! value, not a panic.
 //!
 //! Semantics carried over verbatim:
 //!
@@ -26,31 +37,30 @@
 //! These are thin wrappers over [`Kernel`] methods; applications that
 //! prefer Rust-idiomatic naming call the kernel directly.
 
-use iolite_buf::{Acl, Aggregate, BufferPool};
-use iolite_fs::FileId;
+use iolite_buf::{Acl, BufferPool};
 use iolite_vm::MmapView;
 
-use crate::kernel::{IoOutcome, Kernel};
+use crate::error::{IoResult, IolError};
+use crate::fd::Fd;
+use crate::kernel::Kernel;
 use crate::process::Pid;
 
-/// The paper's `IOL_Agg` abstract data type.
-pub type IolAgg = Aggregate;
+pub use iolite_buf::Aggregate as IolAgg;
 
 /// `IOL_read`: returns a snapshot aggregate of at most `size` bytes
-/// from `file` at `offset`.
+/// from the object behind `fd` — a file (at the shared seek offset), a
+/// pipe read end, or a socket's inbound stream.
 ///
 /// Short reads are part of the contract; callers loop. The returned
 /// aggregate shares physical buffers with the file cache (§3.1) and
 /// remains valid — with its snapshotted contents — across any later
 /// writes or evictions (§3.5).
-pub fn iol_read(
-    kernel: &mut Kernel,
-    pid: Pid,
-    file: FileId,
-    offset: u64,
-    size: u64,
-) -> (IolAgg, IoOutcome) {
-    kernel.iol_read(pid, file, offset, size)
+///
+/// # Errors
+///
+/// See [`Kernel::iol_read_fd`].
+pub fn iol_read(kernel: &mut Kernel, pid: Pid, fd: Fd, size: u64) -> IoResult<IolAgg> {
+    kernel.iol_read_fd(pid, fd, size)
 }
 
 /// `IOL_read` with an explicit allocation pool (§3.4: "a version of
@@ -58,33 +68,44 @@ pub fn iol_read(
 ///
 /// In this implementation the pool choice matters for *incoming* data
 /// placement (the receive path); cached file data already lives in
-/// IO-Lite buffers, so this variant simply performs the read and then
-/// asserts the caller may access the data through `pool`'s ACL.
+/// IO-Lite buffers, so this variant performs the read, enforces that
+/// the caller may access data through `pool`'s ACL, and attributes the
+/// read's placement to the pool's counters
+/// ([`iolite_buf::PoolStats::reads_attributed`]).
+///
+/// # Errors
+///
+/// [`IolError::PermissionDenied`] when `pid`'s domain is not on
+/// `pool`'s ACL — in release builds too, not as a debug assertion —
+/// plus everything [`Kernel::iol_read_fd`] can return.
 pub fn iol_read_pool(
     kernel: &mut Kernel,
     pid: Pid,
     pool: &BufferPool,
-    file: FileId,
-    offset: u64,
+    fd: Fd,
     size: u64,
-) -> (IolAgg, IoOutcome) {
-    debug_assert!(
-        pool.acl().allows(pid.domain()),
-        "caller must be on its own pool's ACL"
-    );
-    kernel.iol_read(pid, file, offset, size)
+) -> IoResult<IolAgg> {
+    if !pool.acl().allows(pid.domain()) {
+        return Err(IolError::PermissionDenied {
+            domain: pid.domain(),
+        });
+    }
+    let (agg, out) = kernel.iol_read_fd(pid, fd, size)?;
+    pool.attribute_read(agg.len());
+    Ok((agg, out))
 }
 
-/// `IOL_write`: replaces the extent of `file` at `offset` with the
-/// contents of `agg` (§3.5 snapshot-preserving replacement).
-pub fn iol_write(
-    kernel: &mut Kernel,
-    pid: Pid,
-    file: FileId,
-    offset: u64,
-    agg: &IolAgg,
-) -> IoOutcome {
-    kernel.iol_write(pid, file, offset, agg)
+/// `IOL_write`: replaces the extent of the object behind `fd` with the
+/// contents of `agg` (§3.5 snapshot-preserving replacement for files;
+/// enqueue-by-reference for pipes; the zero-copy send path for
+/// sockets). Returns the bytes accepted.
+///
+/// # Errors
+///
+/// See [`Kernel::iol_write_fd`]; partial pipe writes surface as
+/// [`IolError::ShortIo`] carrying the progress made.
+pub fn iol_write(kernel: &mut Kernel, pid: Pid, fd: Fd, agg: &IolAgg) -> IoResult<u64> {
+    kernel.iol_write_fd(pid, fd, agg)
 }
 
 /// Creates an IO-Lite allocation pool with the given ACL
@@ -96,43 +117,79 @@ pub fn iol_create_pool(kernel: &mut Kernel, acl: Acl) -> BufferPool {
 
 /// The retained `mmap` interface (§3.8) for applications that need
 /// contiguous, in-place-modifiable views.
-pub fn iol_mmap(kernel: &mut Kernel, pid: Pid, file: FileId) -> (MmapView, IoOutcome) {
-    kernel.mmap(pid, file)
+///
+/// # Errors
+///
+/// See [`Kernel::mmap_fd`].
+pub fn iol_mmap(kernel: &mut Kernel, pid: Pid, fd: Fd) -> IoResult<MmapView> {
+    kernel.mmap_fd(pid, fd)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::cost::CostModel;
+    use crate::fd::Whence;
 
     #[test]
     fn reads_may_be_short_and_writes_replace() {
         let mut k = Kernel::new(CostModel::pentium_ii_333());
         let pid = k.spawn("app");
-        let f = k.create_file("/f", b"0123456789");
+        k.create_file("/f", b"0123456789");
+        let (fd, _) = k.open(pid, "/f").unwrap();
         // Short read at EOF.
-        let (agg, _) = iol_read(&mut k, pid, f, 8, 100);
+        k.lseek(pid, fd, 8, Whence::Set).unwrap();
+        let (agg, _) = iol_read(&mut k, pid, fd, 100).unwrap();
         assert_eq!(agg.to_vec(), b"89");
         // Write replaces; snapshot persists.
-        let (snap, _) = iol_read(&mut k, pid, f, 0, 100);
+        k.lseek(pid, fd, 0, Whence::Set).unwrap();
+        let (snap, _) = iol_read(&mut k, pid, fd, 100).unwrap();
         let patch = IolAgg::from_bytes(k.process(pid).pool(), b"ABC");
-        iol_write(&mut k, pid, f, 0, &patch);
+        k.lseek(pid, fd, 0, Whence::Set).unwrap();
+        iol_write(&mut k, pid, fd, &patch).unwrap();
         assert_eq!(snap.to_vec(), b"0123456789");
-        let (now, _) = iol_read(&mut k, pid, f, 0, 100);
+        k.lseek(pid, fd, 0, Whence::Set).unwrap();
+        let (now, _) = iol_read(&mut k, pid, fd, 100).unwrap();
         assert_eq!(now.to_vec(), b"ABC3456789");
     }
 
     #[test]
-    fn pool_creation_and_acl() {
+    fn pool_creation_acl_and_attribution() {
         let mut k = Kernel::new(CostModel::pentium_ii_333());
         let a = k.spawn("a");
         let b = k.spawn("b");
         let pool = iol_create_pool(&mut k, Acl::with_domains(&[a.domain(), b.domain()]));
         assert!(pool.acl().allows(a.domain()));
         assert!(pool.acl().allows(b.domain()));
-        let file = k.create_file("/x", b"hi");
-        let (agg, _) = iol_read_pool(&mut k, a, &pool, file, 0, 10);
+        k.create_file("/x", b"hi");
+        let (fd, _) = k.open(a, "/x").unwrap();
+        let (agg, _) = iol_read_pool(&mut k, a, &pool, fd, 10).unwrap();
         assert_eq!(agg.to_vec(), b"hi");
+        // The placement was billed to the pool.
+        assert_eq!(pool.stats().reads_attributed, 1);
+        assert_eq!(pool.stats().bytes_attributed, 2);
+    }
+
+    /// Regression: the ACL check used to be a `debug_assert!`, so
+    /// release builds silently ignored pool ACLs. It is now a real
+    /// error in every build profile.
+    #[test]
+    fn pool_acl_denial_is_an_error_not_a_debug_assert() {
+        let mut k = Kernel::new(CostModel::pentium_ii_333());
+        let owner = k.spawn("owner");
+        let stranger = k.spawn("stranger");
+        let private = iol_create_pool(&mut k, Acl::with_domain(owner.domain()));
+        k.create_file("/x", b"data");
+        let (fd, _) = k.open(stranger, "/x").unwrap();
+        let err = iol_read_pool(&mut k, stranger, &private, fd, 10).unwrap_err();
+        assert_eq!(
+            err,
+            IolError::PermissionDenied {
+                domain: stranger.domain()
+            }
+        );
+        // Denied reads attribute nothing.
+        assert_eq!(private.stats().reads_attributed, 0);
     }
 
     #[test]
@@ -140,7 +197,8 @@ mod tests {
         let mut k = Kernel::new(CostModel::pentium_ii_333());
         let pid = k.spawn("app");
         let f = k.create_synthetic_file("/f", 5000, 2);
-        let (mut view, _) = iol_mmap(&mut k, pid, f);
+        let fd = k.open_file(pid, f);
+        let (mut view, _) = iol_mmap(&mut k, pid, fd).unwrap();
         assert_eq!(view.read_all(), k.store.read(f, 0, 5000).unwrap());
     }
 }

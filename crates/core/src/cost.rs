@@ -242,7 +242,7 @@ impl CostModel {
     }
 
     /// Time to copy `bytes` of response data into socket buffers
-    /// (L2-aware: see [`CostModel::l2_factor`]).
+    /// (L2-aware: see the `l2_factor` interpolation above).
     pub fn socket_copy(&self, bytes: u64) -> Charge {
         let f = Self::l2_factor(bytes);
         let ns = self.cached_copy_ns_per_byte + f * (14.0 - self.cached_copy_ns_per_byte).max(0.0);

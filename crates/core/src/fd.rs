@@ -4,9 +4,14 @@
 //! Descriptors resolve to open-file descriptions with UNIX semantics:
 //! `dup`ed descriptors share one file offset (one description, two
 //! numbers), independently `open`ed descriptors do not. Files, pipe
-//! ends, and (by extension) sockets all sit behind the same table, so
-//! one code path serves the paper's "all other file-descriptor-related
-//! UNIX system calls remain unchanged".
+//! ends, **and sockets** all sit behind the same table, so one code
+//! path serves the paper's "all other file-descriptor-related UNIX
+//! system calls remain unchanged".
+//!
+//! Descriptor numbers follow POSIX: allocation always takes the lowest
+//! free number, `dup2`-style [`FdTable::install_at`] targets an exact
+//! number, and the conventional stdio triple occupies 0/1/2 (installed
+//! by `Kernel::spawn`).
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -14,12 +19,33 @@ use std::rc::Rc;
 
 use iolite_fs::FileId;
 
-use crate::kernel::PipeId;
+use crate::kernel::{ConnId, PipeId};
 use crate::process::Pid;
 
 /// A per-process file-descriptor number.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Fd(pub u32);
+
+impl Fd {
+    /// Standard input (installed at `spawn`).
+    pub const STDIN: Fd = Fd(0);
+    /// Standard output (installed at `spawn`).
+    pub const STDOUT: Fd = Fd(1);
+    /// Standard error (installed at `spawn`).
+    pub const STDERR: Fd = Fd(2);
+}
+
+/// Where an `lseek` offset is measured from (`SEEK_SET`/`SEEK_CUR`/
+/// `SEEK_END`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Whence {
+    /// From the start of the file.
+    Set,
+    /// From the current offset.
+    Cur,
+    /// From end-of-file, resolved against the file's metadata.
+    End,
+}
 
 /// What an open-file description refers to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +56,8 @@ pub enum FdObject {
     PipeRead(PipeId),
     /// The write end of a pipe.
     PipeWrite(PipeId),
+    /// A TCP socket in the kernel's connection registry.
+    Socket(ConnId),
 }
 
 /// An open-file description (shared by `dup`ed descriptors).
@@ -37,7 +65,7 @@ pub enum FdObject {
 pub struct OpenFile {
     /// The underlying object.
     pub object: FdObject,
-    /// Current file offset (files only; pipes ignore it).
+    /// Current file offset (files only; pipes and sockets ignore it).
     pub pos: u64,
 }
 
@@ -45,45 +73,70 @@ pub struct OpenFile {
 pub type OpenFileRef = Rc<RefCell<OpenFile>>;
 
 /// One process's descriptor table.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct FdTable {
     entries: BTreeMap<Fd, OpenFileRef>,
-    next: u32,
-}
-
-impl Default for FdTable {
-    fn default() -> Self {
-        FdTable::new()
-    }
 }
 
 impl FdTable {
-    /// Creates an empty table (fd numbering starts at 3, leaving the
-    /// conventional stdio triple free).
+    /// Creates an empty table. Numbering starts at 0; the kernel claims
+    /// 0/1/2 for the stdio triple at `spawn`, so user objects land at 3+.
     pub fn new() -> Self {
-        FdTable {
-            entries: BTreeMap::new(),
-            next: 3,
-        }
+        FdTable::default()
     }
 
-    /// Installs a new open-file description, returning its descriptor.
+    /// The lowest descriptor number not currently in use (POSIX
+    /// allocation order).
+    fn lowest_free(&self) -> Fd {
+        let mut n = 0u32;
+        for fd in self.entries.keys() {
+            if fd.0 == n {
+                n += 1;
+            } else {
+                break;
+            }
+        }
+        Fd(n)
+    }
+
+    /// Installs a new open-file description at the lowest free number,
+    /// returning its descriptor. Closed numbers are reused, per POSIX.
     pub fn install(&mut self, object: FdObject) -> Fd {
-        let fd = Fd(self.next);
-        self.next += 1;
+        let fd = self.lowest_free();
         self.entries
             .insert(fd, Rc::new(RefCell::new(OpenFile { object, pos: 0 })));
         fd
     }
 
-    /// Duplicates `fd`: the new descriptor shares the same open-file
-    /// description (and therefore the same offset), as POSIX `dup`.
+    /// Installs a *new* description for `object` at exactly `at`
+    /// (`dup2`-style targeting), silently replacing whatever was there.
+    /// Returns the displaced description, if any, so the kernel can run
+    /// last-reference close semantics on it.
+    pub fn install_at(&mut self, at: Fd, object: FdObject) -> Option<OpenFileRef> {
+        self.entries
+            .insert(at, Rc::new(RefCell::new(OpenFile { object, pos: 0 })))
+    }
+
+    /// Duplicates `fd` onto the lowest free number: the new descriptor
+    /// shares the same open-file description (and therefore the same
+    /// offset), as POSIX `dup`.
     pub fn dup(&mut self, fd: Fd) -> Option<Fd> {
         let desc = self.entries.get(&fd)?.clone();
-        let new = Fd(self.next);
-        self.next += 1;
+        let new = self.lowest_free();
         self.entries.insert(new, desc);
         Some(new)
+    }
+
+    /// Duplicates `src` onto exactly `dst` (POSIX `dup2`): the two
+    /// numbers share one description afterwards. Returns the displaced
+    /// description previously at `dst`, if any (`None` also when
+    /// `src == dst`, which is a no-op per POSIX).
+    pub fn dup2(&mut self, src: Fd, dst: Fd) -> Option<Option<OpenFileRef>> {
+        let desc = self.entries.get(&src)?.clone();
+        if src == dst {
+            return Some(None);
+        }
+        Some(self.entries.insert(dst, desc))
     }
 
     /// Resolves a descriptor.
@@ -92,8 +145,10 @@ impl FdTable {
     }
 
     /// Closes a descriptor; the description dies with its last number.
-    pub fn close(&mut self, fd: Fd) -> bool {
-        self.entries.remove(&fd).is_some()
+    /// Returns the removed description so the kernel can apply
+    /// last-reference semantics (pipe EOF, socket teardown).
+    pub fn close(&mut self, fd: Fd) -> Option<OpenFileRef> {
+        self.entries.remove(&fd)
     }
 
     /// Open descriptors.
@@ -104,6 +159,11 @@ impl FdTable {
     /// Whether the table is empty.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Iterates the open descriptors and their objects.
+    pub fn iter(&self) -> impl Iterator<Item = (Fd, FdObject)> + '_ {
+        self.entries.iter().map(|(fd, of)| (*fd, of.borrow().object))
     }
 }
 
@@ -123,6 +183,20 @@ impl FdRegistry {
     pub fn table(&mut self, pid: Pid) -> &mut FdTable {
         self.tables.entry(pid).or_default()
     }
+
+    /// Read-only access to `pid`'s table, if it exists.
+    pub fn get_table(&self, pid: Pid) -> Option<&FdTable> {
+        self.tables.get(&pid)
+    }
+
+    /// Whether any descriptor in any process still refers to `object`
+    /// (drives last-close semantics: a pipe's write end closes for real
+    /// only when its last descriptor is gone).
+    pub fn object_referenced(&self, object: FdObject) -> bool {
+        self.tables
+            .values()
+            .any(|t| t.iter().any(|(_, obj)| obj == object))
+    }
 }
 
 #[cfg(test)]
@@ -130,14 +204,30 @@ mod tests {
     use super::*;
 
     #[test]
-    fn descriptors_are_per_process_and_sequential() {
+    fn descriptors_allocate_lowest_free_per_process() {
         let mut reg = FdRegistry::new();
         let a = reg.table(Pid(1)).install(FdObject::File(FileId(1)));
         let b = reg.table(Pid(1)).install(FdObject::File(FileId(2)));
         let c = reg.table(Pid(2)).install(FdObject::File(FileId(3)));
-        assert_eq!(a, Fd(3));
-        assert_eq!(b, Fd(4));
-        assert_eq!(c, Fd(3), "tables are independent per process");
+        assert_eq!(a, Fd(0));
+        assert_eq!(b, Fd(1));
+        assert_eq!(c, Fd(0), "tables are independent per process");
+    }
+
+    #[test]
+    fn closed_numbers_are_reused_lowest_first() {
+        let mut t = FdTable::new();
+        let a = t.install(FdObject::File(FileId(1)));
+        let b = t.install(FdObject::File(FileId(2)));
+        let c = t.install(FdObject::File(FileId(3)));
+        assert_eq!((a, b, c), (Fd(0), Fd(1), Fd(2)));
+        t.close(b);
+        // POSIX: the lowest free number, not a forever-incrementing one.
+        assert_eq!(t.install(FdObject::File(FileId(4))), Fd(1));
+        t.close(a);
+        t.close(c);
+        assert_eq!(t.install(FdObject::File(FileId(5))), Fd(0));
+        assert_eq!(t.install(FdObject::File(FileId(6))), Fd(2));
     }
 
     #[test]
@@ -148,9 +238,25 @@ mod tests {
         t.get(fd).unwrap().borrow_mut().pos = 42;
         assert_eq!(t.get(dup).unwrap().borrow().pos, 42);
         // Closing one number keeps the description alive for the other.
-        assert!(t.close(fd));
+        assert!(t.close(fd).is_some());
         assert_eq!(t.get(dup).unwrap().borrow().pos, 42);
         assert!(t.get(fd).is_none());
+    }
+
+    #[test]
+    fn dup2_targets_an_exact_number_and_shares_state() {
+        let mut t = FdTable::new();
+        let src = t.install(FdObject::File(FileId(7)));
+        let displaced = t.install(FdObject::File(FileId(8)));
+        // dup2 onto an occupied number displaces it.
+        let old = t.dup2(src, displaced).unwrap();
+        assert!(old.is_some(), "previous description is handed back");
+        t.get(src).unwrap().borrow_mut().pos = 9;
+        assert_eq!(t.get(displaced).unwrap().borrow().pos, 9);
+        // dup2 onto itself is a no-op.
+        assert!(t.dup2(src, src).unwrap().is_none());
+        // dup2 from a closed source fails.
+        assert!(t.dup2(Fd(99), Fd(5)).is_none());
     }
 
     #[test]
@@ -166,9 +272,25 @@ mod tests {
     fn close_is_idempotent_and_precise() {
         let mut t = FdTable::new();
         let fd = t.install(FdObject::PipeRead(PipeId(1)));
-        assert!(t.close(fd));
-        assert!(!t.close(fd));
+        assert!(t.close(fd).is_some());
+        assert!(t.close(fd).is_none());
         assert!(t.dup(fd).is_none());
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn registry_tracks_object_references() {
+        let mut reg = FdRegistry::new();
+        let obj = FdObject::PipeWrite(PipeId(3));
+        assert!(!reg.object_referenced(obj));
+        let fd = reg.table(Pid(1)).install(obj);
+        let dup = reg.table(Pid(1)).dup(fd).unwrap();
+        let other = reg.table(Pid(2)).install(obj);
+        reg.table(Pid(1)).close(fd);
+        assert!(reg.object_referenced(obj), "dup + other process remain");
+        reg.table(Pid(1)).close(dup);
+        assert!(reg.object_referenced(obj), "other process remains");
+        reg.table(Pid(2)).close(other);
+        assert!(!reg.object_referenced(obj));
     }
 }

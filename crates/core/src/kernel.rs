@@ -2,24 +2,31 @@
 //! call surface (§3.4, §4).
 //!
 //! Data-plane operations are performed for real (bytes move through the
-//! real buffer, cache, checksum and pipe structures); each call also
-//! returns the simulated CPU [`Charge`] it would cost on the paper's
-//! testbed, and disk operations return their device time separately so
-//! event-driven callers can overlap them.
+//! real buffer, cache, checksum, pipe and socket structures); each call
+//! also returns the simulated CPU [`Charge`] it would cost on the
+//! paper's testbed, and disk operations return their device time
+//! separately so event-driven callers can overlap them.
+//!
+//! The public I/O surface is **descriptor-based and fallible**: every
+//! I/O object — regular files, both pipe ends, TCP sockets, the stdio
+//! triple — lives behind an [`Fd`] in the calling process's table, and
+//! every operation returns [`IoResult`]. Raw [`FileId`] entry points
+//! remain only as deprecated shims for the cache/bench layers.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 use iolite_buf::{Acl, Aggregate, BufferPool, ChunkId, DomainId, PoolId};
 use iolite_fs::{
     CacheKey, DiskModel, FileContent, FileId, FileStore, MetadataCache, Policy, UnifiedCache,
 };
 use iolite_ipc::{Pipe, PipeMode};
-use iolite_net::{ChecksumCache, PacketFilter};
+use iolite_net::{BufferMode, ChecksumCache, MbufChain, PacketFilter, SendOutcome, TcpConn};
 use iolite_sim::SimTime;
 use iolite_vm::{IoLiteWindow, MemAccount, MmapView, PageoutDaemon, PhysMemory};
 
 use crate::cost::{Charge, CostCategory, CostModel};
-use crate::fd::{Fd, FdObject, FdRegistry};
+use crate::error::{IoResult, IolError};
+use crate::fd::{Fd, FdObject, FdRegistry, Whence};
 use crate::metrics::Metrics;
 use crate::process::{Pid, Process};
 
@@ -85,6 +92,10 @@ impl MappedFileCache {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PipeId(pub u32);
 
+/// Identifies a kernel TCP connection (socket) object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConnId(pub u64);
+
 /// Which end of a pipe a file descriptor refers to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PipeEnd {
@@ -96,7 +107,7 @@ pub enum PipeEnd {
 
 /// The outcome of one kernel operation: simulated CPU cost plus any
 /// device time the caller must schedule.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct IoOutcome {
     /// CPU time consumed by the operation.
     pub charge: Charge,
@@ -109,6 +120,39 @@ pub struct IoOutcome {
     pub disk_time: SimTime,
     /// New page mappings this operation established.
     pub mapped_pages: u64,
+    /// Network send accounting when the descriptor was a socket
+    /// (segments, checksum bytes computed vs cached, copies, socket
+    /// buffer occupancy). `None` for files and pipes.
+    pub net: Option<SendOutcome>,
+}
+
+/// A kernel-owned TCP socket: the connection state plus an inbound
+/// byte queue fed by the receive path (or test harnesses).
+#[derive(Debug)]
+struct KernelSocket {
+    conn: TcpConn,
+    inbound: VecDeque<Aggregate>,
+    closed: bool,
+}
+
+/// A kernel pipe plus the ACL governing zero-copy transfers out of it
+/// (`None` = the permissive kernel default; pipes between mutually
+/// untrusting processes carry the writer pool's ACL, §3.10).
+#[derive(Debug)]
+struct PipeSlot {
+    pipe: Pipe,
+    acl: Option<Acl>,
+    /// Set when the last read-end descriptor disappears: subsequent
+    /// writes are `EPIPE` — there is nobody left to drain the pipe.
+    reader_gone: bool,
+}
+
+/// The stdio console pipes backing a process's fds 0/1/2.
+#[derive(Debug, Clone, Copy)]
+struct Console {
+    stdin: PipeId,
+    stdout: PipeId,
+    stderr: PipeId,
 }
 
 /// The simulated operating system.
@@ -148,11 +192,14 @@ pub struct Kernel {
     cache_pool: BufferPool,
     cache_pool_acl: Acl,
     processes: BTreeMap<Pid, Process>,
-    pipes: BTreeMap<PipeId, Pipe>,
+    pipes: BTreeMap<PipeId, PipeSlot>,
+    sockets: BTreeMap<ConnId, KernelSocket>,
+    consoles: BTreeMap<Pid, Console>,
     fds: FdRegistry,
     next_pid: u32,
     next_pool: u32,
     next_pipe: u32,
+    next_conn: u64,
     clock: SimTime,
 }
 
@@ -193,17 +240,25 @@ impl Kernel {
             cache_pool_acl: Acl::kernel_only(),
             processes: BTreeMap::new(),
             pipes: BTreeMap::new(),
+            sockets: BTreeMap::new(),
+            consoles: BTreeMap::new(),
             fds: FdRegistry::new(),
             next_pid: 1,
             next_pool: 1,
             next_pipe: 1,
+            next_conn: 1,
             clock: SimTime::ZERO,
         }
     }
 
     // ---- processes and pools -------------------------------------------
 
-    /// Spawns a process with a private default pool.
+    /// Spawns a process with a private default pool and the conventional
+    /// stdio triple installed at fds 0/1/2 ([`Fd::STDIN`],
+    /// [`Fd::STDOUT`], [`Fd::STDERR`]), each backed by a console pipe
+    /// the harness can drive via [`Kernel::feed_stdin`] /
+    /// [`Kernel::read_stdout`] / [`Kernel::read_stderr`] — or re-plumb
+    /// with [`Kernel::dup2_fd`], shell-style.
     pub fn spawn(&mut self, name: impl Into<String>) -> Pid {
         let pid = Pid(self.next_pid);
         self.next_pid += 1;
@@ -213,6 +268,18 @@ impl Kernel {
         // File data read by this process becomes readable to it.
         self.cache_pool_acl.grant(pid.domain());
         self.processes.insert(pid, proc);
+        // The stdio triple: three zero-copy console pipes, wired to the
+        // conventional descriptor numbers.
+        let console = Console {
+            stdin: self.pipe_create(PipeMode::ZeroCopy),
+            stdout: self.pipe_create(PipeMode::ZeroCopy),
+            stderr: self.pipe_create(PipeMode::ZeroCopy),
+        };
+        self.consoles.insert(pid, console);
+        let table = self.fds.table(pid);
+        table.install_at(Fd::STDIN, FdObject::PipeRead(console.stdin));
+        table.install_at(Fd::STDOUT, FdObject::PipeWrite(console.stdout));
+        table.install_at(Fd::STDERR, FdObject::PipeWrite(console.stderr));
         pid
     }
 
@@ -335,14 +402,9 @@ impl Kernel {
     /// physical copy (`IOL_read`, §3.4).
     ///
     /// Less data than requested is returned at end-of-file (the API
-    /// explicitly allows short reads).
-    pub fn iol_read(
-        &mut self,
-        pid: Pid,
-        file: FileId,
-        offset: u64,
-        len: u64,
-    ) -> (Aggregate, IoOutcome) {
+    /// explicitly allows short reads). This is the raw-[`FileId`] inner
+    /// path behind [`Kernel::iol_read_fd`] / [`Kernel::iol_pread`].
+    fn read_file_at(&mut self, pid: Pid, file: FileId, offset: u64, len: u64) -> (Aggregate, IoOutcome) {
         let mut out = IoOutcome {
             charge: Charge::us(self.cost.syscall_us),
             ..IoOutcome::default()
@@ -369,13 +431,7 @@ impl Kernel {
     /// [`CacheKey`], not by entry generation, so a deferred unpin from
     /// a pre-write transmission cannot strip the protection of a
     /// post-write one.
-    pub fn iol_write(
-        &mut self,
-        _pid: Pid,
-        file: FileId,
-        offset: u64,
-        agg: &Aggregate,
-    ) -> IoOutcome {
+    fn write_file_at(&mut self, _pid: Pid, file: FileId, offset: u64, agg: &Aggregate) -> IoOutcome {
         let mut out = IoOutcome {
             charge: Charge::us(self.cost.syscall_us),
             ..IoOutcome::default()
@@ -406,16 +462,10 @@ impl Kernel {
         out
     }
 
-    /// Backward-compatible `read`: copies into the caller's buffer
-    /// (§4.2: "a data copy operation is used to move data between
-    /// application buffers and IO-Lite buffers").
-    pub fn posix_read(
-        &mut self,
-        _pid: Pid,
-        file: FileId,
-        offset: u64,
-        len: u64,
-    ) -> (Vec<u8>, IoOutcome) {
+    /// Backward-compatible copying read at an explicit offset (§4.2:
+    /// "a data copy operation is used to move data between application
+    /// buffers and IO-Lite buffers").
+    fn posix_file_read(&mut self, _pid: Pid, file: FileId, offset: u64, len: u64) -> (Vec<u8>, IoOutcome) {
         let mut out = IoOutcome {
             charge: Charge::us(self.cost.syscall_us),
             ..IoOutcome::default()
@@ -432,19 +482,18 @@ impl Kernel {
         (dst, out)
     }
 
-    /// Backward-compatible `write`: copies the caller's bytes into
-    /// IO-Lite buffers, then behaves like [`Kernel::iol_write`].
-    pub fn posix_write(&mut self, pid: Pid, file: FileId, offset: u64, data: &[u8]) -> IoOutcome {
+    /// Backward-compatible copying write at an explicit offset.
+    fn posix_file_write(&mut self, pid: Pid, file: FileId, offset: u64, data: &[u8]) -> IoOutcome {
         let agg = Aggregate::from_bytes(&self.cache_pool, data);
         self.metrics.bytes_copied += data.len() as u64;
-        let mut out = self.iol_write(pid, file, offset, &agg);
+        let mut out = self.write_file_at(pid, file, offset, &agg);
         out.charge += self.cost.copy(data.len() as u64);
         out
     }
 
     /// Maps a whole file (§3.8 `mmap`): contiguous view, lazy alignment
     /// copies, COW against cached snapshots.
-    pub fn mmap(&mut self, pid: Pid, file: FileId) -> (MmapView, IoOutcome) {
+    fn file_mmap(&mut self, pid: Pid, file: FileId) -> (MmapView, IoOutcome) {
         let mut out = IoOutcome {
             charge: Charge::us(self.cost.syscall_us),
             ..IoOutcome::default()
@@ -455,6 +504,53 @@ impl Kernel {
         out.mapped_pages += pages;
         out.charge += self.cost.page_maps(pages);
         (MmapView::new(whole), out)
+    }
+
+    // ---- deprecated raw-FileId shims -----------------------------------
+
+    /// `IOL_read` on a raw [`FileId`].
+    #[deprecated(
+        note = "application code uses the Fd-based API (`iol_read_fd`/`iol_pread`); \
+                this direct-FileId shim remains for the cache/bench layers"
+    )]
+    pub fn iol_read(&mut self, pid: Pid, file: FileId, offset: u64, len: u64) -> (Aggregate, IoOutcome) {
+        self.read_file_at(pid, file, offset, len)
+    }
+
+    /// `IOL_write` on a raw [`FileId`].
+    #[deprecated(
+        note = "application code uses the Fd-based API (`iol_write_fd`/`iol_pwrite`); \
+                this direct-FileId shim remains for the cache/bench layers"
+    )]
+    pub fn iol_write(&mut self, pid: Pid, file: FileId, offset: u64, agg: &Aggregate) -> IoOutcome {
+        self.write_file_at(pid, file, offset, agg)
+    }
+
+    /// Copying `read` on a raw [`FileId`].
+    #[deprecated(
+        note = "application code uses the Fd-based API (`posix_read_fd`); \
+                this direct-FileId shim remains for the cache/bench layers"
+    )]
+    pub fn posix_read(&mut self, pid: Pid, file: FileId, offset: u64, len: u64) -> (Vec<u8>, IoOutcome) {
+        self.posix_file_read(pid, file, offset, len)
+    }
+
+    /// Copying `write` on a raw [`FileId`].
+    #[deprecated(
+        note = "application code uses the Fd-based API (`posix_write_fd`); \
+                this direct-FileId shim remains for the cache/bench layers"
+    )]
+    pub fn posix_write(&mut self, pid: Pid, file: FileId, offset: u64, data: &[u8]) -> IoOutcome {
+        self.posix_file_write(pid, file, offset, data)
+    }
+
+    /// `mmap` on a raw [`FileId`].
+    #[deprecated(
+        note = "application code uses the Fd-based API (`mmap_fd`); \
+                this direct-FileId shim remains for the cache/bench layers"
+    )]
+    pub fn mmap(&mut self, pid: Pid, file: FileId) -> (MmapView, IoOutcome) {
+        self.file_mmap(pid, file)
     }
 
     /// Cache-or-disk read of the whole file, maintaining budgets.
@@ -514,26 +610,42 @@ impl Kernel {
 
     /// Creates a pipe in the given mode with the BSD 64KB buffer.
     pub fn pipe_create(&mut self, mode: PipeMode) -> PipeId {
+        self.pipe_create_inner(mode, None)
+    }
+
+    /// Creates a pipe whose zero-copy transfers are governed by `acl`
+    /// (the writer pool's ACL, §3.10: the server and each CGI instance
+    /// have separate pools with different ACLs — the pipe enforces the
+    /// writer's on its reader).
+    pub fn pipe_create_with_acl(&mut self, mode: PipeMode, acl: Acl) -> PipeId {
+        self.pipe_create_inner(mode, Some(acl))
+    }
+
+    fn pipe_create_inner(&mut self, mode: PipeMode, acl: Option<Acl>) -> PipeId {
         let id = PipeId(self.next_pipe);
         self.next_pipe += 1;
-        self.pipes.insert(id, Pipe::new(mode, 64 * 1024));
+        self.pipes.insert(
+            id,
+            PipeSlot {
+                pipe: Pipe::new(mode, 64 * 1024),
+                acl,
+                reader_gone: false,
+            },
+        );
         id
     }
 
-    /// Writes to a pipe, returning accepted bytes and the cost.
-    ///
-    /// A short write means the pipe is full; the caller must let the
-    /// reader run (a context switch, charged by the run loop).
-    pub fn pipe_write(&mut self, _pid: Pid, id: PipeId, data: &Aggregate) -> (u64, IoOutcome) {
+    /// The raw-id pipe write behind [`Kernel::iol_write_fd`].
+    fn pipe_write_inner(&mut self, _pid: Pid, id: PipeId, data: &Aggregate) -> (u64, IoOutcome) {
         let mut out = IoOutcome {
             charge: Charge::us(self.cost.syscall_us),
             ..IoOutcome::default()
         };
         self.metrics.syscalls += 1;
-        let pipe = self.pipes.get_mut(&id).expect("unknown pipe");
-        let before = pipe.stats().bytes_copied;
-        let accepted = pipe.write(data);
-        let copied = pipe.stats().bytes_copied - before;
+        let slot = self.pipes.get_mut(&id).expect("unknown pipe");
+        let before = slot.pipe.stats().bytes_copied;
+        let accepted = slot.pipe.write(data);
+        let copied = slot.pipe.stats().bytes_copied - before;
         if copied > 0 {
             self.metrics.bytes_copied += copied;
             out.charge += self.cost.copy(copied);
@@ -541,52 +653,252 @@ impl Kernel {
         (accepted, out)
     }
 
-    /// Reads from a pipe; zero-copy pipes also transfer the received
-    /// chunks into the reader's domain (first time only — recycled
-    /// buffers ride existing mappings, §3.2).
-    pub fn pipe_read(&mut self, pid: Pid, id: PipeId, max: u64) -> (Option<Aggregate>, IoOutcome) {
+    /// The raw-id pipe read behind [`Kernel::iol_read_fd`]; zero-copy
+    /// pipes also transfer the received chunks into the reader's domain
+    /// (first time only — recycled buffers ride existing mappings,
+    /// §3.2), enforcing the pipe's ACL when it carries one.
+    fn pipe_read_inner(
+        &mut self,
+        pid: Pid,
+        id: PipeId,
+        max: u64,
+    ) -> Result<(Option<Aggregate>, IoOutcome), IolError> {
         let mut out = IoOutcome {
             charge: Charge::us(self.cost.syscall_us),
             ..IoOutcome::default()
         };
         self.metrics.syscalls += 1;
-        let pipe = self.pipes.get_mut(&id).expect("unknown pipe");
-        let mode = pipe.mode();
-        let before = pipe.stats().bytes_copied;
-        let got = pipe.read(max);
-        let copied = pipe.stats().bytes_copied - before;
+        let slot = self.pipes.get_mut(&id).expect("unknown pipe");
+        // ACL'd pipes refuse unauthorized readers *before* any byte is
+        // dequeued: a denial must not destroy data still in flight to
+        // the legitimate reader.
+        if let Some(acl) = &slot.acl {
+            if !acl.allows(pid.domain()) {
+                return Err(IolError::PermissionDenied {
+                    domain: pid.domain(),
+                });
+            }
+        }
+        let mode = slot.pipe.mode();
+        let acl = slot.acl.clone();
+        let before = slot.pipe.stats().bytes_copied;
+        let got = slot.pipe.read(max);
+        let copied = slot.pipe.stats().bytes_copied - before;
         if copied > 0 {
             self.metrics.bytes_copied += copied;
             out.charge += self.cost.copy(copied);
         }
         if let (Some(agg), PipeMode::ZeroCopy) = (&got, mode) {
             // Pass-by-reference: the reader needs (at most first-time)
-            // read mappings. The writer's pool ACL must allow it; pipes
-            // between cooperating processes use a shared pool, so the
-            // kernel transfers with a permissive ACL here and relies on
-            // pool ACLs at allocation sites.
-            let pages = self.transfer_to(agg, pid.domain());
+            // read mappings, gated by the pipe's ACL when it carries one
+            // (pipes between mutually untrusting processes); plain pipes
+            // rely on pool ACLs at allocation sites.
+            let pages = match &acl {
+                Some(acl) => self
+                    .transfer_with_acl(agg, pid.domain(), acl)
+                    .map_err(|denied| IolError::PermissionDenied {
+                        domain: denied.domain,
+                    })?,
+                None => self.transfer_to(agg, pid.domain()),
+            };
             out.mapped_pages += pages;
             out.charge += self.cost.page_maps(pages);
         }
-        (got, out)
+        Ok((got, out))
+    }
+
+    /// Writes to a pipe by raw id, returning accepted bytes and the cost.
+    #[deprecated(
+        note = "application code writes pipes through descriptors (`iol_write_fd`); \
+                this raw-PipeId shim remains for kernel-layer callers"
+    )]
+    pub fn pipe_write(&mut self, pid: Pid, id: PipeId, data: &Aggregate) -> (u64, IoOutcome) {
+        self.pipe_write_inner(pid, id, data)
+    }
+
+    /// Reads from a pipe by raw id.
+    #[deprecated(
+        note = "application code reads pipes through descriptors (`iol_read_fd`); \
+                this raw-PipeId shim remains for kernel-layer callers"
+    )]
+    pub fn pipe_read(&mut self, pid: Pid, id: PipeId, max: u64) -> (Option<Aggregate>, IoOutcome) {
+        self.pipe_read_inner(pid, id, max)
+            .expect("raw pipe reads bypass ACL'd pipes")
+    }
+
+    /// Closes a pipe's write end by raw id (descriptor holders use
+    /// [`Kernel::close_fd`], which calls this on last close).
+    pub fn pipe_close(&mut self, id: PipeId) {
+        if let Some(slot) = self.pipes.get_mut(&id) {
+            slot.pipe.close();
+        }
+    }
+
+    /// Immutable access to a pipe (tests, stats).
+    pub fn pipe(&self, id: PipeId) -> &Pipe {
+        &self.pipes[&id].pipe
+    }
+
+    // ---- sockets ---------------------------------------------------------
+
+    /// Creates a TCP connection in the kernel's socket registry and
+    /// installs a descriptor for it in `pid`'s table. The §3.4 promise
+    /// made real: the same `IOL_read`/`IOL_write` calls that act on
+    /// files and pipes drive the socket's zero-copy (or copying) send
+    /// path.
+    pub fn socket_create(&mut self, pid: Pid, mode: BufferMode, mss: usize, tss: usize) -> Fd {
+        let id = ConnId(self.next_conn);
+        self.next_conn += 1;
+        self.sockets.insert(
+            id,
+            KernelSocket {
+                conn: TcpConn::new(id.0, mode, mss, tss),
+                inbound: VecDeque::new(),
+                closed: false,
+            },
+        );
+        self.fds.table(pid).install(FdObject::Socket(id))
+    }
+
+    /// Read-only access to the connection behind a socket descriptor
+    /// (window rates, lifetime totals).
+    ///
+    /// # Errors
+    ///
+    /// [`IolError::NotOpen`] for unknown descriptors,
+    /// [`IolError::BadFdKind`] for non-sockets.
+    pub fn socket(&self, pid: Pid, fd: Fd) -> Result<&TcpConn, IolError> {
+        let desc = self
+            .fds
+            .get_table(pid)
+            .and_then(|t| t.get(fd))
+            .ok_or(IolError::NotOpen { fd })?;
+        let object = desc.borrow().object;
+        match object {
+            FdObject::Socket(id) => Ok(&self.sockets[&id].conn),
+            _ => Err(IolError::BadFdKind {
+                fd,
+                operation: "socket access",
+            }),
+        }
+    }
+
+    /// Delivers inbound payload to a socket (the receive path's
+    /// hand-off after demux/reassembly, or a test harness playing the
+    /// remote peer). The data becomes readable through
+    /// [`Kernel::iol_read_fd`].
+    pub fn socket_deliver(&mut self, pid: Pid, fd: Fd, payload: Aggregate) -> IoResult<u64> {
+        let id = self.resolve_socket(pid, fd, "socket delivery")?;
+        let sock = self.sockets.get_mut(&id).expect("registered socket");
+        if sock.closed {
+            return Err(IolError::Closed);
+        }
+        let len = payload.len();
+        sock.inbound.push_back(payload);
+        Ok((len, IoOutcome::default()))
+    }
+
+    /// Accounting-only send on a *copy-mode* socket descriptor: the
+    /// conventional `write(2)` path, whose costs depend only on the
+    /// byte count (copies have no identity, so no cache can apply).
+    /// Updates the copy/checksum metrics centrally and returns the
+    /// [`SendOutcome`] in both the value and `outcome.net`.
+    pub fn socket_send_accounted(&mut self, pid: Pid, fd: Fd, len: u64) -> IoResult<SendOutcome> {
+        let id = self.resolve_socket(pid, fd, "accounted socket send")?;
+        let sock = self.sockets.get_mut(&id).expect("registered socket");
+        if sock.closed {
+            return Err(IolError::Closed);
+        }
+        let send = sock.conn.send_accounted(len);
+        self.metrics.syscalls += 1;
+        self.metrics.bytes_copied += send.bytes_copied;
+        self.metrics.bytes_checksummed += send.csum_bytes_computed;
+        let out = IoOutcome {
+            charge: Charge::us(self.cost.syscall_us),
+            net: Some(send),
+            ..IoOutcome::default()
+        };
+        Ok((send, out))
+    }
+
+    /// Materializes the actual TCP segment chains a descriptor write of
+    /// `payload` would emit (end-to-end byte-exactness tests; the hot
+    /// path only needs [`Kernel::iol_write_fd`]'s accounting).
+    pub fn socket_transmit_segments(
+        &mut self,
+        pid: Pid,
+        fd: Fd,
+        payload: &Aggregate,
+    ) -> IoResult<Vec<MbufChain>> {
+        let id = self.resolve_socket(pid, fd, "segment materialization")?;
+        let sock = self.sockets.get_mut(&id).expect("registered socket");
+        if sock.closed {
+            return Err(IolError::Closed);
+        }
+        let chains = sock.conn.build_segments(payload);
+        let out = IoOutcome {
+            charge: Charge::us(self.cost.syscall_us),
+            ..IoOutcome::default()
+        };
+        Ok((chains, out))
+    }
+
+    /// Resolves a descriptor to its open-file description (`EBADF` on
+    /// unknown numbers) — the one lookup every fd operation goes
+    /// through.
+    fn resolve_fd(&mut self, pid: Pid, fd: Fd) -> Result<crate::fd::OpenFileRef, IolError> {
+        self.fds.table(pid).get(fd).ok_or(IolError::NotOpen { fd })
+    }
+
+    /// Resolves a descriptor that must name a regular file.
+    fn resolve_file(&mut self, pid: Pid, fd: Fd, operation: &'static str) -> Result<FileId, IolError> {
+        let desc = self.resolve_fd(pid, fd)?;
+        let object = desc.borrow().object;
+        match object {
+            FdObject::File(file) => Ok(file),
+            _ => Err(IolError::BadFdKind { fd, operation }),
+        }
+    }
+
+    fn resolve_socket(&mut self, pid: Pid, fd: Fd, operation: &'static str) -> Result<ConnId, IolError> {
+        let desc = self.resolve_fd(pid, fd)?;
+        let object = desc.borrow().object;
+        match object {
+            FdObject::Socket(id) => Ok(id),
+            _ => Err(IolError::BadFdKind { fd, operation }),
+        }
     }
 
     // ---- file descriptors (§3.4: the IOL calls act on any fd) -----------
 
-    /// Opens a file by path, returning a descriptor with offset 0.
+    /// Opens a file by path, returning a descriptor with offset 0. The
+    /// outcome carries the metadata-lookup plus syscall charge.
     ///
-    /// Returns `None` (with the metadata-lookup charge applied) when the
-    /// path does not resolve.
-    pub fn open(&mut self, pid: Pid, path: &str) -> (Option<Fd>, Charge) {
+    /// # Errors
+    ///
+    /// [`IolError::NotFound`] when the path does not resolve.
+    pub fn open(&mut self, pid: Pid, path: &str) -> IoResult<Fd> {
         let (id, charge) = self.lookup(path);
-        let fd = id.map(|file| self.fds.table(pid).install(FdObject::File(file)));
-        (fd, charge + Charge::us(self.cost.syscall_us))
+        let file = id.ok_or(IolError::NotFound)?;
+        let fd = self.fds.table(pid).install(FdObject::File(file));
+        let out = IoOutcome {
+            charge: charge + Charge::us(self.cost.syscall_us),
+            ..IoOutcome::default()
+        };
+        Ok((fd, out))
+    }
+
+    /// Installs a descriptor (offset 0) for an already-resolved file —
+    /// the bridge for layers that hold [`FileId`]s (workload setup,
+    /// benches) into the descriptor world.
+    pub fn open_file(&mut self, pid: Pid, file: FileId) -> Fd {
+        self.fds.table(pid).install(FdObject::File(file))
     }
 
     /// Creates a pipe and returns `(read_fd, write_fd)` in `pid`'s table
     /// (both ends in one process, as after `pipe(2)` before `fork`;
-    /// hand the ends to other processes with [`Kernel::install_fd`]).
+    /// hand the ends to other processes with [`Kernel::install_fd`] or
+    /// wire two processes directly with [`Kernel::pipe_between`]).
     pub fn pipe_fds(&mut self, pid: Pid, mode: PipeMode) -> (Fd, Fd) {
         let id = self.pipe_create(mode);
         let table = self.fds.table(pid);
@@ -595,125 +907,539 @@ impl Kernel {
         (r, w)
     }
 
+    /// Creates a pipe with its write end in `writer`'s table and its
+    /// read end in `reader`'s (the post-`fork` shape of `a | b`).
+    /// Returns `(write_fd, read_fd)`.
+    pub fn pipe_between(&mut self, writer: Pid, reader: Pid, mode: PipeMode) -> (Fd, Fd) {
+        self.pipe_between_inner(writer, reader, mode, None)
+    }
+
+    /// Like [`Kernel::pipe_between`], with zero-copy transfers governed
+    /// by `acl` (pipes between mutually untrusting domains, §3.10).
+    pub fn pipe_between_with_acl(
+        &mut self,
+        writer: Pid,
+        reader: Pid,
+        mode: PipeMode,
+        acl: Acl,
+    ) -> (Fd, Fd) {
+        self.pipe_between_inner(writer, reader, mode, Some(acl))
+    }
+
+    fn pipe_between_inner(
+        &mut self,
+        writer: Pid,
+        reader: Pid,
+        mode: PipeMode,
+        acl: Option<Acl>,
+    ) -> (Fd, Fd) {
+        let id = self.pipe_create_inner(mode, acl);
+        let w = self.fds.table(writer).install(FdObject::PipeWrite(id));
+        let r = self.fds.table(reader).install(FdObject::PipeRead(id));
+        (w, r)
+    }
+
     /// Installs an existing object in `pid`'s descriptor table (the
     /// moral equivalent of inheriting an fd across `fork`/`exec`).
     pub fn install_fd(&mut self, pid: Pid, object: FdObject) -> Fd {
         self.fds.table(pid).install(object)
     }
 
-    /// Duplicates a descriptor (`dup(2)`): both numbers share one file
-    /// offset.
-    pub fn dup_fd(&mut self, pid: Pid, fd: Fd) -> Option<Fd> {
-        self.fds.table(pid).dup(fd)
-    }
-
-    /// Closes a descriptor (`close(2)`).
-    pub fn close_fd(&mut self, pid: Pid, fd: Fd) -> bool {
-        self.fds.table(pid).close(fd)
-    }
-
-    /// Repositions a file descriptor (`lseek(2)` with `SEEK_SET`).
-    /// Returns the new offset, or `None` for pipes/unknown fds.
-    pub fn lseek(&mut self, pid: Pid, fd: Fd, pos: u64) -> Option<u64> {
-        let desc = self.fds.table(pid).get(fd)?;
-        let mut open = desc.borrow_mut();
-        match open.object {
-            FdObject::File(_) => {
-                open.pos = pos;
-                Some(pos)
-            }
-            _ => None,
+    /// Installs an existing object at exactly `at` (`dup2`-style
+    /// targeting for inherited objects — e.g. parking a pipe end on a
+    /// child's stdio number), displacing and (last-reference) closing
+    /// whatever was there.
+    pub fn install_fd_at(&mut self, pid: Pid, at: Fd, object: FdObject) -> Fd {
+        let displaced = self.fds.table(pid).install_at(at, object);
+        if let Some(old) = displaced {
+            let old_object = old.borrow().object;
+            self.finalize_close(old_object);
         }
+        at
+    }
+
+    /// Duplicates a descriptor (`dup(2)`) onto the lowest free number:
+    /// both numbers share one file offset.
+    ///
+    /// # Errors
+    ///
+    /// [`IolError::NotOpen`] if `fd` is not open.
+    pub fn dup_fd(&mut self, pid: Pid, fd: Fd) -> Result<Fd, IolError> {
+        self.fds
+            .table(pid)
+            .dup(fd)
+            .ok_or(IolError::NotOpen { fd })
+    }
+
+    /// Duplicates `src` onto exactly `dst` (`dup2(2)`), displacing and
+    /// (last-reference) closing whatever was there. Re-plumbing the
+    /// stdio triple goes through here, shell-style.
+    ///
+    /// # Errors
+    ///
+    /// [`IolError::NotOpen`] if `src` is not open.
+    pub fn dup2_fd(&mut self, pid: Pid, src: Fd, dst: Fd) -> Result<Fd, IolError> {
+        let displaced = self
+            .fds
+            .table(pid)
+            .dup2(src, dst)
+            .ok_or(IolError::NotOpen { fd: src })?;
+        if let Some(old) = displaced {
+            let object = old.borrow().object;
+            self.finalize_close(object);
+        }
+        Ok(dst)
+    }
+
+    /// Closes a descriptor (`close(2)`). When the last descriptor for a
+    /// pipe write end disappears (across *all* processes), the pipe is
+    /// closed for real and readers see EOF; a socket's last close tears
+    /// the connection down.
+    ///
+    /// # Errors
+    ///
+    /// [`IolError::NotOpen`] if `fd` is not open (double close).
+    pub fn close_fd(&mut self, pid: Pid, fd: Fd) -> Result<(), IolError> {
+        let removed = self
+            .fds
+            .table(pid)
+            .close(fd)
+            .ok_or(IolError::NotOpen { fd })?;
+        let object = removed.borrow().object;
+        self.finalize_close(object);
+        Ok(())
+    }
+
+    /// Applies last-reference close semantics after a descriptor for
+    /// `object` was removed or displaced.
+    ///
+    /// Files have no last-close action, so they skip the registry scan
+    /// entirely — the common case (a server's 10k-file open set) closes
+    /// in O(log n).
+    fn finalize_close(&mut self, object: FdObject) {
+        if matches!(object, FdObject::File(_)) {
+            return;
+        }
+        if self.fds.object_referenced(object) {
+            return;
+        }
+        match object {
+            FdObject::PipeWrite(id) => self.pipe_close(id),
+            FdObject::PipeRead(id) => {
+                // The last reader hung up: writers get EPIPE from now
+                // on instead of filling a pipe nobody drains.
+                if let Some(slot) = self.pipes.get_mut(&id) {
+                    slot.reader_gone = true;
+                }
+            }
+            FdObject::Socket(id) => {
+                if let Some(sock) = self.sockets.get_mut(&id) {
+                    sock.closed = true;
+                    sock.inbound.clear();
+                }
+            }
+            FdObject::File(_) => unreachable!("files returned early"),
+        }
+    }
+
+    /// Repositions a file descriptor (`lseek(2)`), resolving
+    /// [`Whence::End`] against the file's metadata. Returns the new
+    /// absolute offset.
+    ///
+    /// # Errors
+    ///
+    /// [`IolError::NotOpen`] for unknown descriptors,
+    /// [`IolError::BadFdKind`] for pipes/sockets (ESPIPE), and
+    /// [`IolError::InvalidSeek`] when the resolved position is negative.
+    pub fn lseek(&mut self, pid: Pid, fd: Fd, offset: i64, whence: Whence) -> IoResult<u64> {
+        let desc = self.resolve_fd(pid, fd)?;
+        let mut open = desc.borrow_mut();
+        let FdObject::File(file) = open.object else {
+            return Err(IolError::BadFdKind {
+                fd,
+                operation: "lseek",
+            });
+        };
+        let base: u64 = match whence {
+            Whence::Set => 0,
+            Whence::Cur => open.pos,
+            Whence::End => self.store.len(file).unwrap_or(0),
+        };
+        let target = base as i128 + offset as i128;
+        if target < 0 {
+            return Err(IolError::InvalidSeek { requested: offset });
+        }
+        open.pos = target as u64;
+        self.metrics.syscalls += 1;
+        let out = IoOutcome {
+            charge: Charge::us(self.cost.syscall_us),
+            ..IoOutcome::default()
+        };
+        Ok((open.pos, out))
+    }
+
+    /// The length of the file behind a descriptor (`fstat(2)`'s
+    /// `st_size`).
+    ///
+    /// # Errors
+    ///
+    /// [`IolError::NotOpen`] / [`IolError::BadFdKind`] as usual.
+    pub fn fd_len(&mut self, pid: Pid, fd: Fd) -> Result<u64, IolError> {
+        let file = self.fd_file(pid, fd)?;
+        Ok(self.store.len(file).unwrap_or(0))
+    }
+
+    /// The [`FileId`] behind a file descriptor — for cache-layer
+    /// bookkeeping ([`CacheKey`] pins, the mapped-file cache), never
+    /// for I/O.
+    ///
+    /// # Errors
+    ///
+    /// [`IolError::NotOpen`] / [`IolError::BadFdKind`] as usual.
+    pub fn fd_file(&mut self, pid: Pid, fd: Fd) -> Result<FileId, IolError> {
+        self.resolve_file(pid, fd, "file metadata")
+    }
+
+    /// The object behind a descriptor (`fstat`-style introspection; the
+    /// handle to pass [`Kernel::install_fd`]/[`Kernel::install_fd_at`]
+    /// when inheriting descriptors across processes, fork-style).
+    ///
+    /// # Errors
+    ///
+    /// [`IolError::NotOpen`] for unknown descriptors.
+    pub fn fd_object(&mut self, pid: Pid, fd: Fd) -> Result<FdObject, IolError> {
+        let desc = self.resolve_fd(pid, fd)?;
+        let object = desc.borrow().object;
+        Ok(object)
     }
 
     /// `IOL_read` on a descriptor: files read at (and advance) the
-    /// shared offset; pipe read-ends drain the pipe.
+    /// shared offset; pipe read-ends drain the pipe; sockets drain the
+    /// inbound queue. Short (even empty) reads at end-of-stream are
+    /// part of the contract.
     ///
-    /// Returns an empty aggregate for unknown descriptors or wrong-end
-    /// pipe access (EBADF analog — the charge still applies, as the
-    /// kernel did the work of rejecting the call).
-    pub fn iol_read_fd(&mut self, pid: Pid, fd: Fd, len: u64) -> (Aggregate, IoOutcome) {
-        let Some(desc) = self.fds.table(pid).get(fd) else {
-            return (
-                Aggregate::empty(),
-                IoOutcome {
-                    charge: Charge::us(self.cost.syscall_us),
-                    ..IoOutcome::default()
-                },
-            );
-        };
+    /// # Errors
+    ///
+    /// [`IolError::NotOpen`] for unknown descriptors;
+    /// [`IolError::BadFdKind`] for write-only objects;
+    /// [`IolError::WouldBlock`] when a pipe/socket is empty but its
+    /// writer is still open; [`IolError::PermissionDenied`] when an
+    /// ACL'd pipe refuses the reader's domain.
+    pub fn iol_read_fd(&mut self, pid: Pid, fd: Fd, len: u64) -> IoResult<Aggregate> {
+        let desc = self.resolve_fd(pid, fd)?;
         let object = desc.borrow().object;
         match object {
             FdObject::File(file) => {
                 let pos = desc.borrow().pos;
-                let (agg, out) = self.iol_read(pid, file, pos, len);
+                let (agg, out) = self.read_file_at(pid, file, pos, len);
                 desc.borrow_mut().pos = pos + agg.len();
-                (agg, out)
+                Ok((agg, out))
             }
             FdObject::PipeRead(pipe) => {
-                let (got, out) = self.pipe_read(pid, pipe, len);
-                (got.unwrap_or_default(), out)
+                let (got, out) = self.pipe_read_inner(pid, pipe, len)?;
+                match got {
+                    Some(agg) => Ok((agg, out)),
+                    // Empty + closed is EOF (an empty read); empty +
+                    // open writer is EAGAIN, charged like any trap.
+                    None if self.pipes[&pipe].pipe.is_closed() => Ok((Aggregate::empty(), out)),
+                    None => Err(IolError::WouldBlock { outcome: out }),
+                }
             }
-            FdObject::PipeWrite(_) => (
-                Aggregate::empty(),
-                IoOutcome {
-                    charge: Charge::us(self.cost.syscall_us),
-                    ..IoOutcome::default()
-                },
-            ),
+            FdObject::Socket(id) => self.socket_read(pid, fd, id, len),
+            FdObject::PipeWrite(_) => Err(IolError::BadFdKind {
+                fd,
+                operation: "read",
+            }),
         }
+    }
+
+    /// Drains up to `len` bytes from a socket's inbound queue.
+    fn socket_read(&mut self, pid: Pid, _fd: Fd, id: ConnId, len: u64) -> IoResult<Aggregate> {
+        let mut out = IoOutcome {
+            charge: Charge::us(self.cost.syscall_us),
+            ..IoOutcome::default()
+        };
+        self.metrics.syscalls += 1;
+        let sock = self.sockets.get_mut(&id).expect("registered socket");
+        let mode = sock.conn.mode();
+        let mut agg = Aggregate::empty();
+        while agg.len() < len {
+            let Some(front) = sock.inbound.front_mut() else {
+                break;
+            };
+            let want = len - agg.len();
+            if front.len() <= want {
+                agg.append(front);
+                sock.inbound.pop_front();
+            } else {
+                let head = front.range(0, want).expect("in range");
+                front.advance(want);
+                agg.append(&head);
+            }
+        }
+        if agg.is_empty() {
+            return if sock.closed || len == 0 {
+                Ok((agg, out))
+            } else {
+                Err(IolError::WouldBlock { outcome: out })
+            };
+        }
+        match mode {
+            BufferMode::ZeroCopy => {
+                // recv by reference: first-time chunk mappings only.
+                let pages = self.transfer_to(&agg, pid.domain());
+                out.mapped_pages += pages;
+                out.charge += self.cost.page_maps(pages);
+            }
+            BufferMode::Copy => {
+                // Conventional recv copies socket-buffer data out.
+                let copied = agg.len();
+                self.metrics.bytes_copied += copied;
+                out.charge += self.cost.copy(copied);
+            }
+        }
+        Ok((agg, out))
     }
 
     /// `IOL_write` on a descriptor: files replace at (and advance) the
-    /// shared offset; pipe write-ends enqueue. Returns bytes accepted.
-    pub fn iol_write_fd(&mut self, pid: Pid, fd: Fd, agg: &Aggregate) -> (u64, IoOutcome) {
-        let Some(desc) = self.fds.table(pid).get(fd) else {
-            return (
-                0,
-                IoOutcome {
-                    charge: Charge::us(self.cost.syscall_us),
-                    ..IoOutcome::default()
-                },
-            );
-        };
+    /// shared offset; pipe write-ends enqueue; sockets run the TCP send
+    /// path (zero-copy with checksum caching, or copying — the
+    /// descriptor doesn't care, §3.4). Returns bytes accepted; socket
+    /// writes carry their [`SendOutcome`] in `outcome.net`.
+    ///
+    /// # Errors
+    ///
+    /// [`IolError::NotOpen`] / [`IolError::BadFdKind`] as usual;
+    /// [`IolError::Closed`] when writing a closed pipe or socket;
+    /// [`IolError::WouldBlock`] when a full pipe accepts nothing;
+    /// [`IolError::ShortIo`] (carrying the partial count and its
+    /// charge) when a pipe fills mid-write.
+    pub fn iol_write_fd(&mut self, pid: Pid, fd: Fd, agg: &Aggregate) -> IoResult<u64> {
+        let desc = self.resolve_fd(pid, fd)?;
         let object = desc.borrow().object;
         match object {
             FdObject::File(file) => {
                 let pos = desc.borrow().pos;
-                let out = self.iol_write(pid, file, pos, agg);
+                let out = self.write_file_at(pid, file, pos, agg);
                 desc.borrow_mut().pos = pos + agg.len();
-                (agg.len(), out)
+                Ok((agg.len(), out))
             }
-            FdObject::PipeWrite(pipe) => self.pipe_write(pid, pipe, agg),
-            FdObject::PipeRead(_) => (
-                0,
-                IoOutcome {
+            FdObject::PipeWrite(pipe) => {
+                let slot = &self.pipes[&pipe];
+                if slot.pipe.is_closed() || slot.reader_gone {
+                    // Writing with no write end left, or no reader left
+                    // to ever drain it, is EPIPE.
+                    return Err(IolError::Closed);
+                }
+                let (accepted, out) = self.pipe_write_inner(pid, pipe, agg);
+                if accepted == agg.len() {
+                    Ok((accepted, out))
+                } else if accepted == 0 {
+                    Err(IolError::WouldBlock { outcome: out })
+                } else {
+                    Err(IolError::ShortIo {
+                        done: accepted,
+                        outcome: out,
+                    })
+                }
+            }
+            FdObject::Socket(id) => {
+                let sock = self.sockets.get_mut(&id).expect("registered socket");
+                if sock.closed {
+                    return Err(IolError::Closed);
+                }
+                let send = sock.conn.send(agg, &mut self.cksum);
+                self.metrics.syscalls += 1;
+                self.metrics.bytes_checksummed += send.csum_bytes_computed;
+                self.metrics.bytes_checksum_cached += send.csum_bytes_cached;
+                self.metrics.bytes_copied += send.bytes_copied;
+                let out = IoOutcome {
                     charge: Charge::us(self.cost.syscall_us),
+                    net: Some(send),
                     ..IoOutcome::default()
-                },
-            ),
+                };
+                Ok((agg.len(), out))
+            }
+            FdObject::PipeRead(_) => Err(IolError::BadFdKind {
+                fd,
+                operation: "write",
+            }),
         }
     }
 
-    /// Closes a pipe's write end.
-    pub fn pipe_close(&mut self, id: PipeId) {
-        if let Some(p) = self.pipes.get_mut(&id) {
-            p.close();
+    /// Positional `IOL_read` (`pread(2)`): reads a file descriptor at
+    /// an explicit offset without moving the shared offset.
+    ///
+    /// # Errors
+    ///
+    /// [`IolError::NotOpen`] / [`IolError::BadFdKind`] (pipes and
+    /// sockets have no positions).
+    pub fn iol_pread(&mut self, pid: Pid, fd: Fd, offset: u64, len: u64) -> IoResult<Aggregate> {
+        let file = self.resolve_file(pid, fd, "positional file access")?;
+        Ok(self.read_file_at(pid, file, offset, len))
+    }
+
+    /// Positional `IOL_write` (`pwrite(2)`).
+    ///
+    /// # Errors
+    ///
+    /// As [`Kernel::iol_pread`].
+    pub fn iol_pwrite(&mut self, pid: Pid, fd: Fd, offset: u64, agg: &Aggregate) -> IoResult<u64> {
+        let file = self.resolve_file(pid, fd, "positional file access")?;
+        let out = self.write_file_at(pid, file, offset, agg);
+        Ok((agg.len(), out))
+    }
+
+    /// Backward-compatible copying read on a file descriptor, advancing
+    /// the shared offset (§4.2's copy-in/copy-out POSIX veneer).
+    ///
+    /// # Errors
+    ///
+    /// As [`Kernel::iol_pread`] — pipes carry copy semantics through
+    /// their mode instead.
+    pub fn posix_read_fd(&mut self, pid: Pid, fd: Fd, len: u64) -> IoResult<Vec<u8>> {
+        let file = self.resolve_file(pid, fd, "posix_read")?;
+        let desc = self.resolve_fd(pid, fd)?;
+        let pos = desc.borrow().pos;
+        let (bytes, out) = self.posix_file_read(pid, file, pos, len);
+        desc.borrow_mut().pos = pos + bytes.len() as u64;
+        Ok((bytes, out))
+    }
+
+    /// Backward-compatible copying write on a file descriptor,
+    /// advancing the shared offset.
+    ///
+    /// # Errors
+    ///
+    /// As [`Kernel::posix_read_fd`].
+    pub fn posix_write_fd(&mut self, pid: Pid, fd: Fd, data: &[u8]) -> IoResult<u64> {
+        let file = self.resolve_file(pid, fd, "posix_write")?;
+        let desc = self.resolve_fd(pid, fd)?;
+        let pos = desc.borrow().pos;
+        let out = self.posix_file_write(pid, file, pos, data);
+        desc.borrow_mut().pos = pos + data.len() as u64;
+        Ok((data.len() as u64, out))
+    }
+
+    /// Maps the whole file behind a descriptor (§3.8 `mmap`).
+    ///
+    /// # Errors
+    ///
+    /// As [`Kernel::iol_pread`].
+    pub fn mmap_fd(&mut self, pid: Pid, fd: Fd) -> IoResult<MmapView> {
+        let file = self.resolve_file(pid, fd, "mmap")?;
+        Ok(self.file_mmap(pid, file))
+    }
+
+    // ---- the stdio console (harness side of fds 0/1/2) ------------------
+
+    /// Writes `data` into `pid`'s stdin console pipe (the harness
+    /// playing the terminal); the process reads it at [`Fd::STDIN`].
+    ///
+    /// # Errors
+    ///
+    /// [`IolError::WouldBlock`]/[`IolError::ShortIo`] as for any pipe
+    /// write when the console buffer fills.
+    pub fn feed_stdin(&mut self, pid: Pid, data: &Aggregate) -> IoResult<u64> {
+        let console = self.consoles[&pid];
+        let slot = &self.pipes[&console.stdin];
+        if slot.pipe.is_closed() || slot.reader_gone {
+            return Err(IolError::Closed);
+        }
+        let (accepted, out) = self.pipe_write_inner(pid, console.stdin, data);
+        if accepted == data.len() {
+            Ok((accepted, out))
+        } else if accepted == 0 {
+            Err(IolError::WouldBlock { outcome: out })
+        } else {
+            Err(IolError::ShortIo {
+                done: accepted,
+                outcome: out,
+            })
         }
     }
 
-    /// Immutable access to a pipe (tests, stats).
-    pub fn pipe(&self, id: PipeId) -> &Pipe {
-        &self.pipes[&id]
+    /// Drains up to `max` bytes the process wrote to [`Fd::STDOUT`].
+    ///
+    /// # Errors
+    ///
+    /// [`IolError::WouldBlock`] when nothing is buffered and the
+    /// process still holds its write end.
+    pub fn read_stdout(&mut self, pid: Pid, max: u64) -> IoResult<Aggregate> {
+        let console = self.consoles[&pid];
+        self.console_read(pid, console.stdout, max)
+    }
+
+    /// Drains up to `max` bytes the process wrote to [`Fd::STDERR`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Kernel::read_stdout`].
+    pub fn read_stderr(&mut self, pid: Pid, max: u64) -> IoResult<Aggregate> {
+        let console = self.consoles[&pid];
+        self.console_read(pid, console.stderr, max)
+    }
+
+    fn console_read(&mut self, pid: Pid, pipe: PipeId, max: u64) -> IoResult<Aggregate> {
+        let (got, out) = self.pipe_read_inner(pid, pipe, max)?;
+        match got {
+            Some(agg) => Ok((agg, out)),
+            None if self.pipes[&pipe].pipe.is_closed() => Ok((Aggregate::empty(), out)),
+            None => Err(IolError::WouldBlock { outcome: out }),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use iolite_net::{DEFAULT_MSS, DEFAULT_TSS};
 
     fn kernel() -> Kernel {
         Kernel::new(CostModel::pentium_ii_333())
+    }
+
+    #[test]
+    fn spawn_installs_the_stdio_triple() {
+        let mut k = kernel();
+        let pid = k.spawn("app");
+        // fds 0/1/2 are live; the first user object lands at 3.
+        let f = k.create_file("/f", b"x");
+        let fd = k.open_file(pid, f);
+        assert_eq!(fd, Fd(3));
+        // STDOUT round-trips through the console.
+        let pool = k.process(pid).pool().clone();
+        let msg = Aggregate::from_bytes(&pool, b"hello, console");
+        let (n, _) = k.iol_write_fd(pid, Fd::STDOUT, &msg).unwrap();
+        assert_eq!(n, 14);
+        let (got, _) = k.read_stdout(pid, 100).unwrap();
+        assert_eq!(got.to_vec(), b"hello, console");
+        // STDIN: the harness feeds, the process reads.
+        let input = Aggregate::from_bytes(&pool, b"typed");
+        k.feed_stdin(pid, &input).unwrap();
+        let (read, _) = k.iol_read_fd(pid, Fd::STDIN, 100).unwrap();
+        assert_eq!(read.to_vec(), b"typed");
+        // STDERR is distinct from STDOUT.
+        let err = Aggregate::from_bytes(&pool, b"oops");
+        k.iol_write_fd(pid, Fd::STDERR, &err).unwrap();
+        assert!(matches!(
+            k.read_stdout(pid, 100),
+            Err(IolError::WouldBlock { .. })
+        ));
+        assert_eq!(k.read_stderr(pid, 100).unwrap().0.to_vec(), b"oops");
+    }
+
+    #[test]
+    fn closed_fd_numbers_are_reused_lowest_first() {
+        let mut k = kernel();
+        let pid = k.spawn("app");
+        let f = k.create_file("/f", b"x");
+        let a = k.open_file(pid, f);
+        let b = k.open_file(pid, f);
+        assert_eq!((a, b), (Fd(3), Fd(4)));
+        k.close_fd(pid, a).unwrap();
+        assert_eq!(k.open_file(pid, f), Fd(3), "lowest free number, per POSIX");
+        assert_eq!(k.open_file(pid, f), Fd(5));
     }
 
     #[test]
@@ -721,10 +1447,11 @@ mod tests {
         let mut k = kernel();
         let pid = k.spawn("app");
         let f = k.create_synthetic_file("/f", 100_000, 1);
-        let (a1, o1) = k.iol_read(pid, f, 0, 100_000);
+        let fd = k.open_file(pid, f);
+        let (a1, o1) = k.iol_pread(pid, fd, 0, 100_000).unwrap();
         assert!(!o1.cache_hit);
         assert!(o1.disk_bytes == 100_000 && o1.disk_time > SimTime::ZERO);
-        let (a2, o2) = k.iol_read(pid, f, 0, 100_000);
+        let (a2, o2) = k.iol_pread(pid, fd, 0, 100_000).unwrap();
         assert!(o2.cache_hit);
         assert_eq!(o2.disk_bytes, 0);
         assert!(a1.content_eq(&a2));
@@ -737,9 +1464,10 @@ mod tests {
         let mut k = kernel();
         let pid = k.spawn("app");
         let f = k.create_file("/f", b"abcdef");
-        let (agg, _) = k.iol_read(pid, f, 4, 100);
+        let fd = k.open_file(pid, f);
+        let (agg, _) = k.iol_pread(pid, fd, 4, 100).unwrap();
         assert_eq!(agg.to_vec(), b"ef");
-        let (empty, _) = k.iol_read(pid, f, 100, 10);
+        let (empty, _) = k.iol_pread(pid, fd, 100, 10).unwrap();
         assert!(empty.is_empty());
     }
 
@@ -748,9 +1476,10 @@ mod tests {
         let mut k = kernel();
         let pid = k.spawn("app");
         let f = k.create_synthetic_file("/f", 64 * 1024, 1);
-        let (_, o1) = k.iol_read(pid, f, 0, 64 * 1024);
+        let fd = k.open_file(pid, f);
+        let (_, o1) = k.iol_pread(pid, fd, 0, 64 * 1024).unwrap();
         assert!(o1.mapped_pages > 0);
-        let (_, o2) = k.iol_read(pid, f, 0, 64 * 1024);
+        let (_, o2) = k.iol_pread(pid, fd, 0, 64 * 1024).unwrap();
         assert_eq!(o2.mapped_pages, 0, "second read rides warm mappings");
         assert!(o2.charge.time < o1.charge.time);
     }
@@ -760,9 +1489,10 @@ mod tests {
         let mut k = kernel();
         let pid = k.spawn("app");
         let f = k.create_synthetic_file("/f", 10_000, 1);
-        let (data, _) = k.posix_read(pid, f, 0, 10_000);
+        let fd = k.open_file(pid, f);
+        let (data, _) = k.posix_read_fd(pid, fd, 10_000).unwrap();
         assert_eq!(k.metrics.bytes_copied, 10_000);
-        let (agg, _) = k.iol_read(pid, f, 0, 10_000);
+        let (agg, _) = k.iol_pread(pid, fd, 0, 10_000).unwrap();
         assert_eq!(k.metrics.bytes_copied, 10_000, "IOL_read adds no copy");
         assert_eq!(agg.to_vec(), data);
     }
@@ -772,13 +1502,14 @@ mod tests {
         let mut k = kernel();
         let pid = k.spawn("app");
         let f = k.create_file("/f", b"old-contents");
-        let (snapshot, _) = k.iol_read(pid, f, 0, 100);
+        let fd = k.open_file(pid, f);
+        let (snapshot, _) = k.iol_pread(pid, fd, 0, 100).unwrap();
         let patch = Aggregate::from_bytes(k.process(pid).pool(), b"NEW");
-        k.iol_write(pid, f, 0, &patch);
+        k.iol_pwrite(pid, fd, 0, &patch).unwrap();
         // Reader's snapshot unchanged; store and cache updated.
         assert_eq!(snapshot.to_vec(), b"old-contents");
         assert_eq!(k.store.read(f, 0, 100).unwrap(), b"NEW-contents");
-        let (now, o) = k.iol_read(pid, f, 0, 100);
+        let (now, o) = k.iol_pread(pid, fd, 0, 100).unwrap();
         assert!(o.cache_hit);
         assert_eq!(now.to_vec(), b"NEW-contents");
     }
@@ -804,15 +1535,16 @@ mod tests {
         let mut k = kernel();
         let pid = k.spawn("server");
         let f = k.create_file("/doc", b"version-1");
+        let fd = k.open_file(pid, f);
         let key = CacheKey::whole(f);
         // Transmission A: read + pin (the serve path's pin lifecycle).
-        let (_snap, _) = k.iol_read(pid, f, 0, 100);
+        let (_snap, _) = k.iol_pread(pid, fd, 0, 100).unwrap();
         k.cache.pin(&key);
         // A write replaces the cached entry mid-transmission.
         let patch = Aggregate::from_bytes(k.process(pid).pool(), b"version-2");
-        k.iol_write(pid, f, 0, &patch);
+        k.iol_pwrite(pid, fd, 0, &patch).unwrap();
         // Transmission B starts on the new snapshot.
-        let (_snap2, o2) = k.iol_read(pid, f, 0, 100);
+        let (_snap2, o2) = k.iol_pread(pid, fd, 0, 100).unwrap();
         assert!(o2.cache_hit);
         k.cache.pin(&key);
         // Transmission A drains: its deferred unpin fires.
@@ -830,7 +1562,8 @@ mod tests {
         let mut k = kernel();
         let pid = k.spawn("app");
         let f = k.create_synthetic_file("/f", 1 << 20, 1);
-        k.iol_read(pid, f, 0, 1 << 20);
+        let fd = k.open_file(pid, f);
+        k.iol_pread(pid, fd, 0, 1 << 20).unwrap();
         assert!(k.cache.resident_bytes() > 0);
         // Reserve (almost) all remaining memory: cache must shrink.
         let avail = k.physmem.available();
@@ -845,22 +1578,23 @@ mod tests {
         let mut k = kernel();
         let a = k.spawn("producer");
         let b = k.spawn("consumer");
-        let pipe = k.pipe_create(PipeMode::ZeroCopy);
+        let (w, r) = k.pipe_between(a, b, PipeMode::ZeroCopy);
         let pool = k.process(a).pool().clone();
         // First message: fresh chunk, reader pays mapping.
         let m1 = Aggregate::from_bytes(&pool, &[1u8; 64 * 1024]);
-        k.pipe_write(a, pipe, &m1);
+        k.iol_write_fd(a, w, &m1).unwrap();
         drop(m1);
-        let (got, o1) = k.pipe_read(b, pipe, u64::MAX);
-        assert_eq!(got.unwrap().len(), 64 * 1024);
+        let (got, o1) = k.iol_read_fd(b, r, u64::MAX).unwrap();
+        assert_eq!(got.len(), 64 * 1024);
         assert!(o1.mapped_pages > 0);
+        drop(got);
         // Recycled chunk: no new mappings (the §3.2 fast path).
         let m2 = Aggregate::from_bytes(&pool, &[2u8; 64 * 1024]);
-        k.pipe_write(a, pipe, &m2);
+        k.iol_write_fd(a, w, &m2).unwrap();
         drop(m2);
-        let (_, o2) = k.pipe_read(b, pipe, u64::MAX);
+        let (_, o2) = k.iol_read_fd(b, r, u64::MAX).unwrap();
         assert_eq!(o2.mapped_pages, 0);
-        assert_eq!(k.pipe(pipe).stats().bytes_copied, 0);
+        assert_eq!(k.metrics.bytes_copied, 0);
     }
 
     #[test]
@@ -868,15 +1602,68 @@ mod tests {
         let mut k = kernel();
         let a = k.spawn("producer");
         let b = k.spawn("consumer");
-        let pipe = k.pipe_create(PipeMode::Copy);
+        let (w, r) = k.pipe_between(a, b, PipeMode::Copy);
         let pool = k.process(a).pool().clone();
         let msg = Aggregate::from_bytes(&pool, &[1u8; 1000]);
-        let (n, wout) = k.pipe_write(a, pipe, &msg);
+        let (n, wout) = k.iol_write_fd(a, w, &msg).unwrap();
         assert_eq!(n, 1000);
         assert!(wout.charge.time > Charge::us(5.0).time);
-        let (_, rout) = k.pipe_read(b, pipe, u64::MAX);
+        let (_, rout) = k.iol_read_fd(b, r, u64::MAX).unwrap();
         assert!(rout.charge.time > Charge::us(5.0).time);
         assert_eq!(k.metrics.bytes_copied, 2000);
+    }
+
+    #[test]
+    fn pipe_write_reports_short_io_and_close_gives_eof() {
+        let mut k = kernel();
+        let a = k.spawn("producer");
+        let b = k.spawn("consumer");
+        let (w, r) = k.pipe_between(a, b, PipeMode::ZeroCopy);
+        let pool = k.process(a).pool().clone();
+        // 100KB into a 64KB pipe: partial progress is carried.
+        let big = Aggregate::from_bytes(&pool, &[7u8; 100 * 1024]);
+        let err = k.iol_write_fd(a, w, &big).unwrap_err();
+        let IolError::ShortIo { done, outcome } = err else {
+            panic!("expected ShortIo, got {err:?}");
+        };
+        assert_eq!(done, 64 * 1024);
+        assert!(outcome.charge.time > SimTime::ZERO);
+        // Full pipe accepts nothing: EAGAIN, still charged as a trap.
+        let blocked = k.iol_write_fd(a, w, &big).unwrap_err();
+        let IolError::WouldBlock { outcome } = blocked else {
+            panic!("expected WouldBlock, got {blocked:?}");
+        };
+        assert!(outcome.charge.time > SimTime::ZERO);
+        // Drain, close the write end; the reader sees data then EOF.
+        let (first, _) = k.iol_read_fd(b, r, u64::MAX).unwrap();
+        assert_eq!(first.len(), 64 * 1024);
+        k.close_fd(a, w).unwrap();
+        let (eof, _) = k.iol_read_fd(b, r, 100).unwrap();
+        assert!(eof.is_empty(), "EOF after last write end closes");
+        // A fresh descriptor to the closed pipe's write end is refused.
+        let FdObject::PipeRead(id) = k.fd_object(b, r).unwrap() else {
+            panic!("read end resolves to a pipe");
+        };
+        let w2 = k.install_fd(a, FdObject::PipeWrite(id));
+        assert_eq!(k.iol_write_fd(a, w2, &big), Err(IolError::Closed));
+    }
+
+    #[test]
+    fn pipe_eof_requires_last_writer_to_close() {
+        let mut k = kernel();
+        let a = k.spawn("producer");
+        let b = k.spawn("consumer");
+        let (w, r) = k.pipe_between(a, b, PipeMode::ZeroCopy);
+        let w_dup = k.dup_fd(a, w).unwrap();
+        k.close_fd(a, w).unwrap();
+        // A write end remains: the empty pipe is EAGAIN, not EOF.
+        assert!(matches!(
+            k.iol_read_fd(b, r, 10),
+            Err(IolError::WouldBlock { .. })
+        ));
+        k.close_fd(a, w_dup).unwrap();
+        let (eof, _) = k.iol_read_fd(b, r, 10).unwrap();
+        assert!(eof.is_empty());
     }
 
     #[test]
@@ -884,7 +1671,8 @@ mod tests {
         let mut k = kernel();
         let pid = k.spawn("app");
         let f = k.create_synthetic_file("/f", 10_000, 3);
-        let (mut view, o) = k.mmap(pid, f);
+        let fd = k.open_file(pid, f);
+        let (mut view, o) = k.mmap_fd(pid, fd).unwrap();
         assert_eq!(view.len(), 10_000);
         assert!(o.mapped_pages > 0);
         let direct = k.store.read(f, 0, 10_000).unwrap();
@@ -896,20 +1684,46 @@ mod tests {
         let mut k = kernel();
         let pid = k.spawn("app");
         k.create_file("/seq", b"abcdefghij");
-        let (fd, _) = k.open(pid, "/seq");
-        let fd = fd.unwrap();
-        let (first, _) = k.iol_read_fd(pid, fd, 4);
+        let (fd, _) = k.open(pid, "/seq").unwrap();
+        let (first, _) = k.iol_read_fd(pid, fd, 4).unwrap();
         assert_eq!(first.to_vec(), b"abcd");
         // A dup shares the offset.
         let dup = k.dup_fd(pid, fd).unwrap();
-        let (second, _) = k.iol_read_fd(pid, dup, 4);
+        let (second, _) = k.iol_read_fd(pid, dup, 4).unwrap();
         assert_eq!(second.to_vec(), b"efgh");
-        let (third, _) = k.iol_read_fd(pid, fd, 4);
+        let (third, _) = k.iol_read_fd(pid, fd, 4).unwrap();
         assert_eq!(third.to_vec(), b"ij");
         // lseek rewinds.
-        assert_eq!(k.lseek(pid, fd, 0), Some(0));
-        let (again, _) = k.iol_read_fd(pid, dup, 2);
+        assert_eq!(k.lseek(pid, fd, 0, Whence::Set).unwrap().0, 0);
+        let (again, _) = k.iol_read_fd(pid, dup, 2).unwrap();
         assert_eq!(again.to_vec(), b"ab");
+    }
+
+    #[test]
+    fn lseek_whence_resolves_cur_and_end() {
+        let mut k = kernel();
+        let pid = k.spawn("app");
+        k.create_file("/f", b"0123456789");
+        let (fd, _) = k.open(pid, "/f").unwrap();
+        assert_eq!(k.lseek(pid, fd, 4, Whence::Set).unwrap().0, 4);
+        assert_eq!(k.lseek(pid, fd, 3, Whence::Cur).unwrap().0, 7);
+        assert_eq!(k.lseek(pid, fd, -5, Whence::Cur).unwrap().0, 2);
+        // End resolves against file metadata.
+        assert_eq!(k.lseek(pid, fd, -2, Whence::End).unwrap().0, 8);
+        let (tail, _) = k.iol_read_fd(pid, fd, 100).unwrap();
+        assert_eq!(tail.to_vec(), b"89");
+        // Past-EOF is allowed (sparse seek); negative is EINVAL.
+        assert_eq!(k.lseek(pid, fd, 5, Whence::End).unwrap().0, 15);
+        assert_eq!(
+            k.lseek(pid, fd, -11, Whence::Set),
+            Err(IolError::InvalidSeek { requested: -11 })
+        );
+        // ESPIPE for non-files.
+        let (_, r) = k.pipe_fds(pid, PipeMode::Copy);
+        assert!(matches!(
+            k.lseek(pid, r, 0, Whence::Set),
+            Err(IolError::BadFdKind { .. })
+        ));
     }
 
     #[test]
@@ -917,29 +1731,28 @@ mod tests {
         let mut k = kernel();
         let a = k.spawn("producer");
         let b = k.spawn("consumer");
-        let (r, w) = k.pipe_fds(a, PipeMode::ZeroCopy);
-        // Hand the read end to the consumer.
-        let robj = k.fds.table(a).get(r).unwrap().borrow().object;
-        let r_in_b = k.install_fd(b, robj);
+        let (w, r_in_b) = k.pipe_between(a, b, PipeMode::ZeroCopy);
         let pool = k.process(a).pool().clone();
         let msg = Aggregate::from_bytes(&pool, b"through the fd layer");
-        let (n, _) = k.iol_write_fd(a, w, &msg);
+        let (n, _) = k.iol_write_fd(a, w, &msg).unwrap();
         assert_eq!(n, 20);
-        let (got, _) = k.iol_read_fd(b, r_in_b, 100);
+        let (got, _) = k.iol_read_fd(b, r_in_b, 100).unwrap();
         assert_eq!(got.to_vec(), b"through the fd layer");
-        // Wrong-end access and unknown fds degrade gracefully.
-        let (none, _) = k.iol_read_fd(a, w, 10);
-        assert!(none.is_empty());
-        let (zero, _) = k.iol_write_fd(b, r_in_b, &msg);
-        assert_eq!(zero, 0);
-        let (ghost, _) = k.iol_read_fd(a, Fd(999), 10);
-        assert!(ghost.is_empty());
-        // Opening a missing path fails with a charge.
-        let (none_fd, c) = k.open(a, "/nope");
-        assert!(none_fd.is_none());
-        assert!(c.time > iolite_sim::SimTime::ZERO);
-        // lseek on a pipe is refused.
-        assert_eq!(k.lseek(a, w, 5), None);
+        // Wrong-end access and unknown fds fail precisely.
+        assert!(matches!(
+            k.iol_read_fd(a, w, 10),
+            Err(IolError::BadFdKind { .. })
+        ));
+        assert!(matches!(
+            k.iol_write_fd(b, r_in_b, &msg),
+            Err(IolError::BadFdKind { .. })
+        ));
+        assert!(matches!(
+            k.iol_read_fd(a, Fd(999), 10),
+            Err(IolError::NotOpen { fd: Fd(999) })
+        ));
+        // Opening a missing path is ENOENT.
+        assert_eq!(k.open(a, "/nope"), Err(IolError::NotFound));
     }
 
     #[test]
@@ -947,18 +1760,155 @@ mod tests {
         let mut k = kernel();
         let pid = k.spawn("app");
         k.create_file("/f", b"0123456789");
-        let (fd, _) = k.open(pid, "/f");
-        let fd = fd.unwrap();
-        k.lseek(pid, fd, 4);
+        let (fd, _) = k.open(pid, "/f").unwrap();
+        k.lseek(pid, fd, 4, Whence::Set).unwrap();
         let pool = k.process(pid).pool().clone();
         let patch = Aggregate::from_bytes(&pool, b"XY");
-        let (n, _) = k.iol_write_fd(pid, fd, &patch);
+        let (n, _) = k.iol_write_fd(pid, fd, &patch).unwrap();
         assert_eq!(n, 2);
         let file = k.lookup("/f").0.unwrap();
         assert_eq!(k.store.read(file, 0, 20).unwrap(), b"0123XY6789");
         // The offset advanced past the write.
-        let (rest, _) = k.iol_read_fd(pid, fd, 10);
+        let (rest, _) = k.iol_read_fd(pid, fd, 10).unwrap();
         assert_eq!(rest.to_vec(), b"6789");
+    }
+
+    #[test]
+    fn socket_fd_runs_the_tcp_send_path() {
+        let mut k = kernel();
+        let pid = k.spawn("server");
+        let sock = k.socket_create(pid, BufferMode::ZeroCopy, DEFAULT_MSS, DEFAULT_TSS);
+        let pool = k.process(pid).pool().clone();
+        let payload = Aggregate::from_bytes(&pool, &[7u8; 10_000]);
+        let (n, out) = k.iol_write_fd(pid, sock, &payload).unwrap();
+        assert_eq!(n, 10_000);
+        let send = out.net.expect("socket writes carry SendOutcome");
+        assert_eq!(send.payload_bytes, 10_000);
+        assert_eq!(send.csum_bytes_computed, 10_000);
+        assert_eq!(send.bytes_copied, 0);
+        // Second transmission rides the checksum cache (§3.9), exactly
+        // as a direct TcpConn::send would.
+        let (_, out2) = k.iol_write_fd(pid, sock, &payload).unwrap();
+        let send2 = out2.net.unwrap();
+        assert_eq!(send2.csum_bytes_computed, 0);
+        assert_eq!(send2.csum_bytes_cached, 10_000);
+        assert_eq!(k.metrics.bytes_checksum_cached, 10_000);
+        // Window-rate math is reachable through the registry.
+        assert!(k.socket(pid, sock).unwrap().window_rate(0.0).is_infinite());
+    }
+
+    #[test]
+    fn socket_fd_reads_drain_delivered_data() {
+        let mut k = kernel();
+        let pid = k.spawn("server");
+        let sock = k.socket_create(pid, BufferMode::ZeroCopy, DEFAULT_MSS, DEFAULT_TSS);
+        // Nothing delivered yet: EAGAIN.
+        assert!(matches!(
+            k.iol_read_fd(pid, sock, 10),
+            Err(IolError::WouldBlock { .. })
+        ));
+        let pool = k.process(pid).pool().clone();
+        k.socket_deliver(pid, sock, Aggregate::from_bytes(&pool, b"GET / HTTP/1.0"))
+            .unwrap();
+        let (head, _) = k.iol_read_fd(pid, sock, 5).unwrap();
+        assert_eq!(head.to_vec(), b"GET /");
+        let (rest, _) = k.iol_read_fd(pid, sock, 100).unwrap();
+        assert_eq!(rest.to_vec(), b" HTTP/1.0");
+        // Close tears the connection down: reads EOF, writes EPIPE.
+        k.close_fd(pid, sock).unwrap();
+        let err = k.iol_read_fd(pid, sock, 10).unwrap_err();
+        assert_eq!(err, IolError::NotOpen { fd: sock });
+    }
+
+    #[test]
+    fn socket_close_rejects_further_writes_via_other_handles() {
+        let mut k = kernel();
+        let a = k.spawn("a");
+        let b = k.spawn("b");
+        let sock = k.socket_create(a, BufferMode::ZeroCopy, DEFAULT_MSS, DEFAULT_TSS);
+        // Hand the socket to b (fork-style inheritance), then close every
+        // descriptor: the connection itself tears down.
+        let obj = FdObject::Socket(ConnId(1));
+        let sock_in_b = k.install_fd(b, obj);
+        k.close_fd(a, sock).unwrap();
+        // b's handle still works (the connection lives while referenced).
+        let pool = k.process(b).pool().clone();
+        let msg = Aggregate::from_bytes(&pool, b"still up");
+        assert!(k.iol_write_fd(b, sock_in_b, &msg).is_ok());
+        k.close_fd(b, sock_in_b).unwrap();
+        // Re-acquiring a descriptor to the dead connection sees EPIPE.
+        let zombie = k.install_fd(a, obj);
+        assert_eq!(k.iol_write_fd(a, zombie, &msg), Err(IolError::Closed));
+    }
+
+    #[test]
+    fn writer_gets_epipe_when_last_reader_closes() {
+        let mut k = kernel();
+        let a = k.spawn("producer");
+        let b = k.spawn("consumer");
+        let (w, r) = k.pipe_between(a, b, PipeMode::ZeroCopy);
+        let r_dup = k.dup_fd(b, r).unwrap();
+        let pool = k.process(a).pool().clone();
+        let msg = Aggregate::from_bytes(&pool, b"into the void?");
+        // A reader remains: writes proceed.
+        k.close_fd(b, r).unwrap();
+        assert!(k.iol_write_fd(a, w, &msg).is_ok());
+        // The last reader hangs up: EPIPE, not an unbounded buffer.
+        k.close_fd(b, r_dup).unwrap();
+        assert_eq!(k.iol_write_fd(a, w, &msg), Err(IolError::Closed));
+    }
+
+    #[test]
+    fn install_fd_at_targets_exact_numbers_with_close_semantics() {
+        let mut k = kernel();
+        let a = k.spawn("parent");
+        let b = k.spawn("child");
+        let (w, r) = k.pipe_between(a, b, PipeMode::ZeroCopy);
+        // Park the child's read end on its stdin number, fork/exec
+        // style; the displaced console description closes cleanly.
+        let r_pipe = pipe_of(&mut k, b, r);
+        assert_eq!(
+            k.install_fd_at(b, Fd::STDIN, FdObject::PipeRead(r_pipe)),
+            Fd::STDIN
+        );
+        let pool = k.process(a).pool().clone();
+        let msg = Aggregate::from_bytes(&pool, b"execve inherited");
+        k.iol_write_fd(a, w, &msg).unwrap();
+        assert_eq!(
+            k.iol_read_fd(b, Fd::STDIN, 100).unwrap().0.to_vec(),
+            b"execve inherited"
+        );
+        // Displacing the last descriptor of a pipe's write end closes
+        // the pipe for real.
+        let (w2, r2) = k.pipe_between(a, b, PipeMode::ZeroCopy);
+        let r2_pipe = pipe_of(&mut k, b, r2);
+        k.install_fd_at(a, w2, FdObject::PipeRead(r2_pipe));
+        let (eof, _) = k.iol_read_fd(b, r2, 10).unwrap();
+        assert!(eof.is_empty(), "write end displaced away => EOF");
+    }
+
+    /// Test helper: the PipeId behind a pipe-end descriptor.
+    fn pipe_of(k: &mut Kernel, pid: Pid, fd: Fd) -> PipeId {
+        match k.fd_object(pid, fd).unwrap() {
+            FdObject::PipeRead(id) | FdObject::PipeWrite(id) => id,
+            other => panic!("not a pipe end: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dup2_replumbs_stdout_shell_style() {
+        let mut k = kernel();
+        let a = k.spawn("producer");
+        let b = k.spawn("consumer");
+        let (w, r) = k.pipe_between(a, b, PipeMode::ZeroCopy);
+        // a's stdout now points at the pipe; b's stdin at its read end.
+        k.dup2_fd(a, w, Fd::STDOUT).unwrap();
+        k.dup2_fd(b, r, Fd::STDIN).unwrap();
+        let pool = k.process(a).pool().clone();
+        let msg = Aggregate::from_bytes(&pool, b"a | b");
+        k.iol_write_fd(a, Fd::STDOUT, &msg).unwrap();
+        let (got, _) = k.iol_read_fd(b, Fd::STDIN, 100).unwrap();
+        assert_eq!(got.to_vec(), b"a | b");
     }
 
     #[test]
@@ -969,7 +1919,8 @@ mod tests {
         // by cached-I/O pages.
         for i in 0..8 {
             let f = k.create_synthetic_file(&format!("/f{i}"), 1 << 20, i);
-            k.iol_read(pid, f, 0, 1 << 20);
+            let fd = k.open_file(pid, f);
+            k.iol_pread(pid, fd, 0, 1 << 20).unwrap();
         }
         let resident_before = k.cache.resident_bytes();
         assert!(resident_before > 0);

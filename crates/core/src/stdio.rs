@@ -1,10 +1,16 @@
-//! A stdio-like buffered I/O library over kernel pipes (§3.4, §5.8).
+//! A stdio-like buffered I/O library over file descriptors (§3.4, §5.8).
 //!
 //! "Language-specific runtime I/O libraries, like the ANSI C stdio
 //! library, can be converted to use the new API internally. Doing so
 //! reduces data copying without changing the library's API." The gcc
 //! experiment (§5.8) relinks the compiler chain against exactly such a
 //! library.
+//!
+//! The streams wrap *descriptors*, exactly like `FILE*` wraps an fd:
+//! a process's [`Fd::STDOUT`]/[`Fd::STDIN`] as installed at
+//! [`Kernel::spawn`], a pipe end re-plumbed there with
+//! [`Kernel::dup2_fd`], or any other descriptor. The library neither
+//! knows nor cares what kind of object sits behind the number.
 //!
 //! The copy structure is faithful:
 //!
@@ -22,7 +28,9 @@
 use iolite_buf::{Aggregate, BufferPool};
 
 use crate::cost::CostCategory;
-use crate::kernel::{Kernel, PipeId};
+use crate::error::{short_ok, IolError};
+use crate::fd::Fd;
+use crate::kernel::Kernel;
 use crate::process::Pid;
 
 /// Which API the stdio implementation uses internally.
@@ -38,22 +46,23 @@ pub enum StdioMode {
 /// aligned with the kernel buffer).
 pub const STDIO_BUF: usize = 64 * 1024;
 
-/// A buffered output stream over a kernel pipe (`FILE*` opened for
-/// writing).
+/// A buffered output stream over a writable descriptor (`FILE*` opened
+/// for writing).
 pub struct StdioOut {
     pid: Pid,
-    pipe: PipeId,
+    fd: Fd,
     mode: StdioMode,
     pool: BufferPool,
     buffer: Vec<u8>,
 }
 
 impl StdioOut {
-    /// Wraps the write end of `pipe` for process `pid`.
-    pub fn new(kernel: &Kernel, pid: Pid, pipe: PipeId, mode: StdioMode) -> Self {
+    /// Wraps the writable descriptor `fd` of process `pid` (typically
+    /// [`Fd::STDOUT`], or a pipe's write end).
+    pub fn new(kernel: &Kernel, pid: Pid, fd: Fd, mode: StdioMode) -> Self {
         StdioOut {
             pid,
-            pipe,
+            fd,
             mode,
             pool: kernel.process(pid).pool().clone(),
             buffer: Vec::with_capacity(STDIO_BUF),
@@ -61,12 +70,12 @@ impl StdioOut {
     }
 
     /// Buffered write: copies into the stdio buffer (this copy exists in
-    /// both modes), flushing full buffers to the pipe.
+    /// both modes), flushing full buffers to the descriptor.
     ///
-    /// Returns bytes not yet accepted by the pipe on flush (pipe full):
-    /// the caller must let the reader drain and call
-    /// [`StdioOut::flush`] again. Returns 0 when everything is buffered
-    /// or flushed.
+    /// Returns bytes not yet accepted by the object on flush (pipe
+    /// full): the caller must let the reader run (a context switch,
+    /// charged by the run loop) and call [`StdioOut::flush`] again.
+    /// Returns 0 when everything is buffered or flushed.
     pub fn fwrite(&mut self, kernel: &mut Kernel, data: &[u8]) -> u64 {
         // The application→library copy.
         kernel.charge(
@@ -82,13 +91,24 @@ impl StdioOut {
         }
     }
 
-    /// Flushes the buffer to the pipe; returns bytes that did not fit.
+    /// Flushes the buffer to the descriptor; returns bytes that did not
+    /// fit (short writes and `WouldBlock` are flow control, not fatal).
+    ///
+    /// # Panics
+    ///
+    /// Panics on `EPIPE` — writing a stream whose reader is gone, the
+    /// moral equivalent of an unhandled `SIGPIPE`.
     pub fn flush(&mut self, kernel: &mut Kernel) -> u64 {
         if self.buffer.is_empty() {
             return 0;
         }
         let agg = Aggregate::from_bytes(&self.pool, &self.buffer);
-        let (accepted, out) = kernel.pipe_write(self.pid, self.pipe, &agg);
+        let (accepted, out) = match short_ok(kernel.iol_write_fd(self.pid, self.fd, &agg)) {
+            Ok(pair) => pair,
+            // A full pipe still cost the trap: bill the outcome.
+            Err(IolError::WouldBlock { outcome }) => (0, outcome),
+            Err(e) => panic!("stdio flush failed: {e}"),
+        };
         kernel.charge(CostCategory::Syscall, out.charge);
         let leftover = self.buffer.len() as u64 - accepted;
         self.buffer.drain(..accepted as usize);
@@ -102,38 +122,52 @@ impl StdioOut {
     }
 }
 
-/// A buffered input stream over a kernel pipe (`FILE*` opened for
-/// reading).
+/// A buffered input stream over a readable descriptor (`FILE*` opened
+/// for reading).
 pub struct StdioIn {
     pid: Pid,
-    pipe: PipeId,
+    fd: Fd,
     mode: StdioMode,
     pending: Aggregate,
 }
 
 impl StdioIn {
-    /// Wraps the read end of `pipe` for process `pid`.
-    pub fn new(pid: Pid, pipe: PipeId, mode: StdioMode) -> Self {
+    /// Wraps the readable descriptor `fd` of process `pid` (typically
+    /// [`Fd::STDIN`], or a pipe's read end).
+    pub fn new(pid: Pid, fd: Fd, mode: StdioMode) -> Self {
         StdioIn {
             pid,
-            pipe,
+            fd,
             mode,
             pending: Aggregate::empty(),
         }
     }
 
-    /// Buffered read: fills from the pipe as needed, then copies up to
-    /// `dst.len()` bytes to the caller (the library→application copy,
-    /// present in both modes). Returns bytes delivered (0 = would
-    /// block / EOF).
-    pub fn fread(&mut self, kernel: &mut Kernel, dst: &mut [u8]) -> usize {
-        if self.pending.is_empty() {
-            let (got, out) = kernel.pipe_read(self.pid, self.pipe, STDIO_BUF as u64);
-            kernel.charge(CostCategory::Syscall, out.charge);
-            if let Some(agg) = got {
+    /// Pulls the next buffer-full from the descriptor into `pending`.
+    fn fill(&mut self, kernel: &mut Kernel) {
+        if !self.pending.is_empty() {
+            return;
+        }
+        match kernel.iol_read_fd(self.pid, self.fd, STDIO_BUF as u64) {
+            Ok((agg, out)) => {
+                kernel.charge(CostCategory::Syscall, out.charge);
                 self.pending = agg;
             }
+            // Empty-and-open: the producer must run first — but the
+            // poll itself still trapped, so its charge lands.
+            Err(IolError::WouldBlock { outcome }) => {
+                kernel.charge(CostCategory::Syscall, outcome.charge);
+            }
+            Err(e) => panic!("stdio fill failed: {e}"),
         }
+    }
+
+    /// Buffered read: fills from the descriptor as needed, then copies
+    /// up to `dst.len()` bytes to the caller (the library→application
+    /// copy, present in both modes). Returns bytes delivered (0 = would
+    /// block / EOF).
+    pub fn fread(&mut self, kernel: &mut Kernel, dst: &mut [u8]) -> usize {
+        self.fill(kernel);
         let take = (dst.len() as u64).min(self.pending.len());
         if take == 0 {
             return 0;
@@ -150,13 +184,7 @@ impl StdioIn {
     /// only meaningful for IO-Lite-aware applications that can consume
     /// aggregates directly (the `wc` conversion of §5.8).
     pub fn fread_agg(&mut self, kernel: &mut Kernel) -> Option<Aggregate> {
-        if self.pending.is_empty() {
-            let (got, out) = kernel.pipe_read(self.pid, self.pipe, STDIO_BUF as u64);
-            kernel.charge(CostCategory::Syscall, out.charge);
-            if let Some(agg) = got {
-                self.pending = agg;
-            }
-        }
+        self.fill(kernel);
         if self.pending.is_empty() {
             None
         } else {
@@ -171,7 +199,9 @@ mod tests {
     use crate::cost::CostModel;
     use iolite_ipc::PipeMode;
 
-    fn setup(mode: StdioMode) -> (Kernel, Pid, Pid, PipeId) {
+    /// `w | r`: a pipe re-plumbed onto the writer's stdout and the
+    /// reader's stdin, exactly as a shell would.
+    fn setup(mode: StdioMode) -> (Kernel, Pid, Pid) {
         let mut k = Kernel::new(CostModel::pentium_ii_333());
         let w = k.spawn("writer");
         let r = k.spawn("reader");
@@ -179,16 +209,18 @@ mod tests {
             StdioMode::Posix => PipeMode::Copy,
             StdioMode::IoLite => PipeMode::ZeroCopy,
         };
-        let pipe = k.pipe_create(pipe_mode);
-        (k, w, r, pipe)
+        let (wfd, rfd) = k.pipe_between(w, r, pipe_mode);
+        k.dup2_fd(w, wfd, Fd::STDOUT).unwrap();
+        k.dup2_fd(r, rfd, Fd::STDIN).unwrap();
+        (k, w, r)
     }
 
     #[test]
     fn data_round_trips_both_modes() {
         for mode in [StdioMode::Posix, StdioMode::IoLite] {
-            let (mut k, w, r, pipe) = setup(mode);
-            let mut out = StdioOut::new(&k, w, pipe, mode);
-            let mut inp = StdioIn::new(r, pipe, mode);
+            let (mut k, w, r) = setup(mode);
+            let mut out = StdioOut::new(&k, w, Fd::STDOUT, mode);
+            let mut inp = StdioIn::new(r, Fd::STDIN, mode);
             let message = b"buffered hello across the pipe";
             out.fwrite(&mut k, message);
             assert_eq!(out.buffered(), message.len(), "small write stays buffered");
@@ -201,9 +233,9 @@ mod tests {
 
     #[test]
     fn large_write_flushes_automatically() {
-        let (mut k, w, r, pipe) = setup(StdioMode::IoLite);
-        let mut out = StdioOut::new(&k, w, pipe, StdioMode::IoLite);
-        let mut inp = StdioIn::new(r, pipe, StdioMode::IoLite);
+        let (mut k, w, r) = setup(StdioMode::IoLite);
+        let mut out = StdioOut::new(&k, w, Fd::STDOUT, StdioMode::IoLite);
+        let mut inp = StdioIn::new(r, Fd::STDIN, StdioMode::IoLite);
         let data = vec![7u8; STDIO_BUF + 100];
         out.fwrite(&mut k, &data);
         // The pipe (64KB) is now full; the tail stays buffered until the
@@ -236,9 +268,9 @@ mod tests {
     #[test]
     fn iolite_mode_halves_copied_bytes() {
         let count_copies = |mode: StdioMode| {
-            let (mut k, w, r, pipe) = setup(mode);
-            let mut out = StdioOut::new(&k, w, pipe, mode);
-            let mut inp = StdioIn::new(r, pipe, mode);
+            let (mut k, w, r) = setup(mode);
+            let mut out = StdioOut::new(&k, w, Fd::STDOUT, mode);
+            let mut inp = StdioIn::new(r, Fd::STDIN, mode);
             let data = vec![1u8; 32 * 1024];
             out.fwrite(&mut k, &data);
             out.flush(&mut k);
@@ -264,14 +296,27 @@ mod tests {
 
     #[test]
     fn aggregate_read_skips_the_caller_copy() {
-        let (mut k, w, r, pipe) = setup(StdioMode::IoLite);
-        let mut out = StdioOut::new(&k, w, pipe, StdioMode::IoLite);
-        let mut inp = StdioIn::new(r, pipe, StdioMode::IoLite);
+        let (mut k, w, r) = setup(StdioMode::IoLite);
+        let mut out = StdioOut::new(&k, w, Fd::STDOUT, StdioMode::IoLite);
+        let mut inp = StdioIn::new(r, Fd::STDIN, StdioMode::IoLite);
         out.fwrite(&mut k, b"zero-copy consumer");
         out.flush(&mut k);
         let before = k.metrics.bytes_copied;
         let agg = inp.fread_agg(&mut k).unwrap();
         assert_eq!(agg.to_vec(), b"zero-copy consumer");
         assert_eq!(k.metrics.bytes_copied, before, "no extra copy");
+    }
+
+    #[test]
+    fn streams_work_on_the_spawn_installed_console() {
+        // No plumbing at all: write the process's own stdout, harness
+        // reads the console.
+        let mut k = Kernel::new(CostModel::pentium_ii_333());
+        let p = k.spawn("hello");
+        let mut out = StdioOut::new(&k, p, Fd::STDOUT, StdioMode::IoLite);
+        out.fwrite(&mut k, b"hello, world\n");
+        out.flush(&mut k);
+        let (got, _) = k.read_stdout(p, u64::MAX).unwrap();
+        assert_eq!(got.to_vec(), b"hello, world\n");
     }
 }

@@ -11,11 +11,16 @@
 //! reference (and, because the CGI serves the same in-memory document
 //! repeatedly, the checksum cache keeps working end-to-end — the paper's
 //! fault-isolation-without-copies result).
+//!
+//! The pipe is a *kernel* pipe addressed by descriptors — the CGI holds
+//! its write end, the server its read end — and it carries the CGI
+//! pool's ACL, so the kernel itself enforces §3.10's isolation on every
+//! zero-copy transfer (a sibling CGI's domain would get
+//! `PermissionDenied`, not a mapping).
 
 use iolite_buf::{Acl, Aggregate, BufferPool};
-use iolite_core::{Charge, CostCategory, Kernel, Pid};
-use iolite_ipc::{Pipe, PipeMode};
-use iolite_net::TcpConn;
+use iolite_core::{short_ok, Charge, CostCategory, Fd, IolError, Kernel, Pid};
+use iolite_ipc::PipeMode;
 
 use crate::message::response_header;
 use crate::server::{RequestCosts, ServerKind};
@@ -30,17 +35,19 @@ pub struct CgiProcess {
     pub pool: BufferPool,
     /// The in-memory dynamic document it serves.
     doc: Aggregate,
-    /// The pipe to the server.
-    pipe: Pipe,
-    mode: PipeMode,
+    /// The CGI-side write end of the request pipe.
+    wfd: Fd,
+    /// The server-side read end of the request pipe.
+    server_rfd: Fd,
 }
 
 impl CgiProcess {
-    /// Spawns a CGI process serving `size` bytes of in-memory content.
+    /// Spawns a CGI process serving `size` bytes of in-memory content,
+    /// wired to `server_pid` by an ACL-carrying kernel pipe.
     pub fn new(kernel: &mut Kernel, server_pid: Pid, size: u64, mode: PipeMode) -> Self {
         let pid = kernel.spawn("cgi");
         let acl = Acl::with_domains(&[pid.domain(), server_pid.domain()]);
-        let pool = kernel.create_pool(acl);
+        let pool = kernel.create_pool(acl.clone());
         // Deterministic "dynamic" content, generated once and kept in
         // the CGI's memory across requests (FastCGI persistence).
         let mut content = vec![0u8; size as usize];
@@ -48,12 +55,13 @@ impl CgiProcess {
             *b = (i as u64).wrapping_mul(2654435761).to_le_bytes()[0];
         }
         let doc = Aggregate::from_bytes(&pool, &content);
+        let (wfd, server_rfd) = kernel.pipe_between_with_acl(pid, server_pid, mode, acl);
         CgiProcess {
             pid,
             pool,
             doc,
-            pipe: Pipe::new(mode, 64 * 1024),
-            mode,
+            wfd,
+            server_rfd,
         }
     }
 
@@ -62,14 +70,24 @@ impl CgiProcess {
         &self.doc
     }
 
+    /// The CGI-side write descriptor (tests drive the pipe directly).
+    pub fn write_fd(&self) -> Fd {
+        self.wfd
+    }
+
+    /// The server-side read descriptor.
+    pub fn server_read_fd(&self) -> Fd {
+        self.server_rfd
+    }
+
     /// Handles one request end-to-end: pipe transfer into the server,
-    /// then transmission on the client connection. Returns the request's
-    /// cost decomposition.
+    /// then transmission on the client's socket descriptor. Returns the
+    /// request's cost decomposition.
     pub fn serve(
         &mut self,
         kernel: &mut Kernel,
         kind: ServerKind,
-        conn: &mut TcpConn,
+        sock: Fd,
         server_pid: Pid,
     ) -> RequestCosts {
         let mut rc = RequestCosts::default();
@@ -93,37 +111,29 @@ impl CgiProcess {
             .push((CostCategory::ContextSwitch, kernel.cost.context_switches(2)));
         kernel.metrics.context_switches += 2;
 
-        // Transfer the document through the pipe in fill/drain rounds.
+        // Transfer the document through the pipe in fill/drain rounds:
+        // the CGI writes its descriptor, the server reads its own, and
+        // every charge (syscalls, copies, ACL-gated first-time
+        // mappings) arrives in the IoOutcomes.
         let mut received = Aggregate::empty();
         let mut offset = 0u64;
         let total = self.doc.len();
         let mut pipe_cpu = Charge::ZERO;
-        let mut copied = 0u64;
-        let mut rounds = 0u64;
         while offset < total {
             let remaining = self.doc.range(offset, total - offset).expect("in range");
-            let before = self.pipe.stats().bytes_copied;
-            let accepted = self.pipe.write(&remaining);
-            pipe_cpu += Charge::us(kernel.cost.syscall_us);
+            let (accepted, wout) = short_ok(kernel.iol_write_fd(self.pid, self.wfd, &remaining))
+                .expect("cgi pipe stays open");
+            pipe_cpu += wout.charge;
             offset += accepted;
             // Reader drains what the writer queued.
-            if let Some(chunk) = self.pipe.read(u64::MAX) {
-                pipe_cpu += Charge::us(kernel.cost.syscall_us);
-                if self.mode == PipeMode::ZeroCopy {
-                    // First-time chunk mappings in the server domain;
-                    // recycled/warm chunks are free (§3.2).
-                    if let Ok(pages) =
-                        kernel.transfer_with_acl(&chunk, server_pid.domain(), &self.pool.acl())
-                    {
-                        if pages > 0 {
-                            pipe_cpu += kernel.cost.page_maps(pages);
-                        }
-                    }
+            match kernel.iol_read_fd(server_pid, self.server_rfd, u64::MAX) {
+                Ok((chunk, rout)) => {
+                    pipe_cpu += rout.charge;
+                    received.append(&chunk);
                 }
-                received.append(&chunk);
+                Err(IolError::WouldBlock { outcome }) => pipe_cpu += outcome.charge,
+                Err(e) => panic!("server side of the cgi pipe failed: {e}"),
             }
-            copied += self.pipe.stats().bytes_copied - before;
-            rounds += 1;
             if offset < total {
                 // The producer blocked on a full pipe: switch back and
                 // forth.
@@ -131,14 +141,9 @@ impl CgiProcess {
                 kernel.metrics.context_switches += 2;
             }
         }
-        let _ = rounds;
-        if copied > 0 {
-            pipe_cpu += kernel.cost.copy(copied);
-            kernel.metrics.bytes_copied += copied;
-        }
         rc.parts.push((CostCategory::Copy, pipe_cpu));
 
-        // Server sends the received data on the client connection.
+        // Server sends the received data on the client's socket.
         let header = response_header(received.len(), true);
         match kind {
             ServerKind::FlashLite => {
@@ -146,7 +151,10 @@ impl CgiProcess {
                     Aggregate::from_bytes(kernel.process(server_pid).pool(), &header);
                 response.append(&received);
                 rc.response_bytes = response.len();
-                let send = conn.send(&response, &mut kernel.cksum);
+                let (_, wout) = kernel
+                    .iol_write_fd(server_pid, sock, &response)
+                    .expect("socket write");
+                let send = wout.net.expect("socket writes carry SendOutcome");
                 rc.parts
                     .push((CostCategory::Syscall, Charge::us(kernel.cost.syscall_us)));
                 rc.parts.push((
@@ -155,8 +163,6 @@ impl CgiProcess {
                 ));
                 rc.parts
                     .push((CostCategory::Packet, kernel.cost.packets(send.segments)));
-                kernel.metrics.bytes_checksummed += send.csum_bytes_computed;
-                kernel.metrics.bytes_checksum_cached += send.csum_bytes_cached;
                 rc.wire_bytes = rc.response_bytes + send.header_bytes;
                 rc.owned_sock_bytes = send.owned_occupancy;
             }
@@ -165,7 +171,9 @@ impl CgiProcess {
                 rc.response_bytes = response_len;
                 rc.parts
                     .push((CostCategory::Syscall, Charge::us(kernel.cost.syscall_us)));
-                let send = conn.send_accounted(response_len);
+                let (send, _) = kernel
+                    .socket_send_accounted(server_pid, sock, response_len)
+                    .expect("socket write");
                 rc.parts.push((
                     CostCategory::Copy,
                     kernel.cost.socket_copy(send.bytes_copied),
@@ -176,8 +184,6 @@ impl CgiProcess {
                 ));
                 rc.parts
                     .push((CostCategory::Packet, kernel.cost.packets(send.segments)));
-                kernel.metrics.bytes_copied += send.bytes_copied;
-                kernel.metrics.bytes_checksummed += send.csum_bytes_computed;
                 rc.wire_bytes = response_len + send.header_bytes;
                 rc.owned_sock_bytes = send.owned_occupancy;
                 if kind == ServerKind::Apache {
@@ -211,9 +217,9 @@ mod tests {
             PipeMode::Copy
         };
         let mut cgi = CgiProcess::new(&mut k, server, size, mode);
-        let mut conn = TcpConn::new(1, kind.buffer_mode(), DEFAULT_MSS, DEFAULT_TSS);
-        let first = cgi.serve(&mut k, kind, &mut conn, server);
-        let warm = cgi.serve(&mut k, kind, &mut conn, server);
+        let sock = k.socket_create(server, kind.buffer_mode(), DEFAULT_MSS, DEFAULT_TSS);
+        let first = cgi.serve(&mut k, kind, sock, server);
+        let warm = cgi.serve(&mut k, kind, sock, server);
         (k, first, warm)
     }
 
@@ -247,9 +253,8 @@ mod tests {
         let server = k.spawn("server");
         let mut cgi = CgiProcess::new(&mut k, server, 10_000, PipeMode::ZeroCopy);
         let expected = cgi.document().to_vec();
-        // Drive the pipe manually to check data integrity end to end.
-        let mut conn = TcpConn::new(1, BufferMode::ZeroCopy, DEFAULT_MSS, DEFAULT_TSS);
-        let rc = cgi.serve(&mut k, ServerKind::FlashLite, &mut conn, server);
+        let sock = k.socket_create(server, BufferMode::ZeroCopy, DEFAULT_MSS, DEFAULT_TSS);
+        let rc = cgi.serve(&mut k, ServerKind::FlashLite, sock, server);
         assert_eq!(
             rc.response_bytes as usize,
             expected.len() + response_header(10_000, true).len()
@@ -268,14 +273,29 @@ mod tests {
         let mut k = Kernel::new(CostModel::pentium_ii_333());
         let server = k.spawn("server");
         let mut cgi = CgiProcess::new(&mut k, server, 100_000, PipeMode::ZeroCopy);
-        let mut conn = TcpConn::new(1, BufferMode::ZeroCopy, DEFAULT_MSS, DEFAULT_TSS);
-        cgi.serve(&mut k, ServerKind::FlashLite, &mut conn, server);
+        let sock = k.socket_create(server, BufferMode::ZeroCopy, DEFAULT_MSS, DEFAULT_TSS);
+        cgi.serve(&mut k, ServerKind::FlashLite, sock, server);
         let mapped_after_first = k.window.stats().pages_mapped;
-        cgi.serve(&mut k, ServerKind::FlashLite, &mut conn, server);
+        cgi.serve(&mut k, ServerKind::FlashLite, sock, server);
         assert_eq!(
             k.window.stats().pages_mapped,
             mapped_after_first,
             "steady state rides persistent mappings"
         );
+    }
+
+    /// The kernel pipe carries the CGI pool's ACL: the server's domain
+    /// is admitted, so the transfer maps; the isolation itself is
+    /// pinned down in `tests/receive_path.rs` against a sibling CGI.
+    #[test]
+    fn pipe_transfers_are_acl_gated() {
+        let mut k = Kernel::new(CostModel::pentium_ii_333());
+        let server = k.spawn("server");
+        let mut cgi = CgiProcess::new(&mut k, server, 5_000, PipeMode::ZeroCopy);
+        let sock = k.socket_create(server, BufferMode::ZeroCopy, DEFAULT_MSS, DEFAULT_TSS);
+        let denials_before = k.window.stats().denials;
+        cgi.serve(&mut k, ServerKind::FlashLite, sock, server);
+        assert_eq!(k.window.stats().denials, denials_before, "server admitted");
+        assert!(cgi.pool.acl().allows(server.domain()));
     }
 }

@@ -15,10 +15,9 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use iolite_core::{CostModel, Kernel, Pid};
-use iolite_fs::{CacheKey, FileId, Policy};
+use iolite_core::{CostModel, Fd, Kernel, Pid};
+use iolite_fs::{CacheKey, Policy};
 use iolite_ipc::PipeMode;
-use iolite_net::TcpConn;
 use iolite_sim::{FifoResource, LinkSet, RateMeter, SimRng, SimTime, Summary};
 use iolite_trace::{RandomSampler, RequestStream, SharedLogReplay};
 use iolite_vm::MemAccount;
@@ -122,11 +121,13 @@ pub struct Experiment {
     cfg: ExperimentConfig,
     kernel: Kernel,
     server_pid: Pid,
-    conns: Vec<TcpConn>,
+    /// One kernel socket descriptor per client, in the server's table.
+    socks: Vec<Fd>,
     cpu: FifoResource,
     disk: FifoResource,
     links: LinkSet,
-    files: Vec<FileId>,
+    /// The server's open-file set: one descriptor per document.
+    files: Vec<Fd>,
     cgi: Option<CgiProcess>,
     stream: Box<dyn RequestStream>,
     rng: SimRng,
@@ -153,18 +154,21 @@ impl Experiment {
         let mut cgi = None;
         let stream: Box<dyn RequestStream> = match &cfg.workload {
             WorkloadKind::SingleFile { bytes } => {
-                files.push(kernel.create_synthetic_file("/doc", *bytes, cfg.seed));
+                let f = kernel.create_synthetic_file("/doc", *bytes, cfg.seed);
+                files.push(kernel.open_file(server_pid, f));
                 Box::new(ConstantStream)
             }
             WorkloadKind::TraceReplay { workload, log_len } => {
                 for f in workload.files() {
-                    files.push(kernel.create_synthetic_file(&f.name, f.bytes, cfg.seed ^ f.bytes));
+                    let id = kernel.create_synthetic_file(&f.name, f.bytes, cfg.seed ^ f.bytes);
+                    files.push(kernel.open_file(server_pid, id));
                 }
                 Box::new(SharedLogReplay::new(workload, *log_len, cfg.seed))
             }
             WorkloadKind::TraceSampled { workload } => {
                 for f in workload.files() {
-                    files.push(kernel.create_synthetic_file(&f.name, f.bytes, cfg.seed ^ f.bytes));
+                    let id = kernel.create_synthetic_file(&f.name, f.bytes, cfg.seed ^ f.bytes);
+                    files.push(kernel.open_file(server_pid, id));
                 }
                 Box::new(RandomSampler::new(workload.clone()))
             }
@@ -178,9 +182,10 @@ impl Experiment {
             }
         };
 
-        // Connections: one per client, in the server's buffering mode.
-        let conns = (0..cfg.clients)
-            .map(|i| TcpConn::new(i as u64, cfg.server.buffer_mode(), cost.mss, cost.tss))
+        // Connections: one kernel socket per client, in the server's
+        // buffering mode, addressed by descriptor.
+        let socks = (0..cfg.clients)
+            .map(|_| kernel.socket_create(server_pid, cfg.server.buffer_mode(), cost.mss, cost.tss))
             .collect();
 
         // Apache with persistent connections keeps one process per
@@ -199,7 +204,7 @@ impl Experiment {
             cfg,
             kernel,
             server_pid,
-            conns,
+            socks,
             cpu: FifoResource::new("cpu"),
             disk: FifoResource::new("disk"),
             links,
@@ -290,7 +295,7 @@ impl Experiment {
                     cgi.serve(
                         &mut self.kernel,
                         self.cfg.server,
-                        &mut self.conns[client],
+                        self.socks[client],
                         self.server_pid,
                     )
                 }
@@ -299,7 +304,7 @@ impl Experiment {
                     serve_static(
                         &mut self.kernel,
                         self.cfg.server,
-                        &mut self.conns[client],
+                        self.socks[client],
                         self.server_pid,
                         file,
                     )
@@ -326,7 +331,11 @@ impl Experiment {
                 after_parse
             };
             let after_cpu = self.cpu.submit(ready, send_cpu);
-            let window_rate = self.conns[client].window_rate(rtt.as_secs());
+            let window_rate = self
+                .kernel
+                .socket(self.server_pid, self.socks[client])
+                .expect("client socket")
+                .window_rate(rtt.as_secs());
             let done = self.links.link_for_client(client).transmit(
                 after_cpu,
                 rc.wire_bytes,

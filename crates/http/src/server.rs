@@ -6,11 +6,16 @@
 //! returns the request's cost decomposition for the event driver to
 //! schedule. Servers differ only in the mechanisms the paper names —
 //! the cost model itself is shared.
+//!
+//! All I/O is descriptor-based: the document arrives as a file [`Fd`]
+//! (the server's open-file set) and the client connection as a socket
+//! [`Fd`] in the kernel's registry — `IOL_write` on the socket *is* the
+//! transmission (§3.4), zero-copy or copying per the server's mode.
 
 use iolite_buf::Aggregate;
-use iolite_core::{Charge, CostCategory, Kernel, Pid};
-use iolite_fs::{CacheKey, FileId};
-use iolite_net::{BufferMode, TcpConn};
+use iolite_core::{Charge, CostCategory, Fd, Kernel, Pid};
+use iolite_fs::CacheKey;
+use iolite_net::BufferMode;
 use iolite_sim::SimTime;
 
 use crate::message::response_header;
@@ -83,17 +88,20 @@ impl RequestCosts {
     }
 }
 
-/// Serves one static-file request on `conn`, returning its costs.
+/// Serves one static-file request on the socket descriptor `sock`,
+/// returning its costs.
 ///
 /// `server_pid` is the server process (the domain file data transfers
-/// into). The caller charges TCP setup/teardown separately, because
-/// connection lifetime is the driver's business (persistent vs not).
+/// into, and the table both descriptors live in); `file_fd` is the
+/// document's descriptor in the server's open-file set. The caller
+/// charges TCP setup/teardown separately, because connection lifetime
+/// is the driver's business (persistent vs not).
 pub fn serve_static(
     kernel: &mut Kernel,
     kind: ServerKind,
-    conn: &mut TcpConn,
+    sock: Fd,
     server_pid: Pid,
-    file: FileId,
+    file_fd: Fd,
 ) -> RequestCosts {
     let mut rc = RequestCosts::default();
     // Request parse + event-loop bookkeeping (all servers).
@@ -102,31 +110,33 @@ pub fn serve_static(
         Charge::us(kernel.cost.http_parse_us + kernel.cost.server_fixed_us),
     );
     match kind {
-        ServerKind::FlashLite => serve_iolite(kernel, conn, server_pid, file, &mut rc),
-        ServerKind::Flash => serve_conventional(kernel, conn, server_pid, file, &mut rc, false),
-        ServerKind::Apache => serve_conventional(kernel, conn, server_pid, file, &mut rc, true),
+        ServerKind::FlashLite => serve_iolite(kernel, sock, server_pid, file_fd, &mut rc),
+        ServerKind::Flash => serve_conventional(kernel, sock, server_pid, file_fd, &mut rc, false),
+        ServerKind::Apache => serve_conventional(kernel, sock, server_pid, file_fd, &mut rc, true),
     }
     rc
 }
 
 /// The Flash-Lite path: `IOL_read`, aggregate concatenation, `IOL_write`
-/// (§3.10's walk-through).
-fn serve_iolite(
-    kernel: &mut Kernel,
-    conn: &mut TcpConn,
-    server_pid: Pid,
-    file: FileId,
-    rc: &mut RequestCosts,
-) {
+/// on the socket descriptor (§3.10's walk-through).
+fn serve_iolite(kernel: &mut Kernel, sock: Fd, server_pid: Pid, file_fd: Fd, rc: &mut RequestCosts) {
     // The IOL API's own per-request bookkeeping (aggregate and pool
     // management; see cost-model docs).
     rc.push(
         CostCategory::Request,
         Charge::us(kernel.cost.iol_request_extra_us),
     );
-    let len = kernel.store.len(file).unwrap_or(0);
-    // IOL_read: snapshot aggregate of the whole document.
-    let (body, outcome) = kernel.iol_read(server_pid, file, 0, len);
+    let file = kernel
+        .fd_file(server_pid, file_fd)
+        .expect("document descriptor");
+    let len = kernel
+        .fd_len(server_pid, file_fd)
+        .expect("document descriptor");
+    // IOL_read: snapshot aggregate of the whole document (positional —
+    // the serve path never moves the shared offset).
+    let (body, outcome) = kernel
+        .iol_pread(server_pid, file_fd, 0, len)
+        .expect("document read");
     rc.cache_hit = outcome.cache_hit;
     rc.disk_time = outcome.disk_time;
     rc.push(CostCategory::Syscall, Charge::us(kernel.cost.syscall_us));
@@ -144,16 +154,18 @@ fn serve_iolite(
     let mut response = Aggregate::from_bytes(kernel.process(server_pid).pool(), &header);
     response.append(&body);
     rc.response_bytes = response.len();
-    // IOL_write on the socket: zero-copy send with checksum caching.
-    let send = conn.send(&response, &mut kernel.cksum);
+    // IOL_write on the socket descriptor: zero-copy send with checksum
+    // caching; the SendOutcome rides the IoOutcome.
+    let (_, wout) = kernel
+        .iol_write_fd(server_pid, sock, &response)
+        .expect("socket write");
+    let send = wout.net.expect("socket writes carry SendOutcome");
     rc.push(CostCategory::Syscall, Charge::us(kernel.cost.syscall_us));
     rc.push(
         CostCategory::Checksum,
         kernel.cost.wire_checksum(send.csum_bytes_computed),
     );
     rc.push(CostCategory::Packet, kernel.cost.packets(send.segments));
-    kernel.metrics.bytes_checksummed += send.csum_bytes_computed;
-    kernel.metrics.bytes_checksum_cached += send.csum_bytes_cached;
     rc.wire_bytes = rc.response_bytes + send.header_bytes;
     rc.owned_sock_bytes = send.owned_occupancy;
     // The network now references the cached entry: pin until drained.
@@ -168,13 +180,18 @@ fn serve_iolite(
 /// The Flash/Apache path: mmap'd file cache, copying send.
 fn serve_conventional(
     kernel: &mut Kernel,
-    conn: &mut TcpConn,
+    sock: Fd,
     server_pid: Pid,
-    file: FileId,
+    file_fd: Fd,
     rc: &mut RequestCosts,
     apache: bool,
 ) {
-    let len = kernel.store.len(file).unwrap_or(0);
+    let file = kernel
+        .fd_file(server_pid, file_fd)
+        .expect("document descriptor");
+    let len = kernel
+        .fd_len(server_pid, file_fd)
+        .expect("document descriptor");
     // mmap the document. Flash keeps a bounded mapped-file cache; a
     // miss (tail files) costs an mmap/munmap cycle. Apache maps and
     // unmaps per request (its cache capacity is zero here).
@@ -189,7 +206,9 @@ fn serve_conventional(
     // mmap-backed read through the page cache: the file cache is
     // consulted for real; mapping cost amortizes via the mapped-file
     // cache (the window remembers per-domain chunk mappings).
-    let (body, outcome) = kernel.iol_read(server_pid, file, 0, len);
+    let (body, outcome) = kernel
+        .iol_pread(server_pid, file_fd, 0, len)
+        .expect("document read");
     rc.cache_hit = outcome.cache_hit;
     rc.disk_time = outcome.disk_time;
     if outcome.mapped_pages > 0 {
@@ -201,10 +220,13 @@ fn serve_conventional(
     let header = response_header(len, true);
     let response_len = header.len() as u64 + body.len();
     rc.response_bytes = response_len;
-    // writev(header, body): one syscall, then the kernel copies payload
-    // into socket mbufs and checksums everything, every time.
+    // writev(header, body) on the socket descriptor: one syscall, then
+    // the kernel copies payload into socket mbufs and checksums
+    // everything, every time.
     rc.push(CostCategory::Syscall, Charge::us(kernel.cost.syscall_us));
-    let send = conn.send_accounted(response_len);
+    let (send, _) = kernel
+        .socket_send_accounted(server_pid, sock, response_len)
+        .expect("socket write");
     rc.push(
         CostCategory::Copy,
         kernel.cost.socket_copy(send.bytes_copied),
@@ -214,8 +236,6 @@ fn serve_conventional(
         kernel.cost.wire_checksum(send.csum_bytes_computed),
     );
     rc.push(CostCategory::Packet, kernel.cost.packets(send.segments));
-    kernel.metrics.bytes_copied += send.bytes_copied;
-    kernel.metrics.bytes_checksummed += send.csum_bytes_computed;
     rc.wire_bytes = response_len + send.header_bytes;
     rc.owned_sock_bytes = send.owned_occupancy;
     if apache {
@@ -241,7 +261,7 @@ mod tests {
     use iolite_fs::Policy;
     use iolite_net::{DEFAULT_MSS, DEFAULT_TSS};
 
-    fn setup(kind: ServerKind) -> (Kernel, Pid, FileId, TcpConn) {
+    fn setup(kind: ServerKind) -> (Kernel, Pid, Fd, Fd) {
         let policy = if kind == ServerKind::FlashLite {
             Policy::Gds
         } else {
@@ -250,18 +270,19 @@ mod tests {
         let mut k = Kernel::with_policy(CostModel::pentium_ii_333(), policy);
         let pid = k.spawn("server");
         let f = k.create_synthetic_file("/doc", 100_000, 9);
-        let conn = TcpConn::new(1, kind.buffer_mode(), DEFAULT_MSS, DEFAULT_TSS);
-        (k, pid, f, conn)
+        let file_fd = k.open_file(pid, f);
+        let sock = k.socket_create(pid, kind.buffer_mode(), DEFAULT_MSS, DEFAULT_TSS);
+        (k, pid, file_fd, sock)
     }
 
     #[test]
     fn flash_lite_hot_request_touches_no_data() {
-        let (mut k, pid, f, mut conn) = setup(ServerKind::FlashLite);
+        let (mut k, pid, f, sock) = setup(ServerKind::FlashLite);
         // Warm the caches.
-        let first = serve_static(&mut k, ServerKind::FlashLite, &mut conn, pid, f);
+        let first = serve_static(&mut k, ServerKind::FlashLite, sock, pid, f);
         assert!(!first.cache_hit);
-        k.cache.unpin(&CacheKey::whole(f));
-        let warm = serve_static(&mut k, ServerKind::FlashLite, &mut conn, pid, f);
+        k.cache.unpin(&first.pin_key.unwrap());
+        let warm = serve_static(&mut k, ServerKind::FlashLite, sock, pid, f);
         assert!(warm.cache_hit);
         // Only the fresh response header is checksummed; the body rides
         // the checksum cache. No copies at all.
@@ -280,9 +301,9 @@ mod tests {
 
     #[test]
     fn flash_hot_request_copies_and_checksums_everything() {
-        let (mut k, pid, f, mut conn) = setup(ServerKind::Flash);
-        serve_static(&mut k, ServerKind::Flash, &mut conn, pid, f);
-        let warm = serve_static(&mut k, ServerKind::Flash, &mut conn, pid, f);
+        let (mut k, pid, f, sock) = setup(ServerKind::Flash);
+        serve_static(&mut k, ServerKind::Flash, sock, pid, f);
+        let warm = serve_static(&mut k, ServerKind::Flash, sock, pid, f);
         assert!(warm.cache_hit);
         let copy_time: SimTime = warm
             .parts
@@ -295,12 +316,12 @@ mod tests {
 
     #[test]
     fn apache_pays_process_model_extra() {
-        let (mut k, pid, f, mut conn) = setup(ServerKind::Apache);
-        serve_static(&mut k, ServerKind::Apache, &mut conn, pid, f);
-        let warm = serve_static(&mut k, ServerKind::Apache, &mut conn, pid, f);
-        let (mut k2, pid2, f2, mut conn2) = setup(ServerKind::Flash);
-        serve_static(&mut k2, ServerKind::Flash, &mut conn2, pid2, f2);
-        let flash_warm = serve_static(&mut k2, ServerKind::Flash, &mut conn2, pid2, f2);
+        let (mut k, pid, f, sock) = setup(ServerKind::Apache);
+        serve_static(&mut k, ServerKind::Apache, sock, pid, f);
+        let warm = serve_static(&mut k, ServerKind::Apache, sock, pid, f);
+        let (mut k2, pid2, f2, sock2) = setup(ServerKind::Flash);
+        serve_static(&mut k2, ServerKind::Flash, sock2, pid2, f2);
+        let flash_warm = serve_static(&mut k2, ServerKind::Flash, sock2, pid2, f2);
         assert!(warm.cpu_total() > flash_warm.cpu_total());
     }
 
@@ -308,12 +329,12 @@ mod tests {
     fn ordering_flashlite_fastest_on_hot_files() {
         let mut totals = Vec::new();
         for kind in [ServerKind::FlashLite, ServerKind::Flash, ServerKind::Apache] {
-            let (mut k, pid, f, mut conn) = setup(kind);
-            serve_static(&mut k, kind, &mut conn, pid, f);
-            if kind == ServerKind::FlashLite {
-                k.cache.unpin(&CacheKey::whole(f));
+            let (mut k, pid, f, sock) = setup(kind);
+            let first = serve_static(&mut k, kind, sock, pid, f);
+            if let Some(key) = first.pin_key {
+                k.cache.unpin(&key);
             }
-            let warm = serve_static(&mut k, kind, &mut conn, pid, f);
+            let warm = serve_static(&mut k, kind, sock, pid, f);
             totals.push((kind.label(), warm.cpu_total()));
         }
         assert!(totals[0].1 < totals[1].1, "{totals:?}");
@@ -326,16 +347,17 @@ mod tests {
     /// `Release::Unpin`) must not strip the second response's pin.
     #[test]
     fn overlapping_transmissions_survive_write_replacement() {
-        let (mut k, pid, f, mut conn) = setup(ServerKind::FlashLite);
-        let key = CacheKey::whole(f);
+        let (mut k, pid, f, sock) = setup(ServerKind::FlashLite);
+        let file = k.fd_file(pid, f).unwrap();
+        let key = CacheKey::whole(file);
         // Response A goes out and holds its pin while draining.
-        let rc_a = serve_static(&mut k, ServerKind::FlashLite, &mut conn, pid, f);
+        let rc_a = serve_static(&mut k, ServerKind::FlashLite, sock, pid, f);
         assert_eq!(rc_a.pin_key, Some(key));
         // A writer replaces the document mid-transmission (§3.5).
         let patch = Aggregate::from_bytes(k.process(pid).pool(), &[0x42; 64]);
-        k.iol_write(pid, f, 0, &patch);
+        k.iol_pwrite(pid, f, 0, &patch).unwrap();
         // Response B starts on the new snapshot.
-        let rc_b = serve_static(&mut k, ServerKind::FlashLite, &mut conn, pid, f);
+        let rc_b = serve_static(&mut k, ServerKind::FlashLite, sock, pid, f);
         assert_eq!(rc_b.pin_key, Some(key));
         assert_eq!(k.cache.pins(&key), 2);
         // A's transmission drains first: the driver releases its pin.
@@ -343,7 +365,8 @@ mod tests {
         // B is still in flight: its entry must not be the next victim.
         assert_eq!(k.cache.pins(&key), 1);
         let other = k.create_synthetic_file("/other", 1_000, 3);
-        serve_static(&mut k, ServerKind::FlashLite, &mut conn, pid, other);
+        let other_fd = k.open_file(pid, other);
+        serve_static(&mut k, ServerKind::FlashLite, sock, pid, other_fd);
         k.cache.unpin(&CacheKey::whole(other));
         let (victim, _) = k.cache.evict_one().unwrap();
         assert_eq!(victim, CacheKey::whole(other), "in-flight doc survives");
@@ -355,19 +378,19 @@ mod tests {
 
     #[test]
     fn miss_costs_disk_time() {
-        let (mut k, pid, f, mut conn) = setup(ServerKind::Flash);
-        let cold = serve_static(&mut k, ServerKind::Flash, &mut conn, pid, f);
+        let (mut k, pid, f, sock) = setup(ServerKind::Flash);
+        let cold = serve_static(&mut k, ServerKind::Flash, sock, pid, f);
         assert!(!cold.cache_hit);
         assert!(cold.disk_time > SimTime::from_ms(8.0));
     }
 
     #[test]
     fn memory_occupancy_differs_by_mode() {
-        let (mut k, pid, f, mut conn) = setup(ServerKind::Flash);
-        let rc = serve_static(&mut k, ServerKind::Flash, &mut conn, pid, f);
+        let (mut k, pid, f, sock) = setup(ServerKind::Flash);
+        let rc = serve_static(&mut k, ServerKind::Flash, sock, pid, f);
         assert_eq!(rc.owned_sock_bytes, 64 * 1024, "Tss-capped copies");
-        let (mut k2, pid2, f2, mut conn2) = setup(ServerKind::FlashLite);
-        let rc2 = serve_static(&mut k2, ServerKind::FlashLite, &mut conn2, pid2, f2);
+        let (mut k2, pid2, f2, sock2) = setup(ServerKind::FlashLite);
+        let rc2 = serve_static(&mut k2, ServerKind::FlashLite, sock2, pid2, f2);
         assert!(rc2.owned_sock_bytes < 16 * 1024, "references, not copies");
         assert!(rc2.pin_key.is_some());
         assert!(k2.cache.pins(&rc2.pin_key.unwrap()) > 0);

@@ -10,7 +10,7 @@
 use iolite::core::{CostModel, Kernel};
 use iolite::http::{CgiProcess, ServerKind};
 use iolite::ipc::PipeMode;
-use iolite::net::{TcpConn, DEFAULT_MSS, DEFAULT_TSS};
+use iolite::net::{DEFAULT_MSS, DEFAULT_TSS};
 
 fn main() {
     let doc_bytes = 100 << 10;
@@ -21,12 +21,14 @@ fn main() {
         let mut kernel = Kernel::new(CostModel::pentium_ii_333());
         let server = kernel.spawn("server");
         let mut cgi = CgiProcess::new(&mut kernel, server, doc_bytes, mode);
-        let mut conn = TcpConn::new(1, kind.buffer_mode(), DEFAULT_MSS, DEFAULT_TSS);
+        // The client connection is a kernel socket behind a descriptor:
+        // `IOL_write` on it is the transmission (§3.4).
+        let sock = kernel.socket_create(server, kind.buffer_mode(), DEFAULT_MSS, DEFAULT_TSS);
 
         // Two requests: the second shows the steady state (warm
         // mappings, warm checksum cache).
-        let first = cgi.serve(&mut kernel, kind, &mut conn, server);
-        let second = cgi.serve(&mut kernel, kind, &mut conn, server);
+        let first = cgi.serve(&mut kernel, kind, sock, server);
+        let second = cgi.serve(&mut kernel, kind, sock, server);
 
         println!(
             "=== {} ({:?} pipe), 100KB dynamic document ===",

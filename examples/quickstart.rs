@@ -1,13 +1,16 @@
 //! Quickstart: the IO-Lite buffer system in five minutes.
 //!
 //! Demonstrates the paper's §3.1 core ideas — immutable buffers, mutable
-//! aggregates, pool recycling with generation numbers — and the §3.9
-//! checksum cache riding on them.
+//! aggregates, pool recycling with generation numbers — the §3.9
+//! checksum cache riding on them, and the §3.4 descriptor API: one `Fd`
+//! capability and one fallible `IOL_read`/`IOL_write` pair for files,
+//! pipes, sockets, and stdio.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use iolite::buf::{Acl, Aggregate, BufferPool, DomainId, PoolId};
-use iolite::net::{internet_checksum, ChecksumCache};
+use iolite::core::{CostModel, Fd, IolError, Kernel, Whence};
+use iolite::net::{internet_checksum, BufferMode, ChecksumCache, DEFAULT_MSS, DEFAULT_TSS};
 
 fn main() {
     // --- 1. Pools and aggregates -------------------------------------
@@ -64,4 +67,37 @@ fn main() {
     assert_eq!(s.id().chunk, old_id.chunk);
     assert_ne!(s.generation(), old_gen);
     println!("pool stats: {:?}", pool.stats());
+
+    // --- 5. One descriptor to rule them all (§3.4) --------------------
+    // Files, pipes, sockets, and the stdio triple installed at spawn
+    // all answer to the same two calls, and every call is fallible.
+    let mut k = Kernel::new(CostModel::pentium_ii_333());
+    let pid = k.spawn("app");
+    k.create_file("/hello.txt", b"hello through a descriptor");
+    let (fd, _) = k.open(pid, "/hello.txt").expect("path resolves");
+    k.lseek(pid, fd, 6, Whence::Set).expect("files seek");
+    let (tail, _) = k.iol_read_fd(pid, fd, 100).expect("open file");
+    println!("file fd {fd:?} read: {}", String::from_utf8_lossy(&tail.to_vec()));
+
+    // The same call transmits on a TCP socket (zero-copy, checksummed).
+    let sock = k.socket_create(pid, BufferMode::ZeroCopy, DEFAULT_MSS, DEFAULT_TSS);
+    let (sent, out) = k.iol_write_fd(pid, sock, &tail).expect("socket up");
+    let send = out.net.expect("socket writes carry send accounting");
+    println!(
+        "socket fd {sock:?} sent {sent} bytes as {} segment(s), {} checksummed",
+        send.segments, send.csum_bytes_computed
+    );
+
+    // And the stdio triple is just descriptors 0/1/2.
+    let stdout_msg = Aggregate::from_bytes(&pool, b"printed via fd 1");
+    k.iol_write_fd(pid, Fd::STDOUT, &stdout_msg).expect("stdout open");
+    let (console, _) = k.read_stdout(pid, 100).expect("console drains");
+    println!("console saw: {}", String::from_utf8_lossy(&console.to_vec()));
+
+    // Errors are values: close-then-use is EBADF, not a panic.
+    k.close_fd(pid, fd).expect("first close");
+    match k.iol_read_fd(pid, fd, 10) {
+        Err(IolError::NotOpen { fd }) => println!("after close: fd {} is EBADF", fd.0),
+        other => panic!("expected NotOpen, got {other:?}"),
+    }
 }

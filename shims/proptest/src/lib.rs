@@ -143,7 +143,7 @@ pub mod strategy {
         }
     }
 
-    /// Owned, type-erased strategy (what [`prop_oneof!`] branches become).
+    /// Owned, type-erased strategy (what `prop_oneof!` branches become).
     pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
 
     impl<T> Strategy for BoxedStrategy<T> {
@@ -153,7 +153,7 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice between boxed branches ([`prop_oneof!`]).
+    /// Uniform choice between boxed branches (`prop_oneof!`).
     pub struct Union<T> {
         branches: Vec<BoxedStrategy<T>>,
     }

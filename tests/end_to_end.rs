@@ -1,12 +1,13 @@
 //! End-to-end data-path integrity: the bytes a client reassembles from
 //! TCP segments must equal the bytes on disk, through every server
-//! model, the CGI path, and both pipe modes.
+//! model, the CGI path, and both pipe modes — all of it driven through
+//! the descriptor-based IOL API (files, pipes, and sockets behind fds).
 
 use iolite::buf::Aggregate;
 use iolite::core::{CostModel, Kernel};
 use iolite::http::{parse_request, request_bytes, response_header, CgiProcess, ServerKind};
 use iolite::ipc::PipeMode;
-use iolite::net::{BufferMode, SegmentHeader, TcpConn, DEFAULT_MSS, DEFAULT_TSS};
+use iolite::net::{BufferMode, SegmentHeader, DEFAULT_MSS, DEFAULT_TSS};
 
 /// Reassembles the payload bytes of a segment stream.
 fn reassemble(chains: &[iolite::net::MbufChain]) -> Vec<u8> {
@@ -27,14 +28,16 @@ fn static_file_reaches_client_byte_exact_zero_copy() {
     let file = k.create_synthetic_file("/doc", 150_000, 99);
     let disk_bytes = k.store.read(file, 0, 150_000).unwrap();
 
-    // The Flash-Lite path: IOL_read, concat header, segment.
-    let (body, _) = k.iol_read(pid, file, 0, 150_000);
+    // The Flash-Lite path: IOL_read on the document fd, concat header,
+    // segment on the socket fd.
+    let fd = k.open_file(pid, file);
+    let (body, _) = k.iol_read_fd(pid, fd, 150_000).unwrap();
     let header = response_header(body.len(), false);
     let mut response = Aggregate::from_bytes(k.process(pid).pool(), &header);
     response.append(&body);
 
-    let mut conn = TcpConn::new(7, BufferMode::ZeroCopy, DEFAULT_MSS, DEFAULT_TSS);
-    let segments = conn.build_segments(&response);
+    let sock = k.socket_create(pid, BufferMode::ZeroCopy, DEFAULT_MSS, DEFAULT_TSS);
+    let (segments, _) = k.socket_transmit_segments(pid, sock, &response).unwrap();
     let received = reassemble(&segments);
     assert_eq!(&received[..header.len()], &header[..]);
     assert_eq!(&received[header.len()..], &disk_bytes[..]);
@@ -49,10 +52,11 @@ fn static_file_reaches_client_byte_exact_copy_mode() {
     let pid = k.spawn("server");
     let file = k.create_synthetic_file("/doc", 80_000, 5);
     let disk_bytes = k.store.read(file, 0, 80_000).unwrap();
-    let (body, _) = k.iol_read(pid, file, 0, 80_000);
+    let fd = k.open_file(pid, file);
+    let (body, _) = k.iol_read_fd(pid, fd, 80_000).unwrap();
 
-    let mut conn = TcpConn::new(8, BufferMode::Copy, DEFAULT_MSS, DEFAULT_TSS);
-    let segments = conn.build_segments(&body);
+    let sock = k.socket_create(pid, BufferMode::Copy, DEFAULT_MSS, DEFAULT_TSS);
+    let (segments, _) = k.socket_transmit_segments(pid, sock, &body).unwrap();
     assert_eq!(reassemble(&segments), disk_bytes);
     // Copy mode: the segments own the payload too.
     let owned: usize = segments.iter().map(|c| c.owned_bytes()).sum();
@@ -67,9 +71,9 @@ fn cgi_document_reaches_server_byte_exact_via_both_pipe_modes() {
         let cgi = CgiProcess::new(&mut k, server, 50_000, mode);
         let expected = cgi.document().to_vec();
 
-        // Push the document through a kernel pipe exactly as the CGI
-        // request path does.
-        let pipe = k.pipe_create(mode);
+        // Push the document through the CGI's own descriptor pair,
+        // exactly as the request path does.
+        let (wfd, rfd) = (cgi.write_fd(), cgi.server_read_fd());
         let mut received = Vec::new();
         let mut offset = 0u64;
         while offset < expected.len() as u64 {
@@ -77,9 +81,9 @@ fn cgi_document_reaches_server_byte_exact_via_both_pipe_modes() {
                 .document()
                 .range(offset, expected.len() as u64 - offset)
                 .unwrap();
-            let (n, _) = k.pipe_write(cgi.pid, pipe, &rest);
+            let (n, _) = iolite::core::short_ok(k.iol_write_fd(cgi.pid, wfd, &rest)).unwrap();
             offset += n;
-            if let (Some(chunk), _) = k.pipe_read(server, pipe, u64::MAX) {
+            if let Ok((chunk, _)) = k.iol_read_fd(server, rfd, u64::MAX) {
                 received.extend_from_slice(&chunk.to_vec());
             }
         }
@@ -103,7 +107,8 @@ fn checksum_cache_agrees_with_reference_over_server_path() {
     let mut k = Kernel::new(CostModel::pentium_ii_333());
     let pid = k.spawn("server");
     let file = k.create_synthetic_file("/doc", 30_000, 17);
-    let (body, _) = k.iol_read(pid, file, 0, 30_000);
+    let fd = k.open_file(pid, file);
+    let (body, _) = k.iol_read_fd(pid, fd, 30_000).unwrap();
     let direct = k.store.read(file, 0, 30_000).unwrap();
     assert_eq!(internet_checksum(&body), reference_checksum(&direct));
 }
@@ -115,9 +120,10 @@ fn serve_static_is_deterministic_across_kernels() {
             let mut k = Kernel::new(CostModel::pentium_ii_333());
             let pid = k.spawn("server");
             let f = k.create_synthetic_file("/d", 40_000, 1);
-            let mut conn = TcpConn::new(1, kind.buffer_mode(), DEFAULT_MSS, DEFAULT_TSS);
-            let a = iolite::http::server::serve_static(&mut k, kind, &mut conn, pid, f);
-            let b = iolite::http::server::serve_static(&mut k, kind, &mut conn, pid, f);
+            let fd = k.open_file(pid, f);
+            let sock = k.socket_create(pid, kind.buffer_mode(), DEFAULT_MSS, DEFAULT_TSS);
+            let a = iolite::http::server::serve_static(&mut k, kind, sock, pid, fd);
+            let b = iolite::http::server::serve_static(&mut k, kind, sock, pid, fd);
             (a.cpu_total(), b.cpu_total(), a.response_bytes)
         };
         assert_eq!(run(), run(), "{kind:?}");

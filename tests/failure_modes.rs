@@ -2,7 +2,7 @@
 //! hit must fail loudly, precisely, and without corrupting state.
 
 use iolite::buf::{Acl, Aggregate, BufError, BufferPool, PoolId};
-use iolite::core::{CostModel, Kernel};
+use iolite::core::{CostModel, Fd, IolError, Kernel, Whence};
 use iolite::ipc::{Pipe, PipeMode};
 use iolite::net::SegmentHeader;
 
@@ -78,16 +78,59 @@ fn acl_denial_leaves_no_mapping_behind() {
 }
 
 #[test]
-fn reads_of_unknown_files_are_empty_not_fatal() {
+fn unknown_descriptors_and_paths_fail_precisely() {
     let mut k = Kernel::new(CostModel::pentium_ii_333());
     let pid = k.spawn("app");
-    let ghost = iolite::fs::FileId(9999);
-    let (agg, out) = k.iol_read(pid, ghost, 0, 100);
+    // A descriptor that was never opened is EBADF, not garbage data.
+    let ghost = Fd(9999);
+    assert!(matches!(
+        k.iol_read_fd(pid, ghost, 100),
+        Err(IolError::NotOpen { .. })
+    ));
+    assert!(matches!(
+        k.posix_read_fd(pid, ghost, 100),
+        Err(IolError::NotOpen { .. })
+    ));
+    assert!(matches!(
+        k.lseek(pid, ghost, 0, Whence::Set),
+        Err(IolError::NotOpen { .. })
+    ));
+    assert!(k.dup_fd(pid, ghost).is_err());
+    assert!(k.close_fd(pid, ghost).is_err());
+    // A missing path is ENOENT at open; the raw lookup agrees.
+    assert_eq!(k.open(pid, "/no/such/file"), Err(IolError::NotFound));
+    assert_eq!(k.lookup("/no/such/file").0, None);
+    // A descriptor opened on a file that was never stored reads empty
+    // (the store treats unknown ids as empty objects), not fatally.
+    let fd = k.open_file(pid, iolite::fs::FileId(9999));
+    let (agg, out) = k.iol_read_fd(pid, fd, 100).unwrap();
     assert!(agg.is_empty());
     assert!(!out.cache_hit);
-    let (bytes, _) = k.posix_read(pid, ghost, 0, 100);
-    assert!(bytes.is_empty());
-    assert_eq!(k.lookup("/no/such/file").0, None);
+}
+
+#[test]
+fn wrong_kind_descriptors_are_bad_fd_kind() {
+    let mut k = Kernel::new(CostModel::pentium_ii_333());
+    let pid = k.spawn("app");
+    let (r, w) = k.pipe_fds(pid, PipeMode::ZeroCopy);
+    let pool = BufferPool::new(PoolId(77), Acl::kernel_only(), 4096);
+    let msg = Aggregate::from_bytes(&pool, b"x");
+    // Reading a write end / writing a read end.
+    assert!(matches!(
+        k.iol_read_fd(pid, w, 10),
+        Err(IolError::BadFdKind { .. })
+    ));
+    assert!(matches!(
+        k.iol_write_fd(pid, r, &msg),
+        Err(IolError::BadFdKind { .. })
+    ));
+    // Seeking or mmapping a pipe (ESPIPE).
+    assert!(matches!(
+        k.lseek(pid, r, 0, Whence::Set),
+        Err(IolError::BadFdKind { .. })
+    ));
+    assert!(matches!(k.mmap_fd(pid, r), Err(IolError::BadFdKind { .. })));
+    assert!(k.fd_len(pid, r).is_err());
 }
 
 #[test]
@@ -142,11 +185,12 @@ fn cache_budget_zero_still_serves_reads() {
     let mut k = Kernel::new(CostModel::pentium_ii_333());
     let pid = k.spawn("app");
     let f = k.create_synthetic_file("/f", 50_000, 1);
+    let fd = k.open_file(pid, f);
     k.physmem
         .reserve(iolite::vm::MemAccount::SocketCopies, u64::MAX / 2);
     k.rebalance_cache();
-    let (a, o1) = k.iol_read(pid, f, 0, 50_000);
-    let (b, o2) = k.iol_read(pid, f, 0, 50_000);
+    let (a, o1) = k.iol_pread(pid, fd, 0, 50_000).unwrap();
+    let (b, o2) = k.iol_pread(pid, fd, 0, 50_000).unwrap();
     // Every read misses (nothing fits), but data stays correct.
     assert!(!o1.cache_hit && !o2.cache_hit);
     assert!(a.content_eq(&b));
@@ -158,7 +202,8 @@ fn mmap_bounds_are_enforced() {
     let mut k = Kernel::new(CostModel::pentium_ii_333());
     let pid = k.spawn("app");
     let f = k.create_file("/f", b"abc");
-    let (mut view, _) = k.mmap(pid, f);
+    let fd = k.open_file(pid, f);
+    let (mut view, _) = k.mmap_fd(pid, fd).unwrap();
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let mut buf = [0u8; 4];
         view.read(0, &mut buf);
@@ -171,10 +216,11 @@ fn empty_file_round_trips_everywhere() {
     let mut k = Kernel::new(CostModel::pentium_ii_333());
     let pid = k.spawn("app");
     let f = k.create_file("/empty", b"");
-    let (agg, _) = k.iol_read(pid, f, 0, 100);
+    let fd = k.open_file(pid, f);
+    let (agg, _) = k.iol_read_fd(pid, fd, 100).unwrap();
     assert!(agg.is_empty());
-    let (mut view, _) = k.mmap(pid, f);
+    let (mut view, _) = k.mmap_fd(pid, fd).unwrap();
     assert!(view.read_all().is_empty());
-    let (bytes, _) = k.posix_read(pid, f, 0, 100);
+    let (bytes, _) = k.posix_read_fd(pid, fd, 100).unwrap();
     assert!(bytes.is_empty());
 }

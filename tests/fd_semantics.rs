@@ -1,0 +1,233 @@
+//! Descriptor-layer semantics across the whole stack (§3.4): one `Fd`
+//! capability for files, pipes, sockets, and stdio; `dup` sharing;
+//! precise errors; and — property-checked — the guarantee that routing
+//! the TCP send path through descriptors changed neither segmentation
+//! nor checksum-cache behavior.
+
+use iolite::buf::{Acl, Aggregate, BufferPool, PoolId};
+use iolite::core::{CostModel, Fd, IolError, Kernel, Whence};
+use iolite::ipc::PipeMode;
+use iolite::net::{
+    BufferMode, ChecksumCache, SegmentHeader, TcpConn, DEFAULT_MSS, DEFAULT_TSS,
+};
+use proptest::prelude::*;
+
+fn kernel() -> Kernel {
+    Kernel::new(CostModel::pentium_ii_333())
+}
+
+/// Flattens a segment chain stream to its exact wire bytes.
+fn wire_bytes(chains: &[iolite::net::MbufChain]) -> Vec<u8> {
+    chains.iter().flat_map(|c| c.to_vec()).collect()
+}
+
+#[test]
+fn dup_shares_one_offset_through_iol_read_fd() {
+    let mut k = kernel();
+    let pid = k.spawn("app");
+    k.create_file("/seq", b"abcdefghijkl");
+    let (fd, _) = k.open(pid, "/seq").unwrap();
+    let dup = k.dup_fd(pid, fd).unwrap();
+    // Reads through either number advance the one shared description.
+    assert_eq!(k.iol_read_fd(pid, fd, 4).unwrap().0.to_vec(), b"abcd");
+    assert_eq!(k.iol_read_fd(pid, dup, 4).unwrap().0.to_vec(), b"efgh");
+    // lseek through the dup moves the original too.
+    k.lseek(pid, dup, -2, Whence::Cur).unwrap();
+    assert_eq!(k.iol_read_fd(pid, fd, 6).unwrap().0.to_vec(), b"ghijkl");
+    // An independent open has its own offset.
+    let (other, _) = k.open(pid, "/seq").unwrap();
+    assert_eq!(k.iol_read_fd(pid, other, 2).unwrap().0.to_vec(), b"ab");
+    // Closing one number keeps the description alive for the other.
+    k.close_fd(pid, fd).unwrap();
+    k.lseek(pid, dup, 0, Whence::Set).unwrap();
+    assert_eq!(k.iol_read_fd(pid, dup, 2).unwrap().0.to_vec(), b"ab");
+}
+
+#[test]
+fn socket_fds_round_trip_through_the_tcp_send_path() {
+    let mut k = kernel();
+    let pid = k.spawn("server");
+    let file = k.create_synthetic_file("/doc", 20_000, 8);
+    let expected = k.store.read(file, 0, 20_000).unwrap();
+    let fd = k.open_file(pid, file);
+    let (body, _) = k.iol_read_fd(pid, fd, 20_000).unwrap();
+
+    let sock = k.socket_create(pid, BufferMode::ZeroCopy, DEFAULT_MSS, DEFAULT_TSS);
+    // IOL_write on the socket descriptor: the send-path accounting
+    // rides the outcome.
+    let (n, out) = k.iol_write_fd(pid, sock, &body).unwrap();
+    assert_eq!(n, 20_000);
+    let send = out.net.expect("socket writes carry SendOutcome");
+    assert_eq!(send.payload_bytes, 20_000);
+    assert_eq!(send.bytes_copied, 0, "zero-copy mode");
+    // The materialized segments carry the exact file bytes.
+    let (segments, _) = k.socket_transmit_segments(pid, sock, &body).unwrap();
+    let mut payload = Vec::new();
+    for chain in &segments {
+        let wire = chain.to_vec();
+        let h = SegmentHeader::parse(&wire).expect("valid TCP/IP header");
+        assert_eq!(h.payload_len as usize, wire.len() - 40);
+        payload.extend_from_slice(&wire[40..]);
+    }
+    assert_eq!(payload, expected);
+    // The inbound direction works through the same descriptor: deliver
+    // at the kernel edge, read with IOL_read.
+    let pool = k.process(pid).pool().clone();
+    k.socket_deliver(pid, sock, Aggregate::from_bytes(&pool, b"ACK"))
+        .unwrap();
+    assert_eq!(k.iol_read_fd(pid, sock, 100).unwrap().0.to_vec(), b"ACK");
+}
+
+#[test]
+fn stdio_fds_work_immediately_after_spawn() {
+    let mut k = kernel();
+    let pid = k.spawn("tool");
+    let pool = k.process(pid).pool().clone();
+    // The triple exists without any setup: write stdout/stderr, read
+    // stdin, through the ordinary IOL calls.
+    let out_msg = Aggregate::from_bytes(&pool, b"to stdout");
+    let err_msg = Aggregate::from_bytes(&pool, b"to stderr");
+    k.iol_write_fd(pid, Fd::STDOUT, &out_msg).unwrap();
+    k.iol_write_fd(pid, Fd::STDERR, &err_msg).unwrap();
+    assert_eq!(k.read_stdout(pid, 100).unwrap().0.to_vec(), b"to stdout");
+    assert_eq!(k.read_stderr(pid, 100).unwrap().0.to_vec(), b"to stderr");
+    let input = Aggregate::from_bytes(&pool, b"from tty");
+    k.feed_stdin(pid, &input).unwrap();
+    assert_eq!(k.iol_read_fd(pid, Fd::STDIN, 100).unwrap().0.to_vec(), b"from tty");
+    // stdin is read-only, stdout write-only — the fd layer says so.
+    assert!(matches!(
+        k.iol_write_fd(pid, Fd::STDIN, &out_msg),
+        Err(IolError::BadFdKind { .. })
+    ));
+    assert!(matches!(
+        k.iol_read_fd(pid, Fd::STDOUT, 10),
+        Err(IolError::BadFdKind { .. })
+    ));
+    // And dup2 re-plumbs it like a shell: `tool | sink`.
+    let sink = k.spawn("sink");
+    let (w, r) = k.pipe_between(pid, sink, PipeMode::ZeroCopy);
+    k.dup2_fd(pid, w, Fd::STDOUT).unwrap();
+    k.dup2_fd(sink, r, Fd::STDIN).unwrap();
+    let piped = Aggregate::from_bytes(&pool, b"piped");
+    k.iol_write_fd(pid, Fd::STDOUT, &piped).unwrap();
+    assert_eq!(k.iol_read_fd(sink, Fd::STDIN, 100).unwrap().0.to_vec(), b"piped");
+}
+
+#[test]
+fn close_then_use_returns_not_open() {
+    let mut k = kernel();
+    let pid = k.spawn("app");
+    let f = k.create_file("/f", b"data");
+    let fd = k.open_file(pid, f);
+    k.close_fd(pid, fd).unwrap();
+    // Every operation on the dead number is EBADF.
+    assert!(matches!(
+        k.iol_read_fd(pid, fd, 10),
+        Err(IolError::NotOpen { .. })
+    ));
+    let pool = k.process(pid).pool().clone();
+    let msg = Aggregate::from_bytes(&pool, b"x");
+    assert!(matches!(
+        k.iol_write_fd(pid, fd, &msg),
+        Err(IolError::NotOpen { .. })
+    ));
+    assert!(matches!(
+        k.lseek(pid, fd, 0, Whence::Set),
+        Err(IolError::NotOpen { .. })
+    ));
+    assert!(k.close_fd(pid, fd).is_err(), "double close is EBADF");
+    // Same story for sockets.
+    let sock = k.socket_create(pid, BufferMode::ZeroCopy, DEFAULT_MSS, DEFAULT_TSS);
+    k.close_fd(pid, sock).unwrap();
+    assert!(matches!(
+        k.iol_write_fd(pid, sock, &msg),
+        Err(IolError::NotOpen { .. })
+    ));
+}
+
+proptest! {
+    /// Tentpole invariant: moving `TcpConn` behind the descriptor table
+    /// changed nothing about the send path. For arbitrary payloads,
+    /// fragmentations, and MSS choices, socket-fd writes produce
+    /// byte-identical segment streams to a hand-driven `TcpConn::send`,
+    /// with identical checksum-cache behavior (first send computes,
+    /// retransmission is served from cache) and identical accounting.
+    #[test]
+    fn socket_fd_writes_match_direct_tcpconn_send(
+        data in proptest::collection::vec(any::<u8>(), 1..6000),
+        frag in 64usize..2048,
+        mss_pick in 0usize..3,
+    ) {
+        let mss = [536, 1460, 9000][mss_pick];
+        // One fragmented aggregate, shared by both paths (identical
+        // slice identities, so identical checksum-cache keys).
+        let pool = BufferPool::new(PoolId(500), Acl::kernel_only(), frag);
+        let payload = Aggregate::from_bytes(&pool, &data);
+
+        // Path A: the kernel socket behind a descriptor.
+        let mut k = kernel();
+        let pid = k.spawn("server");
+        let sock = k.socket_create(pid, BufferMode::ZeroCopy, mss, DEFAULT_TSS);
+        let (_, first) = k.iol_write_fd(pid, sock, &payload).unwrap();
+        let (_, second) = k.iol_write_fd(pid, sock, &payload).unwrap();
+        let (fd_chains, _) = k.socket_transmit_segments(pid, sock, &payload).unwrap();
+
+        // Path B: a hand-driven connection with the same identity (the
+        // kernel numbers connections from 1) and its own cache.
+        let mut conn = TcpConn::new(1, BufferMode::ZeroCopy, mss, DEFAULT_TSS);
+        let mut cache = ChecksumCache::new(1 << 16);
+        let d_first = conn.send(&payload, &mut cache);
+        let d_second = conn.send(&payload, &mut cache);
+        let direct_chains = conn.build_segments(&payload);
+
+        // Byte-identical segment streams (headers included: same seq,
+        // ports, lengths).
+        prop_assert_eq!(wire_bytes(&fd_chains), wire_bytes(&direct_chains));
+        // Identical send accounting on both transmissions.
+        prop_assert_eq!(first.net.unwrap(), d_first);
+        prop_assert_eq!(second.net.unwrap(), d_second);
+        // Checksum-cache behavior unchanged: compute once, then cached.
+        prop_assert_eq!(d_first.csum_bytes_computed, data.len() as u64);
+        prop_assert_eq!(second.net.unwrap().csum_bytes_computed, 0);
+        prop_assert_eq!(second.net.unwrap().csum_bytes_cached, data.len() as u64);
+        // And the kernel's cache saw exactly what the direct one did.
+        prop_assert_eq!(k.cksum.stats().bytes_computed, cache.stats().bytes_computed);
+        prop_assert_eq!(k.cksum.stats().bytes_cached, cache.stats().bytes_cached);
+        prop_assert_eq!(k.cksum.stats().hits, cache.stats().hits);
+    }
+
+    /// Pipes behind descriptors preserve content under arbitrary
+    /// chunked writes with flow control (`ShortIo` carries progress).
+    #[test]
+    fn pipe_fd_stream_preserves_bytes_under_flow_control(
+        data in proptest::collection::vec(any::<u8>(), 1..200_000),
+        mode_pick in any::<bool>(),
+    ) {
+        let mode = if mode_pick { PipeMode::ZeroCopy } else { PipeMode::Copy };
+        let mut k = kernel();
+        let a = k.spawn("writer");
+        let b = k.spawn("reader");
+        let (w, r) = k.pipe_between(a, b, mode);
+        let pool = k.process(a).pool().clone();
+        let agg = Aggregate::from_bytes(&pool, &data);
+        let mut sent = 0u64;
+        let mut received = Vec::new();
+        while sent < agg.len() {
+            let rest = agg.range(sent, agg.len() - sent).unwrap();
+            let (n, _) = iolite::core::short_ok(k.iol_write_fd(a, w, &rest)).unwrap();
+            sent += n;
+            if let Ok((chunk, _)) = k.iol_read_fd(b, r, u64::MAX) {
+                received.extend_from_slice(&chunk.to_vec());
+            }
+        }
+        k.close_fd(a, w).unwrap();
+        loop {
+            let (chunk, _) = k.iol_read_fd(b, r, u64::MAX).unwrap();
+            if chunk.is_empty() {
+                break; // EOF
+            }
+            received.extend_from_slice(&chunk.to_vec());
+        }
+        prop_assert_eq!(received, data);
+    }
+}

@@ -7,7 +7,7 @@ use iolite::core::{CostModel, Kernel};
 use iolite::http::{parse_request_agg, request_bytes, CgiProcess, ServerKind};
 use iolite::ipc::PipeMode;
 use iolite::net::{BufferMode, DEFAULT_MSS, DEFAULT_TSS};
-use iolite::net::{FilterRule, RxPath, SegmentHeader, StreamId, TcpConn, TcpReceiver};
+use iolite::net::{FilterRule, RxPath, SegmentHeader, StreamId, TcpReceiver};
 
 fn server_header(src_port: u16, seq: u32, len: u16) -> SegmentHeader {
     SegmentHeader {
@@ -72,10 +72,11 @@ fn send_and_receive_compose_byte_exact() {
     let pid = k.spawn("server");
     let file = k.create_synthetic_file("/doc", 10_000, 4);
     let expected = k.store.read(file, 0, 10_000).unwrap();
-    let (body, _) = k.iol_read(pid, file, 0, 10_000);
+    let fd = k.open_file(pid, file);
+    let (body, _) = k.iol_read_fd(pid, fd, 10_000).unwrap();
 
-    let mut conn = TcpConn::new(3, BufferMode::ZeroCopy, DEFAULT_MSS, DEFAULT_TSS);
-    let mut segments = conn.build_segments(&body);
+    let sock = k.socket_create(pid, BufferMode::ZeroCopy, DEFAULT_MSS, DEFAULT_TSS);
+    let (mut segments, _) = k.socket_transmit_segments(pid, sock, &body).unwrap();
     segments.reverse(); // Worst-case delivery order.
 
     let mut receiver = TcpReceiver::new(1); // build_segments starts at seq 1.
@@ -118,16 +119,53 @@ fn cgi_instances_have_isolated_pools() {
         .is_ok());
 }
 
+/// The kernel-enforced pipe ACL (§3.10): a sibling CGI that gets hold
+/// of a descriptor to another CGI's pipe is *denied* the zero-copy
+/// read — and, crucially, the denial destroys nothing: the data is
+/// still there for the legitimate server reader afterwards.
+#[test]
+fn sibling_cgi_is_denied_the_pipe_without_destroying_data() {
+    use iolite::core::IolError;
+
+    let mut k = Kernel::new(CostModel::pentium_ii_333());
+    let server = k.spawn("server");
+    let cgi_a = CgiProcess::new(&mut k, server, 1_000, PipeMode::ZeroCopy);
+    let cgi_b = CgiProcess::new(&mut k, server, 1_000, PipeMode::ZeroCopy);
+
+    // A queues a message for the server.
+    let doc = cgi_a.document().clone();
+    let part = doc.range(0, 100).unwrap();
+    let wfd = cgi_a.write_fd();
+    k.iol_write_fd(cgi_a.pid, wfd, &part).unwrap();
+
+    // B (not on A's pool ACL) inherits a descriptor to A's pipe read
+    // end — say through a leaked fork — and tries to read it.
+    let server_rfd = cgi_a.server_read_fd();
+    let obj = k.fd_object(server, server_rfd).expect("read end resolves");
+    let leaked = k.install_fd(cgi_b.pid, obj);
+    let denied = k.iol_read_fd(cgi_b.pid, leaked, u64::MAX).unwrap_err();
+    assert_eq!(
+        denied,
+        IolError::PermissionDenied {
+            domain: cgi_b.pid.domain()
+        }
+    );
+
+    // The denial destroyed nothing: the server still reads every byte.
+    let (got, _) = k.iol_read_fd(server, server_rfd, u64::MAX).unwrap();
+    assert_eq!(got.to_vec(), part.to_vec());
+}
+
 #[test]
 fn two_cgi_processes_serve_distinct_content_through_one_server() {
     let mut k = Kernel::new(CostModel::pentium_ii_333());
     let server = k.spawn("server");
     let mut cgi_a = CgiProcess::new(&mut k, server, 5_000, PipeMode::ZeroCopy);
     let mut cgi_b = CgiProcess::new(&mut k, server, 7_000, PipeMode::ZeroCopy);
-    let mut conn = TcpConn::new(1, BufferMode::ZeroCopy, DEFAULT_MSS, DEFAULT_TSS);
+    let sock = k.socket_create(server, BufferMode::ZeroCopy, DEFAULT_MSS, DEFAULT_TSS);
 
-    let ra = cgi_a.serve(&mut k, ServerKind::FlashLite, &mut conn, server);
-    let rb = cgi_b.serve(&mut k, ServerKind::FlashLite, &mut conn, server);
+    let ra = cgi_a.serve(&mut k, ServerKind::FlashLite, sock, server);
+    let rb = cgi_b.serve(&mut k, ServerKind::FlashLite, sock, server);
     assert!(rb.response_bytes > ra.response_bytes);
     // Still zero copies anywhere.
     assert_eq!(k.metrics.bytes_copied, 0);

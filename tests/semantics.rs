@@ -10,12 +10,13 @@ fn iol_read_snapshots_survive_writes_and_evictions() {
     let mut k = Kernel::new(CostModel::pentium_ii_333());
     let pid = k.spawn("app");
     let f = k.create_file("/f", b"generation-one-content");
-    let (snap1, _) = k.iol_read(pid, f, 0, 100);
+    let fd = k.open_file(pid, f);
+    let (snap1, _) = k.iol_pread(pid, fd, 0, 100).unwrap();
 
     // Overwrite the file; take a second snapshot.
     let patch = Aggregate::from_bytes(k.process(pid).pool(), b"generation-TWO-content!");
-    k.iol_write(pid, f, 0, &patch);
-    let (snap2, _) = k.iol_read(pid, f, 0, 100);
+    k.iol_pwrite(pid, fd, 0, &patch).unwrap();
+    let (snap2, _) = k.iol_pread(pid, fd, 0, 100).unwrap();
 
     // Evict everything from the cache (budget to zero and back).
     k.cache.set_budget(0);
@@ -26,7 +27,7 @@ fn iol_read_snapshots_survive_writes_and_evictions() {
     assert_eq!(snap2.to_vec(), b"generation-TWO-content!");
 
     // A fresh read misses (evicted) but returns current content.
-    let (now, out) = k.iol_read(pid, f, 0, 100);
+    let (now, out) = k.iol_pread(pid, fd, 0, 100).unwrap();
     assert!(!out.cache_hit);
     assert_eq!(now.to_vec(), b"generation-TWO-content!");
 }
@@ -37,14 +38,17 @@ fn concurrent_readers_share_one_physical_copy() {
     let a = k.spawn("reader-a");
     let b = k.spawn("reader-b");
     let f = k.create_synthetic_file("/shared", 100_000, 3);
-    let (agg_a, _) = k.iol_read(a, f, 0, 100_000);
-    let (agg_b, _) = k.iol_read(b, f, 0, 100_000);
+    // Independent opens in two protection domains.
+    let fd_a = k.open_file(a, f);
+    let fd_b = k.open_file(b, f);
+    let (agg_a, _) = k.iol_read_fd(a, fd_a, 100_000).unwrap();
+    let (agg_b, _) = k.iol_read_fd(b, fd_b, 100_000).unwrap();
     // Same buffers, not equal copies.
     for (sa, sb) in agg_a.slices().zip(agg_b.slices()) {
         assert!(sa.same_buffer(sb));
     }
     // And the cache entry is the same storage too.
-    let (agg_c, out) = k.iol_read(a, f, 0, 100_000);
+    let (agg_c, out) = k.iol_pread(a, fd_a, 0, 100_000).unwrap();
     assert!(out.cache_hit);
     assert!(agg_c.slice_at(0).same_buffer(agg_a.slice_at(0)));
 }
@@ -78,7 +82,9 @@ fn memory_accounts_are_conserved() {
     // Load some files, squeeze, release, and verify accounting closes.
     for i in 0..20 {
         let f = k.create_synthetic_file(&format!("/f{i}"), 1 << 20, i);
-        k.iol_read(pid, f, 0, 1 << 20);
+        let fd = k.open_file(pid, f);
+        k.iol_read_fd(pid, fd, 1 << 20).unwrap();
+        k.close_fd(pid, fd).unwrap();
     }
     k.rebalance_cache();
     assert_eq!(
@@ -101,9 +107,10 @@ fn mmap_cow_preserves_cache_snapshot() {
     let mut k = Kernel::new(CostModel::pentium_ii_333());
     let pid = k.spawn("app");
     let f = k.create_file("/f", &vec![9u8; 8192]);
+    let fd = k.open_file(pid, f);
     // Reader takes an IOL snapshot; a mapper stores through mmap.
-    let (snapshot, _) = k.iol_read(pid, f, 0, 8192);
-    let (mut view, _) = k.mmap(pid, f);
+    let (snapshot, _) = k.iol_pread(pid, fd, 0, 8192).unwrap();
+    let (mut view, _) = k.mmap_fd(pid, fd).unwrap();
     view.write(0, &[1, 2, 3]);
     // The store hit private COW pages, not the shared buffer.
     assert_eq!(snapshot.to_vec(), vec![9u8; 8192]);
