@@ -62,9 +62,13 @@ fn bench_serve_cgi(c: &mut Criterion) {
         let server = kernel.spawn("server");
         let mut cgi = CgiProcess::new(&mut kernel, server, 100 << 10, mode);
         let sock = kernel.socket_create(server, kind.buffer_mode(), DEFAULT_MSS, DEFAULT_TSS);
-        cgi.serve(&mut kernel, kind, sock, server);
+        cgi.serve(&mut kernel, kind, sock, server).expect("healthy pipe");
         g.bench_function(kind.label(), |b| {
-            b.iter(|| cgi.serve(&mut kernel, kind, sock, server).response_bytes)
+            b.iter(|| {
+                cgi.serve(&mut kernel, kind, sock, server)
+                    .expect("healthy pipe")
+                    .response_bytes
+            })
         });
     }
     g.finish();

@@ -1,7 +1,8 @@
 //! `serve_scale`: reference-aware caching at production scale (§3.7,
-//! §3.9).
+//! §3.9), and event-loop throughput vs concurrency (PR 5).
 //!
-//! Three scenarios guard the cache layer's scaling behaviour:
+//! Four scenarios guard the cache layer's and event loop's scaling
+//! behaviour:
 //!
 //! * `request_churn_10k` — the real HTTP driver path (`serve_static`)
 //!   over a 10k-file Zipf corpus with thousands of concurrent
@@ -15,6 +16,11 @@
 //!   stays O(log n).
 //! * `cksum_cold_pressure` — a hot slice's checksum must survive an
 //!   overflow of cold slices through the bounded checksum cache.
+//! * `event_loop_concurrency` — throughput vs concurrency through the
+//!   readiness-driven server: 256/1024/2048 nonblocking connections
+//!   multiplexed per `iol_poll` tick over a Zipf corpus, zero busy-spin
+//!   (asserted). A deterministic stats pass prints requests per
+//!   simulated CPU second at each level (recorded in EXPERIMENTS.md).
 
 use std::collections::VecDeque;
 use std::time::Duration;
@@ -263,10 +269,88 @@ fn bench_cksum_cold_pressure(c: &mut Criterion) {
     g.finish();
 }
 
+/// The event-loop corpus: smaller than SCALE-10K (each timed iteration
+/// rebuilds the rig), still Zipf-skewed with a multi-chunk tail.
+fn loop_spec() -> TraceSpec {
+    TraceSpec {
+        name: "LOOP-512",
+        files: 512,
+        total_bytes: 24 << 20,
+        requests: 100_000,
+        mean_request_bytes: 16 << 10,
+        zipf_s: 1.0,
+        size_sigma: 1.2,
+    }
+}
+
+/// Builds and runs one event-loop pass: `conns` closed-loop clients,
+/// `reqs_per_conn` Zipf-sampled requests each.
+fn run_event_loop(conns: usize, reqs_per_conn: usize) -> iolite_http::LoopReport {
+    let workload = Workload::synthesize(&loop_spec(), 13);
+    let mut kernel = Kernel::with_policy(CostModel::pentium_ii_333(), Policy::Gds);
+    let pid = kernel.spawn("server");
+    let paths: Vec<String> = workload
+        .files()
+        .iter()
+        .map(|f| {
+            kernel.create_synthetic_file(&f.name, f.bytes, 13 ^ f.bytes);
+            f.name.clone()
+        })
+        .collect();
+    let mut rng = SimRng::new(conns as u64);
+    let scripts: Vec<Vec<String>> = (0..conns)
+        .map(|_| {
+            (0..reqs_per_conn)
+                .map(|_| paths[workload.sample_request(&mut rng)].clone())
+                .collect()
+        })
+        .collect();
+    let cfg = iolite_http::EventLoopConfig {
+        drain_per_tick: 16 * 1024,
+        ..iolite_http::EventLoopConfig::default()
+    };
+    let (report, _) = iolite_http::EventLoopServer::new(kernel, pid, scripts, None, cfg).run();
+    assert_eq!(report.stats.blocked_io, 0, "readiness-driven: no spin");
+    report
+}
+
+fn bench_event_loop_concurrency(c: &mut Criterion) {
+    // Deterministic stats pass: throughput vs concurrency, printed for
+    // the EXPERIMENTS.md table.
+    for conns in [256usize, 1024, 2048] {
+        let report = run_event_loop(conns, 2);
+        let s = report.stats;
+        println!(
+            "event_loop stats at {conns} conns: {} requests in {} ticks \
+             ({} polls, {} fds scanned), max in-flight {}, hit rate {:.3}, \
+             sim CPU {:.1}ms => {:.0} requests/cpu-sec",
+            s.completed,
+            s.ticks,
+            s.polls,
+            s.poll_entries,
+            s.max_inflight,
+            s.cache_hits as f64 / s.completed.max(1) as f64,
+            s.cpu.as_ms(),
+            s.requests_per_cpu_sec(),
+        );
+        assert_eq!(s.failed, 0);
+        assert!(s.max_inflight >= conns, "all clients in flight at once");
+    }
+    let mut g = quick(c.benchmark_group("event_loop"));
+    for conns in [256usize, 1024, 2048] {
+        g.throughput(Throughput::Elements(2 * conns as u64));
+        g.bench_function(format!("conns_{conns}"), |b| {
+            b.iter(|| run_event_loop(conns, 2).stats.completed)
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_request_churn,
     bench_evict_pinned_prefix,
-    bench_cksum_cold_pressure
+    bench_cksum_cold_pressure,
+    bench_event_loop_concurrency
 );
 criterion_main!(benches);

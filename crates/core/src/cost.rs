@@ -107,6 +107,10 @@ pub struct CostModel {
     pub checksum_ns_per_byte: f64,
     /// Trap + return for one system call.
     pub syscall_us: f64,
+    /// Per-descriptor cost of one `poll`/`select` scan entry (kernel
+    /// walk of the descriptor state; the event-driven servers pay this
+    /// for every fd in the interest set on every loop iteration).
+    pub poll_fd_us: f64,
     /// pmap_enter + TLB work per 4KB page, first mapping only.
     pub page_map_us: f64,
     /// Process context switch including cache pollution.
@@ -184,6 +188,7 @@ impl CostModel {
             cached_copy_ns_per_byte: 10.5,
             checksum_ns_per_byte: 7.7,
             syscall_us: 5.0,
+            poll_fd_us: 1.0,
             page_map_us: 10.0,
             context_switch_us: 25.0,
             mmap_cycle_us: 150.0,

@@ -28,6 +28,7 @@ use crate::cost::{Charge, CostCategory, CostModel};
 use crate::error::{IoResult, IolError};
 use crate::fd::{Fd, FdObject, FdRegistry, Whence};
 use crate::metrics::Metrics;
+use crate::poll::{PollFd, Readiness};
 use crate::process::{Pid, Process};
 
 /// A bounded LRU set of mapped files: Flash's mapped-file cache.
@@ -132,7 +133,38 @@ pub struct IoOutcome {
 struct KernelSocket {
     conn: TcpConn,
     inbound: VecDeque<Aggregate>,
+    /// The local side tore the connection down (last descriptor gone).
     closed: bool,
+    /// The remote side hung up (FIN/RST): reads drain then EOF, writes
+    /// are EPIPE — the "descriptor becomes ready because the peer
+    /// closed" case an event loop must observe through `iol_poll`.
+    peer_closed: bool,
+    /// `O_NONBLOCK`: writes respect the Tss send-buffer bound with
+    /// partial progress instead of accepting everything at once.
+    nonblocking: bool,
+    /// Unacknowledged bytes occupying the send buffer (nonblocking
+    /// sockets only; the driver drains them as simulated ACKs arrive
+    /// via [`Kernel::socket_drain`]).
+    sndbuf_used: u64,
+}
+
+impl KernelSocket {
+    /// Whether writes can never succeed again (local teardown or a
+    /// remote hang-up).
+    fn write_dead(&self) -> bool {
+        self.closed || self.peer_closed
+    }
+
+    /// Bytes a write may accept right now: the Tss bound for
+    /// nonblocking sockets, unbounded for blocking ones (which model
+    /// write-until-drained).
+    fn send_space(&self) -> u64 {
+        if self.nonblocking {
+            (self.conn.tss() as u64).saturating_sub(self.sndbuf_used)
+        } else {
+            u64::MAX
+        }
+    }
 }
 
 /// A kernel pipe plus the ACL governing zero-copy transfers out of it
@@ -755,6 +787,9 @@ impl Kernel {
                 conn: TcpConn::new(id.0, mode, mss, tss),
                 inbound: VecDeque::new(),
                 closed: false,
+                peer_closed: false,
+                nonblocking: false,
+                sndbuf_used: 0,
             },
         );
         self.fds.table(pid).install(FdObject::Socket(id))
@@ -790,7 +825,7 @@ impl Kernel {
     pub fn socket_deliver(&mut self, pid: Pid, fd: Fd, payload: Aggregate) -> IoResult<u64> {
         let id = self.resolve_socket(pid, fd, "socket delivery")?;
         let sock = self.sockets.get_mut(&id).expect("registered socket");
-        if sock.closed {
+        if sock.closed || sock.peer_closed {
             return Err(IolError::Closed);
         }
         let len = payload.len();
@@ -806,7 +841,7 @@ impl Kernel {
     pub fn socket_send_accounted(&mut self, pid: Pid, fd: Fd, len: u64) -> IoResult<SendOutcome> {
         let id = self.resolve_socket(pid, fd, "accounted socket send")?;
         let sock = self.sockets.get_mut(&id).expect("registered socket");
-        if sock.closed {
+        if sock.write_dead() {
             return Err(IolError::Closed);
         }
         let send = sock.conn.send_accounted(len);
@@ -832,7 +867,7 @@ impl Kernel {
     ) -> IoResult<Vec<MbufChain>> {
         let id = self.resolve_socket(pid, fd, "segment materialization")?;
         let sock = self.sockets.get_mut(&id).expect("registered socket");
-        if sock.closed {
+        if sock.write_dead() {
             return Err(IolError::Closed);
         }
         let chains = sock.conn.build_segments(payload);
@@ -841,6 +876,174 @@ impl Kernel {
             ..IoOutcome::default()
         };
         Ok((chains, out))
+    }
+
+    /// Sets a socket descriptor's `O_NONBLOCK` flag. Nonblocking
+    /// sockets bound their send buffer at Tss: writes accept only what
+    /// fits ([`IolError::ShortIo`] carries partial progress,
+    /// [`IolError::WouldBlock`] a full buffer) and the descriptor
+    /// becomes writable again as [`Kernel::socket_drain`] simulates the
+    /// wire acknowledging data.
+    ///
+    /// # Errors
+    ///
+    /// [`IolError::NotOpen`] / [`IolError::BadFdKind`] as usual.
+    pub fn set_nonblocking(&mut self, pid: Pid, fd: Fd, nonblocking: bool) -> Result<(), IolError> {
+        let id = self.resolve_socket(pid, fd, "set O_NONBLOCK")?;
+        let sock = self.sockets.get_mut(&id).expect("registered socket");
+        sock.nonblocking = nonblocking;
+        Ok(())
+    }
+
+    /// Acknowledges up to `max` bytes of a nonblocking socket's send
+    /// buffer (the wire drained them), returning the bytes freed. The
+    /// event driver calls this as simulated transmission completes;
+    /// no CPU is charged — per-packet and checksum work was already
+    /// billed at send time.
+    ///
+    /// # Errors
+    ///
+    /// [`IolError::NotOpen`] / [`IolError::BadFdKind`] as usual, and
+    /// [`IolError::Closed`] once the peer hung up — a dead peer
+    /// acknowledges nothing, so unacknowledged bytes can never drain
+    /// and the in-flight response must be failed, not completed.
+    pub fn socket_drain(&mut self, pid: Pid, fd: Fd, max: u64) -> Result<u64, IolError> {
+        let id = self.resolve_socket(pid, fd, "send-buffer drain")?;
+        let sock = self.sockets.get_mut(&id).expect("registered socket");
+        if sock.write_dead() {
+            return Err(IolError::Closed);
+        }
+        let take = sock.sndbuf_used.min(max);
+        sock.sndbuf_used -= take;
+        Ok(take)
+    }
+
+    /// Free space in a socket's send buffer (`Tss - unacknowledged`);
+    /// the event loop sizes its next write window with this, the way
+    /// Flash sizes `writev` calls against `FIONSPACE`.
+    ///
+    /// # Errors
+    ///
+    /// [`IolError::NotOpen`] / [`IolError::BadFdKind`] as usual.
+    pub fn socket_space(&mut self, pid: Pid, fd: Fd) -> Result<u64, IolError> {
+        let id = self.resolve_socket(pid, fd, "send-buffer space")?;
+        let sock = &self.sockets[&id];
+        // A blocking socket's buffer is always (logically) empty; cap
+        // the answer at Tss either way.
+        Ok(sock.send_space().min(sock.conn.tss() as u64))
+    }
+
+    /// Bytes sitting unacknowledged in a socket's send buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`IolError::NotOpen`] / [`IolError::BadFdKind`] as usual.
+    pub fn socket_unacked(&mut self, pid: Pid, fd: Fd) -> Result<u64, IolError> {
+        let id = self.resolve_socket(pid, fd, "send-buffer occupancy")?;
+        Ok(self.sockets[&id].sndbuf_used)
+    }
+
+    /// Marks a socket's remote side as hung up (FIN/RST arrived): reads
+    /// drain the delivered data then return EOF, writes fail with
+    /// [`IolError::Closed`], and `iol_poll` reports `eof`/`epipe` — the
+    /// readiness transition an event loop must observe when a client
+    /// disconnects mid-response.
+    ///
+    /// # Errors
+    ///
+    /// [`IolError::NotOpen`] / [`IolError::BadFdKind`] as usual.
+    pub fn socket_peer_close(&mut self, pid: Pid, fd: Fd) -> Result<(), IolError> {
+        let id = self.resolve_socket(pid, fd, "peer close")?;
+        let sock = self.sockets.get_mut(&id).expect("registered socket");
+        sock.peer_closed = true;
+        Ok(())
+    }
+
+    // ---- readiness (the event-driven servers' select/poll, §6) ----------
+
+    /// Reports readiness for a set of descriptors, `poll(2)`-style: one
+    /// [`Readiness`] per entry, in order. Pipe ends (stdio included),
+    /// kernel-registry sockets, and regular files are all supported;
+    /// an entry that fails to resolve reports `invalid` (`POLLNVAL`)
+    /// without failing the scan.
+    ///
+    /// The call is charged as one trap plus a per-entry scan cost
+    /// ([`CostModel::poll_fd_us`]) — the select/poll overhead that made
+    /// event-driven servers sensitive to poll-set size long before the
+    /// payload moved.
+    ///
+    /// # Errors
+    ///
+    /// None today — the result is total; the `IoResult` shape carries
+    /// the accounting like every other descriptor operation.
+    pub fn iol_poll(&mut self, pid: Pid, fds: &[PollFd]) -> IoResult<Vec<Readiness>> {
+        let out = IoOutcome {
+            charge: Charge::us(self.cost.syscall_us + fds.len() as f64 * self.cost.poll_fd_us),
+            ..IoOutcome::default()
+        };
+        self.metrics.syscalls += 1;
+        let table = self.fds.get_table(pid);
+        let mut events = Vec::with_capacity(fds.len());
+        for entry in fds {
+            let Some(desc) = table.and_then(|t| t.get(entry.fd)) else {
+                events.push(Readiness {
+                    invalid: true,
+                    ..Readiness::PENDING
+                });
+                continue;
+            };
+            let object = desc.borrow().object;
+            events.push(self.object_readiness(object));
+        }
+        Ok((events, out))
+    }
+
+    /// The current readiness of one descriptor object.
+    fn object_readiness(&self, object: FdObject) -> Readiness {
+        match object {
+            // Regular files never block (poll(2) semantics).
+            FdObject::File(_) => Readiness {
+                readable: true,
+                writable: true,
+                ..Readiness::PENDING
+            },
+            FdObject::PipeRead(id) => {
+                let slot = &self.pipes[&id];
+                let buffered = slot.pipe.buffered();
+                Readiness {
+                    readable: buffered > 0,
+                    // All write ends gone and nothing left to drain:
+                    // the next read returns empty.
+                    eof: buffered == 0 && slot.pipe.is_closed(),
+                    ..Readiness::PENDING
+                }
+            }
+            FdObject::PipeWrite(id) => {
+                let slot = &self.pipes[&id];
+                let dead = slot.pipe.is_closed() || slot.reader_gone;
+                Readiness {
+                    writable: !dead && slot.pipe.space() > 0,
+                    epipe: dead,
+                    ..Readiness::PENDING
+                }
+            }
+            FdObject::Socket(id) => {
+                let Some(sock) = self.sockets.get(&id) else {
+                    return Readiness {
+                        invalid: true,
+                        ..Readiness::PENDING
+                    };
+                };
+                let hung_up = sock.write_dead();
+                Readiness {
+                    readable: !sock.inbound.is_empty(),
+                    writable: !hung_up && sock.send_space() > 0,
+                    eof: sock.inbound.is_empty() && hung_up,
+                    epipe: hung_up,
+                    ..Readiness::PENDING
+                }
+            }
+        }
     }
 
     /// Resolves a descriptor to its open-file description (`EBADF` on
@@ -1178,7 +1381,9 @@ impl Kernel {
             }
         }
         if agg.is_empty() {
-            return if sock.closed || len == 0 {
+            // Local teardown or a remote hang-up both end the stream:
+            // once the queue is drained, reads return empty (EOF).
+            return if sock.closed || sock.peer_closed || len == 0 {
                 Ok((agg, out))
             } else {
                 Err(IolError::WouldBlock { outcome: out })
@@ -1245,20 +1450,51 @@ impl Kernel {
             }
             FdObject::Socket(id) => {
                 let sock = self.sockets.get_mut(&id).expect("registered socket");
-                if sock.closed {
+                if sock.write_dead() {
                     return Err(IolError::Closed);
                 }
-                let send = sock.conn.send(agg, &mut self.cksum);
+                // Nonblocking sockets honor the Tss send-buffer bound:
+                // accept only what fits, with `ShortIo` carrying the
+                // partial progress (the driver drains the buffer as the
+                // simulated wire ACKs it). Blocking sockets model the
+                // synchronous write-until-drained path and accept
+                // everything, as before.
+                let len = agg.len();
+                let space = sock.send_space();
                 self.metrics.syscalls += 1;
+                let out_base = IoOutcome {
+                    charge: Charge::us(self.cost.syscall_us),
+                    ..IoOutcome::default()
+                };
+                if space == 0 {
+                    return Err(IolError::WouldBlock { outcome: out_base });
+                }
+                let accept = len.min(space);
+                let window = if accept == len {
+                    None
+                } else {
+                    Some(agg.range(0, accept).expect("clamped send window"))
+                };
+                let sock = self.sockets.get_mut(&id).expect("registered socket");
+                let send = sock.conn.send(window.as_ref().unwrap_or(agg), &mut self.cksum);
+                if sock.nonblocking {
+                    sock.sndbuf_used += accept;
+                }
                 self.metrics.bytes_checksummed += send.csum_bytes_computed;
                 self.metrics.bytes_checksum_cached += send.csum_bytes_cached;
                 self.metrics.bytes_copied += send.bytes_copied;
                 let out = IoOutcome {
-                    charge: Charge::us(self.cost.syscall_us),
                     net: Some(send),
-                    ..IoOutcome::default()
+                    ..out_base
                 };
-                Ok((agg.len(), out))
+                if accept == len {
+                    Ok((accept, out))
+                } else {
+                    Err(IolError::ShortIo {
+                        done: accept,
+                        outcome: out,
+                    })
+                }
             }
             FdObject::PipeRead(_) => Err(IolError::BadFdKind {
                 fd,
@@ -1937,6 +2173,119 @@ mod tests {
         // Heavy non-cache pressure resets the balance: no more evictions.
         let again = k.vm_pressure(10_000);
         assert!(!again, "other-page traffic dominates now");
+    }
+
+    #[test]
+    fn nonblocking_socket_bounds_the_send_buffer() {
+        let mut k = kernel();
+        let pid = k.spawn("server");
+        let sock = k.socket_create(pid, BufferMode::ZeroCopy, DEFAULT_MSS, 64 * 1024);
+        k.set_nonblocking(pid, sock, true).unwrap();
+        let pool = k.process(pid).pool().clone();
+        // 100KB into a 64KB send buffer: partial progress is carried.
+        let big = Aggregate::from_bytes(&pool, &[3u8; 100 * 1024]);
+        let err = k.iol_write_fd(pid, sock, &big).unwrap_err();
+        let IolError::ShortIo { done, outcome } = err else {
+            panic!("expected ShortIo, got {err:?}");
+        };
+        assert_eq!(done, 64 * 1024);
+        let send = outcome.net.expect("partial sends still carry accounting");
+        assert_eq!(send.payload_bytes, 64 * 1024);
+        assert_eq!(k.socket_space(pid, sock).unwrap(), 0);
+        // Full buffer accepts nothing: EAGAIN, still charged as a trap.
+        assert!(matches!(
+            k.iol_write_fd(pid, sock, &big),
+            Err(IolError::WouldBlock { .. })
+        ));
+        // The wire ACKs half: exactly that much fits again.
+        assert_eq!(k.socket_drain(pid, sock, 32 * 1024).unwrap(), 32 * 1024);
+        assert_eq!(k.socket_space(pid, sock).unwrap(), 32 * 1024);
+        let rest = big.range(done, 32 * 1024).unwrap();
+        let (n, _) = k.iol_write_fd(pid, sock, &rest).unwrap();
+        assert_eq!(n, 32 * 1024);
+        assert_eq!(k.socket_unacked(pid, sock).unwrap(), 64 * 1024);
+        // Blocking sockets are unaffected by the bound.
+        let blocking = k.socket_create(pid, BufferMode::ZeroCopy, DEFAULT_MSS, 1024);
+        let (n, _) = k.iol_write_fd(pid, blocking, &big).unwrap();
+        assert_eq!(n, big.len());
+    }
+
+    #[test]
+    fn poll_reports_pipe_and_socket_readiness() {
+        use crate::poll::PollFd;
+        let mut k = kernel();
+        let a = k.spawn("producer");
+        let b = k.spawn("consumer");
+        let (w, r) = k.pipe_between(a, b, PipeMode::ZeroCopy);
+        // Empty pipe: writer writable, reader pending.
+        let (ev, out) = k.iol_poll(a, &[PollFd::writable(w)]).unwrap();
+        assert!(ev[0].writable && !ev[0].epipe);
+        assert!(out.charge.time > SimTime::ZERO, "poll is charged");
+        let (ev, _) = k.iol_poll(b, &[PollFd::readable(r)]).unwrap();
+        assert!(!ev[0].readable && !ev[0].eof);
+        // Data buffered: reader readable.
+        let pool = k.process(a).pool().clone();
+        k.iol_write_fd(a, w, &Aggregate::from_bytes(&pool, b"x")).unwrap();
+        let (ev, _) = k.iol_poll(b, &[PollFd::readable(r)]).unwrap();
+        assert!(ev[0].readable);
+        // Sockets: pending until delivery, readable after.
+        let sock = k.socket_create(a, BufferMode::ZeroCopy, DEFAULT_MSS, DEFAULT_TSS);
+        let (ev, _) = k.iol_poll(a, &[PollFd::readable(sock)]).unwrap();
+        assert!(!ev[0].readable && ev[0].writable);
+        k.socket_deliver(a, sock, Aggregate::from_bytes(&pool, b"req"))
+            .unwrap();
+        let (ev, _) = k.iol_poll(a, &[PollFd::readable(sock)]).unwrap();
+        assert!(ev[0].readable);
+        // Unknown fds report POLLNVAL without failing the scan.
+        let (ev, _) = k
+            .iol_poll(a, &[PollFd::readable(Fd(999)), PollFd::writable(w)])
+            .unwrap();
+        assert!(ev[0].invalid && ev[1].writable);
+    }
+
+    #[test]
+    fn poll_sees_peer_close_as_readiness() {
+        use crate::poll::PollFd;
+        let mut k = kernel();
+        let pid = k.spawn("server");
+        let sock = k.socket_create(pid, BufferMode::ZeroCopy, DEFAULT_MSS, DEFAULT_TSS);
+        let pool = k.process(pid).pool().clone();
+        k.socket_deliver(pid, sock, Aggregate::from_bytes(&pool, b"bye"))
+            .unwrap();
+        k.socket_peer_close(pid, sock).unwrap();
+        // Undrained data is still readable; EOF only after the drain.
+        let (ev, _) = k.iol_poll(pid, &[PollFd::readable(sock)]).unwrap();
+        assert!(ev[0].readable && !ev[0].eof && ev[0].epipe);
+        let (got, _) = k.iol_read_fd(pid, sock, 100).unwrap();
+        assert_eq!(got.to_vec(), b"bye");
+        let (ev, _) = k.iol_poll(pid, &[PollFd::readable(sock)]).unwrap();
+        assert!(ev[0].eof && !ev[0].readable);
+        let (eof, _) = k.iol_read_fd(pid, sock, 100).unwrap();
+        assert!(eof.is_empty(), "peer-closed socket reads EOF after drain");
+        // Writes are EPIPE, as the epipe bit promised.
+        let msg = Aggregate::from_bytes(&pool, b"late");
+        assert_eq!(k.iol_write_fd(pid, sock, &msg), Err(IolError::Closed));
+        // Delivery after FIN is refused too.
+        assert_eq!(
+            k.socket_deliver(pid, sock, Aggregate::from_bytes(&pool, b"?")),
+            Err(IolError::Closed)
+        );
+        // The conventional accounting-only send path and segment
+        // materialization refuse a peer-closed socket the same way the
+        // descriptor write does.
+        let copy_sock = k.socket_create(pid, BufferMode::Copy, DEFAULT_MSS, DEFAULT_TSS);
+        k.socket_peer_close(pid, copy_sock).unwrap();
+        assert_eq!(
+            k.socket_send_accounted(pid, copy_sock, 100),
+            Err(IolError::Closed)
+        );
+        // And a dead peer never ACKs: drains fail rather than
+        // pretending the buffer emptied.
+        assert_eq!(k.socket_drain(pid, sock, 10), Err(IolError::Closed));
+        assert!(matches!(
+            k.socket_transmit_segments(pid, copy_sock, &msg),
+            Err(IolError::Closed)
+        ));
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod error;
 pub mod fd;
 pub mod kernel;
 pub mod metrics;
+pub mod poll;
 pub mod process;
 pub mod stdio;
 
@@ -48,5 +49,6 @@ pub use error::{short_ok, IoResult, IolError};
 pub use fd::{Fd, FdObject, FdTable, Whence};
 pub use kernel::{ConnId, IoOutcome, Kernel, MappedFileCache, PipeEnd, PipeId};
 pub use metrics::Metrics;
+pub use poll::{Interest, PollFd, Readiness};
 pub use process::{Pid, Process};
 pub use stdio::{StdioIn, StdioMode, StdioOut};

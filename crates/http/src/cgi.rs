@@ -83,13 +83,22 @@ impl CgiProcess {
     /// Handles one request end-to-end: pipe transfer into the server,
     /// then transmission on the client's socket descriptor. Returns the
     /// request's cost decomposition.
+    ///
+    /// # Errors
+    ///
+    /// A pipe or socket peer disappearing mid-transfer surfaces as the
+    /// underlying [`IolError`] — [`IolError::Closed`] (EPIPE) when the
+    /// server hung up the read end or the client connection died,
+    /// [`IolError::PermissionDenied`] if the pipe's ACL refuses the
+    /// reader. The driver turns this into a *failed request*; a dead
+    /// peer must never take the whole server down.
     pub fn serve(
         &mut self,
         kernel: &mut Kernel,
         kind: ServerKind,
         sock: Fd,
         server_pid: Pid,
-    ) -> RequestCosts {
+    ) -> Result<RequestCosts, IolError> {
         let mut rc = RequestCosts::default();
         // Server: parse + bookkeeping + CGI dispatch (forward the
         // request, wake the CGI process: two context switches).
@@ -121,8 +130,9 @@ impl CgiProcess {
         let mut pipe_cpu = Charge::ZERO;
         while offset < total {
             let remaining = self.doc.range(offset, total - offset).expect("in range");
-            let (accepted, wout) = short_ok(kernel.iol_write_fd(self.pid, self.wfd, &remaining))
-                .expect("cgi pipe stays open");
+            // A short write is flow control; a closed pipe (the server
+            // hung up its read end) is a failed request, not a panic.
+            let (accepted, wout) = short_ok(kernel.iol_write_fd(self.pid, self.wfd, &remaining))?;
             pipe_cpu += wout.charge;
             offset += accepted;
             // Reader drains what the writer queued.
@@ -132,7 +142,7 @@ impl CgiProcess {
                     received.append(&chunk);
                 }
                 Err(IolError::WouldBlock { outcome }) => pipe_cpu += outcome.charge,
-                Err(e) => panic!("server side of the cgi pipe failed: {e}"),
+                Err(e) => return Err(e),
             }
             if offset < total {
                 // The producer blocked on a full pipe: switch back and
@@ -151,9 +161,7 @@ impl CgiProcess {
                     Aggregate::from_bytes(kernel.process(server_pid).pool(), &header);
                 response.append(&received);
                 rc.response_bytes = response.len();
-                let (_, wout) = kernel
-                    .iol_write_fd(server_pid, sock, &response)
-                    .expect("socket write");
+                let (_, wout) = kernel.iol_write_fd(server_pid, sock, &response)?;
                 let send = wout.net.expect("socket writes carry SendOutcome");
                 rc.parts
                     .push((CostCategory::Syscall, Charge::us(kernel.cost.syscall_us)));
@@ -171,9 +179,7 @@ impl CgiProcess {
                 rc.response_bytes = response_len;
                 rc.parts
                     .push((CostCategory::Syscall, Charge::us(kernel.cost.syscall_us)));
-                let (send, _) = kernel
-                    .socket_send_accounted(server_pid, sock, response_len)
-                    .expect("socket write");
+                let (send, _) = kernel.socket_send_accounted(server_pid, sock, response_len)?;
                 rc.parts.push((
                     CostCategory::Copy,
                     kernel.cost.socket_copy(send.bytes_copied),
@@ -198,7 +204,7 @@ impl CgiProcess {
                 }
             }
         }
-        rc
+        Ok(rc)
     }
 }
 
@@ -218,8 +224,8 @@ mod tests {
         };
         let mut cgi = CgiProcess::new(&mut k, server, size, mode);
         let sock = k.socket_create(server, kind.buffer_mode(), DEFAULT_MSS, DEFAULT_TSS);
-        let first = cgi.serve(&mut k, kind, sock, server);
-        let warm = cgi.serve(&mut k, kind, sock, server);
+        let first = cgi.serve(&mut k, kind, sock, server).expect("healthy pipe");
+        let warm = cgi.serve(&mut k, kind, sock, server).expect("healthy pipe");
         (k, first, warm)
     }
 
@@ -254,7 +260,7 @@ mod tests {
         let mut cgi = CgiProcess::new(&mut k, server, 10_000, PipeMode::ZeroCopy);
         let expected = cgi.document().to_vec();
         let sock = k.socket_create(server, BufferMode::ZeroCopy, DEFAULT_MSS, DEFAULT_TSS);
-        let rc = cgi.serve(&mut k, ServerKind::FlashLite, sock, server);
+        let rc = cgi.serve(&mut k, ServerKind::FlashLite, sock, server).expect("healthy pipe");
         assert_eq!(
             rc.response_bytes as usize,
             expected.len() + response_header(10_000, true).len()
@@ -274,14 +280,35 @@ mod tests {
         let server = k.spawn("server");
         let mut cgi = CgiProcess::new(&mut k, server, 100_000, PipeMode::ZeroCopy);
         let sock = k.socket_create(server, BufferMode::ZeroCopy, DEFAULT_MSS, DEFAULT_TSS);
-        cgi.serve(&mut k, ServerKind::FlashLite, sock, server);
+        cgi.serve(&mut k, ServerKind::FlashLite, sock, server).expect("healthy pipe");
         let mapped_after_first = k.window.stats().pages_mapped;
-        cgi.serve(&mut k, ServerKind::FlashLite, sock, server);
+        cgi.serve(&mut k, ServerKind::FlashLite, sock, server).expect("healthy pipe");
         assert_eq!(
             k.window.stats().pages_mapped,
             mapped_after_first,
             "steady state rides persistent mappings"
         );
+    }
+
+    /// Regression: the server hanging up its read end mid-stream used
+    /// to panic the CGI loop (`expect("cgi pipe stays open")`); it must
+    /// surface as `Closed` (EPIPE) so the driver can fail the one
+    /// request and keep serving.
+    #[test]
+    fn last_reader_close_fails_the_request_instead_of_panicking() {
+        let mut k = Kernel::new(CostModel::pentium_ii_333());
+        let server = k.spawn("server");
+        // 150KB > the 64KB pipe: the transfer needs several fill/drain
+        // rounds, so the hang-up lands mid-stream.
+        let mut cgi = CgiProcess::new(&mut k, server, 150_000, PipeMode::ZeroCopy);
+        let sock = k.socket_create(server, BufferMode::ZeroCopy, DEFAULT_MSS, DEFAULT_TSS);
+        // The server's only read-end descriptor disappears.
+        k.close_fd(server, cgi.server_read_fd()).unwrap();
+        let err = cgi.serve(&mut k, ServerKind::FlashLite, sock, server);
+        assert_eq!(err.unwrap_err(), IolError::Closed, "EPIPE, not a panic");
+        // The CGI process itself survives to serve a healthy pipe later.
+        let mut healthy = CgiProcess::new(&mut k, server, 10_000, PipeMode::ZeroCopy);
+        assert!(healthy.serve(&mut k, ServerKind::FlashLite, sock, server).is_ok());
     }
 
     /// The kernel pipe carries the CGI pool's ACL: the server's domain
@@ -294,7 +321,7 @@ mod tests {
         let mut cgi = CgiProcess::new(&mut k, server, 5_000, PipeMode::ZeroCopy);
         let sock = k.socket_create(server, BufferMode::ZeroCopy, DEFAULT_MSS, DEFAULT_TSS);
         let denials_before = k.window.stats().denials;
-        cgi.serve(&mut k, ServerKind::FlashLite, sock, server);
+        cgi.serve(&mut k, ServerKind::FlashLite, sock, server).expect("healthy pipe");
         assert_eq!(k.window.stats().denials, denials_before, "server admitted");
         assert!(cgi.pool.acl().allows(server.domain()));
     }

@@ -104,6 +104,9 @@ pub struct ExperimentResult {
     pub csum_cached_per_request: f64,
     /// File-cache evictions during measurement.
     pub evictions: u64,
+    /// Requests that failed because a peer (pipe or socket) hung up
+    /// mid-transfer; healthy runs report 0.
+    pub failed_requests: u64,
 }
 
 /// Pending resource release at a future instant.
@@ -231,9 +234,22 @@ impl Experiment {
         let mut apache_active = 0u64;
 
         let mut completed = 0u64;
+        let mut failed = 0u64;
         let mut measured_bytes = 0u64;
         let mut hits = 0u64;
         let mut meter: Option<RateMeter> = None;
+        // Measurement starts when the warmup-th request retires —
+        // success *or* failure — so both completion paths share this.
+        let start_measurement = |kernel: &Kernel, at: SimTime| {
+            let mut m = RateMeter::new(at);
+            m.close(at);
+            (
+                m,
+                kernel.metrics.bytes_copied,
+                kernel.metrics.bytes_checksum_cached,
+                kernel.cache.stats().evictions,
+            )
+        };
         let mut response_times = Summary::new();
         let mut copied_at_meas_start = 0u64;
         let mut cached_at_meas_start = 0u64;
@@ -292,12 +308,32 @@ impl Experiment {
             let rc = match &self.cfg.workload {
                 WorkloadKind::Cgi { .. } => {
                     let cgi = self.cgi.as_mut().expect("cgi configured");
-                    cgi.serve(
+                    match cgi.serve(
                         &mut self.kernel,
                         self.cfg.server,
                         self.socks[client],
                         self.server_pid,
-                    )
+                    ) {
+                        Ok(rc) => rc,
+                        Err(_) => {
+                            // A dead pipe/socket peer fails this one
+                            // request; the client moves on and the
+                            // server keeps running. The failure still
+                            // counts toward the request budget, so a
+                            // failure landing exactly on the warmup
+                            // boundary must initialize the meter like
+                            // a success would.
+                            failed += 1;
+                            completed += 1;
+                            if completed == self.cfg.warmup {
+                                let (m, c, x, e) = start_measurement(&self.kernel, arrive);
+                                (meter, copied_at_meas_start) = (Some(m), c);
+                                (cached_at_meas_start, evictions_at_meas_start) = (x, e);
+                            }
+                            issue.push(Reverse((arrive, client)));
+                            continue;
+                        }
+                    }
                 }
                 _ => {
                     let file = self.files[file_idx];
@@ -384,12 +420,9 @@ impl Experiment {
             // --- bookkeeping ---
             completed += 1;
             if completed == self.cfg.warmup {
-                let mut m = RateMeter::new(done);
-                m.close(done);
-                meter = Some(m);
-                copied_at_meas_start = self.kernel.metrics.bytes_copied;
-                cached_at_meas_start = self.kernel.metrics.bytes_checksum_cached;
-                evictions_at_meas_start = self.kernel.cache.stats().evictions;
+                let (m, c, x, e) = start_measurement(&self.kernel, done);
+                (meter, copied_at_meas_start) = (Some(m), c);
+                (cached_at_meas_start, evictions_at_meas_start) = (x, e);
             }
             if completed > self.cfg.warmup {
                 if let Some(m) = &mut meter {
@@ -424,6 +457,7 @@ impl Experiment {
                 - cached_at_meas_start) as f64
                 / measured.max(1) as f64,
             evictions: self.kernel.cache.stats().evictions - evictions_at_meas_start,
+            failed_requests: failed,
         }
     }
 

@@ -1,0 +1,1028 @@
+//! The readiness-driven server: one process, N in-flight connections,
+//! zero busy-waiting (§5/§6's event-driven architecture made real).
+//!
+//! [`crate::server::serve_static`] serves a request *whole* in one
+//! synchronous call — fine for cost decomposition, but it cannot
+//! interleave connections, which is exactly the regime where the
+//! paper's servers live: Flash and Flash-Lite multiplex thousands of
+//! nonblocking descriptors behind `select`. [`EventLoopServer`] is that
+//! shape on the IO-Lite kernel:
+//!
+//! * every client connection is a **nonblocking** socket descriptor
+//!   whose send buffer is bounded at Tss;
+//! * each loop tick issues **one `iol_poll`** over the interest set and
+//!   acts only on descriptors the kernel reported ready — an I/O call
+//!   returning [`IolError::WouldBlock`] is counted as a bug
+//!   ([`LoopStats::blocked_io`], asserted zero in the test suite);
+//! * a request moves through a per-connection state machine —
+//!   **parse → open → stream-in-chunks → drain** — with the response
+//!   streamed window-by-window as the simulated wire acknowledges
+//!   earlier bytes ([`iolite_core::Kernel::socket_drain`]);
+//! * CGI responses flow through the ACL-carrying kernel pipe under the
+//!   same readiness discipline (the CGI process writes only when its
+//!   end is writable, the server reads only when its end is readable),
+//!   and a peer hanging up mid-transfer fails that one request instead
+//!   of panicking the server.
+//!
+//! Socket write windows are aligned to the response aggregate's slice
+//! boundaries. A slice is never split mid-send, so the checksum cache
+//! sees exactly the ⟨buffer, generation, range⟩ keys a whole-response
+//! `IOL_write` would produce — the event loop is byte- *and*
+//! checksum-cache-identical to sequential [`serve_static`], which the
+//! `readiness` property suite pins down.
+//!
+//! [`serve_static`]: crate::server::serve_static
+
+use std::collections::VecDeque;
+
+use iolite_buf::Aggregate;
+use iolite_core::{short_ok, Charge, Fd, Interest, IolError, Kernel, Pid, PollFd, Readiness};
+use iolite_fs::CacheKey;
+use iolite_net::BufferMode;
+use iolite_sim::SimTime;
+
+use crate::cgi::CgiProcess;
+use crate::message::{not_found, parse_request_agg, response_header};
+
+/// Tuning knobs for one event-loop run.
+#[derive(Debug, Clone, Copy)]
+pub struct EventLoopConfig {
+    /// Send-buffer bytes the simulated wire acknowledges per connection
+    /// per tick. Smaller values stretch responses over more ticks and
+    /// deepen the multiplexing (more connections simultaneously
+    /// mid-stream).
+    pub drain_per_tick: u64,
+    /// Record every completed response's exact bytes (equivalence
+    /// tests; off for benchmarks).
+    pub capture_responses: bool,
+    /// Safety bound on ticks; exceeding it panics with diagnostics
+    /// (a correctness bug would otherwise spin forever).
+    pub max_ticks: u64,
+}
+
+impl Default for EventLoopConfig {
+    fn default() -> Self {
+        EventLoopConfig {
+            drain_per_tick: 16 * 1024,
+            capture_responses: false,
+            max_ticks: 10_000_000,
+        }
+    }
+}
+
+/// Counters describing one run of the loop.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoopStats {
+    /// Event-loop iterations.
+    pub ticks: u64,
+    /// `iol_poll` calls issued.
+    pub polls: u64,
+    /// Total descriptors scanned across all polls.
+    pub poll_entries: u64,
+    /// Requests served to completion (response fully acknowledged).
+    pub completed: u64,
+    /// Requests failed by a peer hang-up (pipe EPIPE, socket reset).
+    pub failed: u64,
+    /// I/O calls that returned `WouldBlock`. A readiness-driven loop
+    /// acts only on ready descriptors, so this must stay **zero** —
+    /// any other value means the loop busy-spun.
+    pub blocked_io: u64,
+    /// Most connections simultaneously mid-request at any tick.
+    pub max_inflight: usize,
+    /// Application response bytes across completed requests.
+    pub response_bytes: u64,
+    /// Completed requests whose document came from the file cache.
+    pub cache_hits: u64,
+    /// Simulated CPU consumed (polls, syscalls, checksums, packet
+    /// work, page mappings — everything the outcomes billed).
+    pub cpu: SimTime,
+}
+
+impl LoopStats {
+    /// Completed requests per simulated CPU second — the throughput
+    /// axis of the concurrency sweep in EXPERIMENTS.md.
+    pub fn requests_per_cpu_sec(&self) -> f64 {
+        self.completed as f64 / self.cpu.as_secs().max(1e-12)
+    }
+}
+
+/// One completed request's record.
+#[derive(Debug, Clone)]
+pub struct CompletedRequest {
+    /// Connection index the request was served on.
+    pub conn: usize,
+    /// Requested path.
+    pub path: String,
+    /// Response bytes (header + body).
+    pub bytes: u64,
+    /// Whether the document came from the unified file cache.
+    pub cache_hit: bool,
+    /// The exact response bytes (only when
+    /// [`EventLoopConfig::capture_responses`] is set).
+    pub response: Option<Vec<u8>>,
+}
+
+/// The final report of a run.
+#[derive(Debug)]
+pub struct LoopReport {
+    /// Counters for the run.
+    pub stats: LoopStats,
+    /// Completed requests in completion order.
+    pub requests: Vec<CompletedRequest>,
+}
+
+/// Server-side poll results, tagged by connection index.
+type ServerEvents = Vec<(usize, Readiness)>;
+
+/// The active CGI transfer's poll results: (CGI write end readiness,
+/// server read end readiness). `None` when no transfer is active.
+type CgiEvents = Option<(Readiness, Readiness)>;
+
+/// What a connection is doing right now.
+enum ConnState {
+    /// No request in flight; the script decides what happens next.
+    Idle,
+    /// Accumulating request bytes until the header terminator arrives.
+    Parsing { buf: Aggregate },
+    /// Waiting for the CGI pipe (one transfer at a time per process).
+    CgiWait { path: String },
+    /// This connection owns the CGI pipe: the CGI writes, we read.
+    CgiStream {
+        path: String,
+        sent: u64,
+        received: Aggregate,
+    },
+    /// Streaming the response to the socket, window by window.
+    Sending(SendJob),
+    /// All bytes written; waiting for the wire to acknowledge them.
+    Draining(DrainJob),
+    /// Script exhausted (or the connection died).
+    Done,
+}
+
+/// A response mid-stream.
+struct SendJob {
+    path: String,
+    response: Aggregate,
+    /// Next response slice to send (windows are slice-aligned).
+    next_slice: usize,
+    pin: Option<CacheKey>,
+    cache_hit: bool,
+}
+
+/// A response fully written, not yet fully acknowledged.
+struct DrainJob {
+    path: String,
+    bytes: u64,
+    pin: Option<CacheKey>,
+    cache_hit: bool,
+    captured: Option<Vec<u8>>,
+}
+
+/// One client connection.
+struct Conn {
+    sock: Fd,
+    state: ConnState,
+    /// Paths this client will request, in order (closed loop: the next
+    /// one is issued as soon as the previous response completes).
+    script: VecDeque<String>,
+}
+
+/// The readiness-driven server. See the module docs for the shape.
+pub struct EventLoopServer {
+    kernel: Kernel,
+    pid: Pid,
+    conns: Vec<Conn>,
+    cgi: Option<CgiProcess>,
+    /// Connection currently owning the CGI pipe, if any.
+    cgi_owner: Option<usize>,
+    /// Connections waiting their turn on the pipe.
+    cgi_queue: VecDeque<usize>,
+    cfg: EventLoopConfig,
+    stats: LoopStats,
+    requests: Vec<CompletedRequest>,
+}
+
+/// Requests whose path starts with this prefix route to the CGI
+/// process; everything else is a static file lookup.
+pub const CGI_PREFIX: &str = "/cgi-bin/";
+
+impl EventLoopServer {
+    /// Builds a server multiplexing one nonblocking socket per script.
+    /// `scripts[i]` is the request sequence client `i` issues
+    /// closed-loop; files must already exist in the kernel (CGI paths
+    /// — anything under [`CGI_PREFIX`] — need `cgi`).
+    pub fn new(
+        mut kernel: Kernel,
+        pid: Pid,
+        scripts: Vec<Vec<String>>,
+        cgi: Option<CgiProcess>,
+        cfg: EventLoopConfig,
+    ) -> Self {
+        let conns = scripts
+            .into_iter()
+            .map(|script| {
+                let sock = kernel.socket_create(
+                    pid,
+                    BufferMode::ZeroCopy,
+                    kernel.cost.mss,
+                    kernel.cost.tss,
+                );
+                kernel
+                    .set_nonblocking(pid, sock, true)
+                    .expect("fresh socket");
+                Conn {
+                    sock,
+                    state: ConnState::Idle,
+                    script: script.into(),
+                }
+            })
+            .collect();
+        EventLoopServer {
+            kernel,
+            pid,
+            conns,
+            cgi,
+            cgi_owner: None,
+            cgi_queue: VecDeque::new(),
+            cfg,
+            stats: LoopStats::default(),
+            requests: Vec::new(),
+        }
+    }
+
+    /// The kernel (checksum-cache state, metrics) — primarily for the
+    /// equivalence suite.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Mutable kernel access (tests inject faults: peer closes,
+    /// descriptor hang-ups).
+    pub fn kernel_mut(&mut self) -> &mut Kernel {
+        &mut self.kernel
+    }
+
+    /// A connection's socket descriptor (tests drive peer behaviour).
+    pub fn sock(&self, conn: usize) -> Fd {
+        self.conns[conn].sock
+    }
+
+    /// Runs the loop until every script is exhausted, returning the
+    /// report and the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`EventLoopConfig::max_ticks`] elapses first — a
+    /// stuck state machine, by construction a bug.
+    pub fn run(mut self) -> (LoopReport, Kernel) {
+        while !self.done() {
+            self.tick();
+            assert!(
+                self.stats.ticks <= self.cfg.max_ticks,
+                "event loop stuck after {} ticks ({} completed, {} failed)",
+                self.stats.ticks,
+                self.stats.completed,
+                self.stats.failed,
+            );
+        }
+        (
+            LoopReport {
+                stats: self.stats,
+                requests: self.requests,
+            },
+            self.kernel,
+        )
+    }
+
+    fn done(&self) -> bool {
+        self.conns
+            .iter()
+            .all(|c| matches!(c.state, ConnState::Done))
+    }
+
+    /// One event-loop iteration: inject, drain, poll once, dispatch.
+    pub fn tick(&mut self) {
+        self.stats.ticks += 1;
+        self.inject_requests();
+        self.drain_wires();
+        let (server_events, cgi_events) = self.poll();
+        self.dispatch(&server_events, cgi_events);
+        let inflight = self
+            .conns
+            .iter()
+            .filter(|c| !matches!(c.state, ConnState::Idle | ConnState::Done))
+            .count();
+        self.stats.max_inflight = self.stats.max_inflight.max(inflight);
+    }
+
+    /// Closed-loop clients: an idle connection with script left issues
+    /// its next request (the harness playing the remote peer).
+    fn inject_requests(&mut self) {
+        let pool = self.kernel.process(self.pid).pool().clone();
+        for i in 0..self.conns.len() {
+            if !matches!(self.conns[i].state, ConnState::Idle) {
+                continue;
+            }
+            let Some(path) = self.conns[i].script.pop_front() else {
+                self.conns[i].state = ConnState::Done;
+                continue;
+            };
+            let req = crate::message::request_bytes(&path, true);
+            let agg = Aggregate::from_bytes(&pool, &req);
+            match self.kernel.socket_deliver(self.pid, self.conns[i].sock, agg) {
+                Ok(_) => {
+                    self.conns[i].state = ConnState::Parsing {
+                        buf: Aggregate::empty(),
+                    };
+                }
+                // The peer hung up between requests: this client's
+                // remaining script is unreachable — fail it, don't
+                // panic the server.
+                Err(_) => self.fail_conn(i, None),
+            }
+        }
+    }
+
+    /// The simulated wire acknowledges up to `drain_per_tick` bytes per
+    /// connection, freeing send-buffer space (and completing drains). A
+    /// drain error means the peer is gone — nothing will ever ACK the
+    /// in-flight bytes, so the response fails rather than "completing"
+    /// against a dead peer.
+    fn drain_wires(&mut self) {
+        for i in 0..self.conns.len() {
+            if !matches!(
+                self.conns[i].state,
+                ConnState::Sending(_) | ConnState::Draining(_)
+            ) {
+                continue;
+            }
+            let sock = self.conns[i].sock;
+            if self
+                .kernel
+                .socket_drain(self.pid, sock, self.cfg.drain_per_tick)
+                .is_err()
+            {
+                self.fail_in_flight(i);
+                continue;
+            }
+            if matches!(self.conns[i].state, ConnState::Draining(_))
+                && self.kernel.socket_unacked(self.pid, sock) == Ok(0)
+            {
+                let state = std::mem::replace(&mut self.conns[i].state, ConnState::Idle);
+                let ConnState::Draining(job) = state else {
+                    unreachable!("matched Draining above");
+                };
+                self.finish_request(i, job);
+            }
+        }
+    }
+
+    /// Fails a connection whose response was mid-stream or mid-drain,
+    /// releasing the transmission pin it held.
+    fn fail_in_flight(&mut self, i: usize) {
+        let state = std::mem::replace(&mut self.conns[i].state, ConnState::Done);
+        let pin = match state {
+            ConnState::Sending(job) => job.pin,
+            ConnState::Draining(job) => job.pin,
+            _ => None,
+        };
+        self.fail_conn(i, pin);
+    }
+
+    /// One `iol_poll` over the server's interest set, plus (when a CGI
+    /// transfer is active) the CGI process's own poll of its write end
+    /// — each protection domain runs its own event loop.
+    fn poll(&mut self) -> (ServerEvents, CgiEvents) {
+        let mut entries = Vec::new();
+        let mut owners = Vec::new();
+        for (i, conn) in self.conns.iter().enumerate() {
+            let interest = match &conn.state {
+                ConnState::Parsing { .. } => Some(Interest::Readable),
+                ConnState::Sending(_) => Some(Interest::Writable),
+                _ => None,
+            };
+            if let Some(interest) = interest {
+                entries.push(PollFd {
+                    fd: conn.sock,
+                    interest,
+                });
+                owners.push(i);
+            }
+        }
+        let mut rfd_ready = Readiness::PENDING;
+        let cgi_active = self.cgi_owner.is_some();
+        if let (true, Some(cgi)) = (cgi_active, &self.cgi) {
+            entries.push(PollFd::readable(cgi.server_read_fd()));
+        }
+        let mut server_events = Vec::with_capacity(owners.len());
+        if !entries.is_empty() {
+            let (events, out) = self
+                .kernel
+                .iol_poll(self.pid, &entries)
+                .expect("poll is total");
+            self.stats.polls += 1;
+            self.stats.poll_entries += entries.len() as u64;
+            self.stats.cpu += out.charge.time;
+            if cgi_active {
+                rfd_ready = *events.last().expect("rfd entry present");
+            }
+            server_events = owners.into_iter().zip(events).collect();
+        }
+        // The CGI process polls its own write end.
+        let cgi_events = if cgi_active {
+            let cgi = self.cgi.as_ref().expect("owner implies cgi");
+            let (wfd, cgi_pid) = (cgi.write_fd(), cgi.pid);
+            let (events, out) = self
+                .kernel
+                .iol_poll(cgi_pid, &[PollFd::writable(wfd)])
+                .expect("poll is total");
+            self.stats.polls += 1;
+            self.stats.poll_entries += 1;
+            self.stats.cpu += out.charge.time;
+            Some((events[0], rfd_ready))
+        } else {
+            None
+        };
+        (server_events, cgi_events)
+    }
+
+    fn dispatch(&mut self, server_events: &ServerEvents, cgi_events: CgiEvents) {
+        for &(i, ready) in server_events {
+            match &self.conns[i].state {
+                ConnState::Parsing { .. } => self.advance_parse(i, ready),
+                ConnState::Sending(_) => self.advance_send(i, ready),
+                // The state may have changed since the poll (e.g. a
+                // fault injected by a test); skip stale events.
+                _ => {}
+            }
+        }
+        if let Some((wfd_ready, rfd_ready)) = cgi_events {
+            self.advance_cgi(wfd_ready, rfd_ready);
+        }
+    }
+
+    /// Parsing: read available request bytes, look for the header
+    /// terminator, then route (static open vs CGI queue).
+    fn advance_parse(&mut self, i: usize, ready: Readiness) {
+        if ready.eof || ready.epipe {
+            // Peer hung up before completing its request.
+            self.fail_conn(i, None);
+            return;
+        }
+        if !ready.readable {
+            return;
+        }
+        let sock = self.conns[i].sock;
+        let chunk = match self.kernel.iol_read_fd(self.pid, sock, u64::MAX) {
+            Ok((chunk, out)) => {
+                self.stats.cpu += out.charge.time;
+                chunk
+            }
+            Err(IolError::WouldBlock { outcome }) => {
+                self.stats.blocked_io += 1;
+                self.stats.cpu += outcome.charge.time;
+                return;
+            }
+            Err(_) => {
+                self.fail_conn(i, None);
+                return;
+            }
+        };
+        let ConnState::Parsing { buf } = &mut self.conns[i].state else {
+            unreachable!("advance_parse is only called while Parsing");
+        };
+        buf.append(&chunk);
+        if !header_complete(buf) {
+            return;
+        }
+        // Request parse + per-request bookkeeping + the IOL API's extra
+        // (the serve_static cost structure).
+        let cost = &self.kernel.cost;
+        self.stats.cpu += Charge::us(
+            cost.http_parse_us + cost.server_fixed_us + cost.iol_request_extra_us,
+        )
+        .time;
+        let parsed = parse_request_agg(buf);
+        match parsed {
+            Some(req) if req.path.starts_with(CGI_PREFIX) && self.cgi.is_some() => {
+                // CGI dispatch: forward + wake the CGI process.
+                let cost = &self.kernel.cost;
+                self.stats.cpu +=
+                    (Charge::us(cost.cgi_dispatch_us) + cost.context_switches(2)).time;
+                self.kernel.metrics.context_switches += 2;
+                if self.cgi_owner.is_none() {
+                    self.cgi_owner = Some(i);
+                    self.conns[i].state = ConnState::CgiStream {
+                        path: req.path,
+                        sent: 0,
+                        received: Aggregate::empty(),
+                    };
+                } else {
+                    self.cgi_queue.push_back(i);
+                    self.conns[i].state = ConnState::CgiWait { path: req.path };
+                }
+            }
+            Some(req) => self.open_static(i, req.path),
+            // Malformed request: a 404/400-style short response.
+            None => self.send_not_found(i, String::from("<bad-request>")),
+        }
+    }
+
+    /// `header ++ body` by reference — the response framing every
+    /// route shares (and `serve_static`/`cgi` build identically, which
+    /// the equivalence property depends on).
+    fn build_response(&mut self, body: &Aggregate) -> Aggregate {
+        let header = response_header(body.len(), true);
+        let mut response =
+            Aggregate::from_bytes(self.kernel.process(self.pid).pool(), &header);
+        response.append(body);
+        response
+    }
+
+    /// Queues the short 404-style response (missing file, bad request).
+    fn send_not_found(&mut self, i: usize, path: String) {
+        let pool = self.kernel.process(self.pid).pool().clone();
+        let response = Aggregate::from_bytes(&pool, &not_found());
+        self.start_send(i, path, response, None, false);
+    }
+
+    /// Static route: open by path, snapshot-read the document, build
+    /// `header ++ body` by reference, pin the cache entry for the
+    /// transmission, and start streaming.
+    fn open_static(&mut self, i: usize, path: String) {
+        let (file_fd, oout) = match self.kernel.open(self.pid, &path) {
+            Ok(v) => v,
+            Err(_) => {
+                self.send_not_found(i, path);
+                return;
+            }
+        };
+        self.stats.cpu += oout.charge.time;
+        let len = self.kernel.fd_len(self.pid, file_fd).expect("open file");
+        let file = self.kernel.fd_file(self.pid, file_fd).expect("open file");
+        let (body, rout) = self
+            .kernel
+            .iol_pread(self.pid, file_fd, 0, len)
+            .expect("document read");
+        self.stats.cpu += rout.charge.time;
+        let cache_hit = rout.cache_hit;
+        self.kernel
+            .close_fd(self.pid, file_fd)
+            .expect("close after snapshot");
+        let response = self.build_response(&body);
+        // The network references the cached entry until the response
+        // drains (§3.7) — same pin lifecycle as serve_static.
+        let key = CacheKey::whole(file);
+        self.kernel.cache.pin(&key);
+        self.start_send(i, path, response, Some(key), cache_hit);
+    }
+
+    fn start_send(
+        &mut self,
+        i: usize,
+        path: String,
+        response: Aggregate,
+        pin: Option<CacheKey>,
+        cache_hit: bool,
+    ) {
+        self.conns[i].state = ConnState::Sending(SendJob {
+            path,
+            response,
+            next_slice: 0,
+            pin,
+            cache_hit,
+        });
+    }
+
+    /// Sending: write as many *whole response slices* as fit in the
+    /// send buffer. Never splitting a slice keeps the checksum-cache
+    /// keys identical to a whole-response write; a slice is at most one
+    /// chunk (≤ Tss), so a fully drained buffer always fits the next
+    /// one — progress is guaranteed without ever seeing `WouldBlock`.
+    fn advance_send(&mut self, i: usize, ready: Readiness) {
+        if ready.epipe {
+            // The peer closed mid-response: fail this request.
+            let state = std::mem::replace(&mut self.conns[i].state, ConnState::Done);
+            let ConnState::Sending(job) = state else {
+                unreachable!("advance_send is only called while Sending");
+            };
+            self.fail_conn(i, job.pin);
+            return;
+        }
+        if !ready.writable {
+            return;
+        }
+        let sock = self.conns[i].sock;
+        let space = self.kernel.socket_space(self.pid, sock).expect("open socket");
+        let ConnState::Sending(job) = &mut self.conns[i].state else {
+            unreachable!("advance_send is only called while Sending");
+        };
+        let mut window = Aggregate::empty();
+        let mut take = 0usize;
+        while job.next_slice + take < job.response.num_slices() {
+            let s = job.response.slice_at(job.next_slice + take);
+            if window.len() + s.len() as u64 > space {
+                break;
+            }
+            window.append_slice(s.clone());
+            take += 1;
+        }
+        if take == 0 {
+            // Writable, but not by a whole slice yet: let the wire
+            // drain further. No syscall was spent — no busy-spin.
+            return;
+        }
+        match self.kernel.iol_write_fd(self.pid, sock, &window) {
+            Ok((_, out)) => {
+                let send = out.net.expect("socket writes carry SendOutcome");
+                let cost = &self.kernel.cost;
+                self.stats.cpu += (out.charge
+                    + cost.wire_checksum(send.csum_bytes_computed)
+                    + cost.packets(send.segments))
+                .time;
+            }
+            Err(IolError::WouldBlock { outcome } | IolError::ShortIo { outcome, .. }) => {
+                // Cannot happen: the window was sized to the space the
+                // kernel reported. Counted so the suite can prove it.
+                self.stats.blocked_io += 1;
+                self.stats.cpu += outcome.charge.time;
+                return;
+            }
+            Err(_) => {
+                let state = std::mem::replace(&mut self.conns[i].state, ConnState::Done);
+                let ConnState::Sending(job) = state else {
+                    unreachable!("still Sending");
+                };
+                self.fail_conn(i, job.pin);
+                return;
+            }
+        }
+        let ConnState::Sending(job) = &mut self.conns[i].state else {
+            unreachable!("still Sending");
+        };
+        job.next_slice += take;
+        if job.next_slice == job.response.num_slices() {
+            let state = std::mem::replace(&mut self.conns[i].state, ConnState::Done);
+            let ConnState::Sending(job) = state else {
+                unreachable!("still Sending");
+            };
+            let captured = self
+                .cfg
+                .capture_responses
+                .then(|| job.response.to_vec());
+            self.conns[i].state = ConnState::Draining(DrainJob {
+                path: job.path,
+                bytes: job.response.len(),
+                pin: job.pin,
+                cache_hit: job.cache_hit,
+                captured,
+            });
+        }
+    }
+
+    /// The active CGI transfer: the CGI process writes its document to
+    /// the pipe when writable; the server drains the pipe when
+    /// readable; a dead peer fails the request and hands the pipe to
+    /// the next waiter.
+    fn advance_cgi(&mut self, wfd_ready: Readiness, rfd_ready: Readiness) {
+        let Some(owner) = self.cgi_owner else {
+            return;
+        };
+        let cgi = self.cgi.as_ref().expect("owner implies cgi");
+        let (cgi_pid, wfd, rfd) = (cgi.pid, cgi.write_fd(), cgi.server_read_fd());
+        let doc_len = cgi.document().len();
+        if rfd_ready.invalid || rfd_ready.eof {
+            // The server-side read end vanished (or the pipe closed
+            // under us): the transfer can never complete.
+            self.fail_cgi_owner();
+            return;
+        }
+        // Writer side (the CGI process's own loop).
+        let ConnState::CgiStream { sent, .. } = &self.conns[owner].state else {
+            unreachable!("cgi_owner always points at a CgiStream connection");
+        };
+        let sent_now = *sent;
+        if wfd_ready.epipe && sent_now < doc_len {
+            // The server's read end is gone: EPIPE, request failed.
+            self.fail_cgi_owner();
+            return;
+        }
+        if wfd_ready.writable && sent_now < doc_len {
+            let cgi = self.cgi.as_ref().expect("owner implies cgi");
+            let remaining = cgi
+                .document()
+                .range(sent_now, doc_len - sent_now)
+                .expect("in range");
+            match short_ok(self.kernel.iol_write_fd(cgi_pid, wfd, &remaining)) {
+                Ok((accepted, out)) => {
+                    self.stats.cpu += out.charge.time;
+                    let ConnState::CgiStream { sent, .. } = &mut self.conns[owner].state
+                    else {
+                        unreachable!("still CgiStream");
+                    };
+                    *sent += accepted;
+                }
+                Err(IolError::WouldBlock { outcome }) => {
+                    self.stats.blocked_io += 1;
+                    self.stats.cpu += outcome.charge.time;
+                }
+                Err(_) => {
+                    self.fail_cgi_owner();
+                    return;
+                }
+            }
+        }
+        // Reader side (the server's loop).
+        if rfd_ready.readable {
+            match self.kernel.iol_read_fd(self.pid, rfd, u64::MAX) {
+                Ok((chunk, out)) => {
+                    self.stats.cpu += out.charge.time;
+                    let ConnState::CgiStream { received, .. } = &mut self.conns[owner].state
+                    else {
+                        unreachable!("still CgiStream");
+                    };
+                    received.append(&chunk);
+                }
+                Err(IolError::WouldBlock { outcome }) => {
+                    self.stats.blocked_io += 1;
+                    self.stats.cpu += outcome.charge.time;
+                }
+                Err(_) => {
+                    self.fail_cgi_owner();
+                    return;
+                }
+            }
+        }
+        // Transfer complete: build the response and release the pipe.
+        let ConnState::CgiStream { received, .. } = &self.conns[owner].state else {
+            unreachable!("still CgiStream");
+        };
+        if received.len() == doc_len {
+            let state = std::mem::replace(&mut self.conns[owner].state, ConnState::Done);
+            let ConnState::CgiStream { path, received, .. } = state else {
+                unreachable!("still CgiStream");
+            };
+            let response = self.build_response(&received);
+            self.start_send(owner, path, response, None, false);
+            self.release_cgi();
+        }
+    }
+
+    /// The CGI transfer's peer died: fail the owning request, hand the
+    /// pipe to the next waiter.
+    fn fail_cgi_owner(&mut self) {
+        let owner = self.cgi_owner.expect("called with an owner");
+        self.fail_conn(owner, None);
+        self.release_cgi();
+    }
+
+    /// Hands CGI-pipe ownership to the next queued connection.
+    fn release_cgi(&mut self) {
+        self.cgi_owner = None;
+        if let Some(next) = self.cgi_queue.pop_front() {
+            let state = std::mem::replace(&mut self.conns[next].state, ConnState::Done);
+            let ConnState::CgiWait { path } = state else {
+                unreachable!("cgi_queue only holds CgiWait connections");
+            };
+            self.cgi_owner = Some(next);
+            self.conns[next].state = ConnState::CgiStream {
+                path,
+                sent: 0,
+                received: Aggregate::empty(),
+            };
+        }
+    }
+
+    /// Records a completed request and returns the connection to the
+    /// closed loop.
+    fn finish_request(&mut self, i: usize, job: DrainJob) {
+        if let Some(key) = job.pin {
+            self.kernel.cache.unpin(&key);
+        }
+        self.stats.completed += 1;
+        self.stats.response_bytes += job.bytes;
+        self.stats.cache_hits += u64::from(job.cache_hit);
+        self.requests.push(CompletedRequest {
+            conn: i,
+            path: job.path,
+            bytes: job.bytes,
+            cache_hit: job.cache_hit,
+            response: job.captured,
+        });
+        self.conns[i].state = ConnState::Idle;
+    }
+
+    /// Fails the in-flight request on `i` and retires the connection
+    /// (the peer is gone; the rest of its script is unreachable).
+    fn fail_conn(&mut self, i: usize, pin: Option<CacheKey>) {
+        if let Some(key) = pin {
+            self.kernel.cache.unpin(&key);
+        }
+        self.stats.failed += 1;
+        self.conns[i].state = ConnState::Done;
+    }
+}
+
+/// Whether the aggregate contains the `\r\n\r\n` header terminator
+/// (scanned run-by-run; state carries across chunk boundaries).
+fn header_complete(buf: &Aggregate) -> bool {
+    let mut progress = 0u8;
+    for chunk in buf.chunks() {
+        for &b in chunk {
+            progress = match (progress, b) {
+                (0 | 2, b'\r') => progress + 1,
+                (1, b'\n') => 2,
+                (3, b'\n') => return true,
+                (_, b'\r') => 1,
+                _ => 0,
+            };
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iolite_core::CostModel;
+    use iolite_fs::Policy;
+    use iolite_ipc::PipeMode;
+
+    fn rig(files: &[(&str, u64)]) -> (Kernel, Pid) {
+        let mut k = Kernel::with_policy(CostModel::pentium_ii_333(), Policy::Gds);
+        let pid = k.spawn("server");
+        for (name, bytes) in files {
+            k.create_synthetic_file(name, *bytes, 7);
+        }
+        (k, pid)
+    }
+
+    #[test]
+    fn terminator_detection_spans_chunk_boundaries() {
+        use iolite_buf::{Acl, BufferPool, PoolId};
+        for chunk in [1usize, 2, 3, 7, 4096] {
+            let pool = BufferPool::new(PoolId(1), Acl::kernel_only(), chunk);
+            let full = Aggregate::from_bytes(&pool, b"GET / HTTP/1.1\r\nH: v\r\n\r\n");
+            assert!(header_complete(&full), "chunk {chunk}");
+            let partial = Aggregate::from_bytes(&pool, b"GET / HTTP/1.1\r\nH: v\r\n");
+            assert!(!header_complete(&partial), "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn serves_a_static_script_to_completion() {
+        let (k, pid) = rig(&[("/a", 100_000), ("/b", 3_000)]);
+        let scripts = vec![
+            vec!["/a".to_string(), "/b".to_string()],
+            vec!["/b".to_string(), "/a".to_string(), "/missing".to_string()],
+        ];
+        let cfg = EventLoopConfig {
+            capture_responses: true,
+            ..EventLoopConfig::default()
+        };
+        let server = EventLoopServer::new(k, pid, scripts, None, cfg);
+        let (report, kernel) = server.run();
+        assert_eq!(report.stats.completed, 5);
+        assert_eq!(report.stats.failed, 0);
+        assert_eq!(report.stats.blocked_io, 0, "readiness-driven, no spin");
+        // Every response carries the right document bytes.
+        for req in &report.requests {
+            let body = req.response.as_ref().expect("captured");
+            if req.path == "/missing" {
+                assert!(body.starts_with(b"HTTP/1.1 404"));
+                continue;
+            }
+            let file = kernel.store.lookup(&req.path).expect("exists");
+            let flen = kernel.store.len(file).unwrap();
+            let expected = kernel.store.read(file, 0, flen).unwrap();
+            assert!(body.ends_with(&expected), "{} body intact", req.path);
+            assert_eq!(
+                body.len() as u64,
+                response_header(expected.len() as u64, true).len() as u64
+                    + expected.len() as u64
+            );
+        }
+        // Pins released once drained: the corpus is evictable again.
+        for path in ["/a", "/b"] {
+            let file = kernel.store.lookup(path).unwrap();
+            assert_eq!(kernel.cache.pins(&CacheKey::whole(file)), 0);
+        }
+    }
+
+    #[test]
+    fn multiplexes_while_responses_drain() {
+        // 100KB responses, 8KB acked per tick: every connection spends
+        // many ticks mid-stream, so all must be in flight at once.
+        let (k, pid) = rig(&[("/doc", 100_000)]);
+        let scripts = vec![vec!["/doc".to_string()]; 32];
+        let cfg = EventLoopConfig {
+            drain_per_tick: 8 * 1024,
+            ..EventLoopConfig::default()
+        };
+        let (report, _) = EventLoopServer::new(k, pid, scripts, None, cfg).run();
+        assert_eq!(report.stats.completed, 32);
+        assert_eq!(report.stats.blocked_io, 0);
+        assert_eq!(report.stats.max_inflight, 32, "true multiplexing");
+        // 31 of 32 requests ride the cache (and the checksum cache).
+        assert_eq!(report.stats.cache_hits, 31);
+    }
+
+    #[test]
+    fn cgi_requests_flow_through_the_pipe_without_spinning() {
+        let (mut k, pid) = rig(&[("/static", 20_000)]);
+        // 150KB document > the 64KB pipe: several fill/drain rounds.
+        let cgi = CgiProcess::new(&mut k, pid, 150_000, PipeMode::ZeroCopy);
+        let expected = cgi.document().to_vec();
+        let scripts = vec![
+            vec![format!("{CGI_PREFIX}doc")],
+            vec!["/static".to_string(), format!("{CGI_PREFIX}doc")],
+            vec![format!("{CGI_PREFIX}doc")],
+        ];
+        let cfg = EventLoopConfig {
+            capture_responses: true,
+            ..EventLoopConfig::default()
+        };
+        let (report, _) = EventLoopServer::new(k, pid, scripts, Some(cgi), cfg).run();
+        assert_eq!(report.stats.completed, 4);
+        assert_eq!(report.stats.failed, 0);
+        assert_eq!(report.stats.blocked_io, 0, "CGI included: no busy-spin");
+        for req in report.requests.iter().filter(|r| r.path.starts_with(CGI_PREFIX)) {
+            let body = req.response.as_ref().expect("captured");
+            assert!(body.ends_with(&expected), "CGI bytes intact");
+        }
+    }
+
+    #[test]
+    fn peer_close_while_draining_fails_the_request() {
+        let (k, pid) = rig(&[("/doc", 5_000)]);
+        let scripts = vec![vec!["/doc".to_string()]];
+        let cfg = EventLoopConfig {
+            drain_per_tick: 1024,
+            ..EventLoopConfig::default()
+        };
+        let mut server = EventLoopServer::new(k, pid, scripts, None, cfg);
+        // Tick 1 parses and opens; tick 2 writes the whole (small)
+        // response, leaving the connection Draining.
+        for _ in 0..2 {
+            server.tick();
+        }
+        let sock = server.sock(0);
+        server
+            .kernel_mut()
+            .socket_peer_close(pid, sock)
+            .expect("open socket");
+        let (report, kernel) = server.run();
+        // A dead peer never ACKs: the drain can't complete, so the
+        // request fails — it must not be reported as served.
+        assert_eq!(report.stats.completed, 0);
+        assert_eq!(report.stats.failed, 1);
+        let file = kernel.store.lookup("/doc").unwrap();
+        assert_eq!(kernel.cache.pins(&CacheKey::whole(file)), 0);
+    }
+
+    #[test]
+    fn peer_close_while_idle_fails_cleanly_at_injection() {
+        let (k, pid) = rig(&[("/doc", 5_000)]);
+        let scripts = vec![vec!["/doc".to_string()], vec!["/doc".to_string()]];
+        let mut server =
+            EventLoopServer::new(k, pid, scripts, None, EventLoopConfig::default());
+        // Client 0 disconnects before issuing its request: injection
+        // must fail that connection, not panic the server.
+        let sock0 = server.sock(0);
+        server
+            .kernel_mut()
+            .socket_peer_close(pid, sock0)
+            .expect("open socket");
+        let (report, _) = server.run();
+        assert_eq!(report.stats.failed, 1);
+        assert_eq!(report.stats.completed, 1, "the other client is served");
+    }
+
+    #[test]
+    fn peer_close_mid_response_fails_only_that_connection() {
+        let (k, pid) = rig(&[("/doc", 200_000)]);
+        let scripts = vec![vec!["/doc".to_string()]; 2];
+        let cfg = EventLoopConfig {
+            drain_per_tick: 16 * 1024,
+            ..EventLoopConfig::default()
+        };
+        let mut server = EventLoopServer::new(k, pid, scripts, None, cfg);
+        // A few ticks in, client 0 disconnects mid-stream.
+        for _ in 0..3 {
+            server.tick();
+        }
+        let sock0 = server.sock(0);
+        server
+            .kernel_mut()
+            .socket_peer_close(pid, sock0)
+            .expect("open socket");
+        let (report, kernel) = server.run();
+        assert_eq!(report.stats.failed, 1, "the dead peer's request fails");
+        assert_eq!(report.stats.completed, 1, "the other connection finishes");
+        assert_eq!(report.stats.blocked_io, 0);
+        // The failed transmission's pin was released.
+        let file = kernel.store.lookup("/doc").unwrap();
+        assert_eq!(kernel.cache.pins(&CacheKey::whole(file)), 0);
+    }
+}

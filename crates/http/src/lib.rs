@@ -15,15 +15,26 @@
 //! The driver ([`driver::Experiment`]) runs closed-loop clients against
 //! a simulated testbed (CPU, disk, five links) and reports aggregate
 //! bandwidth exactly the way the paper's figures do.
+//!
+//! The event-driven architecture itself lives in [`event_loop`]: a
+//! readiness-driven state machine (parse → open → stream-in-chunks →
+//! drain) multiplexing thousands of nonblocking descriptors through
+//! `Kernel::iol_poll`, byte- and checksum-cache-identical to the
+//! sequential [`server::serve_static`] path (property-checked in
+//! `tests/readiness.rs`).
 
 pub mod cgi;
 pub mod driver;
+pub mod event_loop;
 pub mod message;
 pub mod server;
 pub mod workloads;
 
 pub use cgi::CgiProcess;
 pub use driver::{Experiment, ExperimentConfig, ExperimentResult};
+pub use event_loop::{
+    CompletedRequest, EventLoopConfig, EventLoopServer, LoopReport, LoopStats, CGI_PREFIX,
+};
 pub use message::{parse_request, parse_request_agg, request_bytes, response_header, Request};
 pub use server::{RequestCosts, ServerKind};
 pub use workloads::WorkloadKind;

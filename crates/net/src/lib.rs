@@ -37,7 +37,7 @@ pub use checksum::{combine, internet_checksum, slice_sum};
 pub use cksum_cache::{ChecksumCache, CksumCacheStats};
 pub use filter::{FilterRule, PacketFilter, StreamId};
 pub use mbuf::{Mbuf, MbufChain, MbufData};
-pub use packet::{SegmentHeader, TCP_IP_HEADER_BYTES};
+pub use packet::{SegmentHeader, MAX_SEGMENT_PAYLOAD, TCP_IP_HEADER_BYTES};
 pub use reassembly::{ReassemblyStats, TcpReceiver};
 pub use rx::{RxPath, RxStats};
 pub use tcp::{BufferMode, SendOutcome, TcpConn};

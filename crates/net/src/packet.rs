@@ -6,6 +6,12 @@
 /// Combined IPv4 + TCP header size without options.
 pub const TCP_IP_HEADER_BYTES: usize = 40;
 
+/// Largest payload one segment can carry: the IP total-length field is
+/// 16 bits and covers both headers, so payloads beyond
+/// `65535 - 40 = 65495` cannot be represented. Anything larger must be
+/// segmented by the sender (MSS values are capped here).
+pub const MAX_SEGMENT_PAYLOAD: u16 = u16::MAX - TCP_IP_HEADER_BYTES as u16;
+
 /// The fields of a simplified TCP/IP segment header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SegmentHeader {
@@ -29,11 +35,24 @@ pub struct SegmentHeader {
 
 impl SegmentHeader {
     /// Serializes to the 40 wire bytes (IPv4 header then TCP header).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload_len` exceeds [`MAX_SEGMENT_PAYLOAD`]: the IP
+    /// total-length field would silently wrap and the wire bytes would
+    /// parse back to a different header. Senders cap their MSS at the
+    /// limit, so a violation is a construction bug, not a data error.
     pub fn to_bytes(&self) -> [u8; TCP_IP_HEADER_BYTES] {
+        assert!(
+            self.payload_len <= MAX_SEGMENT_PAYLOAD,
+            "segment payload {} exceeds the IP total-length limit ({})",
+            self.payload_len,
+            MAX_SEGMENT_PAYLOAD,
+        );
         let mut b = [0u8; TCP_IP_HEADER_BYTES];
         // --- IPv4 ---
         b[0] = 0x45; // Version 4, IHL 5.
-        let total_len = (20 + 20 + self.payload_len as u32) as u16;
+        let total_len = TCP_IP_HEADER_BYTES as u16 + self.payload_len;
         b[2..4].copy_from_slice(&total_len.to_be_bytes());
         b[8] = 64; // TTL.
         b[9] = 6; // Protocol: TCP.
@@ -107,5 +126,23 @@ mod tests {
     #[test]
     fn header_is_forty_bytes() {
         assert_eq!(header().to_bytes().len(), 40);
+    }
+
+    #[test]
+    fn max_payload_round_trips_exactly() {
+        // The boundary case that used to wrap the u16 total length.
+        let mut h = header();
+        h.payload_len = MAX_SEGMENT_PAYLOAD;
+        let parsed = SegmentHeader::parse(&h.to_bytes()).unwrap();
+        assert_eq!(parsed.payload_len, MAX_SEGMENT_PAYLOAD);
+        assert_eq!(parsed, h);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the IP total-length limit")]
+    fn oversize_payload_is_rejected_not_wrapped() {
+        let mut h = header();
+        h.payload_len = MAX_SEGMENT_PAYLOAD + 1;
+        let _ = h.to_bytes();
     }
 }

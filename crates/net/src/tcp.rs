@@ -68,10 +68,29 @@ pub struct TcpConn {
     total_payload: u64,
 }
 
+/// Client ports span the non-reserved range 1024..=65535.
+const CLIENT_PORT_SPAN: u64 = 65536 - 1024;
+
 impl TcpConn {
     /// Creates a connection in the given buffering mode.
+    ///
+    /// The wire 4-tuple is derived from the *full* 64-bit `id`: the id
+    /// is factored as `id = q * CLIENT_PORT_SPAN + r`, with `r` picking
+    /// the client port and `q` the client address, so any two distinct
+    /// ids below `CLIENT_PORT_SPAN << 32` (≈ 2⁴⁸ connections — far past
+    /// any run) get distinct `(src_ip, dst_ip, src_port, dst_port)`
+    /// tuples. (The previous `id & 0xFF` / `id % 60000` derivation
+    /// collided from a few hundred concurrent connections up, aliasing
+    /// demux filter rules and receive-path streams at `serve_scale`
+    /// connection counts.)
+    ///
+    /// `mss` is capped at [`MAX_SEGMENT_PAYLOAD`] so every segment's
+    /// length fits the IP total-length field.
+    ///
+    /// [`MAX_SEGMENT_PAYLOAD`]: crate::packet::MAX_SEGMENT_PAYLOAD
     pub fn new(id: u64, mode: BufferMode, mss: usize, tss: usize) -> Self {
         assert!(mss > 0 && tss > 0);
+        let mss = mss.min(crate::packet::MAX_SEGMENT_PAYLOAD as usize);
         TcpConn {
             id,
             mode,
@@ -79,13 +98,19 @@ impl TcpConn {
             tss,
             seq: 1,
             src_ip: 0x0A00_0001,
-            dst_ip: 0x0A00_0100 + (id as u32 & 0xFF),
+            dst_ip: 0x0B00_0000u32.wrapping_add((id / CLIENT_PORT_SPAN) as u32),
             src_port: 80,
-            dst_port: 1024 + (id % 60000) as u16,
+            dst_port: 1024 + (id % CLIENT_PORT_SPAN) as u16,
             established: false,
             total_segments: 0,
             total_payload: 0,
         }
+    }
+
+    /// The connection's wire 4-tuple:
+    /// `(src_ip, dst_ip, src_port, dst_port)`.
+    pub fn four_tuple(&self) -> (u32, u32, u16, u16) {
+        (self.src_ip, self.dst_ip, self.src_port, self.dst_port)
     }
 
     /// The connection id.
@@ -339,6 +364,43 @@ mod tests {
             .map(|ch| ch.owned_bytes())
             .sum();
         assert_eq!(owned2, 4 * 40 + 5000);
+    }
+
+    #[test]
+    fn four_tuples_are_unique_per_connection_id() {
+        use std::collections::HashSet;
+        // Regression: `id & 0xFF` / `id % 60000` collided at serve_scale
+        // connection counts — e.g. ids 1 and 480001 shared a 4-tuple
+        // (480000 = lcm(256, 60000)).
+        let tuple = |id| TcpConn::new(id, BufferMode::ZeroCopy, 1460, 64 * 1024).four_tuple();
+        assert_ne!(tuple(1), tuple(480_001));
+        // Every id in a serve_scale-sized (and beyond) range is unique.
+        let mut seen = HashSet::new();
+        for id in 0..100_000u64 {
+            assert!(seen.insert(tuple(id)), "4-tuple collision at id {id}");
+        }
+        // Ids beyond the port span roll over into fresh client addresses.
+        assert_ne!(tuple(7), tuple(7 + CLIENT_PORT_SPAN));
+        assert_ne!(tuple(7), tuple(7 + 2 * CLIENT_PORT_SPAN));
+    }
+
+    #[test]
+    fn oversize_mss_is_capped_to_a_representable_segment() {
+        use crate::packet::MAX_SEGMENT_PAYLOAD;
+        let mut c = TcpConn::new(1, BufferMode::ZeroCopy, usize::MAX, 64 * 1024);
+        // A payload larger than the IP total-length limit must be split
+        // into representable segments, and each must round-trip.
+        let data = vec![0xA5u8; MAX_SEGMENT_PAYLOAD as usize + 4096];
+        let chains = c.build_segments(&agg(&data));
+        assert_eq!(chains.len(), 2);
+        let mut reassembled = Vec::new();
+        for chain in &chains {
+            let wire = chain.to_vec();
+            let h = SegmentHeader::parse(&wire).unwrap();
+            assert_eq!(h.payload_len as usize, wire.len() - 40);
+            reassembled.extend_from_slice(&wire[40..]);
+        }
+        assert_eq!(reassembled, data);
     }
 
     #[test]

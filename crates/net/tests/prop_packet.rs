@@ -1,0 +1,43 @@
+//! Property tests for segment-header wire encoding: serialize→parse
+//! must be the identity for every representable header (regression for
+//! the silent u16 wrap of the IP total-length field on payloads above
+//! [`MAX_SEGMENT_PAYLOAD`], which corrupted round-trips).
+
+use iolite_net::packet::MAX_SEGMENT_PAYLOAD;
+use iolite_net::{SegmentHeader, TCP_IP_HEADER_BYTES};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every representable header round-trips exactly — including the
+    /// payload sizes near the 16-bit total-length limit that used to
+    /// wrap (`20 + 20 + payload_len` overflowing u16).
+    #[test]
+    fn serialize_parse_is_identity(
+        src_ip in any::<u32>(),
+        dst_ip in any::<u32>(),
+        src_port in any::<u16>(),
+        dst_port in any::<u16>(),
+        seq in any::<u32>(),
+        ack in any::<u32>(),
+        flags in any::<u8>(),
+        payload_len in 0u16..MAX_SEGMENT_PAYLOAD + 1,
+    ) {
+        let h = SegmentHeader {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            flags,
+            payload_len,
+        };
+        let wire = h.to_bytes();
+        prop_assert_eq!(wire.len(), TCP_IP_HEADER_BYTES);
+        // The total-length field carries headers + payload unwrapped.
+        let total = u16::from_be_bytes([wire[2], wire[3]]);
+        prop_assert_eq!(total as usize, TCP_IP_HEADER_BYTES + payload_len as usize);
+        let parsed = SegmentHeader::parse(&wire).expect("well-formed header parses");
+        prop_assert_eq!(parsed, h);
+    }
+}

@@ -27,8 +27,12 @@ fn main() {
 
         // Two requests: the second shows the steady state (warm
         // mappings, warm checksum cache).
-        let first = cgi.serve(&mut kernel, kind, sock, server);
-        let second = cgi.serve(&mut kernel, kind, sock, server);
+        let first = cgi
+            .serve(&mut kernel, kind, sock, server)
+            .expect("healthy pipe");
+        let second = cgi
+            .serve(&mut kernel, kind, sock, server)
+            .expect("healthy pipe");
 
         println!(
             "=== {} ({:?} pipe), 100KB dynamic document ===",

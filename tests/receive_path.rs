@@ -164,8 +164,12 @@ fn two_cgi_processes_serve_distinct_content_through_one_server() {
     let mut cgi_b = CgiProcess::new(&mut k, server, 7_000, PipeMode::ZeroCopy);
     let sock = k.socket_create(server, BufferMode::ZeroCopy, DEFAULT_MSS, DEFAULT_TSS);
 
-    let ra = cgi_a.serve(&mut k, ServerKind::FlashLite, sock, server);
-    let rb = cgi_b.serve(&mut k, ServerKind::FlashLite, sock, server);
+    let ra = cgi_a
+        .serve(&mut k, ServerKind::FlashLite, sock, server)
+        .expect("healthy pipe");
+    let rb = cgi_b
+        .serve(&mut k, ServerKind::FlashLite, sock, server)
+        .expect("healthy pipe");
     assert!(rb.response_bytes > ra.response_bytes);
     // Still zero copies anywhere.
     assert_eq!(k.metrics.bytes_copied, 0);
