@@ -168,7 +168,7 @@ impl CompilePipeline {
             }
             if sent < agg.len() {
                 kernel.charge(CostCategory::ContextSwitch, kernel.cost.context_switches(2));
-                kernel.metrics.context_switches += 2;
+                kernel.context_switch(2);
             }
         }
         kernel.close_fd(producer, wfd).expect("close stage write end");

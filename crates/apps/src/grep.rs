@@ -172,7 +172,7 @@ pub fn run_cat_grep(
             if sent < data.len() {
                 // Blocked on a full pipe: producer/consumer switch pair.
                 kernel.charge(CostCategory::ContextSwitch, kernel.cost.context_switches(2));
-                kernel.metrics.context_switches += 2;
+                kernel.context_switch(2);
             }
         }
         offset += want;

@@ -126,7 +126,7 @@ pub fn run_permute_wc(
             }
             if sent < agg.len() {
                 kernel.charge(CostCategory::ContextSwitch, kernel.cost.context_switches(2));
-                kernel.metrics.context_switches += 2;
+                kernel.context_switch(2);
             }
         }
         stage.clear();

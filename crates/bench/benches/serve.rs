@@ -36,12 +36,12 @@ fn bench_serve_static(c: &mut Criterion) {
             let sock = kernel.socket_create(pid, kind.buffer_mode(), DEFAULT_MSS, DEFAULT_TSS);
             // Warm everything.
             serve_static(&mut kernel, kind, sock, pid, file_fd);
-            kernel.cache.unpin(&CacheKey::whole(file));
+            kernel.cache_unpin(CacheKey::whole(file));
             g.bench_function(kind.label(), |b| {
                 b.iter(|| {
                     let rc = serve_static(&mut kernel, kind, sock, pid, file_fd);
                     if let Some(k) = rc.pin_key {
-                        kernel.cache.unpin(&k);
+                        kernel.cache_unpin(k);
                     }
                     rc.response_bytes
                 })

@@ -137,7 +137,7 @@ impl ScaleRig {
         // The oldest in-flight transmission drains: release its pin.
         if self.inflight.len() > PIN_DEPTH {
             let key = self.inflight.pop_front().expect("non-empty");
-            self.kernel.cache.unpin(&key);
+            self.kernel.cache_unpin(key);
         }
         self.served += 1;
         // Budget shrink under load: competing socket-buffer memory

@@ -54,7 +54,9 @@
 pub mod acl;
 pub mod aggregate;
 pub mod cursor;
+pub mod digest;
 pub mod error;
+pub mod fork;
 pub mod ids;
 pub mod pool;
 pub mod reader;
@@ -63,7 +65,9 @@ pub mod slice;
 pub use acl::Acl;
 pub use aggregate::Aggregate;
 pub use cursor::AggCursor;
+pub use digest::{digest_aggregate, Fnv64};
 pub use error::BufError;
+pub use fork::PoolForker;
 pub use ids::{BufferId, ChunkId, DomainId, Generation, PoolId};
 pub use pool::{AllocEvent, BufMut, BufferPool, PoolStats};
 pub use reader::AggReader;

@@ -248,6 +248,38 @@ impl BufferPool {
         inner.free.len()
     }
 
+    /// Deep-forks the pool into an independent allocator for kernel-state
+    /// snapshots (plain `Clone` shares the pool).
+    ///
+    /// Every chunk is twinned through `forker` (same identity, same
+    /// generation, same open-chunk fill offset), so the fork allocates
+    /// exactly like the original. The caller must then rebind all
+    /// state-held aggregates with [`crate::PoolForker::fork_aggregate`]
+    /// so the twins' reference counts reflect the forked state.
+    pub fn fork(&self, forker: &mut crate::PoolForker) -> BufferPool {
+        let inner = self.inner.borrow();
+        let forked = PoolInner {
+            id: inner.id,
+            acl: inner.acl.clone(),
+            chunk_size: inner.chunk_size,
+            next_chunk: inner.next_chunk,
+            open: inner
+                .open
+                .as_ref()
+                .map(|(c, fill)| (forker.fork_chunk(c), *fill)),
+            free: inner.free.iter().map(|c| forker.fork_chunk(c)).collect(),
+            registry: inner
+                .registry
+                .iter()
+                .map(|c| forker.fork_chunk(c))
+                .collect(),
+            stats: inner.stats,
+        };
+        BufferPool {
+            inner: Rc::new(RefCell::new(forked)),
+        }
+    }
+
     /// Releases up to `max_bytes` of drained chunk storage back to the
     /// system (the pageout path of §3.7), returning the bytes released.
     pub fn release_free_chunks(&self, max_bytes: u64) -> u64 {

@@ -38,6 +38,16 @@ impl ChunkState {
         }
     }
 
+    /// An independent copy at a given generation, for pool forking.
+    pub(crate) fn with_generation(id: ChunkId, pool: PoolId, size: usize, generation: u64) -> Self {
+        ChunkState {
+            id,
+            pool,
+            size,
+            generation: Cell::new(generation),
+        }
+    }
+
     pub(crate) fn id(&self) -> ChunkId {
         self.id
     }
@@ -79,6 +89,18 @@ impl BufferInner {
             _chunk: chunk,
         }
     }
+
+    pub(crate) fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    pub(crate) fn meta(&self) -> &BufMeta {
+        &self.meta
+    }
+
+    pub(crate) fn chunk(&self) -> &Rc<ChunkState> {
+        &self._chunk
+    }
 }
 
 /// An immutable view of a contiguous byte range within one IO-Lite
@@ -108,6 +130,16 @@ impl Slice {
     pub(crate) fn whole(inner: Rc<BufferInner>) -> Self {
         let len = inner.bytes.len();
         Slice { inner, off: 0, len }
+    }
+
+    /// Decomposes the slice for pool forking.
+    pub(crate) fn parts(&self) -> (&Rc<BufferInner>, usize, usize) {
+        (&self.inner, self.off, self.len)
+    }
+
+    /// Rebuilds a slice from forked parts.
+    pub(crate) fn from_parts(inner: Rc<BufferInner>, off: usize, len: usize) -> Self {
+        Slice { inner, off, len }
     }
 
     /// The bytes this slice views.

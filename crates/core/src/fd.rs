@@ -14,7 +14,7 @@
 //! by `Kernel::spawn`).
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
 use iolite_fs::FileId;
@@ -165,6 +165,32 @@ impl FdTable {
     pub fn iter(&self) -> impl Iterator<Item = (Fd, FdObject)> + '_ {
         self.entries.iter().map(|(fd, of)| (*fd, of.borrow().object))
     }
+
+    /// Deep-forks the table for a kernel-state snapshot. `shared` maps
+    /// original description identity → forked twin across the *whole*
+    /// registry, so `dup`ed descriptors (possibly in different
+    /// processes) keep sharing one offset after the fork.
+    fn fork(&self, shared: &mut HashMap<usize, OpenFileRef>) -> FdTable {
+        let entries = self
+            .entries
+            .iter()
+            .map(|(fd, desc)| {
+                let key = Rc::as_ptr(desc) as usize;
+                let twin = shared
+                    .entry(key)
+                    .or_insert_with(|| {
+                        let of = desc.borrow();
+                        Rc::new(RefCell::new(OpenFile {
+                            object: of.object,
+                            pos: of.pos,
+                        }))
+                    })
+                    .clone();
+                (*fd, twin)
+            })
+            .collect();
+        FdTable { entries }
+    }
 }
 
 /// Kernel-wide registry of per-process tables.
@@ -196,6 +222,48 @@ impl FdRegistry {
         self.tables
             .values()
             .any(|t| t.iter().any(|(_, obj)| obj == object))
+    }
+
+    /// Deep-forks the registry, preserving description sharing (one
+    /// shared identity map spans every process's table).
+    pub fn fork(&self) -> FdRegistry {
+        let mut shared = HashMap::new();
+        FdRegistry {
+            tables: self
+                .tables
+                .iter()
+                .map(|(pid, t)| (*pid, t.fork(&mut shared)))
+                .collect(),
+        }
+    }
+
+    /// Folds the registry into a stable digest. Shared descriptions are
+    /// identified by an alias index assigned in first-encounter order
+    /// over the (sorted) `(pid, fd)` iteration, so pointer values never
+    /// leak into the hash.
+    pub fn digest(&self, h: &mut iolite_buf::Fnv64) {
+        let mut alias: HashMap<usize, u64> = HashMap::new();
+        h.write_usize(self.tables.len());
+        for (pid, t) in &self.tables {
+            h.write_u32(pid.0);
+            h.write_usize(t.entries.len());
+            for (fd, desc) in &t.entries {
+                h.write_u32(fd.0);
+                let key = Rc::as_ptr(desc) as usize;
+                let next = alias.len() as u64;
+                h.write_u64(*alias.entry(key).or_insert(next));
+                let of = desc.borrow();
+                let (tag, id) = match of.object {
+                    FdObject::File(f) => (0u64, f.0),
+                    FdObject::PipeRead(p) => (1, p.0 as u64),
+                    FdObject::PipeWrite(p) => (2, p.0 as u64),
+                    FdObject::Socket(c) => (3, c.0),
+                };
+                h.write_u64(tag);
+                h.write_u64(id);
+                h.write_u64(of.pos);
+            }
+        }
     }
 }
 

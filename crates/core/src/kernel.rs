@@ -1,238 +1,73 @@
-//! The kernel: composition of all IO-Lite subsystems plus the system
-//! call surface (§3.4, §4).
+//! The imperative shell around the functional core (`crate::pure`).
 //!
-//! Data-plane operations are performed for real (bytes move through the
-//! real buffer, cache, checksum, pipe and socket structures); each call
-//! also returns the simulated CPU [`Charge`] it would cost on the
-//! paper's testbed, and disk operations return their device time
-//! separately so event-driven callers can overlap them.
+//! [`Kernel`] owns a pure [`KernelState`] value plus the three things
+//! the core must never touch: the [`Metrics`] sink, the optional
+//! command [`Journal`], and a reused effect buffer. Every public
+//! syscall-surface method is a thin wrapper with one shape:
 //!
-//! The public I/O surface is **descriptor-based and fallible**: every
-//! I/O object — regular files, both pipe ends, TCP sockets, the stdio
-//! triple — lives behind an [`Fd`] in the calling process's table, and
-//! every operation returns [`IoResult`]. Raw [`FileId`] entry points
-//! remain only as deprecated shims for the cache/bench layers.
+//! 1. clear the effect buffer,
+//! 2. call the state's `op_*` transition with `&mut fx`,
+//! 3. absorb the effects into `metrics` and (when recording) append
+//!    the equivalent [`Command`] to the journal,
+//! 4. return the operation's typed result.
+//!
+//! Because step 2 is the *only* place state changes, folding the
+//! recorded journal through [`crate::pure::replay`] from the same
+//! initial state reproduces both the final
+//! [`KernelState::state_hash`] and the metrics — deterministic replay.
+//!
+//! The public I/O surface is unchanged from earlier revisions:
+//! descriptor-based and fallible, with raw [`FileId`]/[`PipeId`] entry
+//! points remaining only as deprecated shims for the cache/bench
+//! layers. Subsystem state (the caches, the window, the accountant) is
+//! reachable read/write through [`Deref`]/[`DerefMut`] — direct field
+//! access is shell-side convenience and is not journaled; replayable
+//! runs go through the methods below.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::ops::{Deref, DerefMut};
 
-use iolite_buf::{Acl, Aggregate, BufferPool, ChunkId, DomainId, PoolId};
-use iolite_fs::{
-    CacheKey, DiskModel, FileContent, FileId, FileStore, MetadataCache, Policy, UnifiedCache,
-};
-use iolite_ipc::{Pipe, PipeMode};
-use iolite_net::{BufferMode, ChecksumCache, MbufChain, PacketFilter, SendOutcome, TcpConn};
+use iolite_buf::{Acl, Aggregate, BufferPool, DomainId};
+use iolite_fs::{CacheKey, FileId, Policy};
+use iolite_ipc::PipeMode;
+use iolite_net::{BufferMode, MbufChain, SendOutcome};
 use iolite_sim::SimTime;
-use iolite_vm::{IoLiteWindow, MemAccount, MmapView, PageoutDaemon, PhysMemory};
+use iolite_vm::{MemAccount, MmapView};
 
 use crate::cost::{Charge, CostCategory, CostModel};
 use crate::error::{IoResult, IolError};
-use crate::fd::{Fd, FdObject, FdRegistry, Whence};
+use crate::fd::{Fd, FdObject, Whence};
 use crate::metrics::Metrics;
 use crate::poll::{PollFd, Readiness};
-use crate::process::{Pid, Process};
+use crate::process::Pid;
+use crate::pure::{Command, Journal, KernelState};
 
-/// A bounded LRU set of mapped files: Flash's mapped-file cache.
+pub use crate::pure::{ConnId, IoOutcome, MappedFileCache, PipeEnd, PipeId};
+
+/// The simulated operating system: the imperative shell.
 ///
-/// Flash keeps recently served files mmap'd; a miss costs an
-/// `mmap`/`munmap` cycle. Flash-Lite has no equivalent cost — IO-Lite
-/// window mappings persist at chunk granularity (§3.2).
-#[derive(Debug, Default)]
-pub struct MappedFileCache {
-    capacity: usize,
-    clock: u64,
-    entries: std::collections::HashMap<FileId, u64>,
-}
-
-impl MappedFileCache {
-    /// Creates a cache of the given capacity (0 disables caching: every
-    /// touch misses, which models Apache's map-per-request behaviour).
-    pub fn new(capacity: usize) -> Self {
-        MappedFileCache {
-            capacity,
-            clock: 0,
-            entries: std::collections::HashMap::new(),
-        }
-    }
-
-    /// Touches a file; returns `true` if it was already mapped.
-    pub fn touch(&mut self, file: FileId) -> bool {
-        self.clock += 1;
-        if self.capacity == 0 {
-            return false;
-        }
-        if let Some(stamp) = self.entries.get_mut(&file) {
-            *stamp = self.clock;
-            return true;
-        }
-        if self.entries.len() >= self.capacity {
-            if let Some(victim) = self
-                .entries
-                .iter()
-                .min_by_key(|(_, &stamp)| stamp)
-                .map(|(&f, _)| f)
-            {
-                self.entries.remove(&victim);
-            }
-        }
-        self.entries.insert(file, self.clock);
-        false
-    }
-
-    /// Number of files currently mapped.
-    pub fn len(&self) -> usize {
-        self.entries.len()
-    }
-
-    /// Whether the cache is empty.
-    pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
-    }
-}
-
-/// Identifies a kernel pipe object.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct PipeId(pub u32);
-
-/// Identifies a kernel TCP connection (socket) object.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct ConnId(pub u64);
-
-/// Which end of a pipe a file descriptor refers to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum PipeEnd {
-    /// The reading end.
-    Read,
-    /// The writing end.
-    Write,
-}
-
-/// The outcome of one kernel operation: simulated CPU cost plus any
-/// device time the caller must schedule.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct IoOutcome {
-    /// CPU time consumed by the operation.
-    pub charge: Charge,
-    /// Whether the file cache satisfied the request.
-    pub cache_hit: bool,
-    /// Bytes read from the disk device (0 on hits).
-    pub disk_bytes: u64,
-    /// Device service time for those bytes (not CPU; schedule on the
-    /// disk resource).
-    pub disk_time: SimTime,
-    /// New page mappings this operation established.
-    pub mapped_pages: u64,
-    /// Network send accounting when the descriptor was a socket
-    /// (segments, checksum bytes computed vs cached, copies, socket
-    /// buffer occupancy). `None` for files and pipes.
-    pub net: Option<SendOutcome>,
-}
-
-/// A kernel-owned TCP socket: the connection state plus an inbound
-/// byte queue fed by the receive path (or test harnesses).
-#[derive(Debug)]
-struct KernelSocket {
-    conn: TcpConn,
-    inbound: VecDeque<Aggregate>,
-    /// The local side tore the connection down (last descriptor gone).
-    closed: bool,
-    /// The remote side hung up (FIN/RST): reads drain then EOF, writes
-    /// are EPIPE — the "descriptor becomes ready because the peer
-    /// closed" case an event loop must observe through `iol_poll`.
-    peer_closed: bool,
-    /// `O_NONBLOCK`: writes respect the Tss send-buffer bound with
-    /// partial progress instead of accepting everything at once.
-    nonblocking: bool,
-    /// Unacknowledged bytes occupying the send buffer (nonblocking
-    /// sockets only; the driver drains them as simulated ACKs arrive
-    /// via [`Kernel::socket_drain`]).
-    sndbuf_used: u64,
-}
-
-impl KernelSocket {
-    /// Whether writes can never succeed again (local teardown or a
-    /// remote hang-up).
-    fn write_dead(&self) -> bool {
-        self.closed || self.peer_closed
-    }
-
-    /// Bytes a write may accept right now: the Tss bound for
-    /// nonblocking sockets, unbounded for blocking ones (which model
-    /// write-until-drained).
-    fn send_space(&self) -> u64 {
-        if self.nonblocking {
-            (self.conn.tss() as u64).saturating_sub(self.sndbuf_used)
-        } else {
-            u64::MAX
-        }
-    }
-}
-
-/// A kernel pipe plus the ACL governing zero-copy transfers out of it
-/// (`None` = the permissive kernel default; pipes between mutually
-/// untrusting processes carry the writer pool's ACL, §3.10).
-#[derive(Debug)]
-struct PipeSlot {
-    pipe: Pipe,
-    acl: Option<Acl>,
-    /// Set when the last read-end descriptor disappears: subsequent
-    /// writes are `EPIPE` — there is nobody left to drain the pipe.
-    reader_gone: bool,
-}
-
-/// The stdio console pipes backing a process's fds 0/1/2.
-#[derive(Debug, Clone, Copy)]
-struct Console {
-    stdin: PipeId,
-    stdout: PipeId,
-    stderr: PipeId,
-}
-
-/// The simulated operating system.
-///
-/// Fields are public by design: experiment drivers reach directly into
-/// subsystems (the checksum cache, the memory accountant, the filter)
-/// the same way kernel subsystems reach each other.
+/// Dereferences to [`KernelState`], so subsystem fields (`cache`,
+/// `physmem`, `cksum`, …) and the read-only query surface (`now`,
+/// `socket_space`, `fd_object`, …) are used exactly as before.
 pub struct Kernel {
-    /// The machine/cost model.
-    pub cost: CostModel,
-    /// The IO-Lite window (chunk mappings per domain).
-    pub window: IoLiteWindow,
-    /// Physical-memory accountant.
-    pub physmem: PhysMemory,
-    /// The §3.7 pageout daemon.
-    pub pageout: PageoutDaemon,
-    /// File contents.
-    pub store: FileStore,
-    /// The "old" metadata buffer cache.
-    pub meta: MetadataCache,
-    /// The unified IO-Lite file cache.
-    pub cache: UnifiedCache,
-    /// The Internet checksum cache (§3.9).
-    pub cksum: ChecksumCache,
-    /// The early-demux packet filter (§3.6).
-    pub filter: PacketFilter,
-    /// Disk timing model.
-    pub disk: DiskModel,
-    /// Flash's mapped-file cache (conventional servers only).
-    pub mapped_files: MappedFileCache,
-    /// Mechanism metrics.
+    state: KernelState,
+    /// Mechanism metrics (folded from the core's effect stream).
     pub metrics: Metrics,
-    /// The pool backing the file cache. Its ACL is extended to every
-    /// process that reads files: web content is world-readable, and the
-    /// paper's private-data story (separate per-process/CGI pools) is
-    /// carried by the per-process pools instead.
-    cache_pool: BufferPool,
-    cache_pool_acl: Acl,
-    processes: BTreeMap<Pid, Process>,
-    pipes: BTreeMap<PipeId, PipeSlot>,
-    sockets: BTreeMap<ConnId, KernelSocket>,
-    consoles: BTreeMap<Pid, Console>,
-    fds: FdRegistry,
-    next_pid: u32,
-    next_pool: u32,
-    next_pipe: u32,
-    next_conn: u64,
-    clock: SimTime,
+    journal: Option<Journal>,
+    fx: Vec<crate::pure::Effect>,
+}
+
+impl Deref for Kernel {
+    type Target = KernelState;
+
+    fn deref(&self) -> &KernelState {
+        &self.state
+    }
+}
+
+impl DerefMut for Kernel {
+    fn deref_mut(&mut self) -> &mut KernelState {
+        &mut self.state
+    }
 }
 
 impl Kernel {
@@ -244,43 +79,43 @@ impl Kernel {
     /// Creates a kernel with an explicit file-cache policy (Flash-Lite
     /// installs [`Policy::Gds`] through the §3.7 customization hook).
     pub fn with_policy(cost: CostModel, policy: Policy) -> Self {
-        let mut physmem = PhysMemory::new(cost.ram_bytes);
-        physmem.reserve(MemAccount::Kernel, cost.kernel_reserve_bytes);
-        let budget = physmem.cache_budget();
-        let disk = DiskModel {
-            avg_position_ms: cost.disk_position_ms,
-            transfer_mb_s: cost.disk_mb_s,
-        };
         Kernel {
-            cost,
-            window: IoLiteWindow::new(iolite_buf::DEFAULT_CHUNK_SIZE),
-            physmem,
-            pageout: PageoutDaemon::new(),
-            store: FileStore::new(),
-            meta: MetadataCache::new(4096),
-            cache: UnifiedCache::new(policy, budget),
-            cksum: ChecksumCache::new(1 << 16),
-            filter: PacketFilter::new(),
-            disk,
-            mapped_files: MappedFileCache::new(cost.flash_mapped_cache_files),
+            state: KernelState::new(cost, policy),
             metrics: Metrics::new(),
-            cache_pool: BufferPool::new(
-                PoolId(0),
-                Acl::kernel_only(),
-                iolite_buf::DEFAULT_CHUNK_SIZE,
-            ),
-            cache_pool_acl: Acl::kernel_only(),
-            processes: BTreeMap::new(),
-            pipes: BTreeMap::new(),
-            sockets: BTreeMap::new(),
-            consoles: BTreeMap::new(),
-            fds: FdRegistry::new(),
-            next_pid: 1,
-            next_pool: 1,
-            next_pipe: 1,
-            next_conn: 1,
-            clock: SimTime::ZERO,
+            journal: None,
+            fx: Vec::new(),
         }
+    }
+
+    /// Absorbs the pending effect buffer into the metrics and, when
+    /// recording, journals the command (built lazily so a disabled
+    /// journal costs no clones on the hot path).
+    fn finish(&mut self, make: impl FnOnce() -> Command) {
+        for e in &self.fx {
+            self.metrics.absorb(e);
+        }
+        if let Some(j) = self.journal.as_mut() {
+            j.push(make());
+        }
+    }
+
+    // ---- journaling ------------------------------------------------------
+
+    /// Starts recording every executed command (errors included — a
+    /// rejected command may still have mutated state) into a fresh
+    /// journal, replacing any previous one.
+    pub fn start_journal(&mut self) {
+        self.journal = Some(Journal::new());
+    }
+
+    /// Stops recording and hands the journal back, if one was active.
+    pub fn take_journal(&mut self) -> Option<Journal> {
+        self.journal.take()
+    }
+
+    /// The journal recorded so far, if recording is active.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
     }
 
     // ---- processes and pools -------------------------------------------
@@ -292,96 +127,89 @@ impl Kernel {
     /// [`Kernel::read_stdout`] / [`Kernel::read_stderr`] — or re-plumb
     /// with [`Kernel::dup2_fd`], shell-style.
     pub fn spawn(&mut self, name: impl Into<String>) -> Pid {
-        let pid = Pid(self.next_pid);
-        self.next_pid += 1;
-        let pool_id = PoolId(self.next_pool);
-        self.next_pool += 1;
-        let proc = Process::new(pid, name.into(), pool_id, iolite_buf::DEFAULT_CHUNK_SIZE);
-        // File data read by this process becomes readable to it.
-        self.cache_pool_acl.grant(pid.domain());
-        self.processes.insert(pid, proc);
-        // The stdio triple: three zero-copy console pipes, wired to the
-        // conventional descriptor numbers.
-        let console = Console {
-            stdin: self.pipe_create(PipeMode::ZeroCopy),
-            stdout: self.pipe_create(PipeMode::ZeroCopy),
-            stderr: self.pipe_create(PipeMode::ZeroCopy),
-        };
-        self.consoles.insert(pid, console);
-        let table = self.fds.table(pid);
-        table.install_at(Fd::STDIN, FdObject::PipeRead(console.stdin));
-        table.install_at(Fd::STDOUT, FdObject::PipeWrite(console.stdout));
-        table.install_at(Fd::STDERR, FdObject::PipeWrite(console.stderr));
+        let name = name.into();
+        self.fx.clear();
+        let pid = self.state.op_spawn(name.clone(), &mut self.fx);
+        self.finish(|| Command::Spawn { name });
         pid
-    }
-
-    /// Looks up a process.
-    ///
-    /// # Panics
-    ///
-    /// Panics on unknown pids — experiment drivers own process lifetimes.
-    pub fn process(&self, pid: Pid) -> &Process {
-        &self.processes[&pid]
     }
 
     /// Creates an additional allocation pool (the `IOL_create_pool`
     /// call of §3.4) with an explicit ACL.
     pub fn create_pool(&mut self, acl: Acl) -> BufferPool {
-        let id = PoolId(self.next_pool);
-        self.next_pool += 1;
-        BufferPool::new(id, acl, iolite_buf::DEFAULT_CHUNK_SIZE)
+        self.fx.clear();
+        let pool = self.state.op_create_pool(acl.clone());
+        self.finish(|| Command::CreatePool { acl });
+        pool
     }
 
     // ---- clock and charging --------------------------------------------
 
-    /// The kernel's sequential clock (used by the application harness;
-    /// the Web driver uses an external event clock instead).
-    pub fn now(&self) -> SimTime {
-        self.clock
-    }
-
     /// Adds CPU time to the sequential clock and the metrics breakdown.
     pub fn charge(&mut self, cat: CostCategory, c: Charge) {
-        self.clock += c.time;
-        self.metrics.charge(cat, c.time);
+        self.fx.clear();
+        self.state.op_charge(cat, c, &mut self.fx);
+        self.finish(|| Command::Charge {
+            category: cat,
+            charge: c,
+        });
     }
 
     /// Advances the sequential clock by non-CPU time (e.g. disk waits).
     pub fn advance(&mut self, t: SimTime) {
-        self.clock += t;
+        self.fx.clear();
+        self.state.op_advance(t);
+        self.finish(|| Command::Advance { t });
     }
 
     /// Resets the sequential clock (metrics are kept).
     pub fn reset_clock(&mut self) {
-        self.clock = SimTime::ZERO;
+        self.fx.clear();
+        self.state.op_reset_clock();
+        self.finish(|| Command::ResetClock);
+    }
+
+    /// Accounts `n` process context switches (scheduling hand-offs the
+    /// drivers previously tallied by hand).
+    pub fn context_switch(&mut self, n: u64) {
+        self.fx.clear();
+        self.state.op_context_switch(n, &mut self.fx);
+        self.finish(|| Command::ContextSwitch { n });
     }
 
     // ---- file system ---------------------------------------------------
 
     /// Creates a file with explicit contents.
     pub fn create_file(&mut self, name: &str, data: &[u8]) -> FileId {
-        self.store
-            .create(name, FileContent::Explicit(data.to_vec()))
+        self.fx.clear();
+        let id = self.state.op_create_file(name, data);
+        self.finish(|| Command::CreateFile {
+            name: name.to_string(),
+            data: data.to_vec(),
+        });
+        id
     }
 
     /// Creates a synthetic (pattern-generated) file.
     pub fn create_synthetic_file(&mut self, name: &str, len: u64, seed: u64) -> FileId {
-        self.store.create_synthetic(name, len, seed)
+        self.fx.clear();
+        let id = self.state.op_create_synthetic_file(name, len, seed);
+        self.finish(|| Command::CreateSyntheticFile {
+            name: name.to_string(),
+            len,
+            seed,
+        });
+        id
     }
 
     /// Resolves a path through the metadata cache.
     pub fn lookup(&mut self, name: &str) -> (Option<FileId>, Charge) {
-        let store = &self.store;
-        let result = self.meta.lookup(name, || store.lookup(name));
-        let charge = match result {
-            Some((_, true)) => Charge::us(self.cost.syscall_us),
-            // A metadata miss costs an extra metadata-cache fill; the
-            // paper keeps metadata in the old buffer cache, so no device
-            // time is charged for the common in-memory case.
-            _ => Charge::us(self.cost.syscall_us * 3.0),
-        };
-        self.metrics.syscalls += 1;
-        (result.map(|(id, _)| id), charge)
+        self.fx.clear();
+        let r = self.state.op_lookup(name, &mut self.fx);
+        self.finish(|| Command::Lookup {
+            name: name.to_string(),
+        });
+        r
     }
 
     /// Re-syncs the file-cache budget with the memory accountant and
@@ -390,19 +218,10 @@ impl Kernel {
     /// Evictions are reported to the pageout daemon as replaced
     /// cached-I/O pages, feeding the §3.7 trigger statistics.
     pub fn rebalance_cache(&mut self) -> usize {
-        self.physmem
-            .set(MemAccount::FileCache, self.cache.resident_bytes());
-        let budget = self.physmem.cache_budget();
-        let evicted = self.cache.set_budget(budget);
-        for (_, agg) in &evicted {
-            let pages = agg.len().div_ceil(iolite_buf::PAGE_SIZE as u64);
-            for _ in 0..pages.min(64) {
-                self.pageout.page_replaced(iolite_vm::PageClass::CachedIo);
-            }
-        }
-        self.physmem
-            .set(MemAccount::FileCache, self.cache.resident_bytes());
-        evicted.len()
+        self.fx.clear();
+        let n = self.state.op_rebalance_cache();
+        self.finish(|| Command::RebalanceCache);
+        n
     }
 
     /// Reports VM replacement pressure from non-cache pages (application
@@ -410,132 +229,55 @@ impl Kernel {
     /// than half of recently replaced pages held cached I/O data, one
     /// cache entry is evicted. Returns whether an eviction happened.
     pub fn vm_pressure(&mut self, other_pages: u64) -> bool {
-        for _ in 0..other_pages {
-            self.pageout.page_replaced(iolite_vm::PageClass::Other);
-        }
-        if self.pageout.should_evict_cache_entry() {
-            if let Some((_, agg)) = self.cache.evict_one() {
-                // The evicted entry's dirty pages would go to their
-                // backing stores (paging space + the files they cache).
-                let pages = agg.len().div_ceil(iolite_buf::PAGE_SIZE as u64);
-                self.pageout
-                    .backing_store_write(1, pages * iolite_buf::PAGE_SIZE as u64);
-                self.pageout.eviction_performed();
-                self.physmem
-                    .set(MemAccount::FileCache, self.cache.resident_bytes());
-                return true;
-            }
-        }
-        false
+        self.fx.clear();
+        let evicted = self.state.op_vm_pressure(other_pages);
+        self.finish(|| Command::VmPressure { other_pages });
+        evicted
     }
 
-    /// Reads a file extent through the unified cache with IO-Lite
-    /// semantics: returns a buffer aggregate sharing the cache's
-    /// physical copy (`IOL_read`, §3.4).
-    ///
-    /// Less data than requested is returned at end-of-file (the API
-    /// explicitly allows short reads). This is the raw-[`FileId`] inner
-    /// path behind [`Kernel::iol_read_fd`] / [`Kernel::iol_pread`].
-    fn read_file_at(&mut self, pid: Pid, file: FileId, offset: u64, len: u64) -> (Aggregate, IoOutcome) {
-        let mut out = IoOutcome {
-            charge: Charge::us(self.cost.syscall_us),
-            ..IoOutcome::default()
-        };
-        self.metrics.syscalls += 1;
-        let whole = self.read_whole_cached(file, &mut out);
-        let flen = whole.len();
-        let start = offset.min(flen);
-        let take = len.min(flen - start);
-        let agg = whole.range(start, take).expect("clamped range");
-        // Transfer: make the aggregate's chunks readable in the caller.
-        let pages = self.transfer_to(&agg, pid.domain());
-        out.mapped_pages += pages;
-        out.charge += self.cost.page_maps(pages);
-        (agg, out)
+    /// Pins a cache key against eviction (e.g. while the network
+    /// transmits the entry).
+    pub fn cache_pin(&mut self, key: CacheKey) {
+        self.fx.clear();
+        self.state.op_cache_pin(key);
+        self.finish(|| Command::CachePin { key });
     }
 
-    /// Replaces a file extent with the contents of `agg` (`IOL_write`,
-    /// §3.4): the cached aggregate is replaced, never mutated, so prior
-    /// readers keep their snapshots (§3.5).
-    ///
-    /// Pins held on the key (e.g. by the network mid-transmission)
-    /// survive the replacement: the cache keys pin counts by
-    /// [`CacheKey`], not by entry generation, so a deferred unpin from
-    /// a pre-write transmission cannot strip the protection of a
-    /// post-write one.
-    fn write_file_at(&mut self, _pid: Pid, file: FileId, offset: u64, agg: &Aggregate) -> IoOutcome {
-        let mut out = IoOutcome {
-            charge: Charge::us(self.cost.syscall_us),
-            ..IoOutcome::default()
-        };
-        self.metrics.syscalls += 1;
-        // Update the backing store vectored, run by run (write-back
-        // happens off the critical path; no device time charged here,
-        // and no materialization of the aggregate).
-        let mut run_offset = offset;
-        for chunk in agg.chunks() {
-            self.store.write(file, run_offset, chunk);
-            run_offset += chunk.len() as u64;
-        }
-        // Snapshot-preserving cache replacement: rebuild the whole-file
-        // entry as head ++ agg ++ tail, chaining by reference (indexed
-        // range views; slices outside the extent are not walked twice).
-        let key = CacheKey::whole(file);
-        if let Some(old) = self.cache.replace_for_write(&key) {
-            let head_len = offset.min(old.len());
-            let mut rebuilt = old.range(0, head_len).expect("clamped");
-            rebuilt.append(agg);
-            let tail_start = (offset + agg.len()).min(old.len());
-            rebuilt.append(&old.range(tail_start, old.len() - tail_start).expect("clamped"));
-            self.cache.insert(key, rebuilt);
-            self.rebalance_cache();
-        }
-        out.charge += Charge::ZERO;
-        out
+    /// Releases one pin on a cache key.
+    pub fn cache_unpin(&mut self, key: CacheKey) {
+        self.fx.clear();
+        self.state.op_cache_unpin(key);
+        self.finish(|| Command::CacheUnpin { key });
     }
 
-    /// Backward-compatible copying read at an explicit offset (§4.2:
-    /// "a data copy operation is used to move data between application
-    /// buffers and IO-Lite buffers").
-    fn posix_file_read(&mut self, _pid: Pid, file: FileId, offset: u64, len: u64) -> (Vec<u8>, IoOutcome) {
-        let mut out = IoOutcome {
-            charge: Charge::us(self.cost.syscall_us),
-            ..IoOutcome::default()
-        };
-        self.metrics.syscalls += 1;
-        let whole = self.read_whole_cached(file, &mut out);
-        let flen = whole.len();
-        let start = offset.min(flen);
-        let take = len.min(flen - start);
-        let mut dst = vec![0u8; take as usize];
-        whole.copy_to(start, &mut dst);
-        self.metrics.bytes_copied += take;
-        out.charge += self.cost.cached_copy(take);
-        (dst, out)
+    /// Touches Flash's mapped-file cache; returns whether the file was
+    /// already mapped (a miss models an `mmap`/`munmap` cycle).
+    pub fn mapped_file_touch(&mut self, file: FileId) -> bool {
+        self.fx.clear();
+        let hit = self.state.op_mapped_file_touch(file);
+        self.finish(|| Command::MappedFileTouch { file });
+        hit
     }
 
-    /// Backward-compatible copying write at an explicit offset.
-    fn posix_file_write(&mut self, pid: Pid, file: FileId, offset: u64, data: &[u8]) -> IoOutcome {
-        let agg = Aggregate::from_bytes(&self.cache_pool, data);
-        self.metrics.bytes_copied += data.len() as u64;
-        let mut out = self.write_file_at(pid, file, offset, &agg);
-        out.charge += self.cost.copy(data.len() as u64);
-        out
+    /// Reserves memory on an account in the physical-memory accountant.
+    pub fn mem_reserve(&mut self, account: MemAccount, bytes: u64) {
+        self.fx.clear();
+        self.state.op_mem_reserve(account, bytes);
+        self.finish(|| Command::MemReserve { account, bytes });
     }
 
-    /// Maps a whole file (§3.8 `mmap`): contiguous view, lazy alignment
-    /// copies, COW against cached snapshots.
-    fn file_mmap(&mut self, pid: Pid, file: FileId) -> (MmapView, IoOutcome) {
-        let mut out = IoOutcome {
-            charge: Charge::us(self.cost.syscall_us),
-            ..IoOutcome::default()
-        };
-        self.metrics.syscalls += 1;
-        let whole = self.read_whole_cached(file, &mut out);
-        let pages = self.transfer_to(&whole, pid.domain());
-        out.mapped_pages += pages;
-        out.charge += self.cost.page_maps(pages);
-        (MmapView::new(whole), out)
+    /// Releases memory from an account.
+    pub fn mem_release(&mut self, account: MemAccount, bytes: u64) {
+        self.fx.clear();
+        self.state.op_mem_release(account, bytes);
+        self.finish(|| Command::MemRelease { account, bytes });
+    }
+
+    /// Enables or disables the §3.9 checksum cache.
+    pub fn set_checksum_cache(&mut self, enabled: bool) {
+        self.fx.clear();
+        self.state.op_set_checksum_cache(enabled);
+        self.finish(|| Command::SetChecksumCache { enabled });
     }
 
     // ---- deprecated raw-FileId shims -----------------------------------
@@ -546,7 +288,15 @@ impl Kernel {
                 this direct-FileId shim remains for the cache/bench layers"
     )]
     pub fn iol_read(&mut self, pid: Pid, file: FileId, offset: u64, len: u64) -> (Aggregate, IoOutcome) {
-        self.read_file_at(pid, file, offset, len)
+        self.fx.clear();
+        let r = self.state.op_read_file_at(pid, file, offset, len, &mut self.fx);
+        self.finish(|| Command::ReadFileAt {
+            pid,
+            file,
+            offset,
+            len,
+        });
+        r
     }
 
     /// `IOL_write` on a raw [`FileId`].
@@ -555,7 +305,15 @@ impl Kernel {
                 this direct-FileId shim remains for the cache/bench layers"
     )]
     pub fn iol_write(&mut self, pid: Pid, file: FileId, offset: u64, agg: &Aggregate) -> IoOutcome {
-        self.write_file_at(pid, file, offset, agg)
+        self.fx.clear();
+        let out = self.state.op_write_file_at(pid, file, offset, agg, &mut self.fx);
+        self.finish(|| Command::WriteFileAt {
+            pid,
+            file,
+            offset,
+            agg: agg.clone(),
+        });
+        out
     }
 
     /// Copying `read` on a raw [`FileId`].
@@ -564,7 +322,15 @@ impl Kernel {
                 this direct-FileId shim remains for the cache/bench layers"
     )]
     pub fn posix_read(&mut self, pid: Pid, file: FileId, offset: u64, len: u64) -> (Vec<u8>, IoOutcome) {
-        self.posix_file_read(pid, file, offset, len)
+        self.fx.clear();
+        let r = self.state.op_posix_file_read(pid, file, offset, len, &mut self.fx);
+        self.finish(|| Command::PosixFileRead {
+            pid,
+            file,
+            offset,
+            len,
+        });
+        r
     }
 
     /// Copying `write` on a raw [`FileId`].
@@ -573,7 +339,15 @@ impl Kernel {
                 this direct-FileId shim remains for the cache/bench layers"
     )]
     pub fn posix_write(&mut self, pid: Pid, file: FileId, offset: u64, data: &[u8]) -> IoOutcome {
-        self.posix_file_write(pid, file, offset, data)
+        self.fx.clear();
+        let out = self.state.op_posix_file_write(pid, file, offset, data, &mut self.fx);
+        self.finish(|| Command::PosixFileWrite {
+            pid,
+            file,
+            offset,
+            data: data.to_vec(),
+        });
+        out
     }
 
     /// `mmap` on a raw [`FileId`].
@@ -582,40 +356,23 @@ impl Kernel {
                 this direct-FileId shim remains for the cache/bench layers"
     )]
     pub fn mmap(&mut self, pid: Pid, file: FileId) -> (MmapView, IoOutcome) {
-        self.file_mmap(pid, file)
+        self.fx.clear();
+        let r = self.state.op_file_mmap(pid, file, &mut self.fx);
+        self.finish(|| Command::FileMmap { pid, file });
+        r
     }
 
-    /// Cache-or-disk read of the whole file, maintaining budgets.
-    fn read_whole_cached(&mut self, file: FileId, out: &mut IoOutcome) -> Aggregate {
-        let key = CacheKey::whole(file);
-        if let Some(agg) = self.cache.lookup(&key) {
-            out.cache_hit = true;
-            return agg;
-        }
-        let len = self.store.len(file).unwrap_or(0);
-        let bytes = self.store.read(file, 0, len).unwrap_or_default();
-        let agg = Aggregate::from_bytes_aligned(&self.cache_pool, &bytes, iolite_buf::PAGE_SIZE);
-        out.disk_bytes = len;
-        out.disk_time = self.disk.access_time(len);
-        self.metrics.disk_ops += 1;
-        self.metrics.disk_bytes += len;
-        // Admit, then shrink to budget; evicted chunks that drained
-        // return to the pool and are eventually released.
-        self.cache.insert(key, agg.clone());
-        self.rebalance_cache();
-        self.cache_pool.release_free_chunks(u64::MAX);
-        agg
-    }
+    // ---- window transfers ----------------------------------------------
 
     /// Makes an aggregate's chunks readable in `domain`, charging only
     /// first-time mappings (§3.2). Returns newly mapped pages.
     pub fn transfer_to(&mut self, agg: &Aggregate, domain: DomainId) -> u64 {
-        let chunks: Vec<ChunkId> = agg.slices().map(|s| s.id().chunk).collect();
-        let pages = self
-            .window
-            .transfer(&chunks, domain, &self.cache_pool_acl.clone())
-            .unwrap_or(0);
-        self.metrics.pages_mapped += pages;
+        self.fx.clear();
+        let pages = self.state.op_transfer_to(agg, domain, &mut self.fx);
+        self.finish(|| Command::TransferTo {
+            agg: agg.clone(),
+            domain,
+        });
         pages
     }
 
@@ -632,17 +389,24 @@ impl Kernel {
         domain: DomainId,
         acl: &Acl,
     ) -> Result<u64, iolite_vm::AccessDenied> {
-        let chunks: Vec<ChunkId> = agg.slices().map(|s| s.id().chunk).collect();
-        let pages = self.window.transfer(&chunks, domain, acl)?;
-        self.metrics.pages_mapped += pages;
-        Ok(pages)
+        self.fx.clear();
+        let r = self.state.op_transfer_with_acl(agg, domain, acl, &mut self.fx);
+        self.finish(|| Command::TransferWithAcl {
+            agg: agg.clone(),
+            domain,
+            acl: acl.clone(),
+        });
+        r
     }
 
     // ---- pipes -----------------------------------------------------------
 
     /// Creates a pipe in the given mode with the BSD 64KB buffer.
     pub fn pipe_create(&mut self, mode: PipeMode) -> PipeId {
-        self.pipe_create_inner(mode, None)
+        self.fx.clear();
+        let id = self.state.op_pipe_create(mode, None, &mut self.fx);
+        self.finish(|| Command::PipeCreate { mode, acl: None });
+        id
     }
 
     /// Creates a pipe whose zero-copy transfers are governed by `acl`
@@ -650,93 +414,13 @@ impl Kernel {
     /// have separate pools with different ACLs — the pipe enforces the
     /// writer's on its reader).
     pub fn pipe_create_with_acl(&mut self, mode: PipeMode, acl: Acl) -> PipeId {
-        self.pipe_create_inner(mode, Some(acl))
-    }
-
-    fn pipe_create_inner(&mut self, mode: PipeMode, acl: Option<Acl>) -> PipeId {
-        let id = PipeId(self.next_pipe);
-        self.next_pipe += 1;
-        self.pipes.insert(
-            id,
-            PipeSlot {
-                pipe: Pipe::new(mode, 64 * 1024),
-                acl,
-                reader_gone: false,
-            },
-        );
+        self.fx.clear();
+        let id = self.state.op_pipe_create(mode, Some(acl.clone()), &mut self.fx);
+        self.finish(|| Command::PipeCreate {
+            mode,
+            acl: Some(acl),
+        });
         id
-    }
-
-    /// The raw-id pipe write behind [`Kernel::iol_write_fd`].
-    fn pipe_write_inner(&mut self, _pid: Pid, id: PipeId, data: &Aggregate) -> (u64, IoOutcome) {
-        let mut out = IoOutcome {
-            charge: Charge::us(self.cost.syscall_us),
-            ..IoOutcome::default()
-        };
-        self.metrics.syscalls += 1;
-        let slot = self.pipes.get_mut(&id).expect("unknown pipe");
-        let before = slot.pipe.stats().bytes_copied;
-        let accepted = slot.pipe.write(data);
-        let copied = slot.pipe.stats().bytes_copied - before;
-        if copied > 0 {
-            self.metrics.bytes_copied += copied;
-            out.charge += self.cost.copy(copied);
-        }
-        (accepted, out)
-    }
-
-    /// The raw-id pipe read behind [`Kernel::iol_read_fd`]; zero-copy
-    /// pipes also transfer the received chunks into the reader's domain
-    /// (first time only — recycled buffers ride existing mappings,
-    /// §3.2), enforcing the pipe's ACL when it carries one.
-    fn pipe_read_inner(
-        &mut self,
-        pid: Pid,
-        id: PipeId,
-        max: u64,
-    ) -> Result<(Option<Aggregate>, IoOutcome), IolError> {
-        let mut out = IoOutcome {
-            charge: Charge::us(self.cost.syscall_us),
-            ..IoOutcome::default()
-        };
-        self.metrics.syscalls += 1;
-        let slot = self.pipes.get_mut(&id).expect("unknown pipe");
-        // ACL'd pipes refuse unauthorized readers *before* any byte is
-        // dequeued: a denial must not destroy data still in flight to
-        // the legitimate reader.
-        if let Some(acl) = &slot.acl {
-            if !acl.allows(pid.domain()) {
-                return Err(IolError::PermissionDenied {
-                    domain: pid.domain(),
-                });
-            }
-        }
-        let mode = slot.pipe.mode();
-        let acl = slot.acl.clone();
-        let before = slot.pipe.stats().bytes_copied;
-        let got = slot.pipe.read(max);
-        let copied = slot.pipe.stats().bytes_copied - before;
-        if copied > 0 {
-            self.metrics.bytes_copied += copied;
-            out.charge += self.cost.copy(copied);
-        }
-        if let (Some(agg), PipeMode::ZeroCopy) = (&got, mode) {
-            // Pass-by-reference: the reader needs (at most first-time)
-            // read mappings, gated by the pipe's ACL when it carries one
-            // (pipes between mutually untrusting processes); plain pipes
-            // rely on pool ACLs at allocation sites.
-            let pages = match &acl {
-                Some(acl) => self
-                    .transfer_with_acl(agg, pid.domain(), acl)
-                    .map_err(|denied| IolError::PermissionDenied {
-                        domain: denied.domain,
-                    })?,
-                None => self.transfer_to(agg, pid.domain()),
-            };
-            out.mapped_pages += pages;
-            out.charge += self.cost.page_maps(pages);
-        }
-        Ok((got, out))
     }
 
     /// Writes to a pipe by raw id, returning accepted bytes and the cost.
@@ -745,7 +429,14 @@ impl Kernel {
                 this raw-PipeId shim remains for kernel-layer callers"
     )]
     pub fn pipe_write(&mut self, pid: Pid, id: PipeId, data: &Aggregate) -> (u64, IoOutcome) {
-        self.pipe_write_inner(pid, id, data)
+        self.fx.clear();
+        let r = self.state.op_pipe_write(pid, id, data, &mut self.fx);
+        self.finish(|| Command::PipeWrite {
+            pid,
+            pipe: id,
+            agg: data.clone(),
+        });
+        r
     }
 
     /// Reads from a pipe by raw id.
@@ -754,21 +445,18 @@ impl Kernel {
                 this raw-PipeId shim remains for kernel-layer callers"
     )]
     pub fn pipe_read(&mut self, pid: Pid, id: PipeId, max: u64) -> (Option<Aggregate>, IoOutcome) {
-        self.pipe_read_inner(pid, id, max)
-            .expect("raw pipe reads bypass ACL'd pipes")
+        self.fx.clear();
+        let r = self.state.op_pipe_read(pid, id, max, &mut self.fx);
+        self.finish(|| Command::PipeRead { pid, pipe: id, max });
+        r.expect("raw pipe reads bypass ACL'd pipes")
     }
 
     /// Closes a pipe's write end by raw id (descriptor holders use
     /// [`Kernel::close_fd`], which calls this on last close).
     pub fn pipe_close(&mut self, id: PipeId) {
-        if let Some(slot) = self.pipes.get_mut(&id) {
-            slot.pipe.close();
-        }
-    }
-
-    /// Immutable access to a pipe (tests, stats).
-    pub fn pipe(&self, id: PipeId) -> &Pipe {
-        &self.pipes[&id].pipe
+        self.fx.clear();
+        self.state.op_pipe_close(id);
+        self.finish(|| Command::PipeClose { pipe: id });
     }
 
     // ---- sockets ---------------------------------------------------------
@@ -779,43 +467,15 @@ impl Kernel {
     /// files and pipes drive the socket's zero-copy (or copying) send
     /// path.
     pub fn socket_create(&mut self, pid: Pid, mode: BufferMode, mss: usize, tss: usize) -> Fd {
-        let id = ConnId(self.next_conn);
-        self.next_conn += 1;
-        self.sockets.insert(
-            id,
-            KernelSocket {
-                conn: TcpConn::new(id.0, mode, mss, tss),
-                inbound: VecDeque::new(),
-                closed: false,
-                peer_closed: false,
-                nonblocking: false,
-                sndbuf_used: 0,
-            },
-        );
-        self.fds.table(pid).install(FdObject::Socket(id))
-    }
-
-    /// Read-only access to the connection behind a socket descriptor
-    /// (window rates, lifetime totals).
-    ///
-    /// # Errors
-    ///
-    /// [`IolError::NotOpen`] for unknown descriptors,
-    /// [`IolError::BadFdKind`] for non-sockets.
-    pub fn socket(&self, pid: Pid, fd: Fd) -> Result<&TcpConn, IolError> {
-        let desc = self
-            .fds
-            .get_table(pid)
-            .and_then(|t| t.get(fd))
-            .ok_or(IolError::NotOpen { fd })?;
-        let object = desc.borrow().object;
-        match object {
-            FdObject::Socket(id) => Ok(&self.sockets[&id].conn),
-            _ => Err(IolError::BadFdKind {
-                fd,
-                operation: "socket access",
-            }),
-        }
+        self.fx.clear();
+        let fd = self.state.op_socket_create(pid, mode, mss, tss);
+        self.finish(|| Command::SocketCreate {
+            pid,
+            mode,
+            mss,
+            tss,
+        });
+        fd
     }
 
     /// Delivers inbound payload to a socket (the receive path's
@@ -823,14 +483,10 @@ impl Kernel {
     /// remote peer). The data becomes readable through
     /// [`Kernel::iol_read_fd`].
     pub fn socket_deliver(&mut self, pid: Pid, fd: Fd, payload: Aggregate) -> IoResult<u64> {
-        let id = self.resolve_socket(pid, fd, "socket delivery")?;
-        let sock = self.sockets.get_mut(&id).expect("registered socket");
-        if sock.closed || sock.peer_closed {
-            return Err(IolError::Closed);
-        }
-        let len = payload.len();
-        sock.inbound.push_back(payload);
-        Ok((len, IoOutcome::default()))
+        self.fx.clear();
+        let r = self.state.op_socket_deliver(pid, fd, payload.clone());
+        self.finish(|| Command::SocketDeliver { pid, fd, payload });
+        r
     }
 
     /// Accounting-only send on a *copy-mode* socket descriptor: the
@@ -839,21 +495,10 @@ impl Kernel {
     /// Updates the copy/checksum metrics centrally and returns the
     /// [`SendOutcome`] in both the value and `outcome.net`.
     pub fn socket_send_accounted(&mut self, pid: Pid, fd: Fd, len: u64) -> IoResult<SendOutcome> {
-        let id = self.resolve_socket(pid, fd, "accounted socket send")?;
-        let sock = self.sockets.get_mut(&id).expect("registered socket");
-        if sock.write_dead() {
-            return Err(IolError::Closed);
-        }
-        let send = sock.conn.send_accounted(len);
-        self.metrics.syscalls += 1;
-        self.metrics.bytes_copied += send.bytes_copied;
-        self.metrics.bytes_checksummed += send.csum_bytes_computed;
-        let out = IoOutcome {
-            charge: Charge::us(self.cost.syscall_us),
-            net: Some(send),
-            ..IoOutcome::default()
-        };
-        Ok((send, out))
+        self.fx.clear();
+        let r = self.state.op_socket_send_accounted(pid, fd, len, &mut self.fx);
+        self.finish(|| Command::SocketSendAccounted { pid, fd, len });
+        r
     }
 
     /// Materializes the actual TCP segment chains a descriptor write of
@@ -865,17 +510,14 @@ impl Kernel {
         fd: Fd,
         payload: &Aggregate,
     ) -> IoResult<Vec<MbufChain>> {
-        let id = self.resolve_socket(pid, fd, "segment materialization")?;
-        let sock = self.sockets.get_mut(&id).expect("registered socket");
-        if sock.write_dead() {
-            return Err(IolError::Closed);
-        }
-        let chains = sock.conn.build_segments(payload);
-        let out = IoOutcome {
-            charge: Charge::us(self.cost.syscall_us),
-            ..IoOutcome::default()
-        };
-        Ok((chains, out))
+        self.fx.clear();
+        let r = self.state.op_socket_transmit_segments(pid, fd, payload);
+        self.finish(|| Command::SocketTransmitSegments {
+            pid,
+            fd,
+            payload: payload.clone(),
+        });
+        r
     }
 
     /// Sets a socket descriptor's `O_NONBLOCK` flag. Nonblocking
@@ -889,10 +531,14 @@ impl Kernel {
     ///
     /// [`IolError::NotOpen`] / [`IolError::BadFdKind`] as usual.
     pub fn set_nonblocking(&mut self, pid: Pid, fd: Fd, nonblocking: bool) -> Result<(), IolError> {
-        let id = self.resolve_socket(pid, fd, "set O_NONBLOCK")?;
-        let sock = self.sockets.get_mut(&id).expect("registered socket");
-        sock.nonblocking = nonblocking;
-        Ok(())
+        self.fx.clear();
+        let r = self.state.op_set_nonblocking(pid, fd, nonblocking);
+        self.finish(|| Command::SetNonblocking {
+            pid,
+            fd,
+            nonblocking,
+        });
+        r
     }
 
     /// Acknowledges up to `max` bytes of a nonblocking socket's send
@@ -908,39 +554,10 @@ impl Kernel {
     /// acknowledges nothing, so unacknowledged bytes can never drain
     /// and the in-flight response must be failed, not completed.
     pub fn socket_drain(&mut self, pid: Pid, fd: Fd, max: u64) -> Result<u64, IolError> {
-        let id = self.resolve_socket(pid, fd, "send-buffer drain")?;
-        let sock = self.sockets.get_mut(&id).expect("registered socket");
-        if sock.write_dead() {
-            return Err(IolError::Closed);
-        }
-        let take = sock.sndbuf_used.min(max);
-        sock.sndbuf_used -= take;
-        Ok(take)
-    }
-
-    /// Free space in a socket's send buffer (`Tss - unacknowledged`);
-    /// the event loop sizes its next write window with this, the way
-    /// Flash sizes `writev` calls against `FIONSPACE`.
-    ///
-    /// # Errors
-    ///
-    /// [`IolError::NotOpen`] / [`IolError::BadFdKind`] as usual.
-    pub fn socket_space(&mut self, pid: Pid, fd: Fd) -> Result<u64, IolError> {
-        let id = self.resolve_socket(pid, fd, "send-buffer space")?;
-        let sock = &self.sockets[&id];
-        // A blocking socket's buffer is always (logically) empty; cap
-        // the answer at Tss either way.
-        Ok(sock.send_space().min(sock.conn.tss() as u64))
-    }
-
-    /// Bytes sitting unacknowledged in a socket's send buffer.
-    ///
-    /// # Errors
-    ///
-    /// [`IolError::NotOpen`] / [`IolError::BadFdKind`] as usual.
-    pub fn socket_unacked(&mut self, pid: Pid, fd: Fd) -> Result<u64, IolError> {
-        let id = self.resolve_socket(pid, fd, "send-buffer occupancy")?;
-        Ok(self.sockets[&id].sndbuf_used)
+        self.fx.clear();
+        let r = self.state.op_socket_drain(pid, fd, max);
+        self.finish(|| Command::SocketDrain { pid, fd, max });
+        r
     }
 
     /// Marks a socket's remote side as hung up (FIN/RST arrived): reads
@@ -953,10 +570,10 @@ impl Kernel {
     ///
     /// [`IolError::NotOpen`] / [`IolError::BadFdKind`] as usual.
     pub fn socket_peer_close(&mut self, pid: Pid, fd: Fd) -> Result<(), IolError> {
-        let id = self.resolve_socket(pid, fd, "peer close")?;
-        let sock = self.sockets.get_mut(&id).expect("registered socket");
-        sock.peer_closed = true;
-        Ok(())
+        self.fx.clear();
+        let r = self.state.op_socket_peer_close(pid, fd);
+        self.finish(|| Command::SocketPeerClose { pid, fd });
+        r
     }
 
     // ---- readiness (the event-driven servers' select/poll, §6) ----------
@@ -977,99 +594,13 @@ impl Kernel {
     /// None today — the result is total; the `IoResult` shape carries
     /// the accounting like every other descriptor operation.
     pub fn iol_poll(&mut self, pid: Pid, fds: &[PollFd]) -> IoResult<Vec<Readiness>> {
-        let out = IoOutcome {
-            charge: Charge::us(self.cost.syscall_us + fds.len() as f64 * self.cost.poll_fd_us),
-            ..IoOutcome::default()
-        };
-        self.metrics.syscalls += 1;
-        let table = self.fds.get_table(pid);
-        let mut events = Vec::with_capacity(fds.len());
-        for entry in fds {
-            let Some(desc) = table.and_then(|t| t.get(entry.fd)) else {
-                events.push(Readiness {
-                    invalid: true,
-                    ..Readiness::PENDING
-                });
-                continue;
-            };
-            let object = desc.borrow().object;
-            events.push(self.object_readiness(object));
-        }
-        Ok((events, out))
-    }
-
-    /// The current readiness of one descriptor object.
-    fn object_readiness(&self, object: FdObject) -> Readiness {
-        match object {
-            // Regular files never block (poll(2) semantics).
-            FdObject::File(_) => Readiness {
-                readable: true,
-                writable: true,
-                ..Readiness::PENDING
-            },
-            FdObject::PipeRead(id) => {
-                let slot = &self.pipes[&id];
-                let buffered = slot.pipe.buffered();
-                Readiness {
-                    readable: buffered > 0,
-                    // All write ends gone and nothing left to drain:
-                    // the next read returns empty.
-                    eof: buffered == 0 && slot.pipe.is_closed(),
-                    ..Readiness::PENDING
-                }
-            }
-            FdObject::PipeWrite(id) => {
-                let slot = &self.pipes[&id];
-                let dead = slot.pipe.is_closed() || slot.reader_gone;
-                Readiness {
-                    writable: !dead && slot.pipe.space() > 0,
-                    epipe: dead,
-                    ..Readiness::PENDING
-                }
-            }
-            FdObject::Socket(id) => {
-                let Some(sock) = self.sockets.get(&id) else {
-                    return Readiness {
-                        invalid: true,
-                        ..Readiness::PENDING
-                    };
-                };
-                let hung_up = sock.write_dead();
-                Readiness {
-                    readable: !sock.inbound.is_empty(),
-                    writable: !hung_up && sock.send_space() > 0,
-                    eof: sock.inbound.is_empty() && hung_up,
-                    epipe: hung_up,
-                    ..Readiness::PENDING
-                }
-            }
-        }
-    }
-
-    /// Resolves a descriptor to its open-file description (`EBADF` on
-    /// unknown numbers) — the one lookup every fd operation goes
-    /// through.
-    fn resolve_fd(&mut self, pid: Pid, fd: Fd) -> Result<crate::fd::OpenFileRef, IolError> {
-        self.fds.table(pid).get(fd).ok_or(IolError::NotOpen { fd })
-    }
-
-    /// Resolves a descriptor that must name a regular file.
-    fn resolve_file(&mut self, pid: Pid, fd: Fd, operation: &'static str) -> Result<FileId, IolError> {
-        let desc = self.resolve_fd(pid, fd)?;
-        let object = desc.borrow().object;
-        match object {
-            FdObject::File(file) => Ok(file),
-            _ => Err(IolError::BadFdKind { fd, operation }),
-        }
-    }
-
-    fn resolve_socket(&mut self, pid: Pid, fd: Fd, operation: &'static str) -> Result<ConnId, IolError> {
-        let desc = self.resolve_fd(pid, fd)?;
-        let object = desc.borrow().object;
-        match object {
-            FdObject::Socket(id) => Ok(id),
-            _ => Err(IolError::BadFdKind { fd, operation }),
-        }
+        self.fx.clear();
+        let r = self.state.op_iol_poll(pid, fds, &mut self.fx);
+        self.finish(|| Command::Poll {
+            pid,
+            fds: fds.to_vec(),
+        });
+        r
     }
 
     // ---- file descriptors (§3.4: the IOL calls act on any fd) -----------
@@ -1081,21 +612,23 @@ impl Kernel {
     ///
     /// [`IolError::NotFound`] when the path does not resolve.
     pub fn open(&mut self, pid: Pid, path: &str) -> IoResult<Fd> {
-        let (id, charge) = self.lookup(path);
-        let file = id.ok_or(IolError::NotFound)?;
-        let fd = self.fds.table(pid).install(FdObject::File(file));
-        let out = IoOutcome {
-            charge: charge + Charge::us(self.cost.syscall_us),
-            ..IoOutcome::default()
-        };
-        Ok((fd, out))
+        self.fx.clear();
+        let r = self.state.op_open(pid, path, &mut self.fx);
+        self.finish(|| Command::Open {
+            pid,
+            path: path.to_string(),
+        });
+        r
     }
 
     /// Installs a descriptor (offset 0) for an already-resolved file —
     /// the bridge for layers that hold [`FileId`]s (workload setup,
     /// benches) into the descriptor world.
     pub fn open_file(&mut self, pid: Pid, file: FileId) -> Fd {
-        self.fds.table(pid).install(FdObject::File(file))
+        self.fx.clear();
+        let fd = self.state.op_open_file(pid, file);
+        self.finish(|| Command::OpenFile { pid, file });
+        fd
     }
 
     /// Creates a pipe and returns `(read_fd, write_fd)` in `pid`'s table
@@ -1103,18 +636,25 @@ impl Kernel {
     /// hand the ends to other processes with [`Kernel::install_fd`] or
     /// wire two processes directly with [`Kernel::pipe_between`]).
     pub fn pipe_fds(&mut self, pid: Pid, mode: PipeMode) -> (Fd, Fd) {
-        let id = self.pipe_create(mode);
-        let table = self.fds.table(pid);
-        let r = table.install(FdObject::PipeRead(id));
-        let w = table.install(FdObject::PipeWrite(id));
-        (r, w)
+        self.fx.clear();
+        let r = self.state.op_pipe_fds(pid, mode, &mut self.fx);
+        self.finish(|| Command::PipeFds { pid, mode });
+        r
     }
 
     /// Creates a pipe with its write end in `writer`'s table and its
     /// read end in `reader`'s (the post-`fork` shape of `a | b`).
     /// Returns `(write_fd, read_fd)`.
     pub fn pipe_between(&mut self, writer: Pid, reader: Pid, mode: PipeMode) -> (Fd, Fd) {
-        self.pipe_between_inner(writer, reader, mode, None)
+        self.fx.clear();
+        let r = self.state.op_pipe_between(writer, reader, mode, None, &mut self.fx);
+        self.finish(|| Command::PipeBetween {
+            writer,
+            reader,
+            mode,
+            acl: None,
+        });
+        r
     }
 
     /// Like [`Kernel::pipe_between`], with zero-copy transfers governed
@@ -1126,26 +666,26 @@ impl Kernel {
         mode: PipeMode,
         acl: Acl,
     ) -> (Fd, Fd) {
-        self.pipe_between_inner(writer, reader, mode, Some(acl))
-    }
-
-    fn pipe_between_inner(
-        &mut self,
-        writer: Pid,
-        reader: Pid,
-        mode: PipeMode,
-        acl: Option<Acl>,
-    ) -> (Fd, Fd) {
-        let id = self.pipe_create_inner(mode, acl);
-        let w = self.fds.table(writer).install(FdObject::PipeWrite(id));
-        let r = self.fds.table(reader).install(FdObject::PipeRead(id));
-        (w, r)
+        self.fx.clear();
+        let r = self
+            .state
+            .op_pipe_between(writer, reader, mode, Some(acl.clone()), &mut self.fx);
+        self.finish(|| Command::PipeBetween {
+            writer,
+            reader,
+            mode,
+            acl: Some(acl),
+        });
+        r
     }
 
     /// Installs an existing object in `pid`'s descriptor table (the
     /// moral equivalent of inheriting an fd across `fork`/`exec`).
     pub fn install_fd(&mut self, pid: Pid, object: FdObject) -> Fd {
-        self.fds.table(pid).install(object)
+        self.fx.clear();
+        let fd = self.state.op_install_fd(pid, object);
+        self.finish(|| Command::InstallFd { pid, object });
+        fd
     }
 
     /// Installs an existing object at exactly `at` (`dup2`-style
@@ -1153,12 +693,10 @@ impl Kernel {
     /// child's stdio number), displacing and (last-reference) closing
     /// whatever was there.
     pub fn install_fd_at(&mut self, pid: Pid, at: Fd, object: FdObject) -> Fd {
-        let displaced = self.fds.table(pid).install_at(at, object);
-        if let Some(old) = displaced {
-            let old_object = old.borrow().object;
-            self.finalize_close(old_object);
-        }
-        at
+        self.fx.clear();
+        let fd = self.state.op_install_fd_at(pid, at, object);
+        self.finish(|| Command::InstallFdAt { pid, at, object });
+        fd
     }
 
     /// Duplicates a descriptor (`dup(2)`) onto the lowest free number:
@@ -1168,10 +706,10 @@ impl Kernel {
     ///
     /// [`IolError::NotOpen`] if `fd` is not open.
     pub fn dup_fd(&mut self, pid: Pid, fd: Fd) -> Result<Fd, IolError> {
-        self.fds
-            .table(pid)
-            .dup(fd)
-            .ok_or(IolError::NotOpen { fd })
+        self.fx.clear();
+        let r = self.state.op_dup_fd(pid, fd);
+        self.finish(|| Command::DupFd { pid, fd });
+        r
     }
 
     /// Duplicates `src` onto exactly `dst` (`dup2(2)`), displacing and
@@ -1182,16 +720,10 @@ impl Kernel {
     ///
     /// [`IolError::NotOpen`] if `src` is not open.
     pub fn dup2_fd(&mut self, pid: Pid, src: Fd, dst: Fd) -> Result<Fd, IolError> {
-        let displaced = self
-            .fds
-            .table(pid)
-            .dup2(src, dst)
-            .ok_or(IolError::NotOpen { fd: src })?;
-        if let Some(old) = displaced {
-            let object = old.borrow().object;
-            self.finalize_close(object);
-        }
-        Ok(dst)
+        self.fx.clear();
+        let r = self.state.op_dup2_fd(pid, src, dst);
+        self.finish(|| Command::Dup2Fd { pid, src, dst });
+        r
     }
 
     /// Closes a descriptor (`close(2)`). When the last descriptor for a
@@ -1203,46 +735,10 @@ impl Kernel {
     ///
     /// [`IolError::NotOpen`] if `fd` is not open (double close).
     pub fn close_fd(&mut self, pid: Pid, fd: Fd) -> Result<(), IolError> {
-        let removed = self
-            .fds
-            .table(pid)
-            .close(fd)
-            .ok_or(IolError::NotOpen { fd })?;
-        let object = removed.borrow().object;
-        self.finalize_close(object);
-        Ok(())
-    }
-
-    /// Applies last-reference close semantics after a descriptor for
-    /// `object` was removed or displaced.
-    ///
-    /// Files have no last-close action, so they skip the registry scan
-    /// entirely — the common case (a server's 10k-file open set) closes
-    /// in O(log n).
-    fn finalize_close(&mut self, object: FdObject) {
-        if matches!(object, FdObject::File(_)) {
-            return;
-        }
-        if self.fds.object_referenced(object) {
-            return;
-        }
-        match object {
-            FdObject::PipeWrite(id) => self.pipe_close(id),
-            FdObject::PipeRead(id) => {
-                // The last reader hung up: writers get EPIPE from now
-                // on instead of filling a pipe nobody drains.
-                if let Some(slot) = self.pipes.get_mut(&id) {
-                    slot.reader_gone = true;
-                }
-            }
-            FdObject::Socket(id) => {
-                if let Some(sock) = self.sockets.get_mut(&id) {
-                    sock.closed = true;
-                    sock.inbound.clear();
-                }
-            }
-            FdObject::File(_) => unreachable!("files returned early"),
-        }
+        self.fx.clear();
+        let r = self.state.op_close_fd(pid, fd);
+        self.finish(|| Command::CloseFd { pid, fd });
+        r
     }
 
     /// Repositions a file descriptor (`lseek(2)`), resolving
@@ -1255,65 +751,15 @@ impl Kernel {
     /// [`IolError::BadFdKind`] for pipes/sockets (ESPIPE), and
     /// [`IolError::InvalidSeek`] when the resolved position is negative.
     pub fn lseek(&mut self, pid: Pid, fd: Fd, offset: i64, whence: Whence) -> IoResult<u64> {
-        let desc = self.resolve_fd(pid, fd)?;
-        let mut open = desc.borrow_mut();
-        let FdObject::File(file) = open.object else {
-            return Err(IolError::BadFdKind {
-                fd,
-                operation: "lseek",
-            });
-        };
-        let base: u64 = match whence {
-            Whence::Set => 0,
-            Whence::Cur => open.pos,
-            Whence::End => self.store.len(file).unwrap_or(0),
-        };
-        let target = base as i128 + offset as i128;
-        if target < 0 {
-            return Err(IolError::InvalidSeek { requested: offset });
-        }
-        open.pos = target as u64;
-        self.metrics.syscalls += 1;
-        let out = IoOutcome {
-            charge: Charge::us(self.cost.syscall_us),
-            ..IoOutcome::default()
-        };
-        Ok((open.pos, out))
-    }
-
-    /// The length of the file behind a descriptor (`fstat(2)`'s
-    /// `st_size`).
-    ///
-    /// # Errors
-    ///
-    /// [`IolError::NotOpen`] / [`IolError::BadFdKind`] as usual.
-    pub fn fd_len(&mut self, pid: Pid, fd: Fd) -> Result<u64, IolError> {
-        let file = self.fd_file(pid, fd)?;
-        Ok(self.store.len(file).unwrap_or(0))
-    }
-
-    /// The [`FileId`] behind a file descriptor — for cache-layer
-    /// bookkeeping ([`CacheKey`] pins, the mapped-file cache), never
-    /// for I/O.
-    ///
-    /// # Errors
-    ///
-    /// [`IolError::NotOpen`] / [`IolError::BadFdKind`] as usual.
-    pub fn fd_file(&mut self, pid: Pid, fd: Fd) -> Result<FileId, IolError> {
-        self.resolve_file(pid, fd, "file metadata")
-    }
-
-    /// The object behind a descriptor (`fstat`-style introspection; the
-    /// handle to pass [`Kernel::install_fd`]/[`Kernel::install_fd_at`]
-    /// when inheriting descriptors across processes, fork-style).
-    ///
-    /// # Errors
-    ///
-    /// [`IolError::NotOpen`] for unknown descriptors.
-    pub fn fd_object(&mut self, pid: Pid, fd: Fd) -> Result<FdObject, IolError> {
-        let desc = self.resolve_fd(pid, fd)?;
-        let object = desc.borrow().object;
-        Ok(object)
+        self.fx.clear();
+        let r = self.state.op_lseek(pid, fd, offset, whence, &mut self.fx);
+        self.finish(|| Command::Lseek {
+            pid,
+            fd,
+            offset,
+            whence,
+        });
+        r
     }
 
     /// `IOL_read` on a descriptor: files read at (and advance) the
@@ -1329,81 +775,10 @@ impl Kernel {
     /// writer is still open; [`IolError::PermissionDenied`] when an
     /// ACL'd pipe refuses the reader's domain.
     pub fn iol_read_fd(&mut self, pid: Pid, fd: Fd, len: u64) -> IoResult<Aggregate> {
-        let desc = self.resolve_fd(pid, fd)?;
-        let object = desc.borrow().object;
-        match object {
-            FdObject::File(file) => {
-                let pos = desc.borrow().pos;
-                let (agg, out) = self.read_file_at(pid, file, pos, len);
-                desc.borrow_mut().pos = pos + agg.len();
-                Ok((agg, out))
-            }
-            FdObject::PipeRead(pipe) => {
-                let (got, out) = self.pipe_read_inner(pid, pipe, len)?;
-                match got {
-                    Some(agg) => Ok((agg, out)),
-                    // Empty + closed is EOF (an empty read); empty +
-                    // open writer is EAGAIN, charged like any trap.
-                    None if self.pipes[&pipe].pipe.is_closed() => Ok((Aggregate::empty(), out)),
-                    None => Err(IolError::WouldBlock { outcome: out }),
-                }
-            }
-            FdObject::Socket(id) => self.socket_read(pid, fd, id, len),
-            FdObject::PipeWrite(_) => Err(IolError::BadFdKind {
-                fd,
-                operation: "read",
-            }),
-        }
-    }
-
-    /// Drains up to `len` bytes from a socket's inbound queue.
-    fn socket_read(&mut self, pid: Pid, _fd: Fd, id: ConnId, len: u64) -> IoResult<Aggregate> {
-        let mut out = IoOutcome {
-            charge: Charge::us(self.cost.syscall_us),
-            ..IoOutcome::default()
-        };
-        self.metrics.syscalls += 1;
-        let sock = self.sockets.get_mut(&id).expect("registered socket");
-        let mode = sock.conn.mode();
-        let mut agg = Aggregate::empty();
-        while agg.len() < len {
-            let Some(front) = sock.inbound.front_mut() else {
-                break;
-            };
-            let want = len - agg.len();
-            if front.len() <= want {
-                agg.append(front);
-                sock.inbound.pop_front();
-            } else {
-                let head = front.range(0, want).expect("in range");
-                front.advance(want);
-                agg.append(&head);
-            }
-        }
-        if agg.is_empty() {
-            // Local teardown or a remote hang-up both end the stream:
-            // once the queue is drained, reads return empty (EOF).
-            return if sock.closed || sock.peer_closed || len == 0 {
-                Ok((agg, out))
-            } else {
-                Err(IolError::WouldBlock { outcome: out })
-            };
-        }
-        match mode {
-            BufferMode::ZeroCopy => {
-                // recv by reference: first-time chunk mappings only.
-                let pages = self.transfer_to(&agg, pid.domain());
-                out.mapped_pages += pages;
-                out.charge += self.cost.page_maps(pages);
-            }
-            BufferMode::Copy => {
-                // Conventional recv copies socket-buffer data out.
-                let copied = agg.len();
-                self.metrics.bytes_copied += copied;
-                out.charge += self.cost.copy(copied);
-            }
-        }
-        Ok((agg, out))
+        self.fx.clear();
+        let r = self.state.op_iol_read_fd(pid, fd, len, &mut self.fx);
+        self.finish(|| Command::IolReadFd { pid, fd, len });
+        r
     }
 
     /// `IOL_write` on a descriptor: files replace at (and advance) the
@@ -1420,87 +795,14 @@ impl Kernel {
     /// [`IolError::ShortIo`] (carrying the partial count and its
     /// charge) when a pipe fills mid-write.
     pub fn iol_write_fd(&mut self, pid: Pid, fd: Fd, agg: &Aggregate) -> IoResult<u64> {
-        let desc = self.resolve_fd(pid, fd)?;
-        let object = desc.borrow().object;
-        match object {
-            FdObject::File(file) => {
-                let pos = desc.borrow().pos;
-                let out = self.write_file_at(pid, file, pos, agg);
-                desc.borrow_mut().pos = pos + agg.len();
-                Ok((agg.len(), out))
-            }
-            FdObject::PipeWrite(pipe) => {
-                let slot = &self.pipes[&pipe];
-                if slot.pipe.is_closed() || slot.reader_gone {
-                    // Writing with no write end left, or no reader left
-                    // to ever drain it, is EPIPE.
-                    return Err(IolError::Closed);
-                }
-                let (accepted, out) = self.pipe_write_inner(pid, pipe, agg);
-                if accepted == agg.len() {
-                    Ok((accepted, out))
-                } else if accepted == 0 {
-                    Err(IolError::WouldBlock { outcome: out })
-                } else {
-                    Err(IolError::ShortIo {
-                        done: accepted,
-                        outcome: out,
-                    })
-                }
-            }
-            FdObject::Socket(id) => {
-                let sock = self.sockets.get_mut(&id).expect("registered socket");
-                if sock.write_dead() {
-                    return Err(IolError::Closed);
-                }
-                // Nonblocking sockets honor the Tss send-buffer bound:
-                // accept only what fits, with `ShortIo` carrying the
-                // partial progress (the driver drains the buffer as the
-                // simulated wire ACKs it). Blocking sockets model the
-                // synchronous write-until-drained path and accept
-                // everything, as before.
-                let len = agg.len();
-                let space = sock.send_space();
-                self.metrics.syscalls += 1;
-                let out_base = IoOutcome {
-                    charge: Charge::us(self.cost.syscall_us),
-                    ..IoOutcome::default()
-                };
-                if space == 0 {
-                    return Err(IolError::WouldBlock { outcome: out_base });
-                }
-                let accept = len.min(space);
-                let window = if accept == len {
-                    None
-                } else {
-                    Some(agg.range(0, accept).expect("clamped send window"))
-                };
-                let sock = self.sockets.get_mut(&id).expect("registered socket");
-                let send = sock.conn.send(window.as_ref().unwrap_or(agg), &mut self.cksum);
-                if sock.nonblocking {
-                    sock.sndbuf_used += accept;
-                }
-                self.metrics.bytes_checksummed += send.csum_bytes_computed;
-                self.metrics.bytes_checksum_cached += send.csum_bytes_cached;
-                self.metrics.bytes_copied += send.bytes_copied;
-                let out = IoOutcome {
-                    net: Some(send),
-                    ..out_base
-                };
-                if accept == len {
-                    Ok((accept, out))
-                } else {
-                    Err(IolError::ShortIo {
-                        done: accept,
-                        outcome: out,
-                    })
-                }
-            }
-            FdObject::PipeRead(_) => Err(IolError::BadFdKind {
-                fd,
-                operation: "write",
-            }),
-        }
+        self.fx.clear();
+        let r = self.state.op_iol_write_fd(pid, fd, agg, &mut self.fx);
+        self.finish(|| Command::IolWriteFd {
+            pid,
+            fd,
+            agg: agg.clone(),
+        });
+        r
     }
 
     /// Positional `IOL_read` (`pread(2)`): reads a file descriptor at
@@ -1511,8 +813,15 @@ impl Kernel {
     /// [`IolError::NotOpen`] / [`IolError::BadFdKind`] (pipes and
     /// sockets have no positions).
     pub fn iol_pread(&mut self, pid: Pid, fd: Fd, offset: u64, len: u64) -> IoResult<Aggregate> {
-        let file = self.resolve_file(pid, fd, "positional file access")?;
-        Ok(self.read_file_at(pid, file, offset, len))
+        self.fx.clear();
+        let r = self.state.op_iol_pread(pid, fd, offset, len, &mut self.fx);
+        self.finish(|| Command::IolPread {
+            pid,
+            fd,
+            offset,
+            len,
+        });
+        r
     }
 
     /// Positional `IOL_write` (`pwrite(2)`).
@@ -1521,9 +830,15 @@ impl Kernel {
     ///
     /// As [`Kernel::iol_pread`].
     pub fn iol_pwrite(&mut self, pid: Pid, fd: Fd, offset: u64, agg: &Aggregate) -> IoResult<u64> {
-        let file = self.resolve_file(pid, fd, "positional file access")?;
-        let out = self.write_file_at(pid, file, offset, agg);
-        Ok((agg.len(), out))
+        self.fx.clear();
+        let r = self.state.op_iol_pwrite(pid, fd, offset, agg, &mut self.fx);
+        self.finish(|| Command::IolPwrite {
+            pid,
+            fd,
+            offset,
+            agg: agg.clone(),
+        });
+        r
     }
 
     /// Backward-compatible copying read on a file descriptor, advancing
@@ -1534,12 +849,10 @@ impl Kernel {
     /// As [`Kernel::iol_pread`] — pipes carry copy semantics through
     /// their mode instead.
     pub fn posix_read_fd(&mut self, pid: Pid, fd: Fd, len: u64) -> IoResult<Vec<u8>> {
-        let file = self.resolve_file(pid, fd, "posix_read")?;
-        let desc = self.resolve_fd(pid, fd)?;
-        let pos = desc.borrow().pos;
-        let (bytes, out) = self.posix_file_read(pid, file, pos, len);
-        desc.borrow_mut().pos = pos + bytes.len() as u64;
-        Ok((bytes, out))
+        self.fx.clear();
+        let r = self.state.op_posix_read_fd(pid, fd, len, &mut self.fx);
+        self.finish(|| Command::PosixReadFd { pid, fd, len });
+        r
     }
 
     /// Backward-compatible copying write on a file descriptor,
@@ -1549,12 +862,14 @@ impl Kernel {
     ///
     /// As [`Kernel::posix_read_fd`].
     pub fn posix_write_fd(&mut self, pid: Pid, fd: Fd, data: &[u8]) -> IoResult<u64> {
-        let file = self.resolve_file(pid, fd, "posix_write")?;
-        let desc = self.resolve_fd(pid, fd)?;
-        let pos = desc.borrow().pos;
-        let out = self.posix_file_write(pid, file, pos, data);
-        desc.borrow_mut().pos = pos + data.len() as u64;
-        Ok((data.len() as u64, out))
+        self.fx.clear();
+        let r = self.state.op_posix_write_fd(pid, fd, data, &mut self.fx);
+        self.finish(|| Command::PosixWriteFd {
+            pid,
+            fd,
+            data: data.to_vec(),
+        });
+        r
     }
 
     /// Maps the whole file behind a descriptor (§3.8 `mmap`).
@@ -1563,8 +878,10 @@ impl Kernel {
     ///
     /// As [`Kernel::iol_pread`].
     pub fn mmap_fd(&mut self, pid: Pid, fd: Fd) -> IoResult<MmapView> {
-        let file = self.resolve_file(pid, fd, "mmap")?;
-        Ok(self.file_mmap(pid, file))
+        self.fx.clear();
+        let r = self.state.op_mmap_fd(pid, fd, &mut self.fx);
+        self.finish(|| Command::MmapFd { pid, fd });
+        r
     }
 
     // ---- the stdio console (harness side of fds 0/1/2) ------------------
@@ -1577,22 +894,13 @@ impl Kernel {
     /// [`IolError::WouldBlock`]/[`IolError::ShortIo`] as for any pipe
     /// write when the console buffer fills.
     pub fn feed_stdin(&mut self, pid: Pid, data: &Aggregate) -> IoResult<u64> {
-        let console = self.consoles[&pid];
-        let slot = &self.pipes[&console.stdin];
-        if slot.pipe.is_closed() || slot.reader_gone {
-            return Err(IolError::Closed);
-        }
-        let (accepted, out) = self.pipe_write_inner(pid, console.stdin, data);
-        if accepted == data.len() {
-            Ok((accepted, out))
-        } else if accepted == 0 {
-            Err(IolError::WouldBlock { outcome: out })
-        } else {
-            Err(IolError::ShortIo {
-                done: accepted,
-                outcome: out,
-            })
-        }
+        self.fx.clear();
+        let r = self.state.op_feed_stdin(pid, data, &mut self.fx);
+        self.finish(|| Command::FeedStdin {
+            pid,
+            data: data.clone(),
+        });
+        r
     }
 
     /// Drains up to `max` bytes the process wrote to [`Fd::STDOUT`].
@@ -1602,8 +910,10 @@ impl Kernel {
     /// [`IolError::WouldBlock`] when nothing is buffered and the
     /// process still holds its write end.
     pub fn read_stdout(&mut self, pid: Pid, max: u64) -> IoResult<Aggregate> {
-        let console = self.consoles[&pid];
-        self.console_read(pid, console.stdout, max)
+        self.fx.clear();
+        let r = self.state.op_read_stdout(pid, max, &mut self.fx);
+        self.finish(|| Command::ReadStdout { pid, max });
+        r
     }
 
     /// Drains up to `max` bytes the process wrote to [`Fd::STDERR`].
@@ -1612,20 +922,12 @@ impl Kernel {
     ///
     /// As [`Kernel::read_stdout`].
     pub fn read_stderr(&mut self, pid: Pid, max: u64) -> IoResult<Aggregate> {
-        let console = self.consoles[&pid];
-        self.console_read(pid, console.stderr, max)
-    }
-
-    fn console_read(&mut self, pid: Pid, pipe: PipeId, max: u64) -> IoResult<Aggregate> {
-        let (got, out) = self.pipe_read_inner(pid, pipe, max)?;
-        match got {
-            Some(agg) => Ok((agg, out)),
-            None if self.pipes[&pipe].pipe.is_closed() => Ok((Aggregate::empty(), out)),
-            None => Err(IolError::WouldBlock { outcome: out }),
-        }
+        self.fx.clear();
+        let r = self.state.op_read_stderr(pid, max, &mut self.fx);
+        self.finish(|| Command::ReadStderr { pid, max });
+        r
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -41,6 +41,7 @@ pub mod kernel;
 pub mod metrics;
 pub mod poll;
 pub mod process;
+pub mod pure;
 pub mod stdio;
 
 pub use api::IolAgg;
@@ -51,4 +52,5 @@ pub use kernel::{ConnId, IoOutcome, Kernel, MappedFileCache, PipeEnd, PipeId};
 pub use metrics::Metrics;
 pub use poll::{Interest, PollFd, Readiness};
 pub use process::{Pid, Process};
+pub use pure::{apply, replay, step, Command, Effect, IdAlloc, Journal, KernelState, Reply};
 pub use stdio::{StdioIn, StdioMode, StdioOut};

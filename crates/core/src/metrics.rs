@@ -13,7 +13,7 @@ use iolite_sim::SimTime;
 use crate::cost::CostCategory;
 
 /// Mechanism-level event and time accounting.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct Metrics {
     /// Bytes physically copied, by any subsystem.
     pub bytes_copied: u64,

@@ -52,6 +52,16 @@ impl Process {
     pub fn pool(&self) -> &BufferPool {
         &self.default_pool
     }
+
+    /// Deep-forks the process for a kernel-state snapshot (the default
+    /// pool forks through the snapshot's shared [`iolite_buf::PoolForker`]).
+    pub(crate) fn fork(&self, forker: &mut iolite_buf::PoolForker) -> Process {
+        Process {
+            pid: self.pid,
+            name: self.name.clone(),
+            default_pool: self.default_pool.fork(forker),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,63 @@
+//! The functional core of the kernel: pure state, commands, effects.
+//!
+//! # Architecture map (PR 6)
+//!
+//! The kernel is split into a **functional core** (this module) and an
+//! **imperative shell** ([`crate::kernel::Kernel`]):
+//!
+//! ```text
+//!            applications / drivers / benches
+//!                         │
+//!                         ▼
+//!   ┌──────────────────────────────────────────────┐
+//!   │ imperative shell  crate::kernel::Kernel      │  journals Commands,
+//!   │   • public syscall surface (unchanged)       │  absorbs Effects into
+//!   │   • Metrics, Journal, reused effect buffer   │  Metrics
+//!   └──────────────┬───────────────────────────────┘
+//!                  │  state.op(args, &mut fx)
+//!                  ▼
+//!   ┌──────────────────────────────────────────────┐
+//!   │ functional core  crate::pure                 │
+//!   │   state.rs    KernelState: every byte of     │
+//!   │               kernel state as a value        │
+//!   │   ids.rs      IdAlloc: all id counters       │
+//!   │   command.rs  Command + Journal              │
+//!   │   effect.rs   Effect: side effects as data   │
+//!   │   apply.rs    step / apply / replay          │
+//!   │   ops_file.rs file + cache + VM ops          │
+//!   │   ops_pipe.rs pipe + console ops             │
+//!   │   ops_socket.rs TCP socket ops               │
+//!   │   ops_fd.rs   descriptor surface + poll      │
+//!   └──────────────────────────────────────────────┘
+//! ```
+//!
+//! The contract: every mutation of [`KernelState`] is expressible as a
+//! [`Command`]; [`apply`] (value semantics) and [`step`] (in-place, the
+//! shell's and [`replay`]'s engine) are **deterministic** — no I/O, no
+//! wall-clock time, no randomness. Observable side effects (CPU
+//! charges, copies, checksums, page mappings, disk traffic) leave the
+//! core only as [`Effect`] values; the shell folds them into
+//! [`crate::Metrics`]. Recording the command stream into a [`Journal`]
+//! and folding [`replay`] over it from the initial state reproduces the
+//! final [`KernelState::state_hash`] and metrics bit-for-bit.
+//!
+//! Purity is enforced in CI: nothing under `crates/core/src/pure/` may
+//! reach the host — the standard library's io/time/fs modules and any
+//! random-number source are banned by `clippy.toml` (disallowed types
+//! and methods) plus a grep gate in the workflow.
+
+mod apply;
+mod command;
+mod effect;
+mod ids;
+mod ops_fd;
+mod ops_file;
+mod ops_pipe;
+mod ops_socket;
+mod state;
+
+pub use apply::{apply, replay, step, Reply};
+pub use command::{Command, Journal};
+pub use effect::Effect;
+pub use ids::{ConnId, IdAlloc, PipeId};
+pub use state::{IoOutcome, KernelState, MappedFileCache, PipeEnd};

@@ -1,0 +1,331 @@
+//! File-system, unified-cache, window, and VM operations on
+//! [`KernelState`].
+//!
+//! Bodies are the former `Kernel` methods with one mechanical change:
+//! metric mutations became [`Effect`] pushes into the caller-supplied
+//! buffer, and device time is reported as [`Effect::DiskRead`] data
+//! instead of being accumulated in place.
+
+use iolite_buf::{Acl, Aggregate, ChunkId, DomainId};
+use iolite_fs::{CacheKey, FileContent, FileId};
+use iolite_vm::{MemAccount, MmapView};
+
+use super::effect::Effect;
+use super::state::{IoOutcome, KernelState};
+use crate::cost::Charge;
+use crate::process::Pid;
+
+impl KernelState {
+    // ---- file store ----------------------------------------------------
+
+    /// Creates a file with explicit contents.
+    pub(crate) fn op_create_file(&mut self, name: &str, data: &[u8]) -> FileId {
+        self.store
+            .create(name, FileContent::Explicit(data.to_vec()))
+    }
+
+    /// Creates a synthetic (pattern-generated) file.
+    pub(crate) fn op_create_synthetic_file(&mut self, name: &str, len: u64, seed: u64) -> FileId {
+        self.store.create_synthetic(name, len, seed)
+    }
+
+    /// Resolves a path through the metadata cache.
+    pub(crate) fn op_lookup(&mut self, name: &str, fx: &mut Vec<Effect>) -> (Option<FileId>, Charge) {
+        let store = &self.store;
+        let result = self.meta.lookup(name, || store.lookup(name));
+        let charge = match result {
+            Some((_, true)) => Charge::us(self.cost.syscall_us),
+            // A metadata miss costs an extra metadata-cache fill; the
+            // paper keeps metadata in the old buffer cache, so no device
+            // time is charged for the common in-memory case.
+            _ => Charge::us(self.cost.syscall_us * 3.0),
+        };
+        fx.push(Effect::Syscalls(1));
+        (result.map(|(id, _)| id), charge)
+    }
+
+    // ---- cache budget and VM pressure ----------------------------------
+
+    /// Re-syncs the file-cache budget with the memory accountant and
+    /// returns entries evicted by the shrink.
+    ///
+    /// Evictions are reported to the pageout daemon as replaced
+    /// cached-I/O pages, feeding the §3.7 trigger statistics.
+    pub(crate) fn op_rebalance_cache(&mut self) -> usize {
+        self.physmem
+            .set(MemAccount::FileCache, self.cache.resident_bytes());
+        let budget = self.physmem.cache_budget();
+        let evicted = self.cache.set_budget(budget);
+        for (_, agg) in &evicted {
+            let pages = agg.len().div_ceil(iolite_buf::PAGE_SIZE as u64);
+            for _ in 0..pages.min(64) {
+                self.pageout.page_replaced(iolite_vm::PageClass::CachedIo);
+            }
+        }
+        self.physmem
+            .set(MemAccount::FileCache, self.cache.resident_bytes());
+        evicted.len()
+    }
+
+    /// Reports VM replacement pressure from non-cache pages (application
+    /// anonymous memory being paged) and applies the §3.7 rule: if more
+    /// than half of recently replaced pages held cached I/O data, one
+    /// cache entry is evicted. Returns whether an eviction happened.
+    pub(crate) fn op_vm_pressure(&mut self, other_pages: u64) -> bool {
+        for _ in 0..other_pages {
+            self.pageout.page_replaced(iolite_vm::PageClass::Other);
+        }
+        if self.pageout.should_evict_cache_entry() {
+            if let Some((_, agg)) = self.cache.evict_one() {
+                // The evicted entry's dirty pages would go to their
+                // backing stores (paging space + the files they cache).
+                let pages = agg.len().div_ceil(iolite_buf::PAGE_SIZE as u64);
+                self.pageout
+                    .backing_store_write(1, pages * iolite_buf::PAGE_SIZE as u64);
+                self.pageout.eviction_performed();
+                self.physmem
+                    .set(MemAccount::FileCache, self.cache.resident_bytes());
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Pins a cache entry's key (e.g. while the network transmits it).
+    pub(crate) fn op_cache_pin(&mut self, key: CacheKey) {
+        self.cache.pin(&key);
+    }
+
+    /// Releases one pin on a cache key.
+    pub(crate) fn op_cache_unpin(&mut self, key: CacheKey) {
+        self.cache.unpin(&key);
+    }
+
+    /// Touches Flash's mapped-file cache; returns whether the file was
+    /// already mapped.
+    pub(crate) fn op_mapped_file_touch(&mut self, file: FileId) -> bool {
+        self.mapped_files.touch(file)
+    }
+
+    /// Reserves memory on an account in the physical-memory accountant.
+    pub(crate) fn op_mem_reserve(&mut self, account: MemAccount, bytes: u64) {
+        self.physmem.reserve(account, bytes);
+    }
+
+    /// Releases memory from an account.
+    pub(crate) fn op_mem_release(&mut self, account: MemAccount, bytes: u64) {
+        self.physmem.release(account, bytes);
+    }
+
+    // ---- reads, writes, mmap -------------------------------------------
+
+    /// Reads a file extent through the unified cache with IO-Lite
+    /// semantics: returns a buffer aggregate sharing the cache's
+    /// physical copy (`IOL_read`, §3.4).
+    ///
+    /// Less data than requested is returned at end-of-file (the API
+    /// explicitly allows short reads).
+    pub(crate) fn op_read_file_at(
+        &mut self,
+        pid: Pid,
+        file: FileId,
+        offset: u64,
+        len: u64,
+        fx: &mut Vec<Effect>,
+    ) -> (Aggregate, IoOutcome) {
+        let mut out = IoOutcome {
+            charge: Charge::us(self.cost.syscall_us),
+            ..IoOutcome::default()
+        };
+        fx.push(Effect::Syscalls(1));
+        let whole = self.op_read_whole_cached(file, &mut out, fx);
+        let flen = whole.len();
+        let start = offset.min(flen);
+        let take = len.min(flen - start);
+        let agg = whole.range(start, take).expect("clamped range");
+        // Transfer: make the aggregate's chunks readable in the caller.
+        let pages = self.op_transfer_to(&agg, pid.domain(), fx);
+        out.mapped_pages += pages;
+        out.charge += self.cost.page_maps(pages);
+        (agg, out)
+    }
+
+    /// Replaces a file extent with the contents of `agg` (`IOL_write`,
+    /// §3.4): the cached aggregate is replaced, never mutated, so prior
+    /// readers keep their snapshots (§3.5).
+    ///
+    /// Pins held on the key (e.g. by the network mid-transmission)
+    /// survive the replacement: the cache keys pin counts by
+    /// [`CacheKey`], not by entry generation, so a deferred unpin from
+    /// a pre-write transmission cannot strip the protection of a
+    /// post-write one.
+    pub(crate) fn op_write_file_at(
+        &mut self,
+        _pid: Pid,
+        file: FileId,
+        offset: u64,
+        agg: &Aggregate,
+        fx: &mut Vec<Effect>,
+    ) -> IoOutcome {
+        let mut out = IoOutcome {
+            charge: Charge::us(self.cost.syscall_us),
+            ..IoOutcome::default()
+        };
+        fx.push(Effect::Syscalls(1));
+        // Update the backing store vectored, run by run (write-back
+        // happens off the critical path; no device time charged here,
+        // and no materialization of the aggregate).
+        let mut run_offset = offset;
+        for chunk in agg.chunks() {
+            self.store.write(file, run_offset, chunk);
+            run_offset += chunk.len() as u64;
+        }
+        // Snapshot-preserving cache replacement: rebuild the whole-file
+        // entry as head ++ agg ++ tail, chaining by reference (indexed
+        // range views; slices outside the extent are not walked twice).
+        let key = CacheKey::whole(file);
+        if let Some(old) = self.cache.replace_for_write(&key) {
+            let head_len = offset.min(old.len());
+            let mut rebuilt = old.range(0, head_len).expect("clamped");
+            rebuilt.append(agg);
+            let tail_start = (offset + agg.len()).min(old.len());
+            rebuilt.append(&old.range(tail_start, old.len() - tail_start).expect("clamped"));
+            self.cache.insert(key, rebuilt);
+            self.op_rebalance_cache();
+        }
+        out.charge += Charge::ZERO;
+        out
+    }
+
+    /// Backward-compatible copying read at an explicit offset (§4.2:
+    /// "a data copy operation is used to move data between application
+    /// buffers and IO-Lite buffers").
+    pub(crate) fn op_posix_file_read(
+        &mut self,
+        _pid: Pid,
+        file: FileId,
+        offset: u64,
+        len: u64,
+        fx: &mut Vec<Effect>,
+    ) -> (Vec<u8>, IoOutcome) {
+        let mut out = IoOutcome {
+            charge: Charge::us(self.cost.syscall_us),
+            ..IoOutcome::default()
+        };
+        fx.push(Effect::Syscalls(1));
+        let whole = self.op_read_whole_cached(file, &mut out, fx);
+        let flen = whole.len();
+        let start = offset.min(flen);
+        let take = len.min(flen - start);
+        let mut dst = vec![0u8; take as usize];
+        whole.copy_to(start, &mut dst);
+        fx.push(Effect::BytesCopied(take));
+        out.charge += self.cost.cached_copy(take);
+        (dst, out)
+    }
+
+    /// Backward-compatible copying write at an explicit offset.
+    pub(crate) fn op_posix_file_write(
+        &mut self,
+        pid: Pid,
+        file: FileId,
+        offset: u64,
+        data: &[u8],
+        fx: &mut Vec<Effect>,
+    ) -> IoOutcome {
+        let agg = Aggregate::from_bytes(&self.cache_pool, data);
+        fx.push(Effect::BytesCopied(data.len() as u64));
+        let mut out = self.op_write_file_at(pid, file, offset, &agg, fx);
+        out.charge += self.cost.copy(data.len() as u64);
+        out
+    }
+
+    /// Maps a whole file (§3.8 `mmap`): contiguous view, lazy alignment
+    /// copies, COW against cached snapshots.
+    pub(crate) fn op_file_mmap(
+        &mut self,
+        pid: Pid,
+        file: FileId,
+        fx: &mut Vec<Effect>,
+    ) -> (MmapView, IoOutcome) {
+        let mut out = IoOutcome {
+            charge: Charge::us(self.cost.syscall_us),
+            ..IoOutcome::default()
+        };
+        fx.push(Effect::Syscalls(1));
+        let whole = self.op_read_whole_cached(file, &mut out, fx);
+        let pages = self.op_transfer_to(&whole, pid.domain(), fx);
+        out.mapped_pages += pages;
+        out.charge += self.cost.page_maps(pages);
+        (MmapView::new(whole), out)
+    }
+
+    /// Cache-or-disk read of the whole file, maintaining budgets.
+    pub(crate) fn op_read_whole_cached(
+        &mut self,
+        file: FileId,
+        out: &mut IoOutcome,
+        fx: &mut Vec<Effect>,
+    ) -> Aggregate {
+        let key = CacheKey::whole(file);
+        if let Some(agg) = self.cache.lookup(&key) {
+            out.cache_hit = true;
+            return agg;
+        }
+        let len = self.store.len(file).unwrap_or(0);
+        let bytes = self.store.read(file, 0, len).unwrap_or_default();
+        let agg = Aggregate::from_bytes_aligned(&self.cache_pool, &bytes, iolite_buf::PAGE_SIZE);
+        out.disk_bytes = len;
+        out.disk_time = self.disk.access_time(len);
+        fx.push(Effect::DiskRead {
+            file,
+            bytes: len,
+            time: out.disk_time,
+        });
+        // Admit, then shrink to budget; evicted chunks that drained
+        // return to the pool and are eventually released.
+        self.cache.insert(key, agg.clone());
+        self.op_rebalance_cache();
+        self.cache_pool.release_free_chunks(u64::MAX);
+        agg
+    }
+
+    // ---- window transfers ----------------------------------------------
+
+    /// Makes an aggregate's chunks readable in `domain`, charging only
+    /// first-time mappings (§3.2). Returns newly mapped pages.
+    pub(crate) fn op_transfer_to(
+        &mut self,
+        agg: &Aggregate,
+        domain: DomainId,
+        fx: &mut Vec<Effect>,
+    ) -> u64 {
+        let chunks: Vec<ChunkId> = agg.slices().map(|s| s.id().chunk).collect();
+        let pages = self
+            .window
+            .transfer(&chunks, domain, &self.cache_pool_acl.clone())
+            .unwrap_or(0);
+        fx.push(Effect::PagesMapped(pages));
+        pages
+    }
+
+    /// Like [`KernelState::op_transfer_to`] but enforcing an explicit
+    /// ACL (pipe transfers between mutually untrusting processes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`iolite_vm::AccessDenied`] when `domain` is not on
+    /// `acl`.
+    pub(crate) fn op_transfer_with_acl(
+        &mut self,
+        agg: &Aggregate,
+        domain: DomainId,
+        acl: &Acl,
+        fx: &mut Vec<Effect>,
+    ) -> Result<u64, iolite_vm::AccessDenied> {
+        let chunks: Vec<ChunkId> = agg.slices().map(|s| s.id().chunk).collect();
+        let pages = self.window.transfer(&chunks, domain, acl)?;
+        fx.push(Effect::PagesMapped(pages));
+        Ok(pages)
+    }
+}

@@ -1,0 +1,205 @@
+//! Pipe and stdio-console operations on [`KernelState`].
+
+use iolite_buf::{Acl, Aggregate};
+use iolite_ipc::{Pipe, PipeMode};
+
+use super::effect::Effect;
+use super::ids::PipeId;
+use super::state::{IoOutcome, KernelState, PipeSlot};
+use crate::cost::Charge;
+use crate::error::{IoResult, IolError};
+use crate::process::Pid;
+
+impl KernelState {
+    /// Creates a pipe in the given mode with the BSD 64KB buffer,
+    /// optionally governed by an explicit zero-copy ACL (the writer
+    /// pool's ACL, §3.10).
+    ///
+    /// Copy-mode staging buffers draw their scratch-pool id from the
+    /// central [`super::IdAlloc`] so two kernels replaying the same
+    /// commands mint identical pool ids.
+    pub(crate) fn op_pipe_create(
+        &mut self,
+        mode: PipeMode,
+        acl: Option<Acl>,
+        _fx: &mut Vec<Effect>,
+    ) -> PipeId {
+        let id = self.ids.alloc_pipe();
+        let scratch = self.ids.alloc_scratch_pool();
+        self.pipes.insert(
+            id,
+            PipeSlot {
+                pipe: Pipe::with_scratch_id(mode, 64 * 1024, scratch),
+                acl,
+                reader_gone: false,
+            },
+        );
+        id
+    }
+
+    /// The raw-id pipe write behind `iol_write_fd`.
+    pub(crate) fn op_pipe_write(
+        &mut self,
+        _pid: Pid,
+        id: PipeId,
+        data: &Aggregate,
+        fx: &mut Vec<Effect>,
+    ) -> (u64, IoOutcome) {
+        let mut out = IoOutcome {
+            charge: Charge::us(self.cost.syscall_us),
+            ..IoOutcome::default()
+        };
+        fx.push(Effect::Syscalls(1));
+        let slot = self.pipes.get_mut(&id).expect("unknown pipe");
+        let before = slot.pipe.stats().bytes_copied;
+        let accepted = slot.pipe.write(data);
+        let copied = slot.pipe.stats().bytes_copied - before;
+        if copied > 0 {
+            fx.push(Effect::BytesCopied(copied));
+            out.charge += self.cost.copy(copied);
+        }
+        (accepted, out)
+    }
+
+    /// The raw-id pipe read behind `iol_read_fd`; zero-copy pipes also
+    /// transfer the received chunks into the reader's domain (first
+    /// time only — recycled buffers ride existing mappings, §3.2),
+    /// enforcing the pipe's ACL when it carries one.
+    pub(crate) fn op_pipe_read(
+        &mut self,
+        pid: Pid,
+        id: PipeId,
+        max: u64,
+        fx: &mut Vec<Effect>,
+    ) -> Result<(Option<Aggregate>, IoOutcome), IolError> {
+        let mut out = IoOutcome {
+            charge: Charge::us(self.cost.syscall_us),
+            ..IoOutcome::default()
+        };
+        fx.push(Effect::Syscalls(1));
+        let slot = self.pipes.get_mut(&id).expect("unknown pipe");
+        // ACL'd pipes refuse unauthorized readers *before* any byte is
+        // dequeued: a denial must not destroy data still in flight to
+        // the legitimate reader.
+        if let Some(acl) = &slot.acl {
+            if !acl.allows(pid.domain()) {
+                return Err(IolError::PermissionDenied {
+                    domain: pid.domain(),
+                });
+            }
+        }
+        let mode = slot.pipe.mode();
+        let acl = slot.acl.clone();
+        let before = slot.pipe.stats().bytes_copied;
+        let got = slot.pipe.read(max);
+        let copied = slot.pipe.stats().bytes_copied - before;
+        if copied > 0 {
+            fx.push(Effect::BytesCopied(copied));
+            out.charge += self.cost.copy(copied);
+        }
+        if let (Some(agg), PipeMode::ZeroCopy) = (&got, mode) {
+            // Pass-by-reference: the reader needs (at most first-time)
+            // read mappings, gated by the pipe's ACL when it carries one
+            // (pipes between mutually untrusting processes); plain pipes
+            // rely on pool ACLs at allocation sites.
+            let pages = match &acl {
+                Some(acl) => self
+                    .op_transfer_with_acl(agg, pid.domain(), acl, fx)
+                    .map_err(|denied| IolError::PermissionDenied {
+                        domain: denied.domain,
+                    })?,
+                None => self.op_transfer_to(agg, pid.domain(), fx),
+            };
+            out.mapped_pages += pages;
+            out.charge += self.cost.page_maps(pages);
+        }
+        Ok((got, out))
+    }
+
+    /// Closes a pipe's write end by raw id (descriptor holders go
+    /// through `close_fd`, which calls this on last close).
+    pub(crate) fn op_pipe_close(&mut self, id: PipeId) {
+        if let Some(slot) = self.pipes.get_mut(&id) {
+            slot.pipe.close();
+        }
+    }
+
+    // ---- the stdio console (harness side of fds 0/1/2) ------------------
+
+    /// Writes `data` into `pid`'s stdin console pipe (the harness
+    /// playing the terminal); the process reads it at fd 0.
+    ///
+    /// # Errors
+    ///
+    /// [`IolError::WouldBlock`]/[`IolError::ShortIo`] as for any pipe
+    /// write when the console buffer fills.
+    pub(crate) fn op_feed_stdin(
+        &mut self,
+        pid: Pid,
+        data: &Aggregate,
+        fx: &mut Vec<Effect>,
+    ) -> IoResult<u64> {
+        let console = self.consoles[&pid];
+        let slot = &self.pipes[&console.stdin];
+        if slot.pipe.is_closed() || slot.reader_gone {
+            return Err(IolError::Closed);
+        }
+        let (accepted, out) = self.op_pipe_write(pid, console.stdin, data, fx);
+        if accepted == data.len() {
+            Ok((accepted, out))
+        } else if accepted == 0 {
+            Err(IolError::WouldBlock { outcome: out })
+        } else {
+            Err(IolError::ShortIo {
+                done: accepted,
+                outcome: out,
+            })
+        }
+    }
+
+    /// Drains up to `max` bytes the process wrote to fd 1.
+    ///
+    /// # Errors
+    ///
+    /// [`IolError::WouldBlock`] when nothing is buffered and the
+    /// process still holds its write end.
+    pub(crate) fn op_read_stdout(
+        &mut self,
+        pid: Pid,
+        max: u64,
+        fx: &mut Vec<Effect>,
+    ) -> IoResult<Aggregate> {
+        let console = self.consoles[&pid];
+        self.op_console_read(pid, console.stdout, max, fx)
+    }
+
+    /// Drains up to `max` bytes the process wrote to fd 2.
+    ///
+    /// # Errors
+    ///
+    /// As [`KernelState::op_read_stdout`].
+    pub(crate) fn op_read_stderr(
+        &mut self,
+        pid: Pid,
+        max: u64,
+        fx: &mut Vec<Effect>,
+    ) -> IoResult<Aggregate> {
+        let console = self.consoles[&pid];
+        self.op_console_read(pid, console.stderr, max, fx)
+    }
+
+    fn op_console_read(
+        &mut self,
+        pid: Pid,
+        pipe: PipeId,
+        max: u64,
+        fx: &mut Vec<Effect>,
+    ) -> IoResult<Aggregate> {
+        let (got, out) = self.op_pipe_read(pid, pipe, max, fx)?;
+        match got {
+            Some(agg) => Ok((agg, out)),
+            None if self.pipes[&pipe].pipe.is_closed() => Ok((Aggregate::empty(), out)),
+            None => Err(IolError::WouldBlock { outcome: out }),
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! TCP socket operations on [`KernelState`].
+
+use std::collections::VecDeque;
+
+use iolite_buf::Aggregate;
+use iolite_net::{BufferMode, MbufChain, SendOutcome, TcpConn};
+
+use super::effect::Effect;
+use super::ids::ConnId;
+use super::state::{IoOutcome, KernelSocket, KernelState};
+use crate::cost::Charge;
+use crate::error::{IoResult, IolError};
+use crate::fd::{Fd, FdObject};
+use crate::process::Pid;
+
+impl KernelState {
+    /// Creates a TCP connection in the kernel's socket registry and
+    /// installs a descriptor for it in `pid`'s table. The §3.4 promise
+    /// made real: the same `IOL_read`/`IOL_write` calls that act on
+    /// files and pipes drive the socket's zero-copy (or copying) send
+    /// path.
+    pub(crate) fn op_socket_create(
+        &mut self,
+        pid: Pid,
+        mode: BufferMode,
+        mss: usize,
+        tss: usize,
+    ) -> Fd {
+        let id = self.ids.alloc_conn();
+        self.sockets.insert(
+            id,
+            KernelSocket {
+                conn: TcpConn::new(id.0, mode, mss, tss),
+                inbound: VecDeque::new(),
+                closed: false,
+                peer_closed: false,
+                nonblocking: false,
+                sndbuf_used: 0,
+            },
+        );
+        self.fds.table(pid).install(FdObject::Socket(id))
+    }
+
+    /// Delivers inbound payload to a socket (the receive path's
+    /// hand-off after demux/reassembly, or a test harness playing the
+    /// remote peer). The data becomes readable through `iol_read_fd`.
+    pub(crate) fn op_socket_deliver(
+        &mut self,
+        pid: Pid,
+        fd: Fd,
+        payload: Aggregate,
+    ) -> IoResult<u64> {
+        let id = self.resolve_socket(pid, fd, "socket delivery")?;
+        let sock = self.sockets.get_mut(&id).expect("registered socket");
+        if sock.closed || sock.peer_closed {
+            return Err(IolError::Closed);
+        }
+        let len = payload.len();
+        sock.inbound.push_back(payload);
+        Ok((len, IoOutcome::default()))
+    }
+
+    /// Accounting-only send on a *copy-mode* socket descriptor: the
+    /// conventional `write(2)` path, whose costs depend only on the
+    /// byte count (copies have no identity, so no cache can apply).
+    pub(crate) fn op_socket_send_accounted(
+        &mut self,
+        pid: Pid,
+        fd: Fd,
+        len: u64,
+        fx: &mut Vec<Effect>,
+    ) -> IoResult<SendOutcome> {
+        let id = self.resolve_socket(pid, fd, "accounted socket send")?;
+        let sock = self.sockets.get_mut(&id).expect("registered socket");
+        if sock.write_dead() {
+            return Err(IolError::Closed);
+        }
+        let send = sock.conn.send_accounted(len);
+        fx.push(Effect::Syscalls(1));
+        fx.push(Effect::BytesCopied(send.bytes_copied));
+        fx.push(Effect::BytesChecksummed(send.csum_bytes_computed));
+        let out = IoOutcome {
+            charge: Charge::us(self.cost.syscall_us),
+            net: Some(send),
+            ..IoOutcome::default()
+        };
+        Ok((send, out))
+    }
+
+    /// Materializes the actual TCP segment chains a descriptor write of
+    /// `payload` would emit (end-to-end byte-exactness tests; the hot
+    /// path only needs `iol_write_fd`'s accounting).
+    pub(crate) fn op_socket_transmit_segments(
+        &mut self,
+        pid: Pid,
+        fd: Fd,
+        payload: &Aggregate,
+    ) -> IoResult<Vec<MbufChain>> {
+        let id = self.resolve_socket(pid, fd, "segment materialization")?;
+        let sock = self.sockets.get_mut(&id).expect("registered socket");
+        if sock.write_dead() {
+            return Err(IolError::Closed);
+        }
+        let chains = sock.conn.build_segments(payload);
+        let out = IoOutcome {
+            charge: Charge::us(self.cost.syscall_us),
+            ..IoOutcome::default()
+        };
+        Ok((chains, out))
+    }
+
+    /// Sets a socket descriptor's `O_NONBLOCK` flag.
+    ///
+    /// # Errors
+    ///
+    /// [`IolError::NotOpen`] / [`IolError::BadFdKind`] as usual.
+    pub(crate) fn op_set_nonblocking(
+        &mut self,
+        pid: Pid,
+        fd: Fd,
+        nonblocking: bool,
+    ) -> Result<(), IolError> {
+        let id = self.resolve_socket(pid, fd, "set O_NONBLOCK")?;
+        let sock = self.sockets.get_mut(&id).expect("registered socket");
+        sock.nonblocking = nonblocking;
+        Ok(())
+    }
+
+    /// Acknowledges up to `max` bytes of a nonblocking socket's send
+    /// buffer (the wire drained them), returning the bytes freed. No
+    /// CPU is charged — per-packet and checksum work was already billed
+    /// at send time.
+    ///
+    /// # Errors
+    ///
+    /// [`IolError::NotOpen`] / [`IolError::BadFdKind`] as usual, and
+    /// [`IolError::Closed`] once the peer hung up — a dead peer
+    /// acknowledges nothing, so unacknowledged bytes can never drain
+    /// and the in-flight response must be failed, not completed.
+    pub(crate) fn op_socket_drain(&mut self, pid: Pid, fd: Fd, max: u64) -> Result<u64, IolError> {
+        let id = self.resolve_socket(pid, fd, "send-buffer drain")?;
+        let sock = self.sockets.get_mut(&id).expect("registered socket");
+        if sock.write_dead() {
+            return Err(IolError::Closed);
+        }
+        let take = sock.sndbuf_used.min(max);
+        sock.sndbuf_used -= take;
+        Ok(take)
+    }
+
+    /// Marks a socket's remote side as hung up (FIN/RST arrived): reads
+    /// drain the delivered data then return EOF, writes fail with
+    /// [`IolError::Closed`], and `iol_poll` reports `eof`/`epipe`.
+    ///
+    /// # Errors
+    ///
+    /// [`IolError::NotOpen`] / [`IolError::BadFdKind`] as usual.
+    pub(crate) fn op_socket_peer_close(&mut self, pid: Pid, fd: Fd) -> Result<(), IolError> {
+        let id = self.resolve_socket(pid, fd, "peer close")?;
+        let sock = self.sockets.get_mut(&id).expect("registered socket");
+        sock.peer_closed = true;
+        Ok(())
+    }
+
+    /// Enables or disables the §3.9 checksum cache.
+    pub(crate) fn op_set_checksum_cache(&mut self, enabled: bool) {
+        self.cksum.set_enabled(enabled);
+    }
+
+    /// Drains up to `len` bytes from a socket's inbound queue.
+    pub(crate) fn op_socket_read(
+        &mut self,
+        pid: Pid,
+        _fd: Fd,
+        id: ConnId,
+        len: u64,
+        fx: &mut Vec<Effect>,
+    ) -> IoResult<Aggregate> {
+        let mut out = IoOutcome {
+            charge: Charge::us(self.cost.syscall_us),
+            ..IoOutcome::default()
+        };
+        fx.push(Effect::Syscalls(1));
+        let sock = self.sockets.get_mut(&id).expect("registered socket");
+        let mode = sock.conn.mode();
+        let mut agg = Aggregate::empty();
+        while agg.len() < len {
+            let Some(front) = sock.inbound.front_mut() else {
+                break;
+            };
+            let want = len - agg.len();
+            if front.len() <= want {
+                agg.append(front);
+                sock.inbound.pop_front();
+            } else {
+                let head = front.range(0, want).expect("in range");
+                front.advance(want);
+                agg.append(&head);
+            }
+        }
+        if agg.is_empty() {
+            // Local teardown or a remote hang-up both end the stream:
+            // once the queue is drained, reads return empty (EOF).
+            return if sock.closed || sock.peer_closed || len == 0 {
+                Ok((agg, out))
+            } else {
+                Err(IolError::WouldBlock { outcome: out })
+            };
+        }
+        match mode {
+            BufferMode::ZeroCopy => {
+                // recv by reference: first-time chunk mappings only.
+                let pages = self.op_transfer_to(&agg, pid.domain(), fx);
+                out.mapped_pages += pages;
+                out.charge += self.cost.page_maps(pages);
+            }
+            BufferMode::Copy => {
+                // Conventional recv copies socket-buffer data out.
+                let copied = agg.len();
+                fx.push(Effect::BytesCopied(copied));
+                out.charge += self.cost.copy(copied);
+            }
+        }
+        Ok((agg, out))
+    }
+}

@@ -1,0 +1,623 @@
+//! [`KernelState`]: every byte of kernel state as one pure value.
+//!
+//! The struct composes all IO-Lite subsystems (window, cache, checksum
+//! cache, pipes, sockets, descriptor registry, …) plus the sequential
+//! clock and the central [`IdAlloc`]. Mutations live in the `ops_*`
+//! sibling modules as `op_*` methods taking an explicit effect buffer;
+//! this file holds the aux value types, the constructor, the read-only
+//! query surface, [`KernelState::snapshot`] (a deep, identity-preserving
+//! fork), and [`KernelState::state_hash`] (a stable digest used to prove
+//! replay equivalence).
+
+use std::collections::{BTreeMap, VecDeque};
+
+use iolite_buf::{digest_aggregate, Acl, Aggregate, BufferPool, Fnv64, PoolForker, PoolId};
+use iolite_fs::{DiskModel, FileId, FileStore, MetadataCache, Policy, UnifiedCache};
+use iolite_ipc::Pipe;
+use iolite_net::{ChecksumCache, PacketFilter, SendOutcome, TcpConn};
+use iolite_sim::SimTime;
+use iolite_vm::{IoLiteWindow, MemAccount, PageoutDaemon, PhysMemory};
+
+use super::ids::{ConnId, IdAlloc, PipeId};
+use crate::cost::{Charge, CostCategory, CostModel};
+use crate::error::IolError;
+use crate::fd::{Fd, FdObject, FdRegistry, OpenFileRef};
+use crate::process::{Pid, Process};
+
+use super::effect::Effect;
+
+/// A bounded LRU set of mapped files: Flash's mapped-file cache.
+///
+/// Flash keeps recently served files mmap'd; a miss costs an
+/// `mmap`/`munmap` cycle. Flash-Lite has no equivalent cost — IO-Lite
+/// window mappings persist at chunk granularity (§3.2).
+#[derive(Debug, Default, Clone)]
+pub struct MappedFileCache {
+    capacity: usize,
+    clock: u64,
+    entries: std::collections::HashMap<FileId, u64>,
+}
+
+impl MappedFileCache {
+    /// Creates a cache of the given capacity (0 disables caching: every
+    /// touch misses, which models Apache's map-per-request behaviour).
+    pub fn new(capacity: usize) -> Self {
+        MappedFileCache {
+            capacity,
+            clock: 0,
+            entries: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Touches a file; returns `true` if it was already mapped.
+    pub fn touch(&mut self, file: FileId) -> bool {
+        self.clock += 1;
+        if self.capacity == 0 {
+            return false;
+        }
+        if let Some(stamp) = self.entries.get_mut(&file) {
+            *stamp = self.clock;
+            return true;
+        }
+        if self.entries.len() >= self.capacity {
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, &stamp)| stamp)
+                .map(|(&f, _)| f)
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(file, self.clock);
+        false
+    }
+
+    /// Number of files currently mapped.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Folds the cache's state into a stable digest (sorted iteration;
+    /// stamps are unique, so order is well defined).
+    pub fn digest(&self, h: &mut Fnv64) {
+        h.write_usize(self.capacity);
+        h.write_u64(self.clock);
+        h.write_usize(self.entries.len());
+        let mut files: Vec<FileId> = self.entries.keys().copied().collect();
+        files.sort_unstable();
+        for f in files {
+            h.write_u64(f.0);
+            h.write_u64(self.entries[&f]);
+        }
+    }
+}
+
+/// Which end of a pipe a file descriptor refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipeEnd {
+    /// The reading end.
+    Read,
+    /// The writing end.
+    Write,
+}
+
+/// The outcome of one kernel operation: simulated CPU cost plus any
+/// device time the caller must schedule.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct IoOutcome {
+    /// CPU time consumed by the operation.
+    pub charge: Charge,
+    /// Whether the file cache satisfied the request.
+    pub cache_hit: bool,
+    /// Bytes read from the disk device (0 on hits).
+    pub disk_bytes: u64,
+    /// Device service time for those bytes (not CPU; schedule on the
+    /// disk resource).
+    pub disk_time: SimTime,
+    /// New page mappings this operation established.
+    pub mapped_pages: u64,
+    /// Network send accounting when the descriptor was a socket
+    /// (segments, checksum bytes computed vs cached, copies, socket
+    /// buffer occupancy). `None` for files and pipes.
+    pub net: Option<SendOutcome>,
+}
+
+/// A kernel-owned TCP socket: the connection state plus an inbound
+/// byte queue fed by the receive path (or test harnesses).
+#[derive(Debug)]
+pub(crate) struct KernelSocket {
+    pub(crate) conn: TcpConn,
+    pub(crate) inbound: VecDeque<Aggregate>,
+    /// The local side tore the connection down (last descriptor gone).
+    pub(crate) closed: bool,
+    /// The remote side hung up (FIN/RST): reads drain then EOF, writes
+    /// are EPIPE — the "descriptor becomes ready because the peer
+    /// closed" case an event loop must observe through `iol_poll`.
+    pub(crate) peer_closed: bool,
+    /// `O_NONBLOCK`: writes respect the Tss send-buffer bound with
+    /// partial progress instead of accepting everything at once.
+    pub(crate) nonblocking: bool,
+    /// Unacknowledged bytes occupying the send buffer (nonblocking
+    /// sockets only; the driver drains them as simulated ACKs arrive
+    /// via `socket_drain`).
+    pub(crate) sndbuf_used: u64,
+}
+
+impl KernelSocket {
+    /// Whether writes can never succeed again (local teardown or a
+    /// remote hang-up).
+    pub(crate) fn write_dead(&self) -> bool {
+        self.closed || self.peer_closed
+    }
+
+    /// Bytes a write may accept right now: the Tss bound for
+    /// nonblocking sockets, unbounded for blocking ones (which model
+    /// write-until-drained).
+    pub(crate) fn send_space(&self) -> u64 {
+        if self.nonblocking {
+            (self.conn.tss() as u64).saturating_sub(self.sndbuf_used)
+        } else {
+            u64::MAX
+        }
+    }
+
+    /// Deep-forks the socket for a state snapshot, rebinding the
+    /// inbound queue's aggregates through `forker`.
+    fn fork(&self, forker: &mut PoolForker) -> KernelSocket {
+        KernelSocket {
+            conn: self.conn.clone(),
+            inbound: self.inbound.iter().map(|a| forker.fork_aggregate(a)).collect(),
+            closed: self.closed,
+            peer_closed: self.peer_closed,
+            nonblocking: self.nonblocking,
+            sndbuf_used: self.sndbuf_used,
+        }
+    }
+
+    /// Folds the socket's state into a stable digest.
+    fn digest(&self, h: &mut Fnv64) {
+        self.conn.digest(h);
+        h.write_usize(self.inbound.len());
+        for a in &self.inbound {
+            digest_aggregate(a, h);
+        }
+        h.write_bool(self.closed);
+        h.write_bool(self.peer_closed);
+        h.write_bool(self.nonblocking);
+        h.write_u64(self.sndbuf_used);
+    }
+}
+
+/// A kernel pipe plus the ACL governing zero-copy transfers out of it
+/// (`None` = the permissive kernel default; pipes between mutually
+/// untrusting processes carry the writer pool's ACL, §3.10).
+#[derive(Debug)]
+pub(crate) struct PipeSlot {
+    pub(crate) pipe: Pipe,
+    pub(crate) acl: Option<Acl>,
+    /// Set when the last read-end descriptor disappears: subsequent
+    /// writes are `EPIPE` — there is nobody left to drain the pipe.
+    pub(crate) reader_gone: bool,
+}
+
+impl PipeSlot {
+    fn fork(&self, forker: &mut PoolForker) -> PipeSlot {
+        PipeSlot {
+            pipe: self.pipe.fork(forker),
+            acl: self.acl.clone(),
+            reader_gone: self.reader_gone,
+        }
+    }
+
+    fn digest(&self, h: &mut Fnv64) {
+        // ACLs are fixed at creation and fully determined by the
+        // creating command; presence is enough to separate the shapes.
+        h.write_bool(self.acl.is_some());
+        h.write_bool(self.reader_gone);
+        self.pipe.digest(h);
+    }
+}
+
+/// The stdio console pipes backing a process's fds 0/1/2.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Console {
+    pub(crate) stdin: PipeId,
+    pub(crate) stdout: PipeId,
+    pub(crate) stderr: PipeId,
+}
+
+/// The complete simulated-kernel state as a pure value.
+///
+/// Subsystem fields are public by design, mirroring the shell's
+/// historical surface: experiment drivers reach directly into the
+/// checksum cache, the memory accountant, the packet filter — the same
+/// way kernel subsystems reach each other. (Direct field mutation is
+/// shell-side convenience; only `op_*` mutations are journaled.)
+pub struct KernelState {
+    /// The machine/cost model.
+    pub cost: CostModel,
+    /// The IO-Lite window (chunk mappings per domain).
+    pub window: IoLiteWindow,
+    /// Physical-memory accountant.
+    pub physmem: PhysMemory,
+    /// The §3.7 pageout daemon.
+    pub pageout: PageoutDaemon,
+    /// File contents.
+    pub store: FileStore,
+    /// The "old" metadata buffer cache.
+    pub meta: MetadataCache,
+    /// The unified IO-Lite file cache.
+    pub cache: UnifiedCache,
+    /// The Internet checksum cache (§3.9).
+    pub cksum: ChecksumCache,
+    /// The early-demux packet filter (§3.6).
+    pub filter: PacketFilter,
+    /// Disk timing model.
+    pub disk: DiskModel,
+    /// Flash's mapped-file cache (conventional servers only).
+    pub mapped_files: MappedFileCache,
+    /// The pool backing the file cache. Its ACL is extended to every
+    /// process that reads files: web content is world-readable, and the
+    /// paper's private-data story (separate per-process/CGI pools) is
+    /// carried by the per-process pools instead.
+    pub(crate) cache_pool: BufferPool,
+    pub(crate) cache_pool_acl: Acl,
+    pub(crate) processes: BTreeMap<Pid, Process>,
+    pub(crate) pipes: BTreeMap<PipeId, PipeSlot>,
+    pub(crate) sockets: BTreeMap<ConnId, KernelSocket>,
+    pub(crate) consoles: BTreeMap<Pid, Console>,
+    pub(crate) fds: FdRegistry,
+    pub(crate) ids: IdAlloc,
+    pub(crate) clock: SimTime,
+}
+
+impl KernelState {
+    /// Creates the initial kernel state for a machine model and file-
+    /// cache policy. Pure: two calls with equal arguments produce
+    /// states with equal [`KernelState::state_hash`].
+    pub fn new(cost: CostModel, policy: Policy) -> Self {
+        let mut physmem = PhysMemory::new(cost.ram_bytes);
+        physmem.reserve(MemAccount::Kernel, cost.kernel_reserve_bytes);
+        let budget = physmem.cache_budget();
+        let disk = DiskModel {
+            avg_position_ms: cost.disk_position_ms,
+            transfer_mb_s: cost.disk_mb_s,
+        };
+        KernelState {
+            cost,
+            window: IoLiteWindow::new(iolite_buf::DEFAULT_CHUNK_SIZE),
+            physmem,
+            pageout: PageoutDaemon::new(),
+            store: FileStore::new(),
+            meta: MetadataCache::new(4096),
+            cache: UnifiedCache::new(policy, budget),
+            cksum: ChecksumCache::new(1 << 16),
+            filter: PacketFilter::new(),
+            disk,
+            mapped_files: MappedFileCache::new(cost.flash_mapped_cache_files),
+            cache_pool: BufferPool::new(
+                PoolId(0),
+                Acl::kernel_only(),
+                iolite_buf::DEFAULT_CHUNK_SIZE,
+            ),
+            cache_pool_acl: Acl::kernel_only(),
+            processes: BTreeMap::new(),
+            pipes: BTreeMap::new(),
+            sockets: BTreeMap::new(),
+            consoles: BTreeMap::new(),
+            fds: FdRegistry::new(),
+            ids: IdAlloc::new(),
+            clock: SimTime::ZERO,
+        }
+    }
+
+    // ---- clock ---------------------------------------------------------
+
+    /// The kernel's sequential clock (used by the application harness;
+    /// the Web driver uses an external event clock instead).
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Adds CPU time to the sequential clock, reporting the charge as
+    /// an effect (the shell folds it into the metrics breakdown).
+    pub(crate) fn op_charge(&mut self, cat: CostCategory, c: Charge, fx: &mut Vec<Effect>) {
+        self.clock += c.time;
+        fx.push(Effect::Charge {
+            category: cat,
+            time: c.time,
+        });
+    }
+
+    /// Advances the sequential clock by non-CPU time (e.g. disk waits).
+    pub(crate) fn op_advance(&mut self, t: SimTime) {
+        self.clock += t;
+    }
+
+    /// Resets the sequential clock.
+    pub(crate) fn op_reset_clock(&mut self) {
+        self.clock = SimTime::ZERO;
+    }
+
+    /// Reports `n` process context switches as an effect.
+    pub(crate) fn op_context_switch(&self, n: u64, fx: &mut Vec<Effect>) {
+        fx.push(Effect::ContextSwitches(n));
+    }
+
+    // ---- processes and pools -------------------------------------------
+
+    /// Spawns a process: private default pool, stdio console triple at
+    /// fds 0/1/2.
+    pub(crate) fn op_spawn(&mut self, name: String, fx: &mut Vec<Effect>) -> Pid {
+        let pid = self.ids.alloc_pid();
+        let pool_id = self.ids.alloc_pool();
+        let proc = Process::new(pid, name, pool_id, iolite_buf::DEFAULT_CHUNK_SIZE);
+        // File data read by this process becomes readable to it.
+        self.cache_pool_acl.grant(pid.domain());
+        self.processes.insert(pid, proc);
+        // The stdio triple: three zero-copy console pipes, wired to the
+        // conventional descriptor numbers.
+        let console = Console {
+            stdin: self.op_pipe_create(iolite_ipc::PipeMode::ZeroCopy, None, fx),
+            stdout: self.op_pipe_create(iolite_ipc::PipeMode::ZeroCopy, None, fx),
+            stderr: self.op_pipe_create(iolite_ipc::PipeMode::ZeroCopy, None, fx),
+        };
+        self.consoles.insert(pid, console);
+        let table = self.fds.table(pid);
+        table.install_at(Fd::STDIN, FdObject::PipeRead(console.stdin));
+        table.install_at(Fd::STDOUT, FdObject::PipeWrite(console.stdout));
+        table.install_at(Fd::STDERR, FdObject::PipeWrite(console.stderr));
+        pid
+    }
+
+    /// Creates an additional allocation pool (`IOL_create_pool`, §3.4)
+    /// with an explicit ACL. The pool is returned to the caller, not
+    /// retained — only the consumed pool id is kernel state.
+    pub(crate) fn op_create_pool(&mut self, acl: Acl) -> BufferPool {
+        BufferPool::new(self.ids.alloc_pool(), acl, iolite_buf::DEFAULT_CHUNK_SIZE)
+    }
+
+    // ---- read-only queries ---------------------------------------------
+
+    /// Looks up a process.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown pids — experiment drivers own process lifetimes.
+    pub fn process(&self, pid: Pid) -> &Process {
+        &self.processes[&pid]
+    }
+
+    /// Immutable access to a pipe (tests, stats).
+    pub fn pipe(&self, id: PipeId) -> &Pipe {
+        &self.pipes[&id].pipe
+    }
+
+    /// Read-only access to the connection behind a socket descriptor
+    /// (window rates, lifetime totals).
+    ///
+    /// # Errors
+    ///
+    /// [`IolError::NotOpen`] for unknown descriptors,
+    /// [`IolError::BadFdKind`] for non-sockets.
+    pub fn socket(&self, pid: Pid, fd: Fd) -> Result<&TcpConn, IolError> {
+        let desc = self
+            .fds
+            .get_table(pid)
+            .and_then(|t| t.get(fd))
+            .ok_or(IolError::NotOpen { fd })?;
+        let object = desc.borrow().object;
+        match object {
+            FdObject::Socket(id) => Ok(&self.sockets[&id].conn),
+            _ => Err(IolError::BadFdKind {
+                fd,
+                operation: "socket access",
+            }),
+        }
+    }
+
+    /// Free space in a socket's send buffer (`Tss - unacknowledged`);
+    /// the event loop sizes its next write window with this, the way
+    /// Flash sizes `writev` calls against `FIONSPACE`.
+    ///
+    /// # Errors
+    ///
+    /// [`IolError::NotOpen`] / [`IolError::BadFdKind`] as usual.
+    pub fn socket_space(&self, pid: Pid, fd: Fd) -> Result<u64, IolError> {
+        let id = self.resolve_socket(pid, fd, "send-buffer space")?;
+        let sock = &self.sockets[&id];
+        // A blocking socket's buffer is always (logically) empty; cap
+        // the answer at Tss either way.
+        Ok(sock.send_space().min(sock.conn.tss() as u64))
+    }
+
+    /// Bytes sitting unacknowledged in a socket's send buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`IolError::NotOpen`] / [`IolError::BadFdKind`] as usual.
+    pub fn socket_unacked(&self, pid: Pid, fd: Fd) -> Result<u64, IolError> {
+        let id = self.resolve_socket(pid, fd, "send-buffer occupancy")?;
+        Ok(self.sockets[&id].sndbuf_used)
+    }
+
+    /// The length of the file behind a descriptor (`fstat(2)`'s
+    /// `st_size`).
+    ///
+    /// # Errors
+    ///
+    /// [`IolError::NotOpen`] / [`IolError::BadFdKind`] as usual.
+    pub fn fd_len(&self, pid: Pid, fd: Fd) -> Result<u64, IolError> {
+        let file = self.fd_file(pid, fd)?;
+        Ok(self.store.len(file).unwrap_or(0))
+    }
+
+    /// The [`FileId`] behind a file descriptor — for cache-layer
+    /// bookkeeping (cache pins, the mapped-file cache), never for I/O.
+    ///
+    /// # Errors
+    ///
+    /// [`IolError::NotOpen`] / [`IolError::BadFdKind`] as usual.
+    pub fn fd_file(&self, pid: Pid, fd: Fd) -> Result<FileId, IolError> {
+        self.resolve_file(pid, fd, "file metadata")
+    }
+
+    /// The object behind a descriptor (`fstat`-style introspection; the
+    /// handle to pass `install_fd`/`install_fd_at` when inheriting
+    /// descriptors across processes, fork-style).
+    ///
+    /// # Errors
+    ///
+    /// [`IolError::NotOpen`] for unknown descriptors.
+    pub fn fd_object(&self, pid: Pid, fd: Fd) -> Result<FdObject, IolError> {
+        let desc = self.resolve_fd(pid, fd)?;
+        let object = desc.borrow().object;
+        Ok(object)
+    }
+
+    /// Resolves a descriptor to its open-file description (`EBADF` on
+    /// unknown numbers) — the one lookup every fd operation goes
+    /// through. Read-only: resolving never creates a table.
+    pub(crate) fn resolve_fd(&self, pid: Pid, fd: Fd) -> Result<OpenFileRef, IolError> {
+        self.fds
+            .get_table(pid)
+            .and_then(|t| t.get(fd))
+            .ok_or(IolError::NotOpen { fd })
+    }
+
+    /// Resolves a descriptor that must name a regular file.
+    pub(crate) fn resolve_file(
+        &self,
+        pid: Pid,
+        fd: Fd,
+        operation: &'static str,
+    ) -> Result<FileId, IolError> {
+        let desc = self.resolve_fd(pid, fd)?;
+        let object = desc.borrow().object;
+        match object {
+            FdObject::File(file) => Ok(file),
+            _ => Err(IolError::BadFdKind { fd, operation }),
+        }
+    }
+
+    pub(crate) fn resolve_socket(
+        &self,
+        pid: Pid,
+        fd: Fd,
+        operation: &'static str,
+    ) -> Result<ConnId, IolError> {
+        let desc = self.resolve_fd(pid, fd)?;
+        let object = desc.borrow().object;
+        match object {
+            FdObject::Socket(id) => Ok(id),
+            _ => Err(IolError::BadFdKind { fd, operation }),
+        }
+    }
+
+    // ---- snapshot and digest -------------------------------------------
+
+    /// Deep-forks the whole kernel state.
+    ///
+    /// One [`PoolForker`] spans the snapshot so buffer identity is
+    /// preserved: pools fork before the aggregates that view them
+    /// (cache pool and per-process pools first, then pipes — whose
+    /// scratch pools fork inside [`Pipe::fork`] — then cache entries
+    /// and socket queues). Aggregates viewing *application* pools that
+    /// are not kernel state (delivered payloads) share their original
+    /// buffers, which is sound: the kernel never mutates buffer
+    /// contents in place.
+    pub fn snapshot(&self) -> KernelState {
+        let mut forker = PoolForker::new();
+        let cache_pool = self.cache_pool.fork(&mut forker);
+        let processes: BTreeMap<Pid, Process> = self
+            .processes
+            .iter()
+            .map(|(pid, p)| (*pid, p.fork(&mut forker)))
+            .collect();
+        let pipes: BTreeMap<PipeId, PipeSlot> = self
+            .pipes
+            .iter()
+            .map(|(id, s)| (*id, s.fork(&mut forker)))
+            .collect();
+        let cache = self.cache.snapshot(&mut forker);
+        let sockets: BTreeMap<ConnId, KernelSocket> = self
+            .sockets
+            .iter()
+            .map(|(id, s)| (*id, s.fork(&mut forker)))
+            .collect();
+        KernelState {
+            cost: self.cost,
+            window: self.window.clone(),
+            physmem: self.physmem.clone(),
+            pageout: self.pageout.clone(),
+            store: self.store.clone(),
+            meta: self.meta.clone(),
+            cache,
+            cksum: self.cksum.clone(),
+            filter: self.filter.clone(),
+            disk: self.disk,
+            mapped_files: self.mapped_files.clone(),
+            cache_pool,
+            cache_pool_acl: self.cache_pool_acl.clone(),
+            processes,
+            pipes,
+            sockets,
+            consoles: self.consoles.clone(),
+            fds: self.fds.fork(),
+            ids: self.ids,
+            clock: self.clock,
+        }
+    }
+
+    /// A stable digest of the replay-relevant kernel state.
+    ///
+    /// Two states built by the same command sequence hash equal; the
+    /// replay regression test leans on this. Excluded by design: pool
+    /// allocator internals (application-side allocations are not
+    /// kernel commands) and the disk/cost models (constructor inputs).
+    pub fn state_hash(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(self.clock.as_nanos());
+        self.ids.digest(&mut h);
+        self.window.digest(&mut h);
+        self.physmem.digest(&mut h);
+        self.pageout.digest(&mut h);
+        self.store.digest(&mut h);
+        self.meta.digest(&mut h);
+        self.cache.digest(&mut h);
+        self.cksum.digest(&mut h);
+        self.filter.digest(&mut h);
+        self.mapped_files.digest(&mut h);
+        h.write_usize(self.processes.len());
+        for (pid, p) in &self.processes {
+            h.write_u32(pid.0);
+            h.write_str(p.name());
+            h.write_u32(p.pool().id().0);
+        }
+        h.write_usize(self.pipes.len());
+        for (id, slot) in &self.pipes {
+            h.write_u32(id.0);
+            slot.digest(&mut h);
+        }
+        h.write_usize(self.sockets.len());
+        for (id, sock) in &self.sockets {
+            h.write_u64(id.0);
+            sock.digest(&mut h);
+        }
+        h.write_usize(self.consoles.len());
+        for (pid, c) in &self.consoles {
+            h.write_u32(pid.0);
+            h.write_u32(c.stdin.0);
+            h.write_u32(c.stdout.0);
+            h.write_u32(c.stderr.0);
+        }
+        self.fds.digest(&mut h);
+        h.finish()
+    }
+}

@@ -367,6 +367,83 @@ impl UnifiedCache {
     pub fn keys(&self) -> impl Iterator<Item = &CacheKey> {
         self.entries.keys()
     }
+
+    /// Deep-forks the cache for a kernel-state snapshot.
+    ///
+    /// Entry aggregates are rebound through `forker` (see
+    /// [`iolite_buf::PoolForker`]), so the snapshot owns independent
+    /// buffers and the original cache can keep mutating freely.
+    pub fn snapshot(&self, forker: &mut iolite_buf::PoolForker) -> UnifiedCache {
+        UnifiedCache {
+            policy: self.policy,
+            budget: self.budget,
+            entries: self
+                .entries
+                .iter()
+                .map(|(k, e)| {
+                    (
+                        *k,
+                        Entry {
+                            agg: forker.fork_aggregate(&e.agg),
+                            len: e.len,
+                            ord: e.ord,
+                            freq: e.freq,
+                            pinned: e.pinned,
+                        },
+                    )
+                })
+                .collect(),
+            unpinned: self.unpinned.clone(),
+            pinned: self.pinned.clone(),
+            pin_counts: self.pin_counts.clone(),
+            clock: self.clock,
+            gds_l: self.gds_l,
+            resident: self.resident,
+            stats: self.stats,
+        }
+    }
+
+    /// Folds the cache's replay-relevant state into a stable digest
+    /// (sorted iteration; no pointer identity).
+    pub fn digest(&self, h: &mut iolite_buf::Fnv64) {
+        h.write_u64(self.budget);
+        h.write_u64(self.clock);
+        h.write_u64(self.gds_l);
+        h.write_u64(self.resident);
+        for v in [
+            self.stats.hits,
+            self.stats.misses,
+            self.stats.bytes_hit,
+            self.stats.insertions,
+            self.stats.evictions,
+            self.stats.write_replacements,
+            self.stats.pinned_evictions,
+        ] {
+            h.write_u64(v);
+        }
+        h.write_u64(self.entries.len() as u64);
+        let mut keys: Vec<CacheKey> = self.entries.keys().copied().collect();
+        keys.sort_unstable();
+        for k in keys {
+            let e = &self.entries[&k];
+            h.write_u64(k.file.0);
+            h.write_u64(k.offset);
+            h.write_u64(e.len);
+            h.write_u64(e.ord);
+            h.write_u64(e.freq);
+            h.write_bool(e.pinned);
+            iolite_buf::digest_aggregate(&e.agg, h);
+        }
+        let mut pins: Vec<(CacheKey, u32)> =
+            self.pin_counts.iter().map(|(k, v)| (*k, *v)).collect();
+        pins.sort_unstable();
+        h.write_u64(pins.len() as u64);
+        for (k, v) in pins {
+            h.write_u64(k.file.0);
+            h.write_u64(k.offset);
+            h.write_u32(v);
+        }
+    }
 }
 
 #[cfg(test)]

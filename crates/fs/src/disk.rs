@@ -61,7 +61,10 @@ fn synthetic_byte(seed: u64, i: u64) -> u8 {
 }
 
 /// The server's file store: names, sizes, contents.
-#[derive(Debug, Default)]
+///
+/// `Clone` is a true deep copy (plain owned data), used by kernel-state
+/// snapshots.
+#[derive(Debug, Default, Clone)]
 pub struct FileStore {
     files: BTreeMap<FileId, FileContent>,
     names: BTreeMap<String, FileId>,
@@ -170,6 +173,34 @@ impl FileStore {
         }
         v[offset as usize..end].copy_from_slice(data);
         true
+    }
+
+    /// Folds the store's state into a stable digest. Content digests use
+    /// the parameters (synthetic) or the bytes (explicit), so a
+    /// materialized-then-rewritten file digests by its actual contents.
+    pub fn digest(&self, h: &mut iolite_buf::Fnv64) {
+        h.write_u64(self.next_id);
+        h.write_u64(self.files.len() as u64);
+        for (id, content) in &self.files {
+            h.write_u64(id.0);
+            match content {
+                FileContent::Synthetic { len, seed } => {
+                    h.write_bytes(&[0]);
+                    h.write_u64(*len);
+                    h.write_u64(*seed);
+                }
+                FileContent::Explicit(v) => {
+                    h.write_bytes(&[1]);
+                    h.write_u64(v.len() as u64);
+                    h.write_bytes(v);
+                }
+            }
+        }
+        h.write_u64(self.names.len() as u64);
+        for (name, id) in &self.names {
+            h.write_str(name);
+            h.write_u64(id.0);
+        }
     }
 }
 

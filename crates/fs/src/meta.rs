@@ -9,7 +9,11 @@ use std::collections::HashMap;
 use crate::disk::FileId;
 
 /// A fixed-capacity LRU cache of name→file metadata lookups.
-#[derive(Debug)]
+///
+/// `Clone` is a true deep copy, used by kernel-state snapshots. LRU
+/// eviction is deterministic: stamps are unique (one clock tick per
+/// lookup), so the victim never depends on hash iteration order.
+#[derive(Debug, Clone)]
 pub struct MetadataCache {
     capacity: usize,
     clock: u64,
@@ -90,6 +94,23 @@ impl MetadataCache {
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Folds the cache's state into a stable digest (sorted iteration).
+    pub fn digest(&self, h: &mut iolite_buf::Fnv64) {
+        h.write_u64(self.capacity as u64);
+        h.write_u64(self.clock);
+        h.write_u64(self.hits);
+        h.write_u64(self.misses);
+        let mut names: Vec<&String> = self.entries.keys().collect();
+        names.sort_unstable();
+        h.write_u64(names.len() as u64);
+        for name in names {
+            let (id, stamp) = self.entries[name];
+            h.write_str(name);
+            h.write_u64(id.0);
+            h.write_u64(stamp);
+        }
     }
 }
 

@@ -118,7 +118,7 @@ impl CgiProcess {
         }
         rc.parts
             .push((CostCategory::ContextSwitch, kernel.cost.context_switches(2)));
-        kernel.metrics.context_switches += 2;
+        kernel.context_switch(2);
 
         // Transfer the document through the pipe in fill/drain rounds:
         // the CGI writes its descriptor, the server reads its own, and
@@ -148,7 +148,7 @@ impl CgiProcess {
                 // The producer blocked on a full pipe: switch back and
                 // forth.
                 pipe_cpu += kernel.cost.context_switches(2);
-                kernel.metrics.context_switches += 2;
+                kernel.context_switch(2);
             }
         }
         rc.parts.push((CostCategory::Copy, pipe_cpu));

@@ -145,10 +145,8 @@ impl Experiment {
             _ => Policy::Lru,
         });
         let mut kernel = Kernel::with_policy(cost, policy);
-        kernel.cksum.set_enabled(cfg.checksum_cache);
-        kernel
-            .physmem
-            .reserve(MemAccount::Server, cost.server_reserve_bytes);
+        kernel.set_checksum_cache(cfg.checksum_cache);
+        kernel.mem_reserve(MemAccount::Server, cost.server_reserve_bytes);
         let server_pid = kernel.spawn("server");
         let mut rng = SimRng::new(cfg.seed);
 
@@ -195,7 +193,7 @@ impl Experiment {
         // client alive for the whole run.
         if cfg.server == ServerKind::Apache && cfg.persistent {
             let workers = cfg.clients.min(cost.apache_max_clients) as u64;
-            kernel.physmem.reserve(
+            kernel.mem_reserve(
                 MemAccount::ProcessOverhead,
                 workers * cost.apache_per_conn_bytes,
             );
@@ -269,17 +267,16 @@ impl Experiment {
                 };
                 match rel {
                     Release::SocketMem(bytes) => {
-                        self.kernel.physmem.release(MemAccount::SocketCopies, bytes)
+                        self.kernel.mem_release(MemAccount::SocketCopies, bytes)
                     }
                     Release::ApacheConn(sock) => {
-                        self.kernel.physmem.release(MemAccount::SocketCopies, sock);
-                        self.kernel.physmem.release(
-                            MemAccount::ProcessOverhead,
-                            self.kernel.cost.apache_per_conn_bytes,
-                        );
+                        let per_conn = self.kernel.cost.apache_per_conn_bytes;
+                        self.kernel.mem_release(MemAccount::SocketCopies, sock);
+                        self.kernel
+                            .mem_release(MemAccount::ProcessOverhead, per_conn);
                         apache_active = apache_active.saturating_sub(1);
                     }
-                    Release::Unpin(key) => self.kernel.cache.unpin(&key),
+                    Release::Unpin(key) => self.kernel.cache_unpin(key),
                 }
             }
 
@@ -386,13 +383,11 @@ impl Experiment {
                 // and hold no memory.
                 if apache_active < self.kernel.cost.apache_max_clients as u64 {
                     apache_active += 1;
+                    let per_conn = self.kernel.cost.apache_per_conn_bytes;
                     self.kernel
-                        .physmem
-                        .reserve(MemAccount::SocketCopies, rc.owned_sock_bytes);
-                    self.kernel.physmem.reserve(
-                        MemAccount::ProcessOverhead,
-                        self.kernel.cost.apache_per_conn_bytes,
-                    );
+                        .mem_reserve(MemAccount::SocketCopies, rc.owned_sock_bytes);
+                    self.kernel
+                        .mem_reserve(MemAccount::ProcessOverhead, per_conn);
                     release_seq += 1;
                     releases.push(Reverse((
                         done,
@@ -402,8 +397,7 @@ impl Experiment {
                 }
             } else if rc.owned_sock_bytes > 0 {
                 self.kernel
-                    .physmem
-                    .reserve(MemAccount::SocketCopies, rc.owned_sock_bytes);
+                    .mem_reserve(MemAccount::SocketCopies, rc.owned_sock_bytes);
                 release_seq += 1;
                 releases.push(Reverse((
                     done,

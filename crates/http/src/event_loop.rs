@@ -510,7 +510,7 @@ impl EventLoopServer {
                 let cost = &self.kernel.cost;
                 self.stats.cpu +=
                     (Charge::us(cost.cgi_dispatch_us) + cost.context_switches(2)).time;
-                self.kernel.metrics.context_switches += 2;
+                self.kernel.context_switch(2);
                 if self.cgi_owner.is_none() {
                     self.cgi_owner = Some(i);
                     self.conns[i].state = ConnState::CgiStream {
@@ -574,7 +574,7 @@ impl EventLoopServer {
         // The network references the cached entry until the response
         // drains (§3.7) — same pin lifecycle as serve_static.
         let key = CacheKey::whole(file);
-        self.kernel.cache.pin(&key);
+        self.kernel.cache_pin(key);
         self.start_send(i, path, response, Some(key), cache_hit);
     }
 
@@ -798,7 +798,7 @@ impl EventLoopServer {
     /// closed loop.
     fn finish_request(&mut self, i: usize, job: DrainJob) {
         if let Some(key) = job.pin {
-            self.kernel.cache.unpin(&key);
+            self.kernel.cache_unpin(key);
         }
         self.stats.completed += 1;
         self.stats.response_bytes += job.bytes;
@@ -817,7 +817,7 @@ impl EventLoopServer {
     /// (the peer is gone; the rest of its script is unreachable).
     fn fail_conn(&mut self, i: usize, pin: Option<CacheKey>) {
         if let Some(key) = pin {
-            self.kernel.cache.unpin(&key);
+            self.kernel.cache_unpin(key);
         }
         self.stats.failed += 1;
         self.conns[i].state = ConnState::Done;

@@ -174,7 +174,7 @@ fn serve_iolite(kernel: &mut Kernel, sock: Fd, server_pid: Pid, file_fd: Fd, rc:
     // by a write), so the driver's deferred unpin at transmission
     // completion is always balanced against exactly this reference.
     rc.pin_key = Some(CacheKey::whole(file));
-    kernel.cache.pin(&CacheKey::whole(file));
+    kernel.cache_pin(CacheKey::whole(file));
 }
 
 /// The Flash/Apache path: mmap'd file cache, copying send.
@@ -198,7 +198,7 @@ fn serve_conventional(
     let mapped = if apache {
         false
     } else {
-        kernel.mapped_files.touch(file)
+        kernel.mapped_file_touch(file)
     };
     if !mapped {
         rc.push(CostCategory::PageMap, Charge::us(kernel.cost.mmap_cycle_us));

@@ -108,6 +108,74 @@ impl Pipe {
         }
     }
 
+    /// Creates a pipe whose copy-mode scratch pool uses a caller-chosen
+    /// id instead of the process-global descending counter.
+    ///
+    /// The pure kernel core uses this: scratch ids allocated from the
+    /// global atomic would differ between a live run and a journal
+    /// replay, breaking deterministic state digests. The caller promises
+    /// `scratch_id` stays in the descending kernel band (above
+    /// `u32::MAX / 2`) so it can never alias kernel-assigned pool ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or `scratch_id` is outside the
+    /// reserved band.
+    pub fn with_scratch_id(mode: PipeMode, capacity: u64, scratch_id: PoolId) -> Self {
+        assert!(capacity > 0);
+        assert!(
+            scratch_id.0 > u32::MAX / 2,
+            "scratch pool id must sit in the reserved kernel band"
+        );
+        Pipe {
+            mode,
+            capacity,
+            queue: VecDeque::new(),
+            buffered: 0,
+            closed: false,
+            stats: PipeStats::default(),
+            scratch: (mode == PipeMode::Copy)
+                .then(|| BufferPool::new(scratch_id, Acl::kernel_only(), 64 * 1024)),
+        }
+    }
+
+    /// Deep-forks the pipe for a kernel-state snapshot: the scratch pool
+    /// is forked and queued aggregates are rebound through `forker`.
+    pub fn fork(&self, forker: &mut iolite_buf::PoolForker) -> Pipe {
+        let scratch = self.scratch.as_ref().map(|p| p.fork(forker));
+        Pipe {
+            mode: self.mode,
+            capacity: self.capacity,
+            queue: self.queue.iter().map(|a| forker.fork_aggregate(a)).collect(),
+            buffered: self.buffered,
+            closed: self.closed,
+            stats: self.stats,
+            scratch,
+        }
+    }
+
+    /// Folds the pipe's state into a stable digest.
+    pub fn digest(&self, h: &mut iolite_buf::Fnv64) {
+        h.write_bool(matches!(self.mode, PipeMode::ZeroCopy));
+        h.write_u64(self.capacity);
+        h.write_u64(self.buffered);
+        h.write_bool(self.closed);
+        for v in [
+            self.stats.bytes_written,
+            self.stats.bytes_read,
+            self.stats.bytes_copied,
+            self.stats.full_events,
+            self.stats.writes,
+            self.stats.reads,
+        ] {
+            h.write_u64(v);
+        }
+        h.write_u64(self.queue.len() as u64);
+        for a in &self.queue {
+            iolite_buf::digest_aggregate(a, h);
+        }
+    }
+
     /// The pipe's mode.
     pub fn mode(&self) -> PipeMode {
         self.mode

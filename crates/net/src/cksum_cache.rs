@@ -50,7 +50,7 @@ impl Key {
 }
 
 /// One resident checksum with its CLOCK reference bit.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Slot {
     key: Key,
     sum: PartialSum,
@@ -90,7 +90,7 @@ pub struct CksumCacheStats {
 /// assert_eq!(first, second);
 /// assert_eq!(cache.stats().hits, 1);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ChecksumCache {
     capacity: usize,
     enabled: bool,
@@ -184,6 +184,36 @@ impl ChecksumCache {
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
+    }
+
+    /// Folds the cache's state into a stable digest. Slot order is the
+    /// table's physical order (deterministic: admissions and the CLOCK
+    /// hand are sequential), so no sorting is needed.
+    pub fn digest(&self, h: &mut iolite_buf::Fnv64) {
+        h.write_u64(self.capacity as u64);
+        h.write_bool(self.enabled);
+        h.write_u64(self.hand as u64);
+        for v in [
+            self.stats.hits,
+            self.stats.misses,
+            self.stats.bytes_cached,
+            self.stats.bytes_computed,
+            self.stats.evictions,
+        ] {
+            h.write_u64(v);
+        }
+        h.write_u64(self.slots.len() as u64);
+        for slot in &self.slots {
+            h.write_u32(slot.key.pool.0);
+            h.write_u64(slot.key.buffer.chunk.0);
+            h.write_u32(slot.key.buffer.offset);
+            h.write_u64(slot.key.generation.0);
+            h.write_u64(slot.key.offset);
+            h.write_u64(slot.key.len);
+            h.write_u32(slot.sum.sum as u32);
+            h.write_u64(slot.sum.len);
+            h.write_bool(slot.referenced);
+        }
     }
 }
 

@@ -55,7 +55,9 @@ pub struct FilterStats {
 }
 
 /// The packet filter: an ordered rule set evaluated per packet.
-#[derive(Debug, Default)]
+///
+/// `Clone` is a true deep copy, used by kernel-state snapshots.
+#[derive(Debug, Default, Clone)]
 pub struct PacketFilter {
     rules: Vec<FilterRule>,
     enabled: bool,
@@ -123,6 +125,23 @@ impl PacketFilter {
     /// Demux counters.
     pub fn stats(&self) -> FilterStats {
         self.stats
+    }
+
+    /// Folds the filter's state into a stable digest (rules in install
+    /// order).
+    pub fn digest(&self, h: &mut iolite_buf::Fnv64) {
+        h.write_bool(self.enabled);
+        h.write_u64(self.stats.matched);
+        h.write_u64(self.stats.unmatched);
+        h.write_u64(self.rules.len() as u64);
+        for r in &self.rules {
+            h.write_u32(r.dst_port as u32);
+            h.write_u32(r.src_ip.map_or(u32::MAX, |ip| ip));
+            h.write_bool(r.src_ip.is_some());
+            h.write_u32(r.src_port.map_or(0, u32::from));
+            h.write_bool(r.src_port.is_some());
+            h.write_u64(r.stream.0);
+        }
     }
 }
 

@@ -52,7 +52,10 @@ pub struct SendOutcome {
 }
 
 /// One TCP connection (server side).
-#[derive(Debug)]
+///
+/// `Clone` is a true deep copy (plain owned data), used by kernel-state
+/// snapshots.
+#[derive(Debug, Clone)]
 pub struct TcpConn {
     id: u64,
     mode: BufferMode,
@@ -262,6 +265,18 @@ impl TcpConn {
     /// Lifetime totals: (segments, payload bytes).
     pub fn totals(&self) -> (u64, u64) {
         (self.total_segments, self.total_payload)
+    }
+
+    /// Folds the connection's state into a stable digest.
+    pub fn digest(&self, h: &mut iolite_buf::Fnv64) {
+        h.write_u64(self.id);
+        h.write_bool(matches!(self.mode, BufferMode::ZeroCopy));
+        h.write_u64(self.mss as u64);
+        h.write_u64(self.tss as u64);
+        h.write_u32(self.seq);
+        h.write_bool(self.established);
+        h.write_u64(self.total_segments);
+        h.write_u64(self.total_payload);
     }
 }
 

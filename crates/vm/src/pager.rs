@@ -107,6 +107,21 @@ impl PageoutDaemon {
     pub fn backing_bytes(&self) -> u64 {
         self.backing_store_bytes
     }
+
+    /// Folds the daemon's counters into a stable digest.
+    pub fn digest(&self, h: &mut iolite_buf::Fnv64) {
+        for v in [
+            self.cached_io_since_evict,
+            self.other_since_evict,
+            self.total_cached_io,
+            self.total_other,
+            self.evictions_signalled,
+            self.backing_store_writes,
+            self.backing_store_bytes,
+        ] {
+            h.write_u64(v);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -103,6 +103,16 @@ impl PhysMemory {
         let others = self.used() - self.held(MemAccount::FileCache);
         self.total.saturating_sub(others)
     }
+
+    /// Folds the accounting state into a stable digest.
+    pub fn digest(&self, h: &mut iolite_buf::Fnv64) {
+        h.write_u64(self.total);
+        h.write_u64(self.accounts.len() as u64);
+        for (account, bytes) in &self.accounts {
+            h.write_u32(*account as u32);
+            h.write_u64(*bytes);
+        }
+    }
 }
 
 impl fmt::Debug for PhysMemory {

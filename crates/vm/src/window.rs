@@ -68,7 +68,7 @@ pub struct MapStats {
 /// assert_eq!(w.transfer(&[ChunkId(0)], DomainId(3), &acl).unwrap(), 16);
 /// assert_eq!(w.transfer(&[ChunkId(0)], DomainId(3), &acl).unwrap(), 0);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct IoLiteWindow {
     chunk_size: usize,
     maps: HashMap<DomainId, HashMap<ChunkId, Perm>>,
@@ -197,6 +197,35 @@ impl IoLiteWindow {
     /// Mapping-activity counters.
     pub fn stats(&self) -> MapStats {
         self.stats
+    }
+
+    /// Folds the window's mapping state into a stable digest (sorted
+    /// iteration over both map levels).
+    pub fn digest(&self, h: &mut iolite_buf::Fnv64) {
+        h.write_u64(self.chunk_size as u64);
+        for v in [
+            self.stats.chunk_maps,
+            self.stats.pages_mapped,
+            self.stats.warm_transfers,
+            self.stats.write_toggles,
+            self.stats.denials,
+        ] {
+            h.write_u64(v);
+        }
+        let mut domains: Vec<DomainId> = self.maps.keys().copied().collect();
+        domains.sort_unstable();
+        h.write_u64(domains.len() as u64);
+        for d in domains {
+            h.write_u32(d.0);
+            let table = &self.maps[&d];
+            let mut chunks: Vec<ChunkId> = table.keys().copied().collect();
+            chunks.sort_unstable();
+            h.write_u64(chunks.len() as u64);
+            for c in chunks {
+                h.write_u64(c.0);
+                h.write_bool(matches!(table[&c], Perm::ReadWrite));
+            }
+        }
     }
 }
 
