@@ -71,6 +71,21 @@ impl Default for Fnv64 {
     }
 }
 
+/// Finalizer of the splitmix64 generator: a full-avalanche 64-bit mixer.
+///
+/// Every output bit depends on every input bit, so taking `mix % n` (or
+/// any bit subset) of the result distributes sequential or structured
+/// ids uniformly. Used for shard routing — the PR 5 lesson is that
+/// truncating an id (`id & 0xFF`) aliases structured id spaces, so all
+/// routing decisions must pass the *full* 64-bit id through this mixer
+/// first.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
 /// Folds an aggregate's identity and contents into a digest: length, then
 /// per slice the ⟨pool, buffer, generation, view offset, view length⟩
 /// tuple followed by the viewed bytes.

@@ -1,6 +1,6 @@
 //! Deep pool forking for kernel-state snapshots.
 //!
-//! [`crate::BufferPool`]'s `Clone` **shares** the pool (one `Rc`'d
+//! [`crate::BufferPool`]'s `Clone` **shares** the pool (one `Arc`'d
 //! allocator), which is the right semantics for handles but the wrong one
 //! for a pure `apply(state, command) -> state'`: a snapshot taken by
 //! cloning would still mutate the original through the shared interior.
@@ -26,7 +26,7 @@
 //! application heap.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::aggregate::Aggregate;
 use crate::slice::{BufferInner, ChunkState, Slice};
@@ -39,9 +39,9 @@ use crate::slice::{BufferInner, ChunkState, Slice};
 #[derive(Default)]
 pub struct PoolForker {
     /// Original chunk identity → forked twin.
-    chunks: HashMap<usize, Rc<ChunkState>>,
+    chunks: HashMap<usize, Arc<ChunkState>>,
     /// Original buffer identity → forked twin.
-    buffers: HashMap<usize, Rc<BufferInner>>,
+    buffers: HashMap<usize, Arc<BufferInner>>,
 }
 
 impl PoolForker {
@@ -51,18 +51,18 @@ impl PoolForker {
     }
 
     /// Returns the twin of `orig`, creating it on first sight.
-    pub(crate) fn fork_chunk(&mut self, orig: &Rc<ChunkState>) -> Rc<ChunkState> {
-        let key = Rc::as_ptr(orig) as usize;
+    pub(crate) fn fork_chunk(&mut self, orig: &Arc<ChunkState>) -> Arc<ChunkState> {
+        let key = Arc::as_ptr(orig) as usize;
         if let Some(c) = self.chunks.get(&key) {
-            return Rc::clone(c);
+            return Arc::clone(c);
         }
-        let forked = Rc::new(ChunkState::with_generation(
+        let forked = Arc::new(ChunkState::with_generation(
             orig.id(),
             orig.pool(),
             orig.size(),
             orig.generation().0,
         ));
-        self.chunks.insert(key, Rc::clone(&forked));
+        self.chunks.insert(key, Arc::clone(&forked));
         forked
     }
 
@@ -71,20 +71,20 @@ impl PoolForker {
     /// otherwise shares the original buffer.
     pub fn fork_slice(&mut self, s: &Slice) -> Slice {
         let (inner, off, len) = s.parts();
-        let chunk_key = Rc::as_ptr(inner.chunk()) as usize;
-        let Some(forked_chunk) = self.chunks.get(&chunk_key).map(Rc::clone) else {
+        let chunk_key = Arc::as_ptr(inner.chunk()) as usize;
+        let Some(forked_chunk) = self.chunks.get(&chunk_key).map(Arc::clone) else {
             return s.clone();
         };
-        let buf_key = Rc::as_ptr(inner) as usize;
+        let buf_key = Arc::as_ptr(inner) as usize;
         let forked_inner = match self.buffers.get(&buf_key) {
-            Some(b) => Rc::clone(b),
+            Some(b) => Arc::clone(b),
             None => {
-                let b = Rc::new(BufferInner::new(
+                let b = Arc::new(BufferInner::new(
                     inner.bytes().to_vec().into_boxed_slice(),
                     inner.meta().clone(),
                     forked_chunk,
                 ));
-                self.buffers.insert(buf_key, Rc::clone(&b));
+                self.buffers.insert(buf_key, Arc::clone(&b));
                 b
             }
         };

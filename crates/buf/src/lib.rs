@@ -65,7 +65,7 @@ pub mod slice;
 pub use acl::Acl;
 pub use aggregate::Aggregate;
 pub use cursor::AggCursor;
-pub use digest::{digest_aggregate, Fnv64};
+pub use digest::{digest_aggregate, splitmix64, Fnv64};
 pub use error::BufError;
 pub use fork::PoolForker;
 pub use ids::{BufferId, ChunkId, DomainId, Generation, PoolId};

@@ -10,9 +10,8 @@
 //! The pool reports an [`AllocEvent`] per allocation so the kernel layer
 //! can charge page-mapping cost only for *fresh* chunks.
 
-use std::cell::RefCell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use crate::acl::Acl;
 use crate::error::BufError;
@@ -63,11 +62,11 @@ struct PoolInner {
     chunk_size: usize,
     next_chunk: u64,
     /// The chunk currently being bump-allocated, and its fill offset.
-    open: Option<(Rc<ChunkState>, usize)>,
+    open: Option<(Arc<ChunkState>, usize)>,
     /// Chunks known to be fully drained and ready for reuse.
-    free: Vec<Rc<ChunkState>>,
+    free: Vec<Arc<ChunkState>>,
     /// Every chunk this pool has created and not released.
-    registry: Vec<Rc<ChunkState>>,
+    registry: Vec<Arc<ChunkState>>,
     stats: PoolStats,
 }
 
@@ -79,7 +78,7 @@ struct PoolInner {
 /// of the data stored in the buffer").
 #[derive(Clone)]
 pub struct BufferPool {
-    inner: Rc<RefCell<PoolInner>>,
+    inner: Arc<Mutex<PoolInner>>,
 }
 
 impl BufferPool {
@@ -91,7 +90,7 @@ impl BufferPool {
     pub fn new(id: PoolId, acl: Acl, chunk_size: usize) -> Self {
         assert!(chunk_size > 0, "chunk size must be positive");
         BufferPool {
-            inner: Rc::new(RefCell::new(PoolInner {
+            inner: Arc::new(Mutex::new(PoolInner {
                 id,
                 acl,
                 chunk_size,
@@ -106,12 +105,12 @@ impl BufferPool {
 
     /// The pool's identity.
     pub fn id(&self) -> PoolId {
-        self.inner.borrow().id
+        self.inner.lock().unwrap().id
     }
 
     /// The pool's access-control list.
     pub fn acl(&self) -> Acl {
-        self.inner.borrow().acl.clone()
+        self.inner.lock().unwrap().acl.clone()
     }
 
     /// Grants an additional domain read access to future *and existing*
@@ -121,12 +120,12 @@ impl BufferPool {
     /// affects future allocations; the paper's servers set ACLs up front
     /// (one pool per CGI instance, §3.10).
     pub fn grant(&self, d: DomainId) {
-        self.inner.borrow_mut().acl.grant(d);
+        self.inner.lock().unwrap().acl.grant(d);
     }
 
     /// The pool's chunk size.
     pub fn chunk_size(&self) -> usize {
-        self.inner.borrow().chunk_size
+        self.inner.lock().unwrap().chunk_size
     }
 
     /// Allocates `len` writable bytes.
@@ -155,7 +154,7 @@ impl BufferPool {
     }
 
     fn alloc_inner(&self, len: usize, align: usize) -> Result<BufMut, BufError> {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock().unwrap();
         let chunk_size = inner.chunk_size;
         if len > chunk_size {
             return Err(BufError::TooLarge {
@@ -164,7 +163,7 @@ impl BufferPool {
             });
         }
         // Try to pack into the open chunk.
-        let mut placed: Option<(Rc<ChunkState>, usize, AllocEvent)> = None;
+        let mut placed: Option<(Arc<ChunkState>, usize, AllocEvent)> = None;
         if let Some((chunk, fill)) = inner.open.take() {
             let aligned = fill.div_ceil(align) * align;
             if aligned + len <= chunk_size {
@@ -188,14 +187,14 @@ impl BufferPool {
                 } else {
                     let id = ChunkId(inner.next_chunk);
                     inner.next_chunk += 1;
-                    let chunk = Rc::new(ChunkState::new(id, inner.id, chunk_size));
-                    inner.registry.push(Rc::clone(&chunk));
+                    let chunk = Arc::new(ChunkState::new(id, inner.id, chunk_size));
+                    inner.registry.push(Arc::clone(&chunk));
                     inner.stats.chunks_created += 1;
                     (chunk, 0, AllocEvent::FreshChunk)
                 }
             }
         };
-        inner.open = Some((Rc::clone(&chunk), offset + len));
+        inner.open = Some((Arc::clone(&chunk), offset + len));
         inner.stats.allocs += 1;
         inner.stats.bytes_allocated += len as u64;
         let meta = BufMeta {
@@ -218,7 +217,7 @@ impl BufferPool {
 
     /// Snapshot of the pool's counters.
     pub fn stats(&self) -> PoolStats {
-        self.inner.borrow().stats
+        self.inner.lock().unwrap().stats
     }
 
     /// Bills a pool-directed read of `bytes` to this pool's counters
@@ -226,7 +225,7 @@ impl BufferPool {
     /// allocation pool"). Cached file data stays in the cache's physical
     /// buffers, so attribution is an accounting act, not an allocation.
     pub fn attribute_read(&self, bytes: u64) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock().unwrap();
         inner.stats.reads_attributed += 1;
         inner.stats.bytes_attributed += bytes;
     }
@@ -237,13 +236,13 @@ impl BufferPool {
     /// chunks are the unit of residency because they are the unit of
     /// mapping (§4.5).
     pub fn resident_bytes(&self) -> u64 {
-        let inner = self.inner.borrow();
+        let inner = self.inner.lock().unwrap();
         (inner.registry.len() * inner.chunk_size) as u64
     }
 
     /// Number of chunks currently drained and reusable.
     pub fn free_chunks(&self) -> usize {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock().unwrap();
         scavenge(&mut inner);
         inner.free.len()
     }
@@ -257,7 +256,7 @@ impl BufferPool {
     /// state-held aggregates with [`crate::PoolForker::fork_aggregate`]
     /// so the twins' reference counts reflect the forked state.
     pub fn fork(&self, forker: &mut crate::PoolForker) -> BufferPool {
-        let inner = self.inner.borrow();
+        let inner = self.inner.lock().unwrap();
         let forked = PoolInner {
             id: inner.id,
             acl: inner.acl.clone(),
@@ -276,20 +275,20 @@ impl BufferPool {
             stats: inner.stats,
         };
         BufferPool {
-            inner: Rc::new(RefCell::new(forked)),
+            inner: Arc::new(Mutex::new(forked)),
         }
     }
 
     /// Releases up to `max_bytes` of drained chunk storage back to the
     /// system (the pageout path of §3.7), returning the bytes released.
     pub fn release_free_chunks(&self, max_bytes: u64) -> u64 {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock().unwrap();
         scavenge(&mut inner);
         let mut released = 0u64;
         let chunk_size = inner.chunk_size as u64;
         while released + chunk_size <= max_bytes {
             let Some(chunk) = inner.free.pop() else { break };
-            inner.registry.retain(|c| !Rc::ptr_eq(c, &chunk));
+            inner.registry.retain(|c| !Arc::ptr_eq(c, &chunk));
             inner.stats.chunks_released += 1;
             released += chunk_size;
         }
@@ -299,28 +298,28 @@ impl BufferPool {
 
 /// Moves drained chunks from the registry to the free list.
 ///
-/// A chunk is drained when the only outstanding `Rc`s are the registry's
+/// A chunk is drained when the only outstanding `Arc`s are the registry's
 /// own, i.e. no `BufferInner` (live slice) and no open-chunk handle
 /// reference it.
 fn scavenge(inner: &mut PoolInner) {
-    // A drained open chunk (registry Rc + open Rc only) can be closed and
+    // A drained open chunk (registry Arc + open Arc only) can be closed and
     // recycled like any other.
     if let Some((chunk, _)) = &inner.open {
-        if Rc::strong_count(chunk) == 2 {
+        if Arc::strong_count(chunk) == 2 {
             inner.open = None;
         }
     }
-    let open_chunk = inner.open.as_ref().map(|(c, _)| Rc::clone(c));
+    let open_chunk = inner.open.as_ref().map(|(c, _)| Arc::clone(c));
     let mut moved = Vec::new();
     for chunk in &inner.registry {
-        let is_open = open_chunk.as_ref().is_some_and(|o| Rc::ptr_eq(o, chunk));
-        let already_free = inner.free.iter().any(|f| Rc::ptr_eq(f, chunk));
+        let is_open = open_chunk.as_ref().is_some_and(|o| Arc::ptr_eq(o, chunk));
+        let already_free = inner.free.iter().any(|f| Arc::ptr_eq(f, chunk));
         // Expected counts: 1 for the registry, +1 for `open`, +1 if on
         // the free list, +1 for the probe we are not taking. Any count
         // beyond registry/open/free handles means live allocations.
         let baseline = 1 + usize::from(is_open) + usize::from(already_free);
-        if !is_open && !already_free && Rc::strong_count(chunk) == baseline {
-            moved.push(Rc::clone(chunk));
+        if !is_open && !already_free && Arc::strong_count(chunk) == baseline {
+            moved.push(Arc::clone(chunk));
         }
     }
     inner.free.extend(moved);
@@ -328,7 +327,7 @@ fn scavenge(inner: &mut PoolInner) {
 
 impl fmt::Debug for BufferPool {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let inner = self.inner.borrow();
+        let inner = self.inner.lock().unwrap();
         write!(
             f,
             "BufferPool({}, acl={:?}, chunks={})",
@@ -356,7 +355,7 @@ pub struct BufMut {
     bytes: Vec<u8>,
     capacity: usize,
     meta: BufMeta,
-    chunk: Rc<ChunkState>,
+    chunk: Arc<ChunkState>,
     event: AllocEvent,
 }
 
@@ -424,7 +423,7 @@ impl BufMut {
 
     /// Seals the buffer: contents become immutable and shareable.
     pub fn freeze(self) -> Slice {
-        let inner = Rc::new(BufferInner::new(
+        let inner = Arc::new(BufferInner::new(
             self.bytes.into_boxed_slice(),
             self.meta,
             self.chunk,

@@ -8,9 +8,9 @@
 //! in-place optimization when a buffer is provably unshared, exposed here
 //! as [`Slice::try_mutate_in_place`].
 
-use std::cell::Cell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::acl::Acl;
 use crate::ids::{BufferId, ChunkId, Generation, PoolId};
@@ -25,7 +25,9 @@ pub(crate) struct ChunkState {
     id: ChunkId,
     pool: PoolId,
     size: usize,
-    generation: Cell<u64>,
+    // Relaxed suffices: chunks are shard-confined, so the counter is
+    // never raced; the atomic exists only to make the type `Send`.
+    generation: AtomicU64,
 }
 
 impl ChunkState {
@@ -34,7 +36,7 @@ impl ChunkState {
             id,
             pool,
             size,
-            generation: Cell::new(0),
+            generation: AtomicU64::new(0),
         }
     }
 
@@ -44,7 +46,7 @@ impl ChunkState {
             id,
             pool,
             size,
-            generation: Cell::new(generation),
+            generation: AtomicU64::new(generation),
         }
     }
 
@@ -53,11 +55,11 @@ impl ChunkState {
     }
 
     pub(crate) fn generation(&self) -> Generation {
-        Generation(self.generation.get())
+        Generation(self.generation.load(Ordering::Relaxed))
     }
 
     pub(crate) fn bump_generation(&self) {
-        self.generation.set(self.generation.get() + 1);
+        self.generation.fetch_add(1, Ordering::Relaxed);
     }
 
     #[allow(dead_code)]
@@ -78,11 +80,11 @@ pub(crate) struct BufferInner {
     meta: BufMeta,
     /// Keeps the chunk's liveness count up while any slice references the
     /// buffer, which is exactly the recycling condition of §3.2.
-    _chunk: Rc<ChunkState>,
+    _chunk: Arc<ChunkState>,
 }
 
 impl BufferInner {
-    pub(crate) fn new(bytes: Box<[u8]>, meta: BufMeta, chunk: Rc<ChunkState>) -> Self {
+    pub(crate) fn new(bytes: Box<[u8]>, meta: BufMeta, chunk: Arc<ChunkState>) -> Self {
         BufferInner {
             bytes,
             meta,
@@ -98,7 +100,7 @@ impl BufferInner {
         &self.meta
     }
 
-    pub(crate) fn chunk(&self) -> &Rc<ChunkState> {
+    pub(crate) fn chunk(&self) -> &Arc<ChunkState> {
         &self._chunk
     }
 }
@@ -121,24 +123,24 @@ impl BufferInner {
 /// ```
 #[derive(Clone)]
 pub struct Slice {
-    inner: Rc<BufferInner>,
+    inner: Arc<BufferInner>,
     off: usize,
     len: usize,
 }
 
 impl Slice {
-    pub(crate) fn whole(inner: Rc<BufferInner>) -> Self {
+    pub(crate) fn whole(inner: Arc<BufferInner>) -> Self {
         let len = inner.bytes.len();
         Slice { inner, off: 0, len }
     }
 
     /// Decomposes the slice for pool forking.
-    pub(crate) fn parts(&self) -> (&Rc<BufferInner>, usize, usize) {
+    pub(crate) fn parts(&self) -> (&Arc<BufferInner>, usize, usize) {
         (&self.inner, self.off, self.len)
     }
 
     /// Rebuilds a slice from forked parts.
-    pub(crate) fn from_parts(inner: Rc<BufferInner>, off: usize, len: usize) -> Self {
+    pub(crate) fn from_parts(inner: Arc<BufferInner>, off: usize, len: usize) -> Self {
         Slice { inner, off, len }
     }
 
@@ -196,7 +198,7 @@ impl Slice {
             });
         }
         Ok(Slice {
-            inner: Rc::clone(&self.inner),
+            inner: Arc::clone(&self.inner),
             off: self.off + off,
             len,
         })
@@ -205,7 +207,7 @@ impl Slice {
     /// Whether two slices view the same buffer (possibly different
     /// ranges).
     pub fn same_buffer(&self, other: &Slice) -> bool {
-        Rc::ptr_eq(&self.inner, &other.inner)
+        Arc::ptr_eq(&self.inner, &other.inner)
     }
 
     /// Total byte count of the underlying buffer (the whole allocation,
@@ -217,12 +219,12 @@ impl Slice {
     /// A key identifying the underlying buffer *instance* (stable across
     /// clones and sub-views, distinct across generations).
     pub(crate) fn buffer_key(&self) -> usize {
-        Rc::as_ptr(&self.inner) as usize
+        Arc::as_ptr(&self.inner) as usize
     }
 
     /// Number of live references to the underlying buffer.
     pub fn ref_count(&self) -> usize {
-        Rc::strong_count(&self.inner)
+        Arc::strong_count(&self.inner)
     }
 
     /// Attempts the §3.1-footnote optimization: modify the buffer in
@@ -241,12 +243,12 @@ impl Slice {
         &mut self,
         mutate: impl FnOnce(&mut [u8]),
     ) -> Result<(), crate::BufError> {
-        if Rc::strong_count(&self.inner) != 1 || self.off != 0 || self.len != self.inner.bytes.len()
+        if Arc::strong_count(&self.inner) != 1 || self.off != 0 || self.len != self.inner.bytes.len()
         {
             return Err(crate::BufError::Shared);
         }
         // A sole, whole-buffer reference: safe to view mutably.
-        let inner = Rc::get_mut(&mut self.inner).ok_or(crate::BufError::Shared)?;
+        let inner = Arc::get_mut(&mut self.inner).ok_or(crate::BufError::Shared)?;
         mutate(&mut inner.bytes);
         Ok(())
     }

@@ -13,9 +13,8 @@
 //! number, and the conventional stdio triple occupies 0/1/2 (installed
 //! by `Kernel::spawn`).
 
-use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use iolite_fs::FileId;
 
@@ -70,7 +69,7 @@ pub struct OpenFile {
 }
 
 /// A shared handle to an open-file description.
-pub type OpenFileRef = Rc<RefCell<OpenFile>>;
+pub type OpenFileRef = Arc<Mutex<OpenFile>>;
 
 /// One process's descriptor table.
 #[derive(Debug, Default)]
@@ -104,7 +103,7 @@ impl FdTable {
     pub fn install(&mut self, object: FdObject) -> Fd {
         let fd = self.lowest_free();
         self.entries
-            .insert(fd, Rc::new(RefCell::new(OpenFile { object, pos: 0 })));
+            .insert(fd, Arc::new(Mutex::new(OpenFile { object, pos: 0 })));
         fd
     }
 
@@ -114,7 +113,7 @@ impl FdTable {
     /// last-reference close semantics on it.
     pub fn install_at(&mut self, at: Fd, object: FdObject) -> Option<OpenFileRef> {
         self.entries
-            .insert(at, Rc::new(RefCell::new(OpenFile { object, pos: 0 })))
+            .insert(at, Arc::new(Mutex::new(OpenFile { object, pos: 0 })))
     }
 
     /// Duplicates `fd` onto the lowest free number: the new descriptor
@@ -163,7 +162,7 @@ impl FdTable {
 
     /// Iterates the open descriptors and their objects.
     pub fn iter(&self) -> impl Iterator<Item = (Fd, FdObject)> + '_ {
-        self.entries.iter().map(|(fd, of)| (*fd, of.borrow().object))
+        self.entries.iter().map(|(fd, of)| (*fd, of.lock().unwrap().object))
     }
 
     /// Deep-forks the table for a kernel-state snapshot. `shared` maps
@@ -175,12 +174,12 @@ impl FdTable {
             .entries
             .iter()
             .map(|(fd, desc)| {
-                let key = Rc::as_ptr(desc) as usize;
+                let key = Arc::as_ptr(desc) as usize;
                 let twin = shared
                     .entry(key)
                     .or_insert_with(|| {
-                        let of = desc.borrow();
-                        Rc::new(RefCell::new(OpenFile {
+                        let of = desc.lock().unwrap();
+                        Arc::new(Mutex::new(OpenFile {
                             object: of.object,
                             pos: of.pos,
                         }))
@@ -249,10 +248,10 @@ impl FdRegistry {
             h.write_usize(t.entries.len());
             for (fd, desc) in &t.entries {
                 h.write_u32(fd.0);
-                let key = Rc::as_ptr(desc) as usize;
+                let key = Arc::as_ptr(desc) as usize;
                 let next = alias.len() as u64;
                 h.write_u64(*alias.entry(key).or_insert(next));
-                let of = desc.borrow();
+                let of = desc.lock().unwrap();
                 let (tag, id) = match of.object {
                     FdObject::File(f) => (0u64, f.0),
                     FdObject::PipeRead(p) => (1, p.0 as u64),
@@ -303,11 +302,11 @@ mod tests {
         let mut t = FdTable::new();
         let fd = t.install(FdObject::File(FileId(1)));
         let dup = t.dup(fd).unwrap();
-        t.get(fd).unwrap().borrow_mut().pos = 42;
-        assert_eq!(t.get(dup).unwrap().borrow().pos, 42);
+        t.get(fd).unwrap().lock().unwrap().pos = 42;
+        assert_eq!(t.get(dup).unwrap().lock().unwrap().pos, 42);
         // Closing one number keeps the description alive for the other.
         assert!(t.close(fd).is_some());
-        assert_eq!(t.get(dup).unwrap().borrow().pos, 42);
+        assert_eq!(t.get(dup).unwrap().lock().unwrap().pos, 42);
         assert!(t.get(fd).is_none());
     }
 
@@ -319,8 +318,8 @@ mod tests {
         // dup2 onto an occupied number displaces it.
         let old = t.dup2(src, displaced).unwrap();
         assert!(old.is_some(), "previous description is handed back");
-        t.get(src).unwrap().borrow_mut().pos = 9;
-        assert_eq!(t.get(displaced).unwrap().borrow().pos, 9);
+        t.get(src).unwrap().lock().unwrap().pos = 9;
+        assert_eq!(t.get(displaced).unwrap().lock().unwrap().pos, 9);
         // dup2 onto itself is a no-op.
         assert!(t.dup2(src, src).unwrap().is_none());
         // dup2 from a closed source fails.
@@ -332,8 +331,8 @@ mod tests {
         let mut t = FdTable::new();
         let a = t.install(FdObject::File(FileId(1)));
         let b = t.install(FdObject::File(FileId(1)));
-        t.get(a).unwrap().borrow_mut().pos = 10;
-        assert_eq!(t.get(b).unwrap().borrow().pos, 0);
+        t.get(a).unwrap().lock().unwrap().pos = 10;
+        assert_eq!(t.get(b).unwrap().lock().unwrap().pos, 0);
     }
 
     #[test]

@@ -250,6 +250,19 @@ impl Kernel {
         self.finish(|| Command::CacheUnpin { key });
     }
 
+    /// Installs a replica of `data` as `file`'s whole-file cache entry
+    /// (sharded serving: a remote read's payload becomes a local cache
+    /// entry so later requests for the file hit this shard).
+    pub fn cache_install(&mut self, file: FileId, data: &[u8]) -> IoOutcome {
+        self.fx.clear();
+        let out = self.state.op_cache_install(file, data, &mut self.fx);
+        self.finish(|| Command::CacheInstall {
+            file,
+            data: data.to_vec(),
+        });
+        out
+    }
+
     /// Touches Flash's mapped-file cache; returns whether the file was
     /// already mapped (a miss models an `mmap`/`munmap` cycle).
     pub fn mapped_file_touch(&mut self, file: FileId) -> bool {

@@ -42,6 +42,7 @@ pub mod metrics;
 pub mod poll;
 pub mod process;
 pub mod pure;
+pub mod shard;
 pub mod stdio;
 
 pub use api::IolAgg;
@@ -53,4 +54,5 @@ pub use metrics::Metrics;
 pub use poll::{Interest, PollFd, Readiness};
 pub use process::{Pid, Process};
 pub use pure::{apply, replay, step, Command, Effect, IdAlloc, Journal, KernelState, Reply};
+pub use shard::{shard_of_conn, ShardFabric, ShardMailbox, ShardMsg};
 pub use stdio::{StdioIn, StdioMode, StdioOut};

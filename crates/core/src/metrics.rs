@@ -53,6 +53,24 @@ impl Metrics {
             .fold(SimTime::ZERO, |acc, &t| acc + t)
     }
 
+    /// Merges another accumulation into this one — per-shard metrics
+    /// roll up into a single global view after a sharded run. Every
+    /// field is a sum, so merging N shard metrics in any order yields
+    /// the same global totals.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.bytes_copied += other.bytes_copied;
+        self.bytes_checksummed += other.bytes_checksummed;
+        self.bytes_checksum_cached += other.bytes_checksum_cached;
+        self.pages_mapped += other.pages_mapped;
+        self.syscalls += other.syscalls;
+        self.context_switches += other.context_switches;
+        self.disk_ops += other.disk_ops;
+        self.disk_bytes += other.disk_bytes;
+        for (cat, t) in &other.time_by_category {
+            self.charge(*cat, *t);
+        }
+    }
+
     /// Time recorded under one category.
     pub fn time_in(&self, cat: CostCategory) -> SimTime {
         self.time_by_category

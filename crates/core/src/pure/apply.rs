@@ -142,6 +142,10 @@ pub fn step(state: &mut KernelState, cmd: &Command, fx: &mut Vec<Effect>) -> Res
             state.op_cache_unpin(*key);
             Ok(Reply::Unit)
         }
+        Command::CacheInstall { file, data } => {
+            state.op_cache_install(*file, data, fx);
+            Ok(Reply::Unit)
+        }
         Command::MappedFileTouch { file } => Ok(Reply::Flag(state.op_mapped_file_touch(*file))),
         Command::MemReserve { account, bytes } => {
             state.op_mem_reserve(*account, *bytes);

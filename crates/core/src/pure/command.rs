@@ -47,6 +47,7 @@ pub enum Command {
     FileMmap { pid: Pid, file: FileId },
     CachePin { key: CacheKey },
     CacheUnpin { key: CacheKey },
+    CacheInstall { file: FileId, data: Vec<u8> },
     MappedFileTouch { file: FileId },
     MemReserve { account: MemAccount, bytes: u64 },
     MemRelease { account: MemAccount, bytes: u64 },

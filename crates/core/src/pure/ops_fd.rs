@@ -53,7 +53,7 @@ impl KernelState {
                 });
                 continue;
             };
-            let object = desc.borrow().object;
+            let object = desc.lock().unwrap().object;
             events.push(self.object_readiness(object));
         }
         Ok((events, out))
@@ -173,7 +173,7 @@ impl KernelState {
     pub(crate) fn op_install_fd_at(&mut self, pid: Pid, at: Fd, object: FdObject) -> Fd {
         let displaced = self.fds.table(pid).install_at(at, object);
         if let Some(old) = displaced {
-            let old_object = old.borrow().object;
+            let old_object = old.lock().unwrap().object;
             self.finalize_close(old_object);
         }
         at
@@ -205,7 +205,7 @@ impl KernelState {
             .dup2(src, dst)
             .ok_or(IolError::NotOpen { fd: src })?;
         if let Some(old) = displaced {
-            let object = old.borrow().object;
+            let object = old.lock().unwrap().object;
             self.finalize_close(object);
         }
         Ok(dst)
@@ -225,7 +225,7 @@ impl KernelState {
             .table(pid)
             .close(fd)
             .ok_or(IolError::NotOpen { fd })?;
-        let object = removed.borrow().object;
+        let object = removed.lock().unwrap().object;
         self.finalize_close(object);
         Ok(())
     }
@@ -280,7 +280,7 @@ impl KernelState {
         fx: &mut Vec<Effect>,
     ) -> IoResult<u64> {
         let desc = self.resolve_fd(pid, fd)?;
-        let mut open = desc.borrow_mut();
+        let mut open = desc.lock().unwrap();
         let FdObject::File(file) = open.object else {
             return Err(IolError::BadFdKind {
                 fd,
@@ -327,12 +327,12 @@ impl KernelState {
         fx: &mut Vec<Effect>,
     ) -> IoResult<Aggregate> {
         let desc = self.resolve_fd(pid, fd)?;
-        let object = desc.borrow().object;
+        let object = desc.lock().unwrap().object;
         match object {
             FdObject::File(file) => {
-                let pos = desc.borrow().pos;
+                let pos = desc.lock().unwrap().pos;
                 let (agg, out) = self.op_read_file_at(pid, file, pos, len, fx);
-                desc.borrow_mut().pos = pos + agg.len();
+                desc.lock().unwrap().pos = pos + agg.len();
                 Ok((agg, out))
             }
             FdObject::PipeRead(pipe) => {
@@ -374,12 +374,12 @@ impl KernelState {
         fx: &mut Vec<Effect>,
     ) -> IoResult<u64> {
         let desc = self.resolve_fd(pid, fd)?;
-        let object = desc.borrow().object;
+        let object = desc.lock().unwrap().object;
         match object {
             FdObject::File(file) => {
-                let pos = desc.borrow().pos;
+                let pos = desc.lock().unwrap().pos;
                 let out = self.op_write_file_at(pid, file, pos, agg, fx);
-                desc.borrow_mut().pos = pos + agg.len();
+                desc.lock().unwrap().pos = pos + agg.len();
                 Ok((agg.len(), out))
             }
             FdObject::PipeWrite(pipe) => {
@@ -509,9 +509,9 @@ impl KernelState {
     ) -> IoResult<Vec<u8>> {
         let file = self.resolve_file(pid, fd, "posix_read")?;
         let desc = self.resolve_fd(pid, fd)?;
-        let pos = desc.borrow().pos;
+        let pos = desc.lock().unwrap().pos;
         let (bytes, out) = self.op_posix_file_read(pid, file, pos, len, fx);
-        desc.borrow_mut().pos = pos + bytes.len() as u64;
+        desc.lock().unwrap().pos = pos + bytes.len() as u64;
         Ok((bytes, out))
     }
 
@@ -530,9 +530,9 @@ impl KernelState {
     ) -> IoResult<u64> {
         let file = self.resolve_file(pid, fd, "posix_write")?;
         let desc = self.resolve_fd(pid, fd)?;
-        let pos = desc.borrow().pos;
+        let pos = desc.lock().unwrap().pos;
         let out = self.op_posix_file_write(pid, file, pos, data, fx);
-        desc.borrow_mut().pos = pos + data.len() as u64;
+        desc.lock().unwrap().pos = pos + data.len() as u64;
         Ok((data.len() as u64, out))
     }
 

@@ -101,6 +101,32 @@ impl KernelState {
         self.cache.unpin(&key);
     }
 
+    /// Installs a replica of a file's bytes as its whole-file cache
+    /// entry (sharded serving: a non-home shard caches the payload a
+    /// remote read returned, so later requests for the file hit
+    /// locally). The bytes arrived over a cross-shard channel, not from
+    /// this shard's disk, so copy cost is charged and no disk time
+    /// accrues.
+    pub(crate) fn op_cache_install(
+        &mut self,
+        file: FileId,
+        data: &[u8],
+        fx: &mut Vec<Effect>,
+    ) -> IoOutcome {
+        let mut out = IoOutcome {
+            charge: Charge::us(self.cost.syscall_us),
+            ..IoOutcome::default()
+        };
+        fx.push(Effect::Syscalls(1));
+        let agg = Aggregate::from_bytes_aligned(&self.cache_pool, data, iolite_buf::PAGE_SIZE);
+        fx.push(Effect::BytesCopied(data.len() as u64));
+        out.charge += self.cost.copy(data.len() as u64);
+        self.cache.insert(CacheKey::whole(file), agg);
+        self.op_rebalance_cache();
+        self.cache_pool.release_free_chunks(u64::MAX);
+        out
+    }
+
     /// Touches Flash's mapped-file cache; returns whether the file was
     /// already mapped.
     pub(crate) fn op_mapped_file_touch(&mut self, file: FileId) -> bool {

@@ -412,7 +412,7 @@ impl KernelState {
             .get_table(pid)
             .and_then(|t| t.get(fd))
             .ok_or(IolError::NotOpen { fd })?;
-        let object = desc.borrow().object;
+        let object = desc.lock().unwrap().object;
         match object {
             FdObject::Socket(id) => Ok(&self.sockets[&id].conn),
             _ => Err(IolError::BadFdKind {
@@ -477,7 +477,7 @@ impl KernelState {
     /// [`IolError::NotOpen`] for unknown descriptors.
     pub fn fd_object(&self, pid: Pid, fd: Fd) -> Result<FdObject, IolError> {
         let desc = self.resolve_fd(pid, fd)?;
-        let object = desc.borrow().object;
+        let object = desc.lock().unwrap().object;
         Ok(object)
     }
 
@@ -499,7 +499,7 @@ impl KernelState {
         operation: &'static str,
     ) -> Result<FileId, IolError> {
         let desc = self.resolve_fd(pid, fd)?;
-        let object = desc.borrow().object;
+        let object = desc.lock().unwrap().object;
         match object {
             FdObject::File(file) => Ok(file),
             _ => Err(IolError::BadFdKind { fd, operation }),
@@ -513,7 +513,7 @@ impl KernelState {
         operation: &'static str,
     ) -> Result<ConnId, IolError> {
         let desc = self.resolve_fd(pid, fd)?;
-        let object = desc.borrow().object;
+        let object = desc.lock().unwrap().object;
         match object {
             FdObject::Socket(id) => Ok(id),
             _ => Err(IolError::BadFdKind { fd, operation }),

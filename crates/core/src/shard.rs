@@ -1,0 +1,226 @@
+//! Shard routing and the cross-shard message fabric for
+//! thread-per-core serving.
+//!
+//! The sharded serving layer is shared-nothing: each shard owns its own
+//! [`crate::Kernel`] (state, unified cache, fd tables, sockets) on its
+//! own thread, and the *only* inter-shard communication is typed
+//! messages over the bounded channels built here — never a lock on
+//! kernel state. Connections are assigned to shards by
+//! [`shard_of_conn`], which mixes the **full 64-bit** connection id
+//! through splitmix64 before reducing it: the PR 5 lesson (`id & 0xFF`
+//! aliased structured id spaces into 4-tuple collisions) applies
+//! verbatim to shard routing, where truncation would reappear as shard
+//! skew. A uniformity regression test below locks that in.
+//!
+//! # Deadlock-freedom of the bounded fabric
+//!
+//! Channel sends use [`std::sync::mpsc::SyncSender::try_send`] and
+//! treat a full inbox as a protocol violation rather than blocking.
+//! The capacity contract makes fullness impossible: each in-flight
+//! connection has at most one outstanding remote read, so shard `s`
+//! can be the target of at most Σ(other shards' in-flight caps) read
+//! requests plus its own cap in replies plus one `Shutdown`. Sizing
+//! every inbox to the fleet-wide in-flight total plus slack (what
+//! [`ShardFabric::new`] callers pass) therefore bounds occupancy below
+//! capacity, and no send can ever block or fail.
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+
+use iolite_buf::splitmix64;
+use iolite_fs::FileId;
+
+use crate::pure::ConnId;
+
+/// The shard a connection is served by: the full 64-bit conn id through
+/// a full-avalanche mixer, reduced onto `shards`.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+pub fn shard_of_conn(conn: ConnId, shards: usize) -> usize {
+    assert!(shards > 0, "at least one shard");
+    (splitmix64(conn.0) % shards as u64) as usize
+}
+
+/// One typed unit of cross-shard work.
+#[derive(Debug, Clone)]
+pub enum ShardMsg {
+    /// Shard `from` asks the receiving (home) shard for `file`'s whole
+    /// contents; `token` correlates the eventual [`ShardMsg::RemoteData`]
+    /// reply with the waiting connection.
+    RemoteRead {
+        /// Requesting shard (where the reply goes).
+        from: usize,
+        /// Correlation token chosen by the requester.
+        token: u64,
+        /// The file whose bytes are wanted.
+        file: FileId,
+    },
+    /// The home shard's reply to a [`ShardMsg::RemoteRead`]: a copy of
+    /// the file's bytes, with `home_hit` reporting whether the home
+    /// shard's unified cache satisfied the read.
+    RemoteData {
+        /// The requester's correlation token, echoed back.
+        token: u64,
+        /// The file the bytes belong to.
+        file: FileId,
+        /// The file's whole contents (copied across the shard boundary).
+        bytes: Vec<u8>,
+        /// Whether the home shard served this from its cache.
+        home_hit: bool,
+    },
+    /// Coordinator order to leave the service loop. Sent only after
+    /// every shard has reported its own connections done, so no
+    /// `RemoteRead` can arrive after `Shutdown`.
+    Shutdown,
+}
+
+/// One shard's endpoint of the fabric: its own inbox plus senders to
+/// every shard (self included, which keeps indexing uniform).
+pub struct ShardMailbox {
+    /// This shard's index.
+    pub id: usize,
+    /// Inbound cross-shard messages.
+    pub inbox: Receiver<ShardMsg>,
+    peers: Vec<SyncSender<ShardMsg>>,
+}
+
+impl ShardMailbox {
+    /// Sends `msg` to shard `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target inbox is full or disconnected — both are
+    /// protocol violations under the capacity contract (see module
+    /// docs), and failing loudly beats deadlocking a bounded fleet.
+    pub fn send(&self, to: usize, msg: ShardMsg) {
+        self.peers[to]
+            .try_send(msg)
+            .expect("cross-shard inbox full or gone: capacity contract violated");
+    }
+
+    /// Number of shards in the fabric.
+    pub fn shards(&self) -> usize {
+        self.peers.len()
+    }
+}
+
+/// The whole fabric: per-shard mailboxes plus a coordinator's set of
+/// senders (used for `Shutdown` broadcast after all shards report
+/// their own work done).
+pub struct ShardFabric {
+    /// One mailbox per shard, to be moved onto the shard threads.
+    pub mailboxes: Vec<ShardMailbox>,
+    /// Coordinator copies of every shard's sender.
+    pub senders: Vec<SyncSender<ShardMsg>>,
+}
+
+impl ShardFabric {
+    /// Builds a fabric of `shards` bounded inboxes, each with room for
+    /// `capacity` messages. Callers size `capacity` to the fleet-wide
+    /// in-flight connection total plus slack (see module docs).
+    pub fn new(shards: usize, capacity: usize) -> ShardFabric {
+        let (senders, receivers): (Vec<_>, Vec<_>) =
+            (0..shards).map(|_| sync_channel(capacity)).unzip();
+        let mailboxes = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(id, inbox)| ShardMailbox {
+                id,
+                inbox,
+                peers: senders.clone(),
+            })
+            .collect();
+        ShardFabric { mailboxes, senders }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The PR 5 regression, restated for routing: ids that collide in
+    /// their low bits (stride 256, so `id & 0xFF` is constant) must
+    /// still spread uniformly, as must plain sequential ids.
+    #[test]
+    fn structured_conn_ids_spread_uniformly_across_shards() {
+        for shards in [2usize, 4, 8] {
+            for stride in [1u64, 256, 4096] {
+                let n = 1usize << 14;
+                let mut counts = vec![0usize; shards];
+                for k in 0..n {
+                    let conn = ConnId(k as u64 * stride);
+                    counts[shard_of_conn(conn, shards)] += 1;
+                }
+                let mean = (n / shards) as f64;
+                for (s, &c) in counts.iter().enumerate() {
+                    let dev = (c as f64 - mean).abs() / mean;
+                    assert!(
+                        dev < 0.10,
+                        "shard {s} holds {c} of {n} conns (stride {stride}, \
+                         {shards} shards): {:.1}% off uniform",
+                        dev * 100.0
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        for shards in 1..=9 {
+            for id in [0u64, 1, u64::MAX, 0xdead_beef] {
+                let s = shard_of_conn(ConnId(id), shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of_conn(ConnId(id), shards));
+            }
+        }
+    }
+
+    #[test]
+    fn fabric_routes_and_replies() {
+        let fabric = ShardFabric::new(2, 16);
+        let mut boxes = fabric.mailboxes;
+        let b1 = boxes.pop().unwrap();
+        let b0 = boxes.pop().unwrap();
+        b0.send(
+            1,
+            ShardMsg::RemoteRead {
+                from: 0,
+                token: 7,
+                file: FileId(42),
+            },
+        );
+        match b1.inbox.try_recv().unwrap() {
+            ShardMsg::RemoteRead { from, token, file } => {
+                assert_eq!((from, token, file), (0, 7, FileId(42)));
+                b1.send(
+                    from,
+                    ShardMsg::RemoteData {
+                        token,
+                        file,
+                        bytes: vec![1, 2, 3],
+                        home_hit: true,
+                    },
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match b0.inbox.try_recv().unwrap() {
+            ShardMsg::RemoteData { token, bytes, .. } => {
+                assert_eq!(token, 7);
+                assert_eq!(bytes, vec![1, 2, 3]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity contract violated")]
+    fn overfilling_a_bounded_inbox_fails_loudly() {
+        let fabric = ShardFabric::new(1, 1);
+        let mb = &fabric.mailboxes[0];
+        mb.send(0, ShardMsg::Shutdown);
+        mb.send(0, ShardMsg::Shutdown);
+    }
+}

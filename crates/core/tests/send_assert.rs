@@ -1,0 +1,28 @@
+//! Compile-time `Send` assertions for the sharded serving layer.
+//!
+//! Thread-per-core sharding moves each shard's `Kernel` onto its own
+//! thread, which requires the whole kernel-state object graph —
+//! buffer pools, slices, fd tables, caches — to be `Send`. These
+//! assertions fail at `cargo test` compile time if anyone reintroduces
+//! an `Rc`/`RefCell`/`Cell` anywhere inside that graph, instead of
+//! failing later at shard-integration time.
+
+use iolite_core::{Journal, Kernel, KernelState, Metrics};
+
+fn assert_send<T: Send>() {}
+
+#[test]
+fn kernel_and_state_are_send() {
+    assert_send::<Kernel>();
+    assert_send::<KernelState>();
+    assert_send::<Metrics>();
+    assert_send::<Journal>();
+}
+
+#[test]
+fn buffer_layer_is_send() {
+    assert_send::<iolite_buf::BufferPool>();
+    assert_send::<iolite_buf::Slice>();
+    assert_send::<iolite_buf::Aggregate>();
+    assert_send::<iolite_buf::PoolForker>();
+}

@@ -28,9 +28,11 @@
 pub mod cache;
 pub mod disk;
 pub mod meta;
+pub mod ownership;
 pub mod policy;
 
 pub use cache::{CacheKey, CacheStats, UnifiedCache};
 pub use disk::{DiskModel, FileContent, FileId, FileStore};
 pub use meta::MetadataCache;
+pub use ownership::{home_shard, CacheOwnership};
 pub use policy::Policy;

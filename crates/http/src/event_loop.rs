@@ -33,11 +33,16 @@
 //!
 //! [`serve_static`]: crate::server::serve_static
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::{SyncSender, TryRecvError};
+use std::time::Duration;
 
 use iolite_buf::Aggregate;
-use iolite_core::{short_ok, Charge, Fd, Interest, IolError, Kernel, Pid, PollFd, Readiness};
-use iolite_fs::CacheKey;
+use iolite_core::{
+    short_ok, Charge, CostCategory, Fd, Interest, IolError, Kernel, Pid, PollFd, Readiness,
+    ShardMailbox, ShardMsg,
+};
+use iolite_fs::{home_shard, CacheKey, CacheOwnership, FileId};
 use iolite_net::BufferMode;
 use iolite_sim::SimTime;
 
@@ -58,6 +63,11 @@ pub struct EventLoopConfig {
     /// Safety bound on ticks; exceeding it panics with diagnostics
     /// (a correctness bug would otherwise spin forever).
     pub max_ticks: u64,
+    /// Most connections simultaneously mid-request (0 = unlimited).
+    /// Idle connections with script left wait their turn, bounding
+    /// in-flight response memory at very large connection counts
+    /// (2^18+ in the sharded sweep).
+    pub admission_limit: usize,
 }
 
 impl Default for EventLoopConfig {
@@ -66,6 +76,7 @@ impl Default for EventLoopConfig {
             drain_per_tick: 16 * 1024,
             capture_responses: false,
             max_ticks: 10_000_000,
+            admission_limit: 0,
         }
     }
 }
@@ -93,6 +104,15 @@ pub struct LoopStats {
     pub response_bytes: u64,
     /// Completed requests whose document came from the file cache.
     pub cache_hits: u64,
+    /// Fetches sent over the cross-shard fabric (sharded runs only).
+    /// Single-flight: concurrent requests for the same remote file
+    /// share one fetch, so this counts fabric traffic, not requests.
+    pub remote_reads: u64,
+    /// Requests that waited on a remote fetch (their own or a
+    /// coalesced one) instead of being served locally.
+    pub remote_waits: u64,
+    /// Remote fetches the home shard served from *its* cache.
+    pub remote_hits: u64,
     /// Simulated CPU consumed (polls, syscalls, checksums, packet
     /// work, page mappings — everything the outcomes billed).
     pub cpu: SimTime,
@@ -152,6 +172,9 @@ enum ConnState {
         sent: u64,
         received: Aggregate,
     },
+    /// Waiting for the file's home shard to answer a `RemoteRead`
+    /// (sharded runs only; at most one outstanding read per conn).
+    RemoteWait { path: String },
     /// Streaming the response to the socket, window by window.
     Sending(SendJob),
     /// All bytes written; waiting for the wire to acknowledge them.
@@ -201,6 +224,28 @@ pub struct EventLoopServer {
     cfg: EventLoopConfig,
     stats: LoopStats,
     requests: Vec<CompletedRequest>,
+    /// Cross-shard serving context; `None` outside sharded runs (and
+    /// for single-shard fleets, which never route remotely).
+    shard: Option<ShardContext>,
+    /// Single-flight remote fetches: connections waiting for each
+    /// in-flight remote file, in arrival order. The first waiter's
+    /// arrival sent the `RemoteRead`; the entry is consumed by the
+    /// matching `RemoteData`.
+    remote_pending: HashMap<FileId, Vec<usize>>,
+}
+
+/// One shard's view of the fleet, attached via
+/// [`EventLoopServer::run_shard`].
+pub struct ShardContext {
+    /// This shard's fabric endpoint (inbox + senders to every shard).
+    pub mailbox: ShardMailbox,
+    /// Fleet size.
+    pub shards: usize,
+    /// What to do with bytes fetched from a home shard.
+    pub ownership: CacheOwnership,
+    /// Coordinator notification, sent once when this shard's own
+    /// scripts are exhausted (it keeps answering remote reads after).
+    pub done_tx: SyncSender<usize>,
 }
 
 /// Requests whose path starts with this prefix route to the CGI
@@ -248,6 +293,8 @@ impl EventLoopServer {
             cfg,
             stats: LoopStats::default(),
             requests: Vec::new(),
+            shard: None,
+            remote_pending: HashMap::new(),
         }
     }
 
@@ -317,16 +364,33 @@ impl EventLoopServer {
     }
 
     /// Closed-loop clients: an idle connection with script left issues
-    /// its next request (the harness playing the remote peer).
+    /// its next request (the harness playing the remote peer), subject
+    /// to [`EventLoopConfig::admission_limit`].
     fn inject_requests(&mut self) {
         let pool = self.kernel.process(self.pid).pool().clone();
+        let limit = self.cfg.admission_limit;
+        let mut inflight = if limit == 0 {
+            0
+        } else {
+            self.conns
+                .iter()
+                .filter(|c| !matches!(c.state, ConnState::Idle | ConnState::Done))
+                .count()
+        };
         for i in 0..self.conns.len() {
             if !matches!(self.conns[i].state, ConnState::Idle) {
                 continue;
             }
-            let Some(path) = self.conns[i].script.pop_front() else {
+            if self.conns[i].script.is_empty() {
                 self.conns[i].state = ConnState::Done;
                 continue;
+            }
+            if limit > 0 && inflight >= limit {
+                continue;
+            }
+            inflight += 1;
+            let Some(path) = self.conns[i].script.pop_front() else {
+                unreachable!("script checked non-empty above");
             };
             let req = crate::message::request_bytes(&path, true);
             let agg = Aggregate::from_bytes(&pool, &req);
@@ -549,8 +613,13 @@ impl EventLoopServer {
 
     /// Static route: open by path, snapshot-read the document, build
     /// `header ++ body` by reference, pin the cache entry for the
-    /// transmission, and start streaming.
+    /// transmission, and start streaming. In sharded runs a document
+    /// homed elsewhere is fetched by message instead (see
+    /// [`try_remote_route`](Self::try_remote_route)).
     fn open_static(&mut self, i: usize, path: String) {
+        if self.try_remote_route(i, &path) {
+            return;
+        }
         let (file_fd, oout) = match self.kernel.open(self.pid, &path) {
             Ok(v) => v,
             Err(_) => {
@@ -821,6 +890,287 @@ impl EventLoopServer {
         }
         self.stats.failed += 1;
         self.conns[i].state = ConnState::Done;
+    }
+
+    // ---- Sharded serving -------------------------------------------------
+    //
+    // The shared-nothing protocol: this shard's kernel is touched only
+    // by this thread; a document homed on another shard is fetched by a
+    // `RemoteRead` message and the bytes come back copied. No lock on
+    // any kernel or cache is ever taken on this path.
+
+    /// Routes a static request for a remotely-homed document over the
+    /// fabric, parking the connection in `RemoteWait`. Returns `false`
+    /// when the request should be served locally: not a sharded run,
+    /// single-shard fleet, home shard is us, the path does not resolve
+    /// (the local 404 path answers), or a `Replicate` replica is
+    /// already resident.
+    fn try_remote_route(&mut self, i: usize, path: &str) -> bool {
+        let Some(ctx) = &self.shard else {
+            return false;
+        };
+        if ctx.shards <= 1 {
+            return false;
+        }
+        let Some(file) = self.kernel.store.lookup(path) else {
+            return false;
+        };
+        let home = home_shard(file, ctx.shards);
+        if home == ctx.mailbox.id {
+            return false;
+        }
+        if ctx.ownership == CacheOwnership::Replicate
+            && self.kernel.cache.contains(&CacheKey::whole(file))
+        {
+            return false;
+        }
+        // Single-flight: only the first waiter for a file sends the
+        // fetch; later arrivals park behind it (a thundering herd of
+        // per-connection fetches for the Zipf head would otherwise
+        // flood the fabric with duplicate copies).
+        self.stats.remote_waits += 1;
+        let waiters = self.remote_pending.entry(file).or_default();
+        waiters.push(i);
+        if waiters.len() == 1 {
+            self.stats.remote_reads += 1;
+            ctx.mailbox.send(
+                home,
+                ShardMsg::RemoteRead {
+                    from: ctx.mailbox.id,
+                    token: i as u64,
+                    file,
+                },
+            );
+        }
+        self.conns[i].state = ConnState::RemoteWait {
+            path: path.to_string(),
+        };
+        true
+    }
+
+    /// Handles one inbound cross-shard message; returns `true` on
+    /// `Shutdown`.
+    fn handle_shard_msg(&mut self, msg: ShardMsg) -> bool {
+        match msg {
+            ShardMsg::Shutdown => true,
+            ShardMsg::RemoteRead { from, token, file } => {
+                self.serve_remote_read(from, token, file);
+                false
+            }
+            ShardMsg::RemoteData {
+                file,
+                bytes,
+                home_hit,
+                ..
+            } => {
+                self.finish_remote(file, bytes, home_hit);
+                false
+            }
+        }
+    }
+
+    /// Home-shard side of a remote read: snapshot the document through
+    /// this kernel's own (journaled) open/pread path — the only disk
+    /// read the fleet ever does for this file — then copy the bytes
+    /// out to the requester.
+    fn serve_remote_read(&mut self, from: usize, token: u64, file: FileId) {
+        let fd = self.kernel.open_file(self.pid, file);
+        let len = self.kernel.fd_len(self.pid, fd).expect("open file");
+        // IOL_read, not pread: IO-Lite aggregates are immutable, so
+        // the home shard hands the requester a *reference* (syscall +
+        // disk on a cold home + page maps — no byte copy, exactly
+        // like a local zero-copy serve). The one real memcpy of a
+        // remote fetch is billed on the requester side, where the
+        // bytes land (`cache_install` / `serve_copied`). The `Vec`
+        // crossing the host-level channel is an artifact of
+        // thread-confined buffer pools, not a modeled cost.
+        let (body, out) = self
+            .kernel
+            .iol_read_fd(self.pid, fd, len)
+            .expect("document read");
+        self.stats.cpu += out.charge.time;
+        let home_hit = out.cache_hit;
+        self.kernel
+            .close_fd(self.pid, fd)
+            .expect("close after snapshot");
+        let bytes = body.to_vec();
+        let ctx = self.shard.as_ref().expect("remote reads imply sharding");
+        ctx.mailbox.send(
+            from,
+            ShardMsg::RemoteData {
+                token,
+                file,
+                bytes,
+                home_hit,
+            },
+        );
+    }
+
+    /// Requester side: the home shard's bytes arrived; serve every
+    /// connection waiting on this file. Under `Replicate` the bytes
+    /// are installed as a local cache replica and the waiters go
+    /// through the normal local path (a guaranteed hit, unless the
+    /// budget rejects the entry outright); under `HomeOnly` the copy
+    /// is served directly and discarded.
+    fn finish_remote(&mut self, file: FileId, bytes: Vec<u8>, home_hit: bool) {
+        let waiters = self.remote_pending.remove(&file).unwrap_or_default();
+        self.stats.remote_hits += u64::from(home_hit);
+        let ownership = self.shard.as_ref().expect("sharded").ownership;
+        let mut replica_resident = false;
+        if ownership == CacheOwnership::Replicate {
+            let out = self.kernel.cache_install(file, &bytes);
+            self.stats.cpu += out.charge.time;
+            // When the budget evicts the replica on admission (entry
+            // larger than this shard's share), fall back to serving
+            // the copy directly instead of re-requesting forever.
+            replica_resident = self.kernel.cache.contains(&CacheKey::whole(file));
+        }
+        for i in waiters {
+            if !matches!(
+                self.conns.get(i).map(|c| &c.state),
+                Some(ConnState::RemoteWait { .. })
+            ) {
+                // This waiter failed while the read was in flight.
+                continue;
+            }
+            let state = std::mem::replace(&mut self.conns[i].state, ConnState::Idle);
+            let ConnState::RemoteWait { path } = state else {
+                unreachable!("matched RemoteWait above");
+            };
+            if replica_resident {
+                // The normal local path serves the replica as a cache
+                // hit (and re-routing cannot recurse).
+                self.open_static(i, path);
+            } else {
+                self.serve_copied(i, path, &bytes);
+            }
+        }
+    }
+
+    /// Serves a response straight from copied bytes (no cache entry, no
+    /// pin): the `HomeOnly` path and the replica-rejected fallback.
+    /// This path pays the remote fetch's one real memcpy — the bytes
+    /// land in the requester's pool — billed (and journaled) here
+    /// since the app-side `from_bytes` is invisible to the kernel.
+    fn serve_copied(&mut self, i: usize, path: String, bytes: &[u8]) {
+        let c = self.kernel.cost.copy(bytes.len() as u64);
+        self.kernel.charge(CostCategory::Copy, c);
+        self.stats.cpu += c.time;
+        let pool = self.kernel.process(self.pid).pool().clone();
+        let body = Aggregate::from_bytes(&pool, bytes);
+        let response = self.build_response(&body);
+        self.start_send(i, path, response, None, false);
+    }
+
+    /// Whether a tick can make progress without any inbound message:
+    /// some connection is mid-request, retirable, or injectable under
+    /// the admission limit. When this is false (and the shard is not
+    /// done), every live connection is in `RemoteWait` — the service
+    /// loop then *blocks* on the inbox instead of spinning.
+    fn can_progress_locally(&self) -> bool {
+        let limit = self.cfg.admission_limit;
+        let mut inflight = 0usize;
+        let mut injectable = false;
+        let mut retirable = false;
+        let mut active = false;
+        for c in &self.conns {
+            match &c.state {
+                ConnState::Done => {}
+                ConnState::Idle => {
+                    if c.script.is_empty() {
+                        retirable = true;
+                    } else {
+                        injectable = true;
+                    }
+                }
+                ConnState::RemoteWait { .. } => inflight += 1,
+                _ => {
+                    inflight += 1;
+                    active = true;
+                }
+            }
+        }
+        active || retirable || (injectable && (limit == 0 || inflight < limit))
+    }
+
+    /// Runs this shard's service loop: event-loop ticks interleaved
+    /// with fabric message handling. When only remote work can make
+    /// progress the loop blocks on the inbox (`recv_timeout`) rather
+    /// than burning ticks — idle shards consume no simulated or real
+    /// CPU. After its own scripts finish, the shard reports `done_tx`
+    /// and keeps answering other shards' reads until `Shutdown`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`EventLoopConfig::max_ticks`] elapses, or if the
+    /// fabric disconnects before `Shutdown` (both protocol bugs).
+    pub fn run_shard(mut self, ctx: ShardContext) -> (LoopReport, Kernel) {
+        self.shard = Some(ctx);
+        let mut reported = false;
+        'serve: loop {
+            // Drain everything already queued, nonblocking.
+            loop {
+                let polled = self
+                    .shard
+                    .as_ref()
+                    .expect("set above")
+                    .mailbox
+                    .inbox
+                    .try_recv();
+                match polled {
+                    Ok(msg) => {
+                        if self.handle_shard_msg(msg) {
+                            break 'serve;
+                        }
+                    }
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        panic!("shard fabric disconnected before Shutdown")
+                    }
+                }
+            }
+            if !self.done() {
+                if self.can_progress_locally() {
+                    self.tick();
+                    assert!(
+                        self.stats.ticks <= self.cfg.max_ticks,
+                        "shard event loop stuck after {} ticks ({} completed, {} failed)",
+                        self.stats.ticks,
+                        self.stats.completed,
+                        self.stats.failed,
+                    );
+                    continue;
+                }
+            } else if !reported {
+                reported = true;
+                let ctx = self.shard.as_ref().expect("set above");
+                ctx.done_tx
+                    .send(ctx.mailbox.id)
+                    .expect("coordinator outlives shards");
+            }
+            // Nothing to do until a message arrives (our data, a peer's
+            // read, or Shutdown). Block — the timeout is only a
+            // liveness fallback, not a poll interval.
+            let waited = self
+                .shard
+                .as_ref()
+                .expect("set above")
+                .mailbox
+                .inbox
+                .recv_timeout(Duration::from_millis(5));
+            if let Ok(msg) = waited {
+                if self.handle_shard_msg(msg) {
+                    break 'serve;
+                }
+            }
+        }
+        (
+            LoopReport {
+                stats: self.stats,
+                requests: self.requests,
+            },
+            self.kernel,
+        )
     }
 }
 

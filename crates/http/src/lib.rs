@@ -28,13 +28,16 @@ pub mod driver;
 pub mod event_loop;
 pub mod message;
 pub mod server;
+pub mod sharded;
 pub mod workloads;
 
 pub use cgi::CgiProcess;
 pub use driver::{Experiment, ExperimentConfig, ExperimentResult};
 pub use event_loop::{
-    CompletedRequest, EventLoopConfig, EventLoopServer, LoopReport, LoopStats, CGI_PREFIX,
+    CompletedRequest, EventLoopConfig, EventLoopServer, LoopReport, LoopStats, ShardContext,
+    CGI_PREFIX,
 };
+pub use sharded::{run_sharded, ShardOutcome, ShardedConfig, ShardedReport};
 pub use message::{parse_request, parse_request_agg, request_bytes, response_header, Request};
 pub use server::{RequestCosts, ServerKind};
 pub use workloads::WorkloadKind;

@@ -1,0 +1,383 @@
+//! Shared-nothing thread-per-core serving: N shards, each owning its
+//! own [`Kernel`] (state, unified cache, fd table, sockets) and running
+//! its own [`EventLoopServer`] on its own OS thread.
+//!
+//! Connections are routed to shards by mixing the **full 64-bit**
+//! connection id through [`shard_of_conn`]; documents have a single
+//! home shard ([`iolite_fs::home_shard`]) that owns their disk reads
+//! and authoritative cache entry. A shard that needs a remote document
+//! sends a typed [`ShardMsg`] over the bounded fabric and parks the
+//! connection — no shard ever takes a lock on another's state.
+//!
+//! # Termination protocol
+//!
+//! A shard that exhausts its own scripts reports to the coordinator and
+//! keeps answering other shards' remote reads (blocking on its inbox,
+//! never spinning). Once *every* shard has reported, the coordinator
+//! broadcasts [`ShardMsg::Shutdown`]. No `RemoteRead` can arrive after
+//! `Shutdown` because shutdown implies all connections everywhere are
+//! done.
+//!
+//! # The scaling metric
+//!
+//! The machine under this simulation has however many cores it has; the
+//! serving model's parallelism is expressed in *simulated* CPU. A
+//! sharded run's cost is the parallel makespan — the largest per-shard
+//! simulated CPU time — so [`ShardedReport::requests_per_cpu_sec`] is
+//! total completed requests over that maximum. A perfectly balanced
+//! 4-shard fleet does 4× the work per makespan second; skew (one shard
+//! homing the Zipf head) shows up directly as
+//! [`ShardedReport::imbalance`].
+
+use std::sync::mpsc::sync_channel;
+use std::thread;
+
+use iolite_core::{
+    shard_of_conn, ConnId, CostModel, Kernel, Metrics, Pid, ShardFabric, ShardMsg,
+};
+use iolite_fs::{CacheOwnership, Policy};
+use iolite_sim::SimTime;
+
+use crate::event_loop::{EventLoopConfig, EventLoopServer, LoopReport, ShardContext};
+
+/// Configuration for one sharded run.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedConfig {
+    /// Number of shards (threads, kernels). Must be ≥ 1.
+    pub shards: usize,
+    /// What shards do with remotely fetched bytes.
+    pub ownership: CacheOwnership,
+    /// Cost model for every shard's kernel.
+    pub cost: CostModel,
+    /// Cache policy for every shard's kernel.
+    pub policy: Policy,
+    /// Record each shard's journal (for per-shard replay checks).
+    pub journal: bool,
+    /// Per-shard event-loop configuration.
+    pub loop_cfg: EventLoopConfig,
+}
+
+/// One shard's complete outcome: its loop report plus its kernel (for
+/// cache stats, metrics, journal, and state-hash inspection).
+pub struct ShardOutcome {
+    /// The shard's index in the fleet.
+    pub shard: usize,
+    /// Its event loop's counters and completed requests.
+    pub report: LoopReport,
+    /// Its kernel, post-run.
+    pub kernel: Kernel,
+}
+
+/// The aggregated outcome of a sharded run.
+pub struct ShardedReport {
+    /// Per-shard outcomes, indexed by shard id.
+    pub shards: Vec<ShardOutcome>,
+}
+
+impl ShardedReport {
+    /// Total completed requests across the fleet.
+    pub fn completed(&self) -> u64 {
+        self.shards.iter().map(|s| s.report.stats.completed).sum()
+    }
+
+    /// Total failed requests across the fleet.
+    pub fn failed(&self) -> u64 {
+        self.shards.iter().map(|s| s.report.stats.failed).sum()
+    }
+
+    /// Total remote reads (requests served via the fabric).
+    pub fn remote_reads(&self) -> u64 {
+        self.shards.iter().map(|s| s.report.stats.remote_reads).sum()
+    }
+
+    /// The parallel makespan: the largest per-shard simulated CPU time.
+    pub fn max_shard_cpu(&self) -> SimTime {
+        self.shards
+            .iter()
+            .map(|s| s.report.stats.cpu)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Fleet throughput per simulated CPU second, on the makespan (see
+    /// module docs): completed requests / max per-shard CPU.
+    pub fn requests_per_cpu_sec(&self) -> f64 {
+        let cpu = self.max_shard_cpu().as_secs();
+        if cpu == 0.0 {
+            return 0.0;
+        }
+        self.completed() as f64 / cpu
+    }
+
+    /// Hot-spot imbalance: max per-shard CPU over mean per-shard CPU
+    /// (1.0 = perfectly balanced; the lost fraction of ideal speedup).
+    pub fn imbalance(&self) -> f64 {
+        let total: f64 = self
+            .shards
+            .iter()
+            .map(|s| s.report.stats.cpu.as_secs())
+            .sum();
+        let mean = total / self.shards.len() as f64;
+        if mean == 0.0 {
+            return 1.0;
+        }
+        self.max_shard_cpu().as_secs() / mean
+    }
+
+    /// Kernel metrics merged across shards (every field sums).
+    pub fn merged_metrics(&self) -> Metrics {
+        let mut m = Metrics::new();
+        for s in &self.shards {
+            m.merge(&s.kernel.metrics);
+        }
+        m
+    }
+}
+
+/// Extra headroom in each inbox beyond the fleet-wide in-flight bound
+/// (covers `Shutdown` and ordering slop; see `iolite_core::shard`).
+const FABRIC_SLACK: usize = 8;
+
+/// Runs `conns` — `(conn_id, request script)` pairs — across
+/// `cfg.shards` shared-nothing shards and aggregates the outcome.
+///
+/// `setup` builds each shard's kernel contents and returns the server
+/// pid; it runs once per shard and **must be deterministic** (every
+/// shard needs the identical file store, in identical creation order,
+/// so `FileId`s agree fleet-wide). When `cfg.journal` is set the
+/// journal starts before `setup`, so replaying a shard's journal from a
+/// blank state reproduces its kernel bit-for-bit.
+///
+/// # Panics
+///
+/// Panics if `cfg.shards` is zero or a shard thread panics.
+pub fn run_sharded<F>(cfg: &ShardedConfig, setup: F, conns: Vec<(u64, Vec<String>)>) -> ShardedReport
+where
+    F: Fn(&mut Kernel) -> Pid + Sync,
+{
+    assert!(cfg.shards > 0, "at least one shard");
+    let n = cfg.shards;
+    // Partition scripts by mixed full-width conn id.
+    let mut per_shard: Vec<Vec<Vec<String>>> = vec![Vec::new(); n];
+    for (id, script) in conns {
+        per_shard[shard_of_conn(ConnId(id), n)].push(script);
+    }
+    // Capacity contract: each in-flight connection has at most one
+    // outstanding remote read, so the fleet-wide in-flight cap bounds
+    // every inbox's occupancy (see `iolite_core::shard` module docs).
+    let limit = cfg.loop_cfg.admission_limit;
+    let capacity: usize = per_shard
+        .iter()
+        .map(|s| if limit == 0 { s.len() } else { s.len().min(limit) })
+        .sum::<usize>()
+        + FABRIC_SLACK;
+    let fabric = ShardFabric::new(n, capacity);
+    let senders = fabric.senders;
+    let (done_tx, done_rx) = sync_channel(n);
+    let setup = &setup;
+    let mut outcomes = thread::scope(|scope| {
+        let handles: Vec<_> = fabric
+            .mailboxes
+            .into_iter()
+            .zip(per_shard)
+            .map(|(mailbox, scripts)| {
+                let done_tx = done_tx.clone();
+                let cfg = *cfg;
+                scope.spawn(move || {
+                    let mut kernel = Kernel::with_policy(cfg.cost, cfg.policy);
+                    if cfg.journal {
+                        kernel.start_journal();
+                    }
+                    let pid = setup(&mut kernel);
+                    let shard = mailbox.id;
+                    let server = EventLoopServer::new(kernel, pid, scripts, None, cfg.loop_cfg);
+                    let ctx = ShardContext {
+                        mailbox,
+                        shards: n,
+                        ownership: cfg.ownership,
+                        done_tx,
+                    };
+                    let (report, kernel) = server.run_shard(ctx);
+                    ShardOutcome {
+                        shard,
+                        report,
+                        kernel,
+                    }
+                })
+            })
+            .collect();
+        // Coordinator: once every shard reports its own scripts done,
+        // no further RemoteRead can be generated — broadcast Shutdown.
+        for _ in 0..n {
+            done_rx.recv().expect("every shard reports done");
+        }
+        for tx in &senders {
+            tx.try_send(ShardMsg::Shutdown)
+                .expect("slack reserves room for Shutdown");
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard thread completes"))
+            .collect::<Vec<_>>()
+    });
+    outcomes.sort_by_key(|o| o.shard);
+    ShardedReport { shards: outcomes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iolite_fs::home_shard;
+
+    fn corpus(k: &mut Kernel) -> Pid {
+        let pid = k.spawn("server");
+        for f in 0..16 {
+            k.create_synthetic_file(&format!("/f{f}"), 4_000 + f * 512, f);
+        }
+        pid
+    }
+
+    fn zipfish_conns(n: u64) -> Vec<(u64, Vec<String>)> {
+        (0..n)
+            .map(|i| {
+                // Structured ids (stride 4096) — routing must still
+                // spread them.
+                let id = i * 4096;
+                let script = vec![
+                    format!("/f{}", i % 4),      // hot head
+                    format!("/f{}", 4 + i % 12), // long tail
+                    format!("/f{}", i % 4),      // head again, later
+                ];
+                (id, script)
+            })
+            .collect()
+    }
+
+    fn base_cfg(shards: usize, ownership: CacheOwnership) -> ShardedConfig {
+        ShardedConfig {
+            shards,
+            ownership,
+            cost: CostModel::pentium_ii_333(),
+            policy: Policy::Gds,
+            journal: false,
+            loop_cfg: EventLoopConfig::default(),
+        }
+    }
+
+    #[test]
+    fn sharded_fleet_completes_every_request() {
+        for shards in [1usize, 2, 4] {
+            for ownership in [CacheOwnership::HomeOnly, CacheOwnership::Replicate] {
+                let cfg = base_cfg(shards, ownership);
+                let report = run_sharded(&cfg, corpus, zipfish_conns(64));
+                assert_eq!(report.completed(), 192, "{shards} shards {ownership:?}");
+                assert_eq!(report.failed(), 0);
+                for s in &report.shards {
+                    assert_eq!(
+                        s.report.stats.blocked_io, 0,
+                        "shard {} must stay readiness-driven",
+                        s.shard
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_run_never_touches_the_fabric() {
+        let cfg = base_cfg(1, CacheOwnership::HomeOnly);
+        let report = run_sharded(&cfg, corpus, zipfish_conns(32));
+        assert_eq!(report.remote_reads(), 0);
+        assert_eq!(report.shards[0].report.stats.remote_hits, 0);
+    }
+
+    #[test]
+    fn home_only_pays_remote_reads_where_replicate_converges() {
+        let home_only = run_sharded(
+            &base_cfg(4, CacheOwnership::HomeOnly),
+            corpus,
+            zipfish_conns(64),
+        );
+        let replicate = run_sharded(
+            &base_cfg(4, CacheOwnership::Replicate),
+            corpus,
+            zipfish_conns(64),
+        );
+        assert_eq!(home_only.completed(), replicate.completed());
+        // HomeOnly re-fetches a remote file every time it comes up
+        // again; Replicate fetches each (shard, file) pair once and
+        // hits the local replica thereafter.
+        assert!(
+            home_only.remote_reads() > replicate.remote_reads(),
+            "HomeOnly {} fetches vs Replicate {}",
+            home_only.remote_reads(),
+            replicate.remote_reads()
+        );
+        assert!(replicate.remote_reads() > 0, "first touches still route");
+    }
+
+    #[test]
+    fn admission_limit_bounds_inflight() {
+        let mut cfg = base_cfg(2, CacheOwnership::Replicate);
+        cfg.loop_cfg.admission_limit = 4;
+        let report = run_sharded(&cfg, corpus, zipfish_conns(64));
+        assert_eq!(report.completed(), 192);
+        for s in &report.shards {
+            assert!(
+                s.report.stats.max_inflight <= 4,
+                "shard {} saw {} in flight",
+                s.shard,
+                s.report.stats.max_inflight
+            );
+        }
+    }
+
+    /// The makespan metric is what the scaling table reports; sanity:
+    /// it is positive, at most the CPU sum, and imbalance ≥ 1.
+    #[test]
+    fn makespan_metric_is_sane() {
+        let report = run_sharded(
+            &base_cfg(4, CacheOwnership::Replicate),
+            corpus,
+            zipfish_conns(64),
+        );
+        let max = report.max_shard_cpu();
+        let sum: f64 = report
+            .shards
+            .iter()
+            .map(|s| s.report.stats.cpu.as_secs())
+            .sum();
+        assert!(max > SimTime::ZERO);
+        assert!(max.as_secs() <= sum);
+        assert!(report.imbalance() >= 1.0);
+        assert!(report.requests_per_cpu_sec() > 0.0);
+    }
+
+    /// Every file's home shard serves it from disk exactly once
+    /// fleet-wide under HomeOnly: disk_ops equals the per-shard count
+    /// of homed-and-requested files (plus nothing else).
+    #[test]
+    fn only_home_shards_read_disk() {
+        let shards = 4;
+        let report = run_sharded(
+            &base_cfg(shards, CacheOwnership::HomeOnly),
+            corpus,
+            zipfish_conns(64),
+        );
+        for s in &report.shards {
+            let homed: Vec<u64> = (0..16)
+                .filter(|&f| {
+                    let file = s.kernel.store.lookup(&format!("/f{f}")).expect("exists");
+                    home_shard(file, shards) == s.shard
+                })
+                .collect();
+            assert!(
+                s.kernel.metrics.disk_ops <= homed.len() as u64,
+                "shard {} did {} disk ops for {} homed files",
+                s.shard,
+                s.kernel.metrics.disk_ops,
+                homed.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Cross-shard equivalence (PR 7): over random corpora, scripts, shard
+//! counts, and both ownership modes, a shared-nothing sharded fleet
+//! serves **byte-identical responses** and **identical aggregate
+//! request counts** to a single-shard run of the same connections —
+//! and every shard's journal replays bit-identically through the pure
+//! core from a blank state.
+
+use std::collections::HashMap;
+
+use iolite::core::{replay, CostModel, Kernel, KernelState, Pid};
+use iolite::fs::{CacheOwnership, Policy};
+use iolite::http::event_loop::EventLoopConfig;
+use iolite::http::response_header;
+use iolite::http::sharded::{run_sharded, ShardedConfig};
+use proptest::prelude::*;
+use proptest::test_runner::ProptestConfig;
+
+fn config(shards: usize, ownership: CacheOwnership, journal: bool) -> ShardedConfig {
+    ShardedConfig {
+        shards,
+        ownership,
+        cost: CostModel::pentium_ii_333(),
+        policy: Policy::Gds,
+        journal,
+        loop_cfg: EventLoopConfig {
+            capture_responses: true,
+            ..EventLoopConfig::default()
+        },
+    }
+}
+
+/// Responses for `path` must be `header ++ body` ground truth — checked
+/// against the serving shard's own store (every shard holds the full
+/// corpus; only cache residency is partitioned).
+fn assert_ground_truth(kernel: &Kernel, path: &str, response: &[u8]) {
+    let file = kernel.store.lookup(path).expect("corpus file");
+    let flen = kernel.store.len(file).unwrap();
+    let body = kernel.store.read(file, 0, flen).unwrap();
+    let mut expected = response_header(flen, true);
+    expected.extend_from_slice(&body);
+    assert_eq!(response, expected, "response for {path}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn sharded_serving_is_equivalent_to_single_shard(
+        sizes in proptest::collection::vec(1u64..60_000, 2..6),
+        picks in proptest::collection::vec(any::<u64>(), 4..24),
+        conn_seed in any::<u64>(),
+        shards in 2usize..5,
+        replicate in any::<bool>(),
+    ) {
+        let ownership = if replicate {
+            CacheOwnership::Replicate
+        } else {
+            CacheOwnership::HomeOnly
+        };
+        let paths: Vec<String> = (0..sizes.len()).map(|i| format!("/f{i:05}")).collect();
+        let setup = |k: &mut Kernel| -> Pid {
+            let pid = k.spawn("server");
+            for (i, &bytes) in sizes.iter().enumerate() {
+                k.create_synthetic_file(&paths[i], bytes, 0x5_0000 + i as u64);
+            }
+            pid
+        };
+        // Structured conn ids (stride 4096 off a random base): the
+        // full-width mixer must spread them; scripts deal the picks
+        // round-robin onto 8 connections.
+        let n_conns = picks.len().min(8);
+        let mut conns: Vec<(u64, Vec<String>)> = (0..n_conns)
+            .map(|j| (conn_seed.wrapping_add(j as u64 * 4096), Vec::new()))
+            .collect();
+        for (j, pick) in picks.iter().enumerate() {
+            let path = paths[(*pick % paths.len() as u64) as usize].clone();
+            conns[j % n_conns].1.push(path);
+        }
+
+        let base = run_sharded(&config(1, ownership, false), setup, conns.clone());
+        let fleet = run_sharded(&config(shards, ownership, true), setup, conns);
+
+        // Identical aggregate counts.
+        prop_assert_eq!(base.failed(), 0);
+        prop_assert_eq!(fleet.failed(), 0);
+        prop_assert_eq!(fleet.completed(), base.completed());
+        prop_assert_eq!(fleet.completed() as usize, picks.len());
+        prop_assert_eq!(base.remote_reads(), 0, "one shard never routes");
+
+        // Identical per-path request multisets (partitioning moved
+        // requests between shards; it must not change what was served).
+        let count_paths = |r: &iolite::http::ShardedReport| -> HashMap<String, u64> {
+            let mut m = HashMap::new();
+            for s in &r.shards {
+                for req in &s.report.requests {
+                    *m.entry(req.path.clone()).or_insert(0) += 1;
+                }
+            }
+            m
+        };
+        prop_assert_eq!(count_paths(&fleet), count_paths(&base));
+
+        // Byte-identical responses: both runs must match ground truth
+        // (hence each other), remote and local serves alike.
+        for report in [&base, &fleet] {
+            for s in &report.shards {
+                prop_assert_eq!(s.report.stats.blocked_io, 0, "no busy-spin");
+                for req in &s.report.requests {
+                    assert_ground_truth(
+                        &s.kernel,
+                        &req.path,
+                        req.response.as_ref().expect("captured"),
+                    );
+                }
+            }
+        }
+
+        // Every shard's journal replays bit-identically from a blank
+        // state: remote installs are journaled commands, so a shard's
+        // journal is self-contained.
+        for outcome in fleet.shards {
+            let mut kernel = outcome.kernel;
+            let journal = kernel.take_journal().expect("journal was recording");
+            prop_assert!(!journal.is_empty());
+            let (replayed, metrics) =
+                replay(KernelState::new(CostModel::pentium_ii_333(), Policy::Gds), &journal);
+            prop_assert_eq!(
+                replayed.state_hash(),
+                kernel.state_hash(),
+                "shard {} journal must replay to the live state digest",
+                outcome.shard
+            );
+            prop_assert_eq!(
+                metrics,
+                kernel.metrics.clone(),
+                "shard {} replayed metrics must match",
+                outcome.shard
+            );
+        }
+    }
+}
