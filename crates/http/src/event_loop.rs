@@ -275,6 +275,9 @@ impl EventLoopServer {
                 );
                 kernel
                     .set_nonblocking(pid, sock, true)
+                    // lint:allow(panic) — constructor, before serving
+                    // starts: the socket was created two lines up, so
+                    // a failure here is harness miswiring, not input.
                     .expect("fresh socket");
                 Conn {
                     sock,
@@ -292,6 +295,7 @@ impl EventLoopServer {
             cgi_queue: VecDeque::new(),
             cfg,
             stats: LoopStats::default(),
+            // lint:allow(hot-path-alloc) — constructor, once per run.
             requests: Vec::new(),
             shard: None,
             remote_pending: HashMap::new(),
@@ -367,6 +371,8 @@ impl EventLoopServer {
     /// its next request (the harness playing the remote peer), subject
     /// to [`EventLoopConfig::admission_limit`].
     fn inject_requests(&mut self) {
+        // lint:allow(hot-path-alloc) — Arc handle clone (a refcount
+        // bump), not a buffer copy; needed to end the kernel borrow.
         let pool = self.kernel.process(self.pid).pool().clone();
         let limit = self.cfg.admission_limit;
         let mut inflight = if limit == 0 {
@@ -458,7 +464,10 @@ impl EventLoopServer {
     /// transfer is active) the CGI process's own poll of its write end
     /// — each protection domain runs its own event loop.
     fn poll(&mut self) -> (ServerEvents, CgiEvents) {
+        // lint:allow(hot-path-alloc) — per-tick interest-set scratch
+        // (fd/index pairs, not request bytes).
         let mut entries = Vec::new();
+        // lint:allow(hot-path-alloc) — same per-tick scratch as above.
         let mut owners = Vec::new();
         for (i, conn) in self.conns.iter().enumerate() {
             let interest = match &conn.state {
@@ -484,29 +493,36 @@ impl EventLoopServer {
             let (events, out) = self
                 .kernel
                 .iol_poll(self.pid, &entries)
+                // lint:allow(panic) — iol_poll is total over its
+                // interest set (readiness is a pure state read; no
+                // request input reaches it), per the PR 5 contract.
                 .expect("poll is total");
             self.stats.polls += 1;
             self.stats.poll_entries += entries.len() as u64;
             self.stats.cpu += out.charge.time;
             if cgi_active {
-                rfd_ready = *events.last().expect("rfd entry present");
+                if let Some(&last) = events.last() {
+                    rfd_ready = last;
+                }
             }
             server_events = owners.into_iter().zip(events).collect();
         }
         // The CGI process polls its own write end.
-        let cgi_events = if cgi_active {
-            let cgi = self.cgi.as_ref().expect("owner implies cgi");
-            let (wfd, cgi_pid) = (cgi.write_fd(), cgi.pid);
-            let (events, out) = self
-                .kernel
-                .iol_poll(cgi_pid, &[PollFd::writable(wfd)])
-                .expect("poll is total");
-            self.stats.polls += 1;
-            self.stats.poll_entries += 1;
-            self.stats.cpu += out.charge.time;
-            Some((events[0], rfd_ready))
-        } else {
-            None
+        let cgi_events = match (&self.cgi, cgi_active) {
+            (Some(cgi), true) => {
+                let (wfd, cgi_pid) = (cgi.write_fd(), cgi.pid);
+                let (events, out) = self
+                    .kernel
+                    .iol_poll(cgi_pid, &[PollFd::writable(wfd)])
+                    // lint:allow(panic) — same poll-totality contract
+                    // as the server-side poll above.
+                    .expect("poll is total");
+                self.stats.polls += 1;
+                self.stats.poll_entries += 1;
+                self.stats.cpu += out.charge.time;
+                Some((events[0], rfd_ready))
+            }
+            _ => None,
         };
         (server_events, cgi_events)
     }
@@ -606,6 +622,8 @@ impl EventLoopServer {
 
     /// Queues the short 404-style response (missing file, bad request).
     fn send_not_found(&mut self, i: usize, path: String) {
+        // lint:allow(hot-path-alloc) — Arc handle clone (a refcount
+        // bump), not a buffer copy; needed to end the kernel borrow.
         let pool = self.kernel.process(self.pid).pool().clone();
         let response = Aggregate::from_bytes(&pool, &not_found());
         self.start_send(i, path, response, None, false);
@@ -620,31 +638,42 @@ impl EventLoopServer {
         if self.try_remote_route(i, &path) {
             return;
         }
-        let (file_fd, oout) = match self.kernel.open(self.pid, &path) {
-            Ok(v) => v,
-            Err(_) => {
-                self.send_not_found(i, path);
-                return;
+        match self.snapshot_document(&path) {
+            Ok(Some((file, response, cache_hit))) => {
+                // The network references the cached entry until the
+                // response drains (§3.7) — same pin lifecycle as
+                // serve_static.
+                let key = CacheKey::whole(file);
+                self.kernel.cache_pin(key);
+                self.start_send(i, path, response, Some(key), cache_hit);
             }
+            Ok(None) => self.send_not_found(i, path),
+            // A descriptor operation failed mid-snapshot: the request
+            // cannot be answered, but the server lives on.
+            Err(_) => self.fail_conn(i, None),
+        }
+    }
+
+    /// Opens, snapshot-reads, and frames one document: `Ok(None)` when
+    /// the path does not resolve (the 404 route answers), `Err` when a
+    /// descriptor operation fails mid-snapshot.
+    fn snapshot_document(
+        &mut self,
+        path: &str,
+    ) -> Result<Option<(FileId, Aggregate, bool)>, IolError> {
+        let (file_fd, oout) = match self.kernel.open(self.pid, path) {
+            Ok(v) => v,
+            Err(_) => return Ok(None),
         };
         self.stats.cpu += oout.charge.time;
-        let len = self.kernel.fd_len(self.pid, file_fd).expect("open file");
-        let file = self.kernel.fd_file(self.pid, file_fd).expect("open file");
-        let (body, rout) = self
-            .kernel
-            .iol_pread(self.pid, file_fd, 0, len)
-            .expect("document read");
+        let len = self.kernel.fd_len(self.pid, file_fd)?;
+        let file = self.kernel.fd_file(self.pid, file_fd)?;
+        let (body, rout) = self.kernel.iol_pread(self.pid, file_fd, 0, len)?;
         self.stats.cpu += rout.charge.time;
         let cache_hit = rout.cache_hit;
-        self.kernel
-            .close_fd(self.pid, file_fd)
-            .expect("close after snapshot");
+        self.kernel.close_fd(self.pid, file_fd)?;
         let response = self.build_response(&body);
-        // The network references the cached entry until the response
-        // drains (§3.7) — same pin lifecycle as serve_static.
-        let key = CacheKey::whole(file);
-        self.kernel.cache_pin(key);
-        self.start_send(i, path, response, Some(key), cache_hit);
+        Ok(Some((file, response, cache_hit)))
     }
 
     fn start_send(
@@ -683,7 +712,15 @@ impl EventLoopServer {
             return;
         }
         let sock = self.conns[i].sock;
-        let space = self.kernel.socket_space(self.pid, sock).expect("open socket");
+        let space = match self.kernel.socket_space(self.pid, sock) {
+            Ok(space) => space,
+            // The socket vanished between poll and dispatch (a test
+            // injected a close): the response can never finish.
+            Err(_) => {
+                self.fail_in_flight(i);
+                return;
+            }
+        };
         let ConnState::Sending(job) = &mut self.conns[i].state else {
             unreachable!("advance_send is only called while Sending");
         };
@@ -694,6 +731,8 @@ impl EventLoopServer {
             if window.len() + s.len() as u64 > space {
                 break;
             }
+            // lint:allow(hot-path-alloc) — slice-handle clone (offsets
+            // + a refcounted chunk pointer); the bytes stay put.
             window.append_slice(s.clone());
             take += 1;
         }
@@ -704,6 +743,10 @@ impl EventLoopServer {
         }
         match self.kernel.iol_write_fd(self.pid, sock, &window) {
             Ok((_, out)) => {
+                // lint:allow(panic) — accounting invariant: every
+                // socket write carries a SendOutcome; billing zero
+                // wire cost on a breach would silently skew the
+                // simulation, so surface the modeling bug instead.
                 let send = out.net.expect("socket writes carry SendOutcome");
                 let cost = &self.kernel.cost;
                 self.stats.cpu += (out.charge
@@ -739,6 +782,8 @@ impl EventLoopServer {
             let captured = self
                 .cfg
                 .capture_responses
+                // lint:allow(hot-path-alloc) — test-observability
+                // knob, off in every measured configuration.
                 .then(|| job.response.to_vec());
             self.conns[i].state = ConnState::Draining(DrainJob {
                 path: job.path,
@@ -758,7 +803,12 @@ impl EventLoopServer {
         let Some(owner) = self.cgi_owner else {
             return;
         };
-        let cgi = self.cgi.as_ref().expect("owner implies cgi");
+        let Some(cgi) = self.cgi.as_ref() else {
+            // An owner without a CGI process cannot exist (ownership
+            // is only assigned when `self.cgi` is set) — but if it
+            // did, there is nothing to advance.
+            return;
+        };
         let (cgi_pid, wfd, rfd) = (cgi.pid, cgi.write_fd(), cgi.server_read_fd());
         let doc_len = cgi.document().len();
         if rfd_ready.invalid || rfd_ready.eof {
@@ -778,11 +828,17 @@ impl EventLoopServer {
             return;
         }
         if wfd_ready.writable && sent_now < doc_len {
-            let cgi = self.cgi.as_ref().expect("owner implies cgi");
-            let remaining = cgi
-                .document()
-                .range(sent_now, doc_len - sent_now)
-                .expect("in range");
+            let Some(cgi) = self.cgi.as_ref() else {
+                return;
+            };
+            let Ok(remaining) = cgi.document().range(sent_now, doc_len - sent_now)
+            else {
+                // `sent` ran past the document — unreachable by
+                // construction, but failing the transfer beats a
+                // panic.
+                self.fail_cgi_owner();
+                return;
+            };
             match short_ok(self.kernel.iol_write_fd(cgi_pid, wfd, &remaining)) {
                 Ok((accepted, out)) => {
                     self.stats.cpu += out.charge.time;
@@ -841,7 +897,9 @@ impl EventLoopServer {
     /// The CGI transfer's peer died: fail the owning request, hand the
     /// pipe to the next waiter.
     fn fail_cgi_owner(&mut self) {
-        let owner = self.cgi_owner.expect("called with an owner");
+        let Some(owner) = self.cgi_owner else {
+            return;
+        };
         self.fail_conn(owner, None);
         self.release_cgi();
     }
@@ -898,6 +956,16 @@ impl EventLoopServer {
     // by this thread; a document homed on another shard is fetched by a
     // `RemoteRead` message and the bytes come back copied. No lock on
     // any kernel or cache is ever taken on this path.
+
+    /// The shard context. Only called from the sharded paths, all of
+    /// which are reachable solely from [`run_shard`](Self::run_shard),
+    /// which installs the context on entry.
+    fn shard_ctx(&self) -> &ShardContext {
+        // lint:allow(panic) — run_shard installs the context before
+        // any sharded path runs; absence is harness miswiring,
+        // unreachable from request input.
+        self.shard.as_ref().expect("run_shard installs the context")
+    }
 
     /// Routes a static request for a remotely-homed document over the
     /// fabric, parking the connection in `RemoteWait`. Returns `false`
@@ -975,6 +1043,13 @@ impl EventLoopServer {
     /// out to the requester.
     fn serve_remote_read(&mut self, from: usize, token: u64, file: FileId) {
         let fd = self.kernel.open_file(self.pid, file);
+        // The RemoteRead protocol has no failure reply: a snapshot
+        // error on the home shard would leave the requester's waiters
+        // parked forever, a worse failure than surfacing the bug — and
+        // the fd was just opened by FileId, so no error is reachable
+        // from request input. Hence the annotated expects below.
+        //
+        // lint:allow(panic) — see above: no failure reply exists.
         let len = self.kernel.fd_len(self.pid, fd).expect("open file");
         // IOL_read, not pread: IO-Lite aggregates are immutable, so
         // the home shard hands the requester a *reference* (syscall +
@@ -987,15 +1062,19 @@ impl EventLoopServer {
         let (body, out) = self
             .kernel
             .iol_read_fd(self.pid, fd, len)
+            // lint:allow(panic) — no failure reply exists (see above).
             .expect("document read");
         self.stats.cpu += out.charge.time;
         let home_hit = out.cache_hit;
         self.kernel
             .close_fd(self.pid, fd)
+            // lint:allow(panic) — no failure reply exists (see above).
             .expect("close after snapshot");
+        // lint:allow(hot-path-alloc) — the host-level channel copy
+        // documented above: an artifact of thread-confined pools, not
+        // a modeled cost (the modeled copy is billed requester-side).
         let bytes = body.to_vec();
-        let ctx = self.shard.as_ref().expect("remote reads imply sharding");
-        ctx.mailbox.send(
+        self.shard_ctx().mailbox.send(
             from,
             ShardMsg::RemoteData {
                 token,
@@ -1015,7 +1094,7 @@ impl EventLoopServer {
     fn finish_remote(&mut self, file: FileId, bytes: Vec<u8>, home_hit: bool) {
         let waiters = self.remote_pending.remove(&file).unwrap_or_default();
         self.stats.remote_hits += u64::from(home_hit);
-        let ownership = self.shard.as_ref().expect("sharded").ownership;
+        let ownership = self.shard_ctx().ownership;
         let mut replica_resident = false;
         if ownership == CacheOwnership::Replicate {
             let out = self.kernel.cache_install(file, &bytes);
@@ -1056,6 +1135,8 @@ impl EventLoopServer {
         let c = self.kernel.cost.copy(bytes.len() as u64);
         self.kernel.charge(CostCategory::Copy, c);
         self.stats.cpu += c.time;
+        // lint:allow(hot-path-alloc) — Arc handle clone (a refcount
+        // bump); the copy this path pays is billed two lines up.
         let pool = self.kernel.process(self.pid).pool().clone();
         let body = Aggregate::from_bytes(&pool, bytes);
         let response = self.build_response(&body);
@@ -1110,13 +1191,7 @@ impl EventLoopServer {
         'serve: loop {
             // Drain everything already queued, nonblocking.
             loop {
-                let polled = self
-                    .shard
-                    .as_ref()
-                    .expect("set above")
-                    .mailbox
-                    .inbox
-                    .try_recv();
+                let polled = self.shard_ctx().mailbox.inbox.try_recv();
                 match polled {
                     Ok(msg) => {
                         if self.handle_shard_msg(msg) {
@@ -1125,6 +1200,11 @@ impl EventLoopServer {
                     }
                     Err(TryRecvError::Empty) => break,
                     Err(TryRecvError::Disconnected) => {
+                        // lint:allow(panic) — the documented
+                        // protocol-bug panic (see `# Panics`): a
+                        // fabric that disconnects before `Shutdown`
+                        // is a coordinator bug, and limping on would
+                        // hang the fleet on join.
                         panic!("shard fabric disconnected before Shutdown")
                     }
                 }
@@ -1143,18 +1223,18 @@ impl EventLoopServer {
                 }
             } else if !reported {
                 reported = true;
-                let ctx = self.shard.as_ref().expect("set above");
-                ctx.done_tx
-                    .send(ctx.mailbox.id)
-                    .expect("coordinator outlives shards");
+                let ctx = self.shard_ctx();
+                // A dead coordinator can never send Shutdown: treat
+                // it as one rather than panicking mid-serve.
+                if ctx.done_tx.send(ctx.mailbox.id).is_err() {
+                    break 'serve;
+                }
             }
             // Nothing to do until a message arrives (our data, a peer's
             // read, or Shutdown). Block — the timeout is only a
             // liveness fallback, not a poll interval.
             let waited = self
-                .shard
-                .as_ref()
-                .expect("set above")
+                .shard_ctx()
                 .mailbox
                 .inbox
                 .recv_timeout(Duration::from_millis(5));

@@ -206,18 +206,42 @@ where
                 })
             })
             .collect();
+        // The spawn loop cloned one sender per shard; dropping the
+        // original lets `done_rx.recv()` actually report disconnection
+        // when a shard dies instead of blocking forever.
+        drop(done_tx);
         // Coordinator: once every shard reports its own scripts done,
         // no further RemoteRead can be generated — broadcast Shutdown.
+        // A recv error means a shard died without reporting; fall
+        // through to the join, which re-raises that shard's panic.
+        let mut all_reported = true;
         for _ in 0..n {
-            done_rx.recv().expect("every shard reports done");
+            if done_rx.recv().is_err() {
+                all_reported = false;
+                break;
+            }
         }
         for tx in &senders {
-            tx.try_send(ShardMsg::Shutdown)
-                .expect("slack reserves room for Shutdown");
+            // Best-effort when a shard died (its inbox may be gone or
+            // full of undrained traffic); the join below surfaces the
+            // real failure.
+            let sent = tx.try_send(ShardMsg::Shutdown);
+            if all_reported {
+                // lint:allow(panic) — capacity contract: FABRIC_SLACK
+                // reserves inbox room for Shutdown (see the capacity
+                // comment above); overflow here is a sizing bug that
+                // must not pass silently.
+                sent.expect("slack reserves room for Shutdown");
+            }
         }
         handles
             .into_iter()
-            .map(|h| h.join().expect("shard thread completes"))
+            .map(|h| match h.join() {
+                Ok(outcome) => outcome,
+                // Re-raise the shard's own panic (with its message)
+                // instead of a generic join failure.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect::<Vec<_>>()
     });
     outcomes.sort_by_key(|o| o.shard);

@@ -1,0 +1,238 @@
+//! `lint.toml` → typed rule configuration.
+//!
+//! # Schema
+//!
+//! ```toml
+//! [lint]
+//! baseline = "lint-baseline.toml"   # counts ratchet file
+//!
+//! [rules.<name>]          # one table per rule; <name> is the rule's
+//! kind = "scan"           # diagnostic name and its lint:allow key
+//! paths = ["crates/…"]    # files or directories, config-relative
+//! include-tests = false   # scan #[cfg(test)]/#[test] code too
+//! ban-paths = ["std::io"] # `a::b` token sequences to flag
+//! ban-idents = ["Mutex"]  # bare identifiers to flag
+//! ban-methods = ["clone"] # `.name(` call sites to flag
+//! ban-macros = ["vec"]    # `name!` invocations to flag
+//! budget = true           # annotated sites ratchet via the baseline
+//! reason = "…"            # printed with every diagnostic
+//!
+//! [rules.<name>]
+//! kind = "exhaustive"     # enum ↔ match ↔ shell cross-check
+//! enum-file = "…"
+//! enum-name = "Command"
+//! match-files = ["…"]     # every variant needs `Enum::Variant` here…
+//! shell-files = ["…"]     # …and here (the journaling shell site)
+//!
+//! [rules.<name>]
+//! kind = "baseline-count" # deprecated-API caller ratchet
+//! paths = ["crates"]
+//! exclude = ["crates/core/src/kernel.rs"]   # definition sites
+//! methods = ["iol_read"]  # `.name(` callers counted per symbol
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use crate::toml::{Doc, Value};
+
+/// A `kind = "scan"` rule: flag configured token patterns in scoped
+/// paths unless a `lint:allow` annotation covers the line.
+#[derive(Debug, Clone, Default)]
+pub struct ScanRule {
+    /// Files/directories the rule polices (config-relative).
+    pub paths: Vec<String>,
+    /// Whether test-scoped code is policed too.
+    pub include_tests: bool,
+    /// `a::b` path patterns to flag, split on `::`.
+    pub ban_paths: Vec<Vec<String>>,
+    /// Bare identifiers to flag.
+    pub ban_idents: Vec<String>,
+    /// Method names whose `.name(` call sites are flagged.
+    pub ban_methods: Vec<String>,
+    /// Macro names whose `name!` invocations are flagged.
+    pub ban_macros: Vec<String>,
+    /// When set, the count of *annotated* (allowed) sites is ratcheted
+    /// against the baseline file: it may shrink, never grow.
+    pub budget: bool,
+    /// One-line contract statement, echoed in diagnostics.
+    pub reason: String,
+}
+
+/// A `kind = "exhaustive"` rule: every variant of the named enum must
+/// appear as `Enum::Variant` in each match file and each shell file.
+#[derive(Debug, Clone, Default)]
+pub struct ExhaustiveRule {
+    /// File declaring the enum.
+    pub enum_file: String,
+    /// The enum's name.
+    pub enum_name: String,
+    /// Files that must match every variant (the pure dispatcher).
+    pub match_files: Vec<String>,
+    /// Files that must journal every variant (the imperative shell).
+    pub shell_files: Vec<String>,
+}
+
+/// A `kind = "baseline-count"` rule: callers of deprecated symbols are
+/// counted and ratcheted against the baseline — shrink-only.
+#[derive(Debug, Clone, Default)]
+pub struct CountRule {
+    /// Directories/files scanned for callers.
+    pub paths: Vec<String>,
+    /// Path prefixes excluded (the symbols' definition sites).
+    pub exclude: Vec<String>,
+    /// Method names whose `.name(` call sites are counted.
+    pub methods: Vec<String>,
+}
+
+/// One configured rule.
+#[derive(Debug, Clone)]
+pub enum Rule {
+    /// Token-pattern scan.
+    Scan(ScanRule),
+    /// Enum/match/shell cross-check.
+    Exhaustive(ExhaustiveRule),
+    /// Deprecated-caller ratchet.
+    Count(CountRule),
+}
+
+/// The whole configuration: named rules in declaration order.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Baseline file path, config-relative.
+    pub baseline: PathBuf,
+    /// `(name, rule)` pairs in `lint.toml` order.
+    pub rules: Vec<(String, Rule)>,
+}
+
+impl Config {
+    /// Parses a `lint.toml` document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on syntax errors, unknown
+    /// `kind`s, or missing required keys.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let doc = Doc::parse(text).map_err(|e| format!("lint.toml: {e}"))?;
+        let mut cfg = Config {
+            baseline: PathBuf::from("lint-baseline.toml"),
+            rules: Vec::new(),
+        };
+        if let Some(lint) = doc.table("lint") {
+            if let Some(v) = lint.get("baseline") {
+                cfg.baseline = PathBuf::from(str_of(v, "lint.baseline")?);
+            }
+        }
+        for name in doc.table_names() {
+            let Some(rule_name) = name.strip_prefix("rules.") else {
+                continue;
+            };
+            let table = doc.table(name).expect("listed name");
+            let kind = match table.get("kind") {
+                Some(v) => str_of(v, "kind")?,
+                None => return Err(format!("[{name}] missing `kind`")),
+            };
+            let rule = match kind.as_str() {
+                "scan" => Rule::Scan(scan_rule(table, name)?),
+                "exhaustive" => Rule::Exhaustive(exhaustive_rule(table, name)?),
+                "baseline-count" => Rule::Count(count_rule(table, name)?),
+                other => return Err(format!("[{name}] unknown kind `{other}`")),
+            };
+            cfg.rules.push((rule_name.to_string(), rule));
+        }
+        if cfg.rules.is_empty() {
+            return Err("lint.toml defines no [rules.*] tables".to_string());
+        }
+        Ok(cfg)
+    }
+
+    /// All configured rule names (valid `lint:allow(…)` keys).
+    pub fn rule_names(&self) -> Vec<&str> {
+        self.rules.iter().map(|(n, _)| n.as_str()).collect()
+    }
+}
+
+type Table = BTreeMap<String, Value>;
+
+fn scan_rule(t: &Table, ctx: &str) -> Result<ScanRule, String> {
+    Ok(ScanRule {
+        paths: strs(t, "paths")?,
+        include_tests: flag(t, "include-tests"),
+        ban_paths: strs(t, "ban-paths")?
+            .into_iter()
+            .map(|p| p.split("::").map(str::to_string).collect())
+            .collect(),
+        ban_idents: strs(t, "ban-idents")?,
+        ban_methods: strs(t, "ban-methods")?,
+        ban_macros: strs(t, "ban-macros")?,
+        budget: flag(t, "budget"),
+        reason: opt_str(t, "reason")?.unwrap_or_default(),
+    })
+    .and_then(|r: ScanRule| {
+        if r.paths.is_empty() {
+            return Err(format!("[{ctx}] needs non-empty `paths`"));
+        }
+        if r.ban_paths.is_empty()
+            && r.ban_idents.is_empty()
+            && r.ban_methods.is_empty()
+            && r.ban_macros.is_empty()
+        {
+            return Err(format!("[{ctx}] bans nothing — remove it or add ban-* keys"));
+        }
+        Ok(r)
+    })
+}
+
+fn exhaustive_rule(t: &Table, ctx: &str) -> Result<ExhaustiveRule, String> {
+    let r = ExhaustiveRule {
+        enum_file: opt_str(t, "enum-file")?
+            .ok_or_else(|| format!("[{ctx}] needs `enum-file`"))?,
+        enum_name: opt_str(t, "enum-name")?
+            .ok_or_else(|| format!("[{ctx}] needs `enum-name`"))?,
+        match_files: strs(t, "match-files")?,
+        shell_files: strs(t, "shell-files")?,
+    };
+    if r.match_files.is_empty() && r.shell_files.is_empty() {
+        return Err(format!("[{ctx}] needs match-files and/or shell-files"));
+    }
+    Ok(r)
+}
+
+fn count_rule(t: &Table, ctx: &str) -> Result<CountRule, String> {
+    let r = CountRule {
+        paths: strs(t, "paths")?,
+        exclude: strs(t, "exclude")?,
+        methods: strs(t, "methods")?,
+    };
+    if r.paths.is_empty() || r.methods.is_empty() {
+        return Err(format!("[{ctx}] needs `paths` and `methods`"));
+    }
+    Ok(r)
+}
+
+fn strs(t: &Table, key: &str) -> Result<Vec<String>, String> {
+    match t.get(key) {
+        None => Ok(Vec::new()),
+        Some(Value::StrArray(v)) => Ok(v.clone()),
+        Some(_) => Err(format!("`{key}` must be a string array")),
+    }
+}
+
+fn flag(t: &Table, key: &str) -> bool {
+    matches!(t.get(key), Some(Value::Bool(true)))
+}
+
+fn opt_str(t: &Table, key: &str) -> Result<Option<String>, String> {
+    match t.get(key) {
+        None => Ok(None),
+        Some(Value::Str(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(format!("`{key}` must be a string")),
+    }
+}
+
+fn str_of(v: &Value, key: &str) -> Result<String, String> {
+    match v {
+        Value::Str(s) => Ok(s.clone()),
+        _ => Err(format!("`{key}` must be a string")),
+    }
+}

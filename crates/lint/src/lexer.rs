@@ -1,0 +1,378 @@
+//! A hand-rolled Rust lexer, exactly deep enough for contract linting.
+//!
+//! The whole point of replacing the CI `grep` with a lexer is knowing
+//! *where text is*: a `std::fs` inside a comment or string literal is
+//! prose, not code, and must not trip the purity rule, while
+//! `use std::time::Instant as T` is code however it is renamed. The
+//! lexer therefore distinguishes, byte-precisely:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments;
+//! * string literals with escapes, byte strings, and raw strings
+//!   (`r"…"`, `r#"…"#`, any hash depth, `br…` included);
+//! * lifetimes (`'a`, `'static`) vs char literals (`'a'`, `'\n'`,
+//!   `'\u{1F600}'`) — the classic single-quote ambiguity;
+//! * raw identifiers (`r#match`);
+//! * identifiers, numbers, and single-character punctuation.
+//!
+//! Everything else about Rust (types, expressions, semantics) is out of
+//! scope on purpose: the rules only ever match *token patterns*, which
+//! keeps the linter trivially total — any byte sequence lexes.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`foo`, `match`, `r#match`).
+    Ident,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// A string or byte-string literal with escapes (`"…"`, `b"…"`).
+    Str,
+    /// A raw (byte) string literal (`r"…"`, `r##"…"##`, `br#"…"#`).
+    RawStr,
+    /// A numeric literal (loosely lexed; suffixes included).
+    Number,
+    /// A single punctuation byte (`:`, `.`, `{`, …).
+    Punct,
+    /// A `//…` comment, terminator excluded.
+    LineComment,
+    /// A `/* … */` comment, nesting respected.
+    BlockComment,
+}
+
+/// One lexed token: a kind plus its byte span and line range in the
+/// source (lines are 1-based; `end_line > line` only for multi-line
+/// strings and block comments).
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// The token's kind.
+    pub kind: TokenKind,
+    /// Byte offset of the token's first byte.
+    pub start: usize,
+    /// Byte offset one past the token's last byte.
+    pub end: usize,
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// 1-based line the token ends on.
+    pub end_line: u32,
+}
+
+impl Token {
+    /// The token's text within `src` (the string it was lexed from).
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+
+    /// Whether this token is a comment (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Lexes `src` into tokens. Total: malformed input (unterminated
+/// strings, stray bytes) degrades to best-effort tokens rather than
+/// failing — a linter must never be the thing that can't read a file.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    bytes: &'s [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let line = self.line;
+            let b = self.bytes[self.pos];
+            let kind = match b {
+                b' ' | b'\t' | b'\r' => {
+                    self.pos += 1;
+                    continue;
+                }
+                b'\n' => {
+                    self.pos += 1;
+                    self.line += 1;
+                    continue;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'r' | b'b' if self.raw_or_byte_literal() => {
+                    // `raw_or_byte_literal` consumed the token and
+                    // pushed it (it needs to choose among four kinds).
+                    continue;
+                }
+                b'"' => self.string(),
+                b'\'' => self.quote(),
+                b'0'..=b'9' => self.number(),
+                b if b == b'_' || b.is_ascii_alphabetic() => self.ident(),
+                _ => {
+                    // One punctuation character. A multi-byte UTF-8
+                    // scalar in code position is consumed whole so
+                    // every token stays a valid &str slice.
+                    self.pos += 1;
+                    while self
+                        .peek(0)
+                        .is_some_and(|c| c & 0b1100_0000 == 0b1000_0000)
+                    {
+                        self.pos += 1;
+                    }
+                    TokenKind::Punct
+                }
+            };
+            self.push(kind, start, line);
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
+        // Truncated escapes at EOF can overshoot by a byte or two;
+        // clamp so the span always slices.
+        self.pos = self.pos.min(self.bytes.len());
+        self.tokens.push(Token {
+            kind,
+            start,
+            end: self.pos,
+            line,
+            end_line: self.line,
+        });
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        TokenKind::LineComment
+    }
+
+    /// Block comments nest in Rust: `/* /* */ */` is one comment.
+    fn block_comment(&mut self) -> TokenKind {
+        self.pos += 2;
+        let mut depth = 1u32;
+        while self.pos < self.bytes.len() && depth > 0 {
+            match (self.bytes[self.pos], self.peek(1)) {
+                (b'/', Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (b'*', Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (b'\n', _) => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    /// Handles `r`/`b`-prefixed literals: raw strings (`r"…"`,
+    /// `r#"…"#`), byte strings (`b"…"`), raw byte strings (`br#"…"#`),
+    /// byte chars (`b'x'`), and raw identifiers (`r#ident`). Returns
+    /// `true` when it consumed (and pushed) a token; `false` means the
+    /// `r`/`b` starts a plain identifier.
+    fn raw_or_byte_literal(&mut self) -> bool {
+        let start = self.pos;
+        let line = self.line;
+        let mut i = self.pos;
+        let raw = if self.bytes[i] == b'b' && self.bytes.get(i + 1) == Some(&b'r') {
+            i += 2;
+            true
+        } else if self.bytes[i] == b'r' {
+            i += 1;
+            true
+        } else {
+            i += 1; // the `b`
+            false
+        };
+        if raw {
+            let mut hashes = 0usize;
+            while self.bytes.get(i + hashes) == Some(&b'#') {
+                hashes += 1;
+            }
+            if self.bytes.get(i + hashes) == Some(&b'"') {
+                self.pos = i + hashes + 1;
+                self.raw_str_body(hashes);
+                self.push(TokenKind::RawStr, start, line);
+                return true;
+            }
+            // `r#ident`: a raw identifier, lexed as one Ident token
+            // whose text keeps the `r#` prefix.
+            if self.bytes[start] == b'r' && hashes == 1 {
+                if let Some(c) = self.bytes.get(i + 1) {
+                    if *c == b'_' || c.is_ascii_alphabetic() {
+                        self.pos = i + 1;
+                        self.ident();
+                        self.push(TokenKind::Ident, start, line);
+                        return true;
+                    }
+                }
+            }
+            return false;
+        }
+        // `b"…"` / `b'…'`.
+        match self.bytes.get(i) {
+            Some(b'"') => {
+                self.pos = i;
+                self.string();
+                self.push(TokenKind::Str, start, line);
+                true
+            }
+            Some(b'\'') => {
+                self.pos = i;
+                self.char_literal();
+                self.push(TokenKind::Char, start, line);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Consumes a raw-string body up to `"` followed by `hashes` `#`s.
+    fn raw_str_body(&mut self, hashes: usize) {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b == b'\n' {
+                self.line += 1;
+                self.pos += 1;
+                continue;
+            }
+            if b == b'"' {
+                let mut n = 0usize;
+                while n < hashes && self.bytes.get(self.pos + 1 + n) == Some(&b'#') {
+                    n += 1;
+                }
+                if n == hashes {
+                    self.pos += 1 + hashes;
+                    return;
+                }
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// A `"…"` string with `\`-escapes (opening quote at `self.pos`).
+    fn string(&mut self) -> TokenKind {
+        self.pos += 1;
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        TokenKind::Str
+    }
+
+    /// A `'` either opens a char literal or names a lifetime. Rust's
+    /// rule: `'x` followed by another `'` is a char; `'ident` not
+    /// followed by `'` is a lifetime.
+    fn quote(&mut self) -> TokenKind {
+        let next = self.peek(1);
+        let after = self.peek(2);
+        let next_is_ident = next.is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric());
+        if next_is_ident && after != Some(b'\'') {
+            // Lifetime: consume `'` + identifier chars.
+            self.pos += 1;
+            while self
+                .peek(0)
+                .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+            {
+                self.pos += 1;
+            }
+            return TokenKind::Lifetime;
+        }
+        self.char_literal();
+        TokenKind::Char
+    }
+
+    /// A char literal (opening quote at `self.pos`), escapes included
+    /// (`'\''`, `'\\'`, `'\u{…}'`, multi-byte UTF-8 chars).
+    fn char_literal(&mut self) {
+        self.pos += 1; // opening '
+        if self.peek(0) == Some(b'\\') {
+            self.pos += 2; // the escape head, e.g. `\u` or `\'`
+            if self.bytes.get(self.pos.wrapping_sub(1)) == Some(&b'{') {
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != b'}' {
+                    self.pos += 1;
+                }
+                self.pos += 1;
+            } else if self.bytes.get(self.pos.wrapping_sub(1)) == Some(&b'u') {
+                // `\u{…}`: consume the braced code point.
+                if self.peek(0) == Some(b'{') {
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] != b'}' {
+                        self.pos += 1;
+                    }
+                    self.pos += 1;
+                }
+            } else if self.bytes.get(self.pos.wrapping_sub(1)) == Some(&b'x') {
+                self.pos += 2; // two hex digits
+            }
+        } else {
+            // One UTF-8 scalar: skip continuation bytes.
+            self.pos += 1;
+            while self
+                .peek(0)
+                .is_some_and(|c| c & 0b1100_0000 == 0b1000_0000)
+            {
+                self.pos += 1;
+            }
+        }
+        if self.peek(0) == Some(b'\'') {
+            self.pos += 1; // closing '
+        }
+    }
+
+    fn number(&mut self) -> TokenKind {
+        // Digits, `_`, suffixes, hex letters — lexed loosely. A `.` is
+        // consumed only when a digit follows (so `0..n` stays three
+        // tokens and `0.5` stays one).
+        self.pos += 1;
+        loop {
+            match self.peek(0) {
+                Some(c) if c == b'_' || c.is_ascii_alphanumeric() => self.pos += 1,
+                Some(b'.') if self.peek(1).is_some_and(|c| c.is_ascii_digit()) => {
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        TokenKind::Number
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        self.pos += 1;
+        while self
+            .peek(0)
+            .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+        {
+            self.pos += 1;
+        }
+        TokenKind::Ident
+    }
+}

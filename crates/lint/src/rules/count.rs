@@ -1,0 +1,46 @@
+//! The deprecated-API caller ratchet.
+//!
+//! PR 4's raw `FileId`/`PipeId` shims (`iol_read`, `posix_write`, …)
+//! carry `#[deprecated]`, but rustc only warns — nothing stops a new
+//! caller from landing. This rule counts `.symbol(` call sites across
+//! the scoped paths (minus the definition files) and compares each
+//! count to the committed baseline: equal is fine, *below* suggests a
+//! `--fix-baseline` run to bank the progress, *above* is a failure.
+//!
+//! Counting `.name(` token sequences is a heuristic — another type
+//! could define a method with the same name — but the shim names are
+//! distinctive and the baseline makes any drift visible and reviewable
+//! rather than silent.
+
+use crate::config::CountRule;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// Counts `.method(` call sites for each of the rule's symbols in one
+/// file, adding into `counts` (parallel to `rule.methods`).
+pub fn count_file(rule: &CountRule, file: &SourceFile, counts: &mut [u64]) {
+    let code = file.code_indexes();
+    for (pos, &i) in code.iter().enumerate() {
+        if file.tokens[i].kind != TokenKind::Ident {
+            continue;
+        }
+        // Deprecated callers in tests count too: the point of the
+        // ratchet is total elimination, not just production hygiene.
+        if pos == 0 || !punct_at(file, &code, pos - 1, ".") {
+            continue;
+        }
+        if !punct_at(file, &code, pos + 1, "(") {
+            continue;
+        }
+        let text = file.text(i);
+        if let Some(slot) = rule.methods.iter().position(|m| m == text) {
+            counts[slot] += 1;
+        }
+    }
+}
+
+fn punct_at(file: &SourceFile, code: &[usize], pos: usize, what: &str) -> bool {
+    code.get(pos).is_some_and(|&i| {
+        file.tokens[i].kind == TokenKind::Punct && file.text(i) == what
+    })
+}

@@ -1,0 +1,216 @@
+//! The enum ↔ match ↔ shell cross-check.
+//!
+//! The pure core's `Command` enum, the `step` dispatcher in `apply.rs`,
+//! and the journaling shell in `kernel.rs` must stay in one-to-one
+//! correspondence: a new variant whose `apply` arm exists but whose
+//! shell never journals it replays *nothing* for that operation —
+//! replay diverges silently, which is exactly the bug class this rule
+//! makes impossible. (rustc's own exhaustiveness check covers the
+//! match arm only while the match has no wildcard, and covers the
+//! shell not at all.)
+//!
+//! Mechanically: every variant parsed out of `enum <Name> { … }` must
+//! appear as the token sequence `<Name>::<Variant>` in each configured
+//! match file and each configured shell file. A wildcard `_ =>` arm in
+//! a match file is also flagged — it would defeat rustc's half of the
+//! guarantee.
+
+use crate::config::ExhaustiveRule;
+use crate::lexer::TokenKind;
+use crate::rules::Diagnostic;
+use crate::source::SourceFile;
+
+/// Extracts `enum <name>`'s variant identifiers (with the line each is
+/// declared on). Returns `None` when the enum isn't in the file.
+pub fn enum_variants(file: &SourceFile, name: &str) -> Option<Vec<(String, u32)>> {
+    let code = file.code_indexes();
+    // Find `enum <name> {`.
+    let mut at = None;
+    for (pos, &i) in code.iter().enumerate() {
+        if file.tokens[i].kind == TokenKind::Ident
+            && file.text(i) == "enum"
+            && code.get(pos + 1).is_some_and(|&j| file.text(j) == name)
+        {
+            at = Some(pos + 2);
+            break;
+        }
+    }
+    let mut c = at?;
+    // Skip to the opening brace (generics would sit here; `Command`
+    // has none, but stay robust).
+    while c < code.len() && file.text(code[c]) != "{" {
+        c += 1;
+    }
+    let mut variants = Vec::new();
+    let mut brace = 0i32;
+    let mut paren = 0i32;
+    let mut expect_variant = false;
+    while c < code.len() {
+        let i = code[c];
+        let text = file.text(i);
+        match text {
+            "{" => {
+                brace += 1;
+                if brace == 1 {
+                    expect_variant = true;
+                }
+            }
+            "}" => {
+                brace -= 1;
+                if brace == 0 {
+                    break;
+                }
+            }
+            "(" => paren += 1,
+            ")" => paren -= 1,
+            "," if brace == 1 && paren == 0 => expect_variant = true,
+            "#" if brace == 1 && paren == 0 => {
+                // An attribute on the next variant: skip its `[…]`.
+                if code.get(c + 1).is_some_and(|&j| file.text(j) == "[") {
+                    let mut depth = 0i32;
+                    c += 1;
+                    while c < code.len() {
+                        match file.text(code[c]) {
+                            "[" => depth += 1,
+                            "]" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        c += 1;
+                    }
+                }
+            }
+            _ => {
+                if expect_variant
+                    && brace == 1
+                    && paren == 0
+                    && file.tokens[i].kind == TokenKind::Ident
+                {
+                    variants.push((text.to_string(), file.tokens[i].line));
+                    expect_variant = false;
+                }
+            }
+        }
+        c += 1;
+    }
+    Some(variants)
+}
+
+/// Whether `file` contains the token sequence `enum_name::variant`.
+pub fn mentions_variant(file: &SourceFile, enum_name: &str, variant: &str) -> bool {
+    let code = file.code_indexes();
+    for (pos, &i) in code.iter().enumerate() {
+        if file.tokens[i].kind != TokenKind::Ident || file.text(i) != enum_name {
+            continue;
+        }
+        let colon = |p: usize| {
+            code.get(p).is_some_and(|&j| {
+                file.tokens[j].kind == TokenKind::Punct && file.text(j) == ":"
+            })
+        };
+        if colon(pos + 1)
+            && colon(pos + 2)
+            && code
+                .get(pos + 3)
+                .is_some_and(|&j| file.tokens[j].kind == TokenKind::Ident && file.text(j) == variant)
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Whether `file` contains a wildcard match arm (`_ =>`) — in the pure
+/// dispatcher this would silence rustc's exhaustiveness check.
+pub fn has_wildcard_arm(file: &SourceFile) -> Option<u32> {
+    let code = file.code_indexes();
+    for (pos, &i) in code.iter().enumerate() {
+        if file.tokens[i].kind == TokenKind::Ident
+            && file.text(i) == "_"
+            && code.get(pos + 1).is_some_and(|&j| file.text(j) == "=")
+            && code.get(pos + 2).is_some_and(|&j| file.text(j) == ">")
+        {
+            return Some(file.tokens[i].line);
+        }
+    }
+    None
+}
+
+/// Runs the cross-check. `lookup` resolves a configured path to its
+/// loaded [`SourceFile`]; missing files are reported as diagnostics
+/// (config rot must fail the run, not skip the rule).
+pub fn check<'a>(
+    name: &str,
+    rule: &ExhaustiveRule,
+    mut lookup: impl FnMut(&str) -> Option<&'a SourceFile>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let Some(enum_file) = lookup(&rule.enum_file) else {
+        out.push(missing(name, &rule.enum_file));
+        return;
+    };
+    let Some(variants) = enum_variants(enum_file, &rule.enum_name) else {
+        out.push(Diagnostic {
+            path: rule.enum_file.clone(),
+            line: 1,
+            rule: name.to_string(),
+            message: format!("`enum {}` not found", rule.enum_name),
+        });
+        return;
+    };
+    let enum_path = enum_file.path.display().to_string();
+    let sides: [(&[String], &str, bool); 2] = [
+        (&rule.match_files, "no `apply` match arm in", true),
+        (&rule.shell_files, "no journaling shell site in", false),
+    ];
+    for (files, what, is_dispatcher) in sides {
+        for path in files {
+            let Some(file) = lookup(path) else {
+                out.push(missing(name, path));
+                continue;
+            };
+            // Only the dispatcher is wildcard-checked: general shell
+            // code matches plenty of other things with `_ =>`.
+            if is_dispatcher {
+                if let Some(line) = has_wildcard_arm(file) {
+                    out.push(Diagnostic {
+                        path: file.path.display().to_string(),
+                        line,
+                        rule: name.to_string(),
+                        message: format!(
+                            "wildcard `_ =>` arm defeats {} exhaustiveness",
+                            rule.enum_name
+                        ),
+                    });
+                }
+            }
+            for (variant, line) in &variants {
+                if !mentions_variant(file, &rule.enum_name, variant) {
+                    out.push(Diagnostic {
+                        path: enum_path.clone(),
+                        line: *line,
+                        rule: name.to_string(),
+                        message: format!(
+                            "variant `{}::{variant}` has {what} {path} — \
+                             a journaled run would not replay it",
+                            rule.enum_name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn missing(rule: &str, path: &str) -> Diagnostic {
+    Diagnostic {
+        path: path.to_string(),
+        line: 1,
+        rule: rule.to_string(),
+        message: "configured file not found".to_string(),
+    }
+}

@@ -1,0 +1,241 @@
+//! A lexed source file plus the two structural facts every rule needs:
+//! which tokens are test-only code, and which lines carry
+//! `lint:allow` annotations.
+//!
+//! # Test scoping
+//!
+//! Hot-path and panic rules police *shipping* code; `#[cfg(test)]`
+//! modules and `#[test]` functions are exempt. The mask is computed
+//! structurally: an item introduced by a `#[cfg(test)]` or `#[test]`
+//! attribute is skipped to its closing brace (or terminating `;`),
+//! nested braces respected.
+//!
+//! # Allow annotations
+//!
+//! ```text
+//! // lint:allow(rule-name) — why this site is exempt
+//! ```
+//!
+//! An annotation exempts its comment block (the run of consecutive
+//! comment lines it starts) **and the following line** from the named
+//! rule — so it can sit trailing on the flagged line, on its own line
+//! above it, or open a multi-line justification that ends just above
+//! it. The reason is mandatory: an annotation without one is itself a
+//! diagnostic — the whole point is that every exemption carries its
+//! justification in-tree.
+
+use std::path::PathBuf;
+
+use crate::lexer::{lex, Token};
+
+/// One parsed `lint:allow(rule)` annotation.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// The rule being allowed.
+    pub rule: String,
+    /// First line the exemption covers (the comment's own line).
+    pub line: u32,
+    /// Last line the exemption covers (the line after the comment).
+    pub end_line: u32,
+    /// Whether a non-empty reason followed the `(rule)`.
+    pub has_reason: bool,
+}
+
+/// A file loaded, lexed, test-masked, and annotation-scanned once;
+/// every rule then reads this.
+pub struct SourceFile {
+    /// Path as reported in diagnostics (relative to the lint root).
+    pub path: PathBuf,
+    /// The file's full text.
+    pub src: String,
+    /// All tokens, comments included.
+    pub tokens: Vec<Token>,
+    /// `test_mask[i]` — token `i` is inside `#[cfg(test)]`/`#[test]`
+    /// scope.
+    pub test_mask: Vec<bool>,
+    /// Parsed `lint:allow` annotations.
+    pub allows: Vec<Allow>,
+}
+
+impl SourceFile {
+    /// Lexes and analyzes `src`.
+    pub fn new(path: PathBuf, src: String) -> SourceFile {
+        let tokens = lex(&src);
+        let test_mask = compute_test_mask(&tokens, &src);
+        let allows = collect_allows(&tokens, &src);
+        SourceFile {
+            path,
+            src,
+            tokens,
+            test_mask,
+            allows,
+        }
+    }
+
+    /// The text of token `i`.
+    pub fn text(&self, i: usize) -> &str {
+        self.tokens[i].text(&self.src)
+    }
+
+    /// Whether `rule` is allowed (with a reason) on `line`.
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.rule == rule && a.has_reason && (a.line..=a.end_line).contains(&line))
+    }
+
+    /// Indexes of non-comment tokens (what pattern matching runs over).
+    pub fn code_indexes(&self) -> Vec<usize> {
+        (0..self.tokens.len())
+            .filter(|&i| !self.tokens[i].is_comment())
+            .collect()
+    }
+}
+
+/// Marks every token inside a `#[cfg(test)]`- or `#[test]`-introduced
+/// item. See the module docs for the algorithm.
+fn compute_test_mask(tokens: &[Token], src: &str) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+    let mut c = 0usize;
+    while c < code.len() {
+        if let Some(attr_end) = test_attribute_end(tokens, src, &code, c) {
+            // Skip any further attributes between this one and the item.
+            let mut item_start = attr_end + 1;
+            while item_start < code.len()
+                && tokens[code[item_start]].text(src) == "#"
+                && item_start + 1 < code.len()
+                && tokens[code[item_start + 1]].text(src) == "["
+            {
+                item_start = skip_bracket_group(tokens, src, &code, item_start + 1) + 1;
+            }
+            let item_end = item_extent(tokens, src, &code, item_start);
+            for &tok in &code[c..=item_end.min(code.len() - 1)] {
+                mask[tok] = true;
+            }
+            c = item_end + 1;
+        } else {
+            c += 1;
+        }
+    }
+    mask
+}
+
+/// If code-token `c` starts a `#[cfg(test)]` or `#[test]` attribute,
+/// returns the code-index of its closing `]`.
+fn test_attribute_end(
+    tokens: &[Token],
+    src: &str,
+    code: &[usize],
+    c: usize,
+) -> Option<usize> {
+    if tokens[code[c]].text(src) != "#" {
+        return None;
+    }
+    let open = c + 1;
+    if open >= code.len() || tokens[code[open]].text(src) != "[" {
+        return None;
+    }
+    let close = skip_bracket_group(tokens, src, code, open);
+    // The attribute's tokens, brackets excluded.
+    let inner: Vec<&str> = code[open + 1..close.min(code.len())]
+        .iter()
+        .map(|&t| tokens[t].text(src))
+        .collect();
+    let is_test = match inner.first() {
+        Some(&"test") => inner.len() == 1,
+        Some(&"cfg") => inner.contains(&"test"),
+        _ => false,
+    };
+    is_test.then_some(close)
+}
+
+/// Given code-index `open` pointing at `[`, returns the code-index of
+/// the matching `]` (or the last token on unbalanced input).
+fn skip_bracket_group(tokens: &[Token], src: &str, code: &[usize], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut c = open;
+    while c < code.len() {
+        match tokens[code[c]].text(src) {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return c;
+                }
+            }
+            _ => {}
+        }
+        c += 1;
+    }
+    code.len().saturating_sub(1)
+}
+
+/// The code-index of the end of the item starting at `start`: the
+/// matching `}` of its first brace group, or the first `;` seen before
+/// any brace (declarations like `mod tests;`).
+fn item_extent(tokens: &[Token], src: &str, code: &[usize], start: usize) -> usize {
+    let mut depth = 0i32;
+    let mut c = start;
+    while c < code.len() {
+        match tokens[code[c]].text(src) {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return c;
+                }
+            }
+            ";" if depth == 0 => return c,
+            _ => {}
+        }
+        c += 1;
+    }
+    code.len().saturating_sub(1)
+}
+
+/// Scans comments for `lint:allow(rule) — reason` annotations.
+fn collect_allows(tokens: &[Token], src: &str) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for (idx, tok) in tokens.iter().enumerate() {
+        if !tok.is_comment() {
+            continue;
+        }
+        // A justification may run over several comment lines; the
+        // annotation covers the whole consecutive comment block plus
+        // the line after it.
+        let mut cover_end = tok.end_line;
+        for next in &tokens[idx + 1..] {
+            if next.is_comment() && next.line == cover_end + 1 {
+                cover_end = next.end_line;
+            } else {
+                break;
+            }
+        }
+        let text = tok.text(src);
+        let mut rest = text;
+        while let Some(at) = rest.find("lint:allow(") {
+            let after = &rest[at + "lint:allow(".len()..];
+            let Some(close) = after.find(')') else { break };
+            let rule = after[..close].trim().to_string();
+            let tail = &after[close + 1..];
+            // The reason is whatever follows the closing paren, once
+            // separators (dashes, colons, whitespace) are stripped.
+            let reason = tail
+                .trim_start_matches(|c: char| {
+                    c.is_whitespace() || matches!(c, '—' | '–' | '-' | ':')
+                })
+                .trim();
+            allows.push(Allow {
+                rule,
+                line: tok.line,
+                end_line: cover_end + 1,
+                has_reason: !reason.is_empty(),
+            });
+            rest = tail;
+        }
+    }
+    allows
+}

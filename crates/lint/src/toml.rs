@@ -1,0 +1,247 @@
+//! A minimal TOML subset parser — exactly what `lint.toml` and the
+//! baseline file need, nothing more (the build environment has no
+//! crates.io access; see `shims/README.md`).
+//!
+//! Supported: `[dotted.table]` headers, `key = "string"`,
+//! `key = 123`, `key = true|false`, single- or multi-line
+//! `key = ["a", "b"]` string arrays, and `#` comments. Unsupported
+//! syntax is a hard parse error — config typos should fail the run,
+//! not silently disable a rule.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A TOML value in the supported subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A quoted string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// An array of quoted strings.
+    StrArray(Vec<String>),
+}
+
+/// A parsed document: dotted table name → key → value. Keys written
+/// before any `[table]` header live in the table named `""`.
+#[derive(Debug, Default, Clone)]
+pub struct Doc {
+    tables: BTreeMap<String, BTreeMap<String, Value>>,
+    /// Table names in first-appearance order (rule evaluation order).
+    order: Vec<String>,
+}
+
+/// A parse failure, with the 1-based line it happened on.
+#[derive(Debug)]
+pub struct ParseError {
+    /// 1-based line of the offending text.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Doc {
+    /// Parses `text`.
+    pub fn parse(text: &str) -> Result<Doc, ParseError> {
+        let mut doc = Doc::default();
+        let mut table = String::new();
+        doc.order.push(table.clone());
+        doc.tables.entry(table.clone()).or_default();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[') {
+                let Some(name) = name.strip_suffix(']') else {
+                    return Err(err(lineno, "unterminated [table] header"));
+                };
+                table = name.trim().to_string();
+                if !doc.tables.contains_key(&table) {
+                    doc.order.push(table.clone());
+                }
+                doc.tables.entry(table.clone()).or_default();
+                continue;
+            }
+            let Some(eq) = line.find('=') else {
+                return Err(err(lineno, "expected `key = value`"));
+            };
+            let key = line[..eq].trim().to_string();
+            if key.is_empty() {
+                return Err(err(lineno, "empty key"));
+            }
+            let mut value_text = line[eq + 1..].trim().to_string();
+            // Multi-line arrays: accumulate until brackets balance
+            // outside strings.
+            while value_text.starts_with('[') && !brackets_balanced(&value_text) {
+                let Some((_, next)) = lines.next() else {
+                    return Err(err(lineno, "unterminated array"));
+                };
+                value_text.push(' ');
+                value_text.push_str(strip_comment(next).trim());
+            }
+            let value = parse_value(&value_text, lineno)?;
+            doc.tables
+                .get_mut(&table)
+                .expect("table inserted above")
+                .insert(key, value);
+        }
+        Ok(doc)
+    }
+
+    /// The named table, if present.
+    pub fn table(&self, name: &str) -> Option<&BTreeMap<String, Value>> {
+        self.tables.get(name)
+    }
+
+    /// Table names, in first-appearance order.
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.order.iter().map(String::as_str)
+    }
+}
+
+fn err(line: usize, message: &str) -> ParseError {
+    ParseError {
+        line,
+        message: message.to_string(),
+    }
+}
+
+/// Removes a `#` comment, respecting `"…"` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+/// Whether `[` and `]` balance outside strings.
+fn brackets_balanced(text: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in text.chars() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+        escaped = false;
+    }
+    depth == 0
+}
+
+fn parse_value(text: &str, line: usize) -> Result<Value, ParseError> {
+    let text = text.trim();
+    if let Some(body) = text.strip_prefix('"') {
+        let Some(s) = unquote(body) else {
+            return Err(err(line, "unterminated string"));
+        };
+        return Ok(Value::Str(s));
+    }
+    if text == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if text == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(body) = text.strip_prefix('[') {
+        let Some(body) = body.strip_suffix(']') else {
+            return Err(err(line, "unterminated array"));
+        };
+        let mut items = Vec::new();
+        for item in split_array(body) {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            let Some(body) = item.strip_prefix('"') else {
+                return Err(err(line, "arrays may only hold strings"));
+            };
+            let Some(s) = unquote(body) else {
+                return Err(err(line, "unterminated string in array"));
+            };
+            items.push(s);
+        }
+        return Ok(Value::StrArray(items));
+    }
+    if let Ok(n) = text.parse::<i64>() {
+        return Ok(Value::Int(n));
+    }
+    Err(err(line, "unsupported value (string, int, bool, [\"…\"])"))
+}
+
+/// Splits array items on commas outside strings.
+fn split_array(body: &str) -> Vec<&str> {
+    let mut items = Vec::new();
+    let mut start = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            ',' if !in_str => {
+                items.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        escaped = false;
+    }
+    items.push(&body[start..]);
+    items
+}
+
+/// `body` starts *after* an opening quote; returns the unescaped
+/// content if a closing quote terminates it (trailing text ignored).
+fn unquote(body: &str) -> Option<String> {
+    let mut out = String::new();
+    let mut escaped = false;
+    for c in body.chars() {
+        if escaped {
+            out.push(match c {
+                'n' => '\n',
+                't' => '\t',
+                other => other,
+            });
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' => escaped = true,
+            '"' => return Some(out),
+            other => out.push(other),
+        }
+    }
+    None
+}

@@ -1,0 +1,9 @@
+//! Fixture: hot-path allocations, every banned shape once.
+
+pub fn copies(input: &[u8]) -> Vec<u8> {
+    let scratch: Vec<u8> = Vec::new(); // line 4: MUST flag (Vec::new)
+    drop(scratch);
+    let v = vec![0u8; 4]; // line 6: MUST flag (vec!)
+    drop(v);
+    input.to_vec() // line 8: MUST flag (.to_vec())
+}

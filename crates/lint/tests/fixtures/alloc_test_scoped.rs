@@ -1,0 +1,16 @@
+//! Fixture: allocations inside test scope are exempt (the rules
+//! police shipping code).
+
+pub fn shipping(input: &[u8]) -> usize {
+    input.len()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn copies_freely() {
+        let v = vec![1u8, 2].to_vec();
+        let w: Vec<u8> = Vec::new();
+        assert!(w.len() <= v.len());
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: a dispatcher missing `Cmd::Gamma` — the seeded violation
+//! the acceptance criteria demand. `Gamma` appears only in this
+//! comment, which must not satisfy the rule.
+
+pub fn apply(cmd: &super::Cmd) -> u64 {
+    match cmd {
+        Cmd::Alpha => 0,
+        Cmd::Beta(a, b) => u64::from(a + b),
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: a dispatcher covering every `Cmd` variant, no wildcard.
+
+pub fn apply(cmd: &super::Cmd) -> u64 {
+    match cmd {
+        Cmd::Alpha => 0,
+        Cmd::Beta(a, b) => u64::from(a + b),
+        Cmd::Gamma { size } => *size,
+    }
+}

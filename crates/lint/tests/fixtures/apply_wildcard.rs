@@ -1,0 +1,11 @@
+//! Fixture: a wildcard arm — every variant is "mentioned" via the
+//! explicit arms except Gamma, and the `_ =>` must flag besides.
+
+pub fn apply(cmd: &super::Cmd) -> u64 {
+    match cmd {
+        Cmd::Alpha => 0,
+        Cmd::Beta(a, b) => u64::from(a + b),
+        Cmd::Gamma { .. } => 1,
+        _ => 2, // line 9: MUST flag
+    }
+}

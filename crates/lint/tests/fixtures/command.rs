@@ -1,0 +1,9 @@
+//! Fixture: the enum side of the exhaustiveness cross-check —
+//! a tuple variant, a struct variant, and an attributed variant.
+
+pub enum Cmd {
+    Alpha,
+    Beta(u32, u32),
+    #[allow(dead_code)]
+    Gamma { size: u64 },
+}

@@ -1,0 +1,7 @@
+//! Fixture: two callers of a deprecated shim.
+
+pub fn uses_shims(k: &mut Kernel) -> u64 {
+    let a = k.iol_read(1, 16); // caller 1
+    let b = k.iol_read(2, 16); // caller 2
+    a + b
+}

@@ -1,0 +1,9 @@
+//! Fixture: broken annotations are themselves diagnostics.
+
+// lint:allow(no-lock)
+use std::sync::Mutex; // reasonless annotation: does NOT exempt this
+
+// lint:allow(no-such-rule) — the rule name is a typo
+pub struct S {
+    pub inner: Option<Mutex<u64>>,
+}

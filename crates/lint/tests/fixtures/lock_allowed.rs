@@ -1,0 +1,12 @@
+//! Fixture: an annotated (justified) lock passes, and counts toward
+//! the rule's budget.
+
+// lint:allow(no-lock) — fixture justification: confined to one thread.
+use std::sync::Mutex;
+
+pub struct Shared {
+    // A multi-line justification covers the line after the block.
+    // lint:allow(no-lock) — fixture justification: never contended,
+    // exists only to keep the container Send.
+    pub inner: Mutex<u64>,
+}

@@ -1,0 +1,7 @@
+//! Fixture: an unannotated lock in shipping code.
+
+use std::sync::Mutex; // line 3: MUST flag
+
+pub struct Shared {
+    pub inner: Mutex<u64>, // line 6: MUST flag
+}

@@ -1,0 +1,15 @@
+//! Fixture: panics on the serving path.
+
+pub fn serve(input: Option<u64>) -> u64 {
+    let v = input.unwrap(); // line 4: MUST flag (.unwrap())
+    if v == 0 {
+        panic!("zero"); // line 6: MUST flag (panic!)
+    }
+    v
+}
+
+#[test]
+fn test_scope_panics_freely() {
+    assert_eq!(serve(Some(3)), 3);
+    let _ = Some(1).unwrap(); // test scope: must NOT flag
+}

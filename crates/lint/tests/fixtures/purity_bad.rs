@@ -1,0 +1,19 @@
+//! Fixture: the purity rule flags real code but never prose. Linted
+//! by tests, never compiled.
+
+// A comment spelling std::fs must NOT flag (the old grep's bug).
+/* nor a block comment with std::io or std::time::Instant */
+
+pub fn prose_only() -> &'static str {
+    "std::io::Read in a string literal must not flag"
+}
+
+pub fn raw_prose() -> &'static str {
+    r#"std::fs::read in a raw string must not flag"#
+}
+
+use std::time::Instant as Clock; // line 15: MUST flag (rename-proof)
+
+pub fn timestamp() -> Clock {
+    Clock::now()
+}

@@ -1,0 +1,7 @@
+//! Fixture: a clean pure-core file — comments may talk about
+//! std::fs, std::io, and std::time::SystemTime all they like.
+
+/// Deterministic helper; see the discussion of std::time above.
+pub fn add(a: u64, b: u64) -> u64 {
+    a.wrapping_add(b)
+}

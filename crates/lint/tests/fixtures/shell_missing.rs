@@ -1,0 +1,6 @@
+//! Fixture: a shell that journals `Alpha` but never `Beta` or
+//! `Gamma` — replay would silently drop both.
+
+pub fn journal_some(j: &mut Vec<String>) {
+    j.push(format!("{:?}", Cmd::Alpha));
+}

@@ -1,0 +1,7 @@
+//! Fixture: a shell journaling every `Cmd` variant.
+
+pub fn journal_all(j: &mut Vec<String>) {
+    j.push(format!("{:?}", Cmd::Alpha));
+    j.push(format!("{:?}", Cmd::Beta(1, 2)));
+    j.push(format!("{:?}", Cmd::Gamma { size: 3 }));
+}

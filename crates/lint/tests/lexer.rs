@@ -1,0 +1,169 @@
+//! Lexer coverage: the constructs a grep cannot classify — nested
+//! block comments, raw strings, the lifetime/char ambiguity, raw
+//! identifiers — plus the structural analyses built on top of the
+//! token stream (test-scope masking, allow-annotation parsing).
+
+use iolite_lint::lexer::{lex, TokenKind};
+use iolite_lint::source::SourceFile;
+use std::path::PathBuf;
+
+fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+    lex(src)
+        .into_iter()
+        .map(|t| (t.kind, t.text(src).to_string()))
+        .collect()
+}
+
+#[test]
+fn nested_block_comments_are_one_token() {
+    let src = "/* outer /* inner */ still outer */ fn x() {}";
+    let toks = kinds(src);
+    assert_eq!(toks[0].0, TokenKind::BlockComment);
+    assert_eq!(toks[0].1, "/* outer /* inner */ still outer */");
+    assert_eq!(toks[1], (TokenKind::Ident, "fn".to_string()));
+}
+
+#[test]
+fn raw_strings_any_hash_depth() {
+    let src = r####"let a = r"x"; let b = r#"std::fs"#; let c = r##"y "# z"##;"####;
+    let raw: Vec<_> = kinds(src)
+        .into_iter()
+        .filter(|(k, _)| *k == TokenKind::RawStr)
+        .collect();
+    assert_eq!(raw.len(), 3);
+    assert_eq!(raw[1].1, r##"r#"std::fs"#"##);
+    assert_eq!(raw[2].1, r###"r##"y "# z"##"###);
+}
+
+#[test]
+fn byte_and_raw_byte_literals() {
+    let src = r###"let a = b"bytes"; let b = br#"raw"#; let c = b'x';"###;
+    let toks = kinds(src);
+    assert!(toks.contains(&(TokenKind::Str, "b\"bytes\"".to_string())));
+    assert!(toks.contains(&(TokenKind::RawStr, "br#\"raw\"#".to_string())));
+    assert!(toks.contains(&(TokenKind::Char, "b'x'".to_string())));
+}
+
+#[test]
+fn lifetimes_vs_char_literals() {
+    let src = "fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; let u = '\\u{1F600}'; }";
+    let toks = kinds(src);
+    let lifetimes: Vec<_> = toks
+        .iter()
+        .filter(|(k, _)| *k == TokenKind::Lifetime)
+        .collect();
+    let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+    assert_eq!(lifetimes.len(), 2, "two 'a lifetimes: {toks:?}");
+    assert_eq!(chars.len(), 3, "'x', '\\n', '\\u{{…}}': {toks:?}");
+    assert_eq!(chars[2].1, "'\\u{1F600}'");
+}
+
+#[test]
+fn static_lifetime_is_not_a_char() {
+    let toks = kinds("fn f() -> &'static str { \"s\" }");
+    assert!(toks.contains(&(TokenKind::Lifetime, "'static".to_string())));
+}
+
+#[test]
+fn raw_identifiers_keep_their_prefix() {
+    let toks = kinds("let r#match = 1; let r2 = r#match;");
+    let raw: Vec<_> = toks
+        .iter()
+        .filter(|(k, t)| *k == TokenKind::Ident && t == "r#match")
+        .collect();
+    assert_eq!(raw.len(), 2);
+}
+
+#[test]
+fn ranges_stay_three_tokens_floats_stay_one() {
+    let toks = kinds("for i in 0..n { let x = 0.5; }");
+    assert!(toks.contains(&(TokenKind::Number, "0".to_string())));
+    assert!(toks.contains(&(TokenKind::Number, "0.5".to_string())));
+    assert_eq!(
+        toks.iter().filter(|(_, t)| t == ".").count(),
+        2,
+        "the range's two dots are punct: {toks:?}"
+    );
+}
+
+#[test]
+fn lexing_is_total_on_malformed_input() {
+    // Unterminated string, stray quote, truncated escape, non-ASCII
+    // punctuation and chars. Every token must also be a valid &str
+    // slice (kinds() calls text() on each).
+    for src in ["\"never closed", "let x = '", "let s = \"a\\", "héllo ← 'é'"] {
+        let _ = kinds(src); // must not panic
+    }
+}
+
+#[test]
+fn multi_line_tokens_track_line_numbers() {
+    let src = "let a = \"one\ntwo\";\nlet b = 1;";
+    let toks = lex(src);
+    let s = toks
+        .iter()
+        .find(|t| t.kind == TokenKind::Str)
+        .expect("string token");
+    assert_eq!((s.line, s.end_line), (1, 2));
+    let b = toks
+        .iter()
+        .find(|t| t.kind == TokenKind::Ident && t.text(src) == "b")
+        .expect("b token");
+    assert_eq!(b.line, 3);
+}
+
+fn source(src: &str) -> SourceFile {
+    SourceFile::new(PathBuf::from("fixture.rs"), src.to_string())
+}
+
+#[test]
+fn cfg_test_mask_covers_the_item_not_the_file() {
+    let src = "fn ship() { work(); }\n\
+               #[cfg(test)]\nmod tests {\n    fn helper() { copy(); }\n}\n\
+               fn also_ships() { more(); }\n";
+    let file = source(src);
+    let masked: Vec<&str> = (0..file.tokens.len())
+        .filter(|&i| file.test_mask[i])
+        .map(|i| file.text(i))
+        .collect();
+    assert!(masked.contains(&"helper"));
+    assert!(!masked.contains(&"ship"));
+    assert!(!masked.contains(&"also_ships"));
+}
+
+#[test]
+fn test_attribute_with_trailing_attributes_still_masks() {
+    let src = "#[test]\n#[ignore]\nfn t() { boom(); }\nfn ship() {}\n";
+    let file = source(src);
+    let masked: Vec<&str> = (0..file.tokens.len())
+        .filter(|&i| file.test_mask[i])
+        .map(|i| file.text(i))
+        .collect();
+    assert!(masked.contains(&"boom"));
+    assert!(!masked.contains(&"ship"));
+}
+
+#[test]
+fn allow_parsing_trailing_and_block_forms() {
+    let src = "\
+let a = x.lock(); // lint:allow(no-lock) — trailing, covers this line
+// lint:allow(panic) — a justification that
+// spans several comment lines still covers
+// the line after the block.
+let b = y.unwrap();
+// lint:allow(no-lock)
+let c = z.lock();
+";
+    let file = source(src);
+    assert!(file.allowed("no-lock", 1), "trailing form");
+    assert!(file.allowed("panic", 5), "multi-line block reaches line 5");
+    assert!(!file.allowed("panic", 6), "coverage ends after one code line");
+    assert!(
+        !file.allowed("no-lock", 7),
+        "reasonless annotation must not exempt"
+    );
+    assert!(
+        file.allows.iter().any(|a| a.rule == "no-lock" && !a.has_reason),
+        "the reasonless annotation is still recorded (for hygiene)"
+    );
+}
