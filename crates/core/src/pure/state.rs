@@ -447,6 +447,21 @@ impl KernelState {
         Ok(self.sockets[&id].sndbuf_used)
     }
 
+    /// Whether a socket's remote side has hung up (a FIN/RST was
+    /// observed via `socket_peer_close`). A harness driving the wire
+    /// externally needs this *query* — as opposed to learning it from a
+    /// failed `socket_drain` — because under an adversarial wire the
+    /// drain happens on ACK arrival, not every tick, so a dead peer
+    /// mid-drain would otherwise go unnoticed forever.
+    ///
+    /// # Errors
+    ///
+    /// [`IolError::NotOpen`] / [`IolError::BadFdKind`] as usual.
+    pub fn socket_peer_closed(&self, pid: Pid, fd: Fd) -> Result<bool, IolError> {
+        let id = self.resolve_socket(pid, fd, "peer liveness")?;
+        Ok(self.sockets[&id].peer_closed)
+    }
+
     /// The length of the file behind a descriptor (`fstat(2)`'s
     /// `st_size`).
     ///

@@ -68,6 +68,16 @@ pub struct EventLoopConfig {
     /// in-flight response memory at very large connection counts
     /// (2^18+ in the sharded sweep).
     pub admission_limit: usize,
+    /// Hand the wire to an external driver (the storm harness). When
+    /// set, the loop neither synthesizes request bytes at injection
+    /// (the driver delivers whatever the adversarial wire reassembles,
+    /// via [`iolite_core::Kernel::socket_deliver`]) nor auto-acks
+    /// `drain_per_tick` bytes per tick (the driver calls
+    /// [`iolite_core::Kernel::socket_drain`] as simulated ACKs arrive).
+    /// Injection still pops one script entry per request — the script
+    /// length is the request count a connection serves — and drains
+    /// still complete when the send buffer empties.
+    pub external_wire: bool,
 }
 
 impl Default for EventLoopConfig {
@@ -77,12 +87,13 @@ impl Default for EventLoopConfig {
             capture_responses: false,
             max_ticks: 10_000_000,
             admission_limit: 0,
+            external_wire: false,
         }
     }
 }
 
 /// Counters describing one run of the loop.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LoopStats {
     /// Event-loop iterations.
     pub ticks: u64,
@@ -319,6 +330,86 @@ impl EventLoopServer {
         self.conns[conn].sock
     }
 
+    /// The server's pid (an external wire driver needs it for
+    /// `socket_deliver`/`socket_drain` calls on the server's kernel).
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// Number of connections the server multiplexes.
+    pub fn conn_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Whether connection `i` has retired (script exhausted or failed).
+    pub fn conn_done(&self, i: usize) -> bool {
+        matches!(self.conns[i].state, ConnState::Done)
+    }
+
+    /// Counters so far (an external driver reads progress mid-run).
+    pub fn stats(&self) -> &LoopStats {
+        &self.stats
+    }
+
+    /// Requests completed so far, in completion order.
+    pub fn completed_requests(&self) -> &[CompletedRequest] {
+        &self.requests
+    }
+
+    /// Whether every connection has retired — the external driver's
+    /// termination test (it owns the loop that [`run`](Self::run) would
+    /// otherwise be).
+    pub fn is_done(&self) -> bool {
+        self.done()
+    }
+
+    /// Finishes an externally driven run: the report and the kernel,
+    /// exactly what [`run`](Self::run) returns.
+    pub fn into_report(self) -> (LoopReport, Kernel) {
+        (
+            LoopReport {
+                stats: self.stats,
+                requests: self.requests,
+            },
+            self.kernel,
+        )
+    }
+
+    /// Installs a shard context without entering [`run_shard`]'s
+    /// blocking service loop. A deterministic driver (the storm
+    /// harness) holds every shard of the fleet on **one** thread and
+    /// interleaves [`tick`](Self::tick) with
+    /// [`pump_fabric`](Self::pump_fabric) in a fixed order — real
+    /// threads would reintroduce scheduling nondeterminism, which a
+    /// seed-replayable run cannot tolerate.
+    ///
+    /// [`run_shard`]: Self::run_shard
+    pub fn attach_shard(&mut self, ctx: ShardContext) {
+        self.shard = Some(ctx);
+    }
+
+    /// Handles every cross-shard message already queued on this shard's
+    /// inbox, nonblocking; returns how many were handled. The
+    /// deterministic sharded driver alternates this with
+    /// [`tick`](Self::tick) until the fleet quiesces.
+    pub fn pump_fabric(&mut self) -> usize {
+        let mut handled = 0;
+        if self.shard.is_none() {
+            return handled;
+        }
+        loop {
+            match self.shard_ctx().mailbox.inbox.try_recv() {
+                Ok(msg) => {
+                    handled += 1;
+                    self.handle_shard_msg(msg);
+                }
+                // Disconnection outside run_shard means the driver
+                // already dropped its senders (end of run): quiesce.
+                Err(TryRecvError::Empty | TryRecvError::Disconnected) => return handled,
+            }
+        }
+    }
+
     /// Runs the loop until every script is exhausted, returning the
     /// report and the kernel.
     ///
@@ -398,6 +489,17 @@ impl EventLoopServer {
             let Some(path) = self.conns[i].script.pop_front() else {
                 unreachable!("script checked non-empty above");
             };
+            if self.cfg.external_wire {
+                // The storm harness plays the remote peer: request
+                // bytes arrive through the adversarial wire (segments →
+                // reassembly → `socket_deliver`), possibly much later.
+                // The connection just starts listening; the popped
+                // entry only counts the request against the script.
+                self.conns[i].state = ConnState::Parsing {
+                    buf: Aggregate::empty(),
+                };
+                continue;
+            }
             let req = crate::message::request_bytes(&path, true);
             let agg = Aggregate::from_bytes(&pool, &req);
             match self.kernel.socket_deliver(self.pid, self.conns[i].sock, agg) {
@@ -428,7 +530,20 @@ impl EventLoopServer {
                 continue;
             }
             let sock = self.conns[i].sock;
-            if self
+            if self.cfg.external_wire {
+                // The harness drains on ACK arrival; here we only watch
+                // for a peer that died while bytes were in flight (its
+                // ACKs will never come, so the drain check below would
+                // otherwise wait forever).
+                if self
+                    .kernel
+                    .socket_peer_closed(self.pid, sock)
+                    .unwrap_or(true)
+                {
+                    self.fail_in_flight(i);
+                    continue;
+                }
+            } else if self
                 .kernel
                 .socket_drain(self.pid, sock, self.cfg.drain_per_tick)
                 .is_err()

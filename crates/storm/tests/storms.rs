@@ -1,0 +1,124 @@
+//! Storm campaigns across the nasty corners of the config space. Each
+//! sweep runs the full contract check (no violations, exact journal
+//! replay) over a band of seeds; a failure names the seed, which then
+//! gets pinned in the workspace-level `tests/storm_regressions.rs`.
+
+use iolite_storm::{campaign, run_storm, StormConfig};
+
+fn sweep(name: &str, mk: impl Fn(u64) -> StormConfig, seeds: std::ops::Range<u64>) {
+    if let Err((seed, violations)) = campaign(mk, seeds) {
+        panic!("{name}: seed {seed}\n{}", violations.join("\n"));
+    }
+}
+
+#[test]
+fn presets() {
+    sweep("hostile", StormConfig::hostile, 0..40);
+    sweep("chaos", StormConfig::chaos, 0..40);
+    sweep("calm", StormConfig::calm, 0..10);
+}
+
+#[test]
+fn heavy_loss_and_reordering() {
+    sweep(
+        "heavy-loss",
+        |s| StormConfig {
+            loss: 0.08,
+            dup: 0.05,
+            reorder: 0.5,
+            ..StormConfig::hostile(s)
+        },
+        0..20,
+    );
+}
+
+#[test]
+fn all_slowloris_with_tiny_consume_chunks() {
+    sweep(
+        "all-slowloris",
+        |s| StormConfig {
+            slowloris: 1.0,
+            slow_chunk: 64,
+            ..StormConfig::hostile(s)
+        },
+        0..15,
+    );
+}
+
+#[test]
+fn single_segment_wire_window() {
+    sweep(
+        "tiny-window",
+        |s| StormConfig {
+            wire_window: 1460,
+            loss: 0.03,
+            ..StormConfig::hostile(s)
+        },
+        0..15,
+    );
+}
+
+#[test]
+fn wan_rtt_with_loss() {
+    sweep(
+        "wan",
+        |s| StormConfig {
+            rtt_us: 100_000,
+            jitter_us: 40_000,
+            loss: 0.02,
+            ..StormConfig::hostile(s)
+        },
+        0..8,
+    );
+}
+
+#[test]
+fn sharded_chaos_fleet() {
+    sweep(
+        "4-shard-chaos",
+        |s| StormConfig {
+            shards: 4,
+            clients: 12,
+            ..StormConfig::chaos(s)
+        },
+        0..20,
+    );
+    sweep(
+        "2-shard-everything",
+        |s| StormConfig {
+            shards: 2,
+            clients: 16,
+            requests_per_client: 3,
+            loss: 0.05,
+            dup: 0.05,
+            reorder: 0.5,
+            slowloris: 0.5,
+            reset: 0.4,
+            churn: 0.5,
+            ..StormConfig::chaos(s)
+        },
+        0..20,
+    );
+}
+
+/// Mid-response resets while retransmissions are still in flight must
+/// exercise the retransmit-after-peer-close path: the kernel refuses
+/// the late delivery, nothing panics, nothing leaks.
+#[test]
+fn retransmit_after_peer_close_is_refused_not_fatal() {
+    let mut rejected = 0;
+    for seed in 0..60 {
+        let cfg = StormConfig {
+            reset: 0.6,
+            loss: 0.05,
+            ..StormConfig::chaos(seed)
+        };
+        let report = run_storm(&cfg);
+        assert_eq!(report.violations, Vec::<String>::new(), "seed {seed}");
+        rejected += report.wire.deliveries_rejected;
+    }
+    assert!(
+        rejected > 0,
+        "sweep never hit the retransmit-after-peer-close path"
+    );
+}

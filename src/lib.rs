@@ -26,6 +26,7 @@
 //! | [`trace`] | synthetic Rice traces (Figs. 7, 9) | §5.4–§5.5 |
 //! | [`apps`] | converted UNIX utilities (Fig. 13) | §5.8 |
 //! | [`sim`] | deterministic discrete-event substrate | — |
+//! | [`storm`] | whole-system simulation: adversarial wire, fault storms | — |
 //!
 //! # Quick start
 //!
@@ -57,5 +58,6 @@ pub use iolite_http as http;
 pub use iolite_ipc as ipc;
 pub use iolite_net as net;
 pub use iolite_sim as sim;
+pub use iolite_storm as storm;
 pub use iolite_trace as trace;
 pub use iolite_vm as vm;
