@@ -41,7 +41,7 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use iolite_buf::{Acl, Aggregate, BufferPool, PoolId, Slice};
 use iolite_core::{CostModel, Fd, Kernel};
-use iolite_fs::{CacheKey, CacheOwnership, FileId, Policy, UnifiedCache};
+use iolite_fs::{CacheKey, CacheOwnership, FileId, Policy, UnifiedCache, WritebackConfig};
 use iolite_http::{run_sharded, server::serve_static, ServerKind, ShardedConfig, ShardedReport};
 use iolite_net::{ChecksumCache, DEFAULT_MSS, DEFAULT_TSS};
 use iolite_sim::SimRng;
@@ -359,6 +359,136 @@ fn bench_event_loop_concurrency(c: &mut Criterion) {
     g.finish();
 }
 
+/// Builds and runs one mixed GET/PUT event-loop pass (PR 10):
+/// `put_ratio` of the requests upload fresh document bodies through the
+/// zero-copy ingest path (dirty unified-cache installs, write-back
+/// between request events); the rest are Zipf-sampled GETs. Returns the
+/// loop report plus the kernel's metrics so the stats pass can read the
+/// flush/NVM counters.
+fn run_mixed_loop(
+    conns: usize,
+    reqs_per_conn: usize,
+    put_ratio: f64,
+    wb: WritebackConfig,
+) -> (iolite_http::LoopReport, iolite_core::Metrics) {
+    let workload = Workload::synthesize(&loop_spec(), 13);
+    let mut kernel = Kernel::with_policy(CostModel::pentium_ii_333(), Policy::Gds);
+    kernel.set_writeback(wb);
+    let pid = kernel.spawn("server");
+    let paths: Vec<String> = workload
+        .files()
+        .iter()
+        .map(|f| {
+            kernel.create_synthetic_file(&f.name, f.bytes, 13 ^ f.bytes);
+            f.name.clone()
+        })
+        .collect();
+    let mut rng = SimRng::new(conns as u64 ^ 0x1091_0e5e);
+    let scripts: Vec<Vec<String>> = (0..conns)
+        .map(|_| {
+            (0..reqs_per_conn)
+                .map(|_| {
+                    let path = &paths[workload.sample_request(&mut rng)];
+                    if rng.chance(put_ratio) {
+                        // Replacement bodies up to twice the corpus's
+                        // mean document size, never degenerate.
+                        format!("PUT {path} {}", 1 + rng.next_below(32 * 1024))
+                    } else {
+                        path.clone()
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let cfg = iolite_http::EventLoopConfig {
+        drain_per_tick: 16 * 1024,
+        ..iolite_http::EventLoopConfig::default()
+    };
+    let (report, kernel) = iolite_http::EventLoopServer::new(kernel, pid, scripts, None, cfg).run();
+    assert_eq!(report.stats.blocked_io, 0, "readiness-driven: no spin");
+    let metrics = kernel.metrics.clone();
+    (report, metrics)
+}
+
+fn bench_event_loop_mixed_writes(c: &mut Criterion) {
+    // Deterministic stats passes: the three write-burst tables recorded
+    // in EXPERIMENTS.md, next to the read-only table above.
+    //
+    // (1) Read-latency interference: how much does admitting PUTs cost
+    // the GETs sharing the loop?
+    println!("write interference at 1024 conns (WritebackConfig::default_tuning):");
+    for ratio in [0.0f64, 0.1, 0.3, 0.5] {
+        let (report, m) = run_mixed_loop(1024, 2, ratio, WritebackConfig::default_tuning());
+        let s = report.stats;
+        println!(
+            "  {:>3.0}% PUT: {} requests ({} puts, {} KB ingested), \
+             {} flushes, sim CPU {:.1}ms => {:.0} requests/cpu-sec",
+            ratio * 100.0,
+            s.completed,
+            s.puts,
+            s.put_bytes >> 10,
+            m.writeback_flushes,
+            s.cpu.as_ms(),
+            s.requests_per_cpu_sec(),
+        );
+        assert_eq!(s.failed, 0);
+        assert!(ratio == 0.0 || s.puts > 0, "the mix must actually write");
+    }
+    // (2) Dirty-threshold x flush-batch sweep (CAWL's two knobs) at the
+    // 30% PUT point.
+    println!("dirty-threshold x flush-batch sweep at 1024 conns, 30% PUT:");
+    for dirty_kb in [16u64, 64, 256] {
+        for batch_kb in [64u64, 256] {
+            let wb = WritebackConfig {
+                dirty_threshold_bytes: dirty_kb << 10,
+                flush_batch_bytes: batch_kb << 10,
+                ..WritebackConfig::default_tuning()
+            };
+            let (_, m) = run_mixed_loop(1024, 2, 0.3, wb);
+            println!(
+                "  dirty {dirty_kb:>3} KB, batch {batch_kb:>3} KB: \
+                 {} flushes, {} KB written back ({} KB via NVM), \
+                 {} disk writes",
+                m.writeback_flushes,
+                m.bytes_written_back >> 10,
+                m.nvm_absorbed_bytes >> 10,
+                m.disk_write_ops,
+            );
+        }
+    }
+    // (3) NVM-tier absorption: the staging tier's capacity decides how
+    // much of the burst skips the disk's positioning costs.
+    println!("NVM staging-tier absorption at 1024 conns, 30% PUT:");
+    for nvm_mb in [0u64, 1, 8] {
+        let wb = WritebackConfig {
+            nvm_capacity_bytes: nvm_mb << 20,
+            ..WritebackConfig::default_tuning()
+        };
+        let (_, m) = run_mixed_loop(1024, 2, 0.3, wb);
+        println!(
+            "  NVM {nvm_mb} MB: {} KB written back ({} KB absorbed, \
+             {} KB demoted), {} disk writes / {} KB",
+            m.bytes_written_back >> 10,
+            m.nvm_absorbed_bytes >> 10,
+            m.nvm_demoted_bytes >> 10,
+            m.disk_write_ops,
+            m.disk_write_bytes >> 10,
+        );
+    }
+    let mut g = quick(c.benchmark_group("event_loop"));
+    let (conns, ratio) = (1024usize, 0.3f64);
+    g.throughput(Throughput::Elements(2 * conns as u64));
+    g.bench_function("conns_1024_put30", |b| {
+        b.iter(|| {
+            run_mixed_loop(conns, 2, ratio, WritebackConfig::default_tuning())
+                .0
+                .stats
+                .completed
+        })
+    });
+    g.finish();
+}
+
 // ---- sharded sweep (PR 7) ----------------------------------------------
 
 /// Per-shard cache budget for the headline rows: every shard is a
@@ -655,6 +785,7 @@ criterion_group!(
     bench_evict_pinned_prefix,
     bench_cksum_cold_pressure,
     bench_event_loop_concurrency,
+    bench_event_loop_mixed_writes,
     bench_sharded_sweep
 );
 criterion_main!(benches);

@@ -475,6 +475,39 @@ impl Aggregate {
         Ok(out)
     }
 
+    /// The zero-copy variant of [`Aggregate::replace`]: returns a new
+    /// aggregate equal to `self` with `range` replaced by `patch`,
+    /// chaining *every* slice — head, patch, and tail — by reference.
+    /// No byte moves.
+    ///
+    /// This is the §3.5 copy-on-write write path for writers that
+    /// already own their new bytes as an aggregate (an upload body
+    /// reassembled from the wire): the patch is spliced over the cached
+    /// version while concurrent readers keep their references to the
+    /// old slices, so they observe only the complete old value — never
+    /// a torn mix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BufError::OutOfRange`] if `start + len` exceeds the
+    /// aggregate (including on arithmetic overflow).
+    pub fn splice_agg(&self, start: u64, len: u64, patch: &Aggregate) -> Result<Aggregate, BufError> {
+        let end = start.checked_add(len).ok_or(BufError::OutOfRange {
+            requested: u64::MAX,
+            available: self.len,
+        })?;
+        if end > self.len {
+            return Err(BufError::OutOfRange {
+                requested: end,
+                available: self.len,
+            });
+        }
+        let mut out = self.range(0, start).expect("validated");
+        out.append(patch);
+        out.append(&self.range(end, self.len - end).expect("validated"));
+        Ok(out)
+    }
+
     /// Defragments into a minimal number of contiguous buffers (the
     /// §3.8 "case 3" full copy, and the layout `mmap` needs). Each byte
     /// is copied exactly once, straight into the destination buffers.
@@ -764,6 +797,28 @@ mod tests {
         let shrunk = a.replace(&p, 1, 4, b"").unwrap();
         assert_eq!(shrunk.to_vec(), b"af");
         assert!(a.replace(&p, 5, 5, b"!").is_err());
+    }
+
+    #[test]
+    fn splice_agg_is_fully_by_reference() {
+        let p = pool();
+        let a = Aggregate::from_bytes(&p, b"GET /old.html HTTP/1.0");
+        let patch = Aggregate::from_bytes(&p, b"new");
+        let b = a.splice_agg(5, 3, &patch).unwrap();
+        assert_eq!(b.to_vec(), b"GET /new.html HTTP/1.0");
+        // Original is untouched (CoW: readers of `a` see the old value).
+        assert_eq!(a.to_vec(), b"GET /old.html HTTP/1.0");
+        // Head and tail share buffers with the original, and the patch
+        // region shares the patch's buffer — nothing was copied.
+        assert!(b.slice_at(0).same_buffer(a.slice_at(0)));
+        assert!(b.slice_at(1).same_buffer(patch.slice_at(0)));
+        assert!(b.slice_at(2).same_buffer(a.slice_at(0)));
+        // Whole-value splice: the result *is* the patch by reference.
+        let whole = a.splice_agg(0, a.len(), &patch).unwrap();
+        assert_eq!(whole.to_vec(), b"new");
+        assert!(whole.slice_at(0).same_buffer(patch.slice_at(0)));
+        // Bounds are still checked.
+        assert!(a.splice_agg(20, 5, &patch).is_err());
     }
 
     #[test]

@@ -225,14 +225,70 @@ impl Kernel {
     }
 
     /// Reports VM replacement pressure from non-cache pages (application
-    /// anonymous memory being paged) and applies the §3.7 rule: if more
-    /// than half of recently replaced pages held cached I/O data, one
-    /// cache entry is evicted. Returns whether an eviction happened.
+    /// anonymous memory being paged) and applies the §3.7 rule through
+    /// the pageout arbiter: relieve armed pressure by evicting one
+    /// clean entry, or by flushing a write-back batch when the dirty
+    /// pool dominates (dirty entries are never discarded). Returns
+    /// whether the cache shrank or cleaned anything.
     pub fn vm_pressure(&mut self, other_pages: u64) -> bool {
         self.fx.clear();
-        let evicted = self.state.op_vm_pressure(other_pages);
+        let acted = self.state.op_vm_pressure(other_pages, &mut self.fx);
         self.finish(|| Command::VmPressure { other_pages });
-        evicted
+        acted
+    }
+
+    // ---- the write path (PR 10) ----------------------------------------
+
+    /// Installs a PUT body as `file`'s whole-file cache entry, dirty,
+    /// by reference (zero-copy ingest; §3.5 snapshot semantics).
+    /// Persistence is deferred to [`Kernel::write_back`]; checksums
+    /// cached over the replaced version are invalidated.
+    pub fn put_install(&mut self, pid: Pid, file: FileId, agg: &Aggregate) -> IoOutcome {
+        self.fx.clear();
+        let out = self.state.op_put_install(pid, file, agg, &mut self.fx);
+        self.finish(|| Command::PutInstall {
+            pid,
+            file,
+            agg: agg.clone(),
+        });
+        out
+    }
+
+    /// Flushes one write-back batch (up to `max_bytes`; 0 ⇒ the
+    /// configured flush-batch size) through the NVM staging tier, disk
+    /// overflow included. Returns bytes flushed.
+    pub fn write_back(&mut self, max_bytes: u64) -> u64 {
+        self.fx.clear();
+        let n = self.state.op_write_back(max_bytes, &mut self.fx);
+        self.finish(|| Command::WriteBack { max_bytes });
+        n
+    }
+
+    /// Demotes up to `max_bytes` (0 ⇒ the configured drain chunk) from
+    /// the NVM staging tier to disk. Returns bytes moved.
+    pub fn nvm_demote(&mut self, max_bytes: u64) -> u64 {
+        self.fx.clear();
+        let n = self.state.op_nvm_demote(max_bytes, &mut self.fx);
+        self.finish(|| Command::NvmDemote { max_bytes });
+        n
+    }
+
+    /// Replaces the write-back tuning (journaled: replay sees the same
+    /// flush scheduling).
+    pub fn set_writeback(&mut self, cfg: iolite_fs::WritebackConfig) {
+        self.fx.clear();
+        self.state.op_set_writeback(cfg);
+        self.finish(|| Command::SetWriteback { cfg });
+    }
+
+    /// Whether accumulated dirty bytes have armed a write-back flush —
+    /// a pure state read (not journaled); the event loop polls this
+    /// between request completions and issues the journaled
+    /// [`Kernel::write_back`] when it answers `true`.
+    pub fn writeback_due(&self) -> bool {
+        self.state
+            .writeback
+            .should_flush(self.state.cache.dirty_bytes())
     }
 
     /// Pins a cache key against eviction (e.g. while the network
@@ -261,6 +317,23 @@ impl Kernel {
             data: data.to_vec(),
         });
         out
+    }
+
+    /// Drops a cache entry outright (sharded writes: a stale local
+    /// replica after a write routed to the file's home shard). Returns
+    /// whether an entry was dropped.
+    pub fn cache_invalidate(&mut self, key: CacheKey) -> bool {
+        self.fx.clear();
+        let dropped = self.state.op_cache_invalidate(key);
+        self.finish(|| Command::CacheInvalidate { key });
+        dropped
+    }
+
+    /// Whether the NVM staging tier holds bytes a background demotion
+    /// drain should move to disk — a pure state read (not journaled),
+    /// the companion query to [`Kernel::writeback_due`].
+    pub fn nvm_demote_due(&self) -> bool {
+        self.state.writeback.should_demote()
     }
 
     /// Touches Flash's mapped-file cache; returns whether the file was
@@ -1063,6 +1136,72 @@ mod tests {
         let (now, o) = k.iol_pread(pid, fd, 0, 100).unwrap();
         assert!(o.cache_hit);
         assert_eq!(now.to_vec(), b"NEW-contents");
+    }
+
+    /// The PR 10 write path end-to-end at the kernel surface: a PUT
+    /// installs the body dirty and zero-copy, readers of the old
+    /// version keep complete snapshots, write-back cleans through the
+    /// NVM tier, and the journaled run replays bit-identically.
+    #[test]
+    fn put_install_write_back_replays_bit_identically() {
+        let mut k = kernel();
+        k.start_journal();
+        let pid = k.spawn("server");
+        let f = k.create_file("/doc", b"generation-one");
+        let fd = k.open_file(pid, f);
+        let (old_snap, _) = k.iol_pread(pid, fd, 0, 100).unwrap();
+        // PUT: the body aggregate is installed by reference.
+        let body = Aggregate::from_bytes(k.process(pid).pool(), b"generation-two!");
+        let out = k.put_install(pid, f, &body);
+        assert_eq!(out.disk_bytes, 0, "persistence is deferred");
+        assert_eq!(k.metrics.bytes_dirty_installed, body.len());
+        assert!(k.cache.is_dirty(&CacheKey::whole(f)));
+        // The new cache entry shares the body's buffers (zero-copy).
+        let (new_snap, o) = k.iol_pread(pid, fd, 0, 100).unwrap();
+        assert!(o.cache_hit);
+        assert!(new_snap.slice_at(0).same_buffer(body.slice_at(0)));
+        // §3.5: the old reader still sees complete old bytes.
+        assert_eq!(old_snap.to_vec(), b"generation-one");
+        assert_eq!(new_snap.to_vec(), b"generation-two!");
+        assert_eq!(k.store.read(f, 0, 100).unwrap(), b"generation-two!");
+        // Write-back cleans the entry; the small body fits the NVM tier.
+        assert!(!k.writeback_due(), "one small body is under threshold");
+        let flushed = k.write_back(0);
+        assert_eq!(flushed, body.len());
+        assert!(!k.cache.is_dirty(&CacheKey::whole(f)));
+        assert_eq!(k.metrics.nvm_absorbed_bytes, body.len());
+        assert_eq!(k.metrics.writeback_flushes, 1);
+        // Background demotion drains the tier to disk.
+        let moved = k.nvm_demote(0);
+        assert_eq!(moved, body.len());
+        assert_eq!(k.metrics.disk_write_bytes, body.len());
+        assert_eq!(k.state.writeback.nvm_used(), 0);
+        // Deterministic replay: same state hash, same metrics.
+        let journal = k.take_journal().unwrap();
+        let initial = KernelState::new(CostModel::pentium_ii_333(), Policy::Lru);
+        let (replayed, metrics) = crate::pure::replay(initial, &journal);
+        assert_eq!(replayed.state_hash(), k.state_hash());
+        assert_eq!(metrics, k.metrics);
+    }
+
+    /// Dirty entries survive memory pressure: the pageout arbiter
+    /// flushes them instead of discarding, and only then evicts.
+    #[test]
+    fn vm_pressure_on_dirty_cache_writes_back() {
+        let mut k = kernel();
+        let pid = k.spawn("server");
+        let f = k.create_file("/doc", b"x");
+        let body = Aggregate::from_bytes(k.process(pid).pool(), &vec![7u8; 8192]);
+        k.put_install(pid, f, &body);
+        // Make cached-I/O replacements dominate so §3.7 arms, with the
+        // only cache entry dirty.
+        for _ in 0..8 {
+            k.pageout.page_replaced(iolite_vm::PageClass::CachedIo);
+        }
+        assert!(k.vm_pressure(0), "armed pressure must act");
+        assert_eq!(k.pageout.dirty_writebacks(), 1);
+        assert!(!k.cache.is_dirty(&CacheKey::whole(f)), "flushed, not lost");
+        assert_eq!(k.store.read(f, 0, 1).unwrap(), b"\x07");
     }
 
     #[test]

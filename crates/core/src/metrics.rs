@@ -31,6 +31,22 @@ pub struct Metrics {
     pub disk_ops: u64,
     /// Bytes moved from disk.
     pub disk_bytes: u64,
+    /// Bytes installed as dirty cache entries (the PUT ingest path).
+    pub bytes_dirty_installed: u64,
+    /// Write-back flush batches executed.
+    pub writeback_flushes: u64,
+    /// Cache entries cleaned by write-back flushes.
+    pub writeback_entries: u64,
+    /// Bytes persisted by write-back (NVM + disk).
+    pub bytes_written_back: u64,
+    /// Bytes the NVM staging tier absorbed on the flush path.
+    pub nvm_absorbed_bytes: u64,
+    /// Bytes demoted from the NVM tier to disk.
+    pub nvm_demoted_bytes: u64,
+    /// Disk write accesses (write-back overflow + NVM demotions).
+    pub disk_write_ops: u64,
+    /// Bytes written to disk.
+    pub disk_write_bytes: u64,
     /// Simulated CPU time by category.
     pub time_by_category: BTreeMap<CostCategory, SimTime>,
 }
@@ -66,6 +82,14 @@ impl Metrics {
         self.context_switches += other.context_switches;
         self.disk_ops += other.disk_ops;
         self.disk_bytes += other.disk_bytes;
+        self.bytes_dirty_installed += other.bytes_dirty_installed;
+        self.writeback_flushes += other.writeback_flushes;
+        self.writeback_entries += other.writeback_entries;
+        self.bytes_written_back += other.bytes_written_back;
+        self.nvm_absorbed_bytes += other.nvm_absorbed_bytes;
+        self.nvm_demoted_bytes += other.nvm_demoted_bytes;
+        self.disk_write_ops += other.disk_write_ops;
+        self.disk_write_bytes += other.disk_write_bytes;
         for (cat, t) in &other.time_by_category {
             self.charge(*cat, *t);
         }
@@ -95,6 +119,22 @@ impl fmt::Display for Metrics {
             self.disk_ops,
             self.disk_bytes >> 10,
         )?;
+        if self.bytes_dirty_installed > 0 || self.bytes_written_back > 0 {
+            writeln!(
+                f,
+                "  write path: dirty_installed={}KB flushes={} entries={} \
+                 written_back={}KB nvm_absorbed={}KB nvm_demoted={}KB \
+                 disk_write_ops={} disk_writes={}KB",
+                self.bytes_dirty_installed >> 10,
+                self.writeback_flushes,
+                self.writeback_entries,
+                self.bytes_written_back >> 10,
+                self.nvm_absorbed_bytes >> 10,
+                self.nvm_demoted_bytes >> 10,
+                self.disk_write_ops,
+                self.disk_write_bytes >> 10,
+            )?;
+        }
         for (cat, t) in &self.time_by_category {
             writeln!(f, "  {cat:?}: {t}")?;
         }

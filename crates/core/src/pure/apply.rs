@@ -115,7 +115,9 @@ pub fn step(state: &mut KernelState, cmd: &Command, fx: &mut Vec<Effect>) -> Res
         }
         Command::Lookup { name } => Ok(Reply::Lookup(state.op_lookup(name, fx).0)),
         Command::RebalanceCache => Ok(Reply::Count(state.op_rebalance_cache())),
-        Command::VmPressure { other_pages } => Ok(Reply::Flag(state.op_vm_pressure(*other_pages))),
+        Command::VmPressure { other_pages } => {
+            Ok(Reply::Flag(state.op_vm_pressure(*other_pages, fx)))
+        }
         Command::ReadFileAt { pid, file, offset, len } => {
             Ok(Reply::Data(state.op_read_file_at(*pid, *file, *offset, *len, fx).0))
         }
@@ -144,6 +146,20 @@ pub fn step(state: &mut KernelState, cmd: &Command, fx: &mut Vec<Effect>) -> Res
         }
         Command::CacheInstall { file, data } => {
             state.op_cache_install(*file, data, fx);
+            Ok(Reply::Unit)
+        }
+        Command::CacheInvalidate { key } => {
+            state.op_cache_invalidate(*key);
+            Ok(Reply::Unit)
+        }
+        Command::PutInstall { pid, file, agg } => {
+            state.op_put_install(*pid, *file, agg, fx);
+            Ok(Reply::Len(agg.len()))
+        }
+        Command::WriteBack { max_bytes } => Ok(Reply::Len(state.op_write_back(*max_bytes, fx))),
+        Command::NvmDemote { max_bytes } => Ok(Reply::Len(state.op_nvm_demote(*max_bytes, fx))),
+        Command::SetWriteback { cfg } => {
+            state.op_set_writeback(*cfg);
             Ok(Reply::Unit)
         }
         Command::MappedFileTouch { file } => Ok(Reply::Flag(state.op_mapped_file_touch(*file))),

@@ -48,6 +48,11 @@ pub enum Command {
     CachePin { key: CacheKey },
     CacheUnpin { key: CacheKey },
     CacheInstall { file: FileId, data: Vec<u8> },
+    CacheInvalidate { key: CacheKey },
+    PutInstall { pid: Pid, file: FileId, agg: Aggregate },
+    WriteBack { max_bytes: u64 },
+    NvmDemote { max_bytes: u64 },
+    SetWriteback { cfg: iolite_fs::WritebackConfig },
     MappedFileTouch { file: FileId },
     MemReserve { account: MemAccount, bytes: u64 },
     MemRelease { account: MemAccount, bytes: u64 },

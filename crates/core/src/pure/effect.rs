@@ -54,6 +54,44 @@ pub enum Effect {
         /// Bytes written across those stores.
         bytes: u64,
     },
+    /// A PUT body installed as a dirty cache entry (PR 10 write path);
+    /// persistence is deferred to write-back.
+    DirtyInstalled {
+        /// Bytes of dirty data admitted.
+        bytes: u64,
+    },
+    /// One write-back flush batch cleaned `entries` cache entries
+    /// covering `bytes` (landing split between NVM and disk is reported
+    /// by the companion [`Effect::NvmAbsorbed`]/[`Effect::DiskWrite`]).
+    WritebackFlushed {
+        /// Cache entries marked clean by the batch.
+        entries: u64,
+        /// Bytes the batch persisted.
+        bytes: u64,
+    },
+    /// Bytes the NVM staging tier absorbed, with its (positioning-free)
+    /// device service time — scheduled by the caller like disk time.
+    NvmAbsorbed {
+        /// Bytes staged into the NVM tier.
+        bytes: u64,
+        /// NVM device service time.
+        time: SimTime,
+    },
+    /// A background NVM→disk demotion of `bytes` (its disk cost is the
+    /// companion [`Effect::DiskWrite`]).
+    NvmDemoted {
+        /// Bytes drained from the NVM tier.
+        bytes: u64,
+    },
+    /// A disk write of `bytes`, with its device service time (the
+    /// caller schedules the time on the disk resource; the core only
+    /// reports it).
+    DiskWrite {
+        /// Bytes transferred to the device.
+        bytes: u64,
+        /// Device service time for the transfer.
+        time: SimTime,
+    },
 }
 
 impl crate::metrics::Metrics {
@@ -75,6 +113,18 @@ impl crate::metrics::Metrics {
             // Backing-store flushes are tracked by the pageout daemon's
             // own counters inside the state; nothing to fold here.
             Effect::PageoutFlush { .. } => {}
+            Effect::DirtyInstalled { bytes } => self.bytes_dirty_installed += bytes,
+            Effect::WritebackFlushed { entries, bytes } => {
+                self.writeback_flushes += 1;
+                self.writeback_entries += entries;
+                self.bytes_written_back += bytes;
+            }
+            Effect::NvmAbsorbed { bytes, .. } => self.nvm_absorbed_bytes += bytes,
+            Effect::NvmDemoted { bytes } => self.nvm_demoted_bytes += bytes,
+            Effect::DiskWrite { bytes, .. } => {
+                self.disk_write_ops += 1;
+                self.disk_write_bytes += bytes;
+            }
         }
     }
 }
@@ -103,6 +153,17 @@ mod tests {
                 category: CostCategory::Copy,
                 time: SimTime::from_us(9.0),
             },
+            Effect::DirtyInstalled { bytes: 11 },
+            Effect::WritebackFlushed { entries: 2, bytes: 11 },
+            Effect::NvmAbsorbed {
+                bytes: 6,
+                time: SimTime::from_us(1.0),
+            },
+            Effect::NvmDemoted { bytes: 6 },
+            Effect::DiskWrite {
+                bytes: 5,
+                time: SimTime::from_us(2.0),
+            },
         ] {
             m.absorb(&e);
         }
@@ -114,6 +175,11 @@ mod tests {
         assert_eq!(m.context_switches, 4);
         assert_eq!(m.disk_ops, 1);
         assert_eq!(m.disk_bytes, 100);
+        assert_eq!(m.bytes_dirty_installed, 11);
+        assert_eq!((m.writeback_flushes, m.writeback_entries), (1, 2));
+        assert_eq!(m.bytes_written_back, 11);
+        assert_eq!((m.nvm_absorbed_bytes, m.nvm_demoted_bytes), (6, 6));
+        assert_eq!((m.disk_write_ops, m.disk_write_bytes), (1, 5));
         assert_eq!(m.time_in(CostCategory::Copy), SimTime::from_us(9.0));
     }
 }

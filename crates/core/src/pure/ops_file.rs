@@ -68,27 +68,48 @@ impl KernelState {
     }
 
     /// Reports VM replacement pressure from non-cache pages (application
-    /// anonymous memory being paged) and applies the §3.7 rule: if more
-    /// than half of recently replaced pages held cached I/O data, one
-    /// cache entry is evicted. Returns whether an eviction happened.
-    pub(crate) fn op_vm_pressure(&mut self, other_pages: u64) -> bool {
+    /// anonymous memory being paged) and applies the §3.7 rule through
+    /// the pageout arbiter: when more than half of recently replaced
+    /// pages held cached I/O data, pressure is relieved either by
+    /// evicting one *clean* cache entry, or — when the dirty pool has
+    /// passed the write-back threshold or nothing clean remains — by
+    /// flushing a write-back batch first (cleaning mints new victims;
+    /// discarding dirty data would lose writes). Returns whether the
+    /// cache shrank or cleaned anything.
+    pub(crate) fn op_vm_pressure(&mut self, other_pages: u64, fx: &mut Vec<Effect>) -> bool {
         for _ in 0..other_pages {
             self.pageout.page_replaced(iolite_vm::PageClass::Other);
         }
-        if self.pageout.should_evict_cache_entry() {
-            if let Some((_, agg)) = self.cache.evict_one() {
-                // The evicted entry's dirty pages would go to their
-                // backing stores (paging space + the files they cache).
-                let pages = agg.len().div_ceil(iolite_buf::PAGE_SIZE as u64);
-                self.pageout
-                    .backing_store_write(1, pages * iolite_buf::PAGE_SIZE as u64);
-                self.pageout.eviction_performed();
-                self.physmem
-                    .set(MemAccount::FileCache, self.cache.resident_bytes());
-                return true;
+        let has_clean_victim = self.cache.len() > self.cache.dirty_len();
+        match self.pageout.arbitrate(
+            self.cache.dirty_bytes(),
+            self.writeback.config().dirty_threshold_bytes,
+            has_clean_victim,
+        ) {
+            iolite_vm::PageoutAction::Idle => false,
+            iolite_vm::PageoutAction::WriteBack => {
+                let flushed = self.op_write_back(0, fx);
+                if flushed > 0 {
+                    self.pageout.eviction_performed();
+                }
+                flushed > 0
+            }
+            iolite_vm::PageoutAction::EvictClean => {
+                if let Some((_, agg)) = self.cache.evict_one() {
+                    // The evicted entry's pages would go to their
+                    // backing stores (paging space + the files they
+                    // cache).
+                    let pages = agg.len().div_ceil(iolite_buf::PAGE_SIZE as u64);
+                    self.pageout
+                        .backing_store_write(1, pages * iolite_buf::PAGE_SIZE as u64);
+                    self.pageout.eviction_performed();
+                    self.physmem
+                        .set(MemAccount::FileCache, self.cache.resident_bytes());
+                    return true;
+                }
+                false
             }
         }
-        false
     }
 
     /// Pins a cache entry's key (e.g. while the network transmits it).
@@ -123,8 +144,142 @@ impl KernelState {
         out.charge += self.cost.copy(data.len() as u64);
         self.cache.insert(CacheKey::whole(file), agg);
         self.op_rebalance_cache();
-        self.cache_pool.release_free_chunks(u64::MAX);
         out
+    }
+
+    /// Drops a cache entry outright (sharded writes: a local replica
+    /// made stale by a write routed to the file's home shard must not
+    /// serve the old bytes afterwards). Checksums cached over the
+    /// dropped buffers die with it; readers still pinning slices of
+    /// the old aggregate keep their immutable snapshot (§3.5). No-op
+    /// when the key is absent. Returns whether an entry was dropped.
+    pub(crate) fn op_cache_invalidate(&mut self, key: CacheKey) -> bool {
+        let Some(old) = self.cache.replace_for_write(&key) else {
+            return false;
+        };
+        self.cksum.invalidate_aggregate(&old);
+        self.op_rebalance_cache();
+        true
+    }
+
+    // ---- the write path (PR 10) ----------------------------------------
+
+    /// Installs a PUT body as `file`'s whole-file cache entry, **dirty**
+    /// (§3.5 snapshot semantics + deferred persistence).
+    ///
+    /// The body aggregate is installed by reference — zero-copy from
+    /// the connection's receive buffers straight into the cache.
+    /// Concurrent readers of the previous version keep their pinned
+    /// immutable slices (the replaced aggregate's buffers persist while
+    /// referenced); checksums cached over the replaced buffers are
+    /// invalidated (§3.9 staleness fix). The store image is updated
+    /// immediately so lengths, metadata, and cold reads stay consistent
+    /// — but *no device time is charged here*: persistence timing is
+    /// the write-back scheduler's business ([`KernelState::op_write_back`]),
+    /// and dirty entries are never evicted before they are cleaned, so
+    /// the deferral is unobservable to readers.
+    pub(crate) fn op_put_install(
+        &mut self,
+        _pid: Pid,
+        file: FileId,
+        agg: &Aggregate,
+        fx: &mut Vec<Effect>,
+    ) -> IoOutcome {
+        let mut out = IoOutcome {
+            charge: Charge::us(self.cost.syscall_us),
+            ..IoOutcome::default()
+        };
+        fx.push(Effect::Syscalls(1));
+        // Store-write-early: vectored, run by run, no materialization.
+        let mut run_offset = 0u64;
+        for chunk in agg.chunks() {
+            self.store.write(file, run_offset, chunk);
+            run_offset += chunk.len() as u64;
+        }
+        self.store.truncate(file, agg.len());
+        let key = CacheKey::whole(file);
+        if let Some(old) = self.cache.replace_for_write(&key) {
+            // A PUT replaces the whole entry: every checksum cached over
+            // the old buffers is stale.
+            self.cksum.invalidate_aggregate(&old);
+        }
+        fx.push(Effect::DirtyInstalled { bytes: agg.len() });
+        self.cache.insert_dirty(key, agg.clone());
+        self.op_rebalance_cache();
+        out.charge += Charge::ZERO;
+        out
+    }
+
+    /// Flushes one write-back batch: dirty entries (in deterministic
+    /// key order) up to `max_bytes` (0 ⇒ the configured flush-batch
+    /// size) are marked clean and staged through the NVM tier, with
+    /// overflow going to disk. One disk positioning is paid per batch
+    /// with a non-zero disk share — that amortization is the CAWL
+    /// observation. Returns the bytes flushed.
+    pub(crate) fn op_write_back(&mut self, max_bytes: u64, fx: &mut Vec<Effect>) -> u64 {
+        let batch_limit = if max_bytes == 0 {
+            self.writeback.config().flush_batch_bytes
+        } else {
+            max_bytes
+        };
+        let mut keys: Vec<CacheKey> = Vec::new();
+        let mut bytes = 0u64;
+        for k in self.cache.dirty_keys() {
+            let len = self.cache.entry_len(k).expect("dirty set tracks entries");
+            if !keys.is_empty() && bytes + len > batch_limit {
+                break;
+            }
+            keys.push(*k);
+            bytes += len;
+            if bytes >= batch_limit {
+                break;
+            }
+        }
+        if keys.is_empty() {
+            return 0;
+        }
+        for k in &keys {
+            self.cache.mark_clean(k);
+        }
+        let staged = self.writeback.stage(keys.len() as u64, bytes);
+        fx.push(Effect::WritebackFlushed {
+            entries: keys.len() as u64,
+            bytes,
+        });
+        if staged.nvm_bytes > 0 {
+            fx.push(Effect::NvmAbsorbed {
+                bytes: staged.nvm_bytes,
+                time: self.writeback.nvm_time(staged.nvm_bytes),
+            });
+        }
+        if staged.disk_bytes > 0 {
+            fx.push(Effect::DiskWrite {
+                bytes: staged.disk_bytes,
+                time: self.disk.access_time(staged.disk_bytes),
+            });
+        }
+        bytes
+    }
+
+    /// Demotes up to `max_bytes` (0 ⇒ the configured drain chunk) from
+    /// the NVM staging tier to disk — the background drain that keeps
+    /// the tier able to absorb the next burst. Returns bytes moved.
+    pub(crate) fn op_nvm_demote(&mut self, max_bytes: u64, fx: &mut Vec<Effect>) -> u64 {
+        let moved = self.writeback.demote(max_bytes);
+        if moved > 0 {
+            fx.push(Effect::NvmDemoted { bytes: moved });
+            fx.push(Effect::DiskWrite {
+                bytes: moved,
+                time: self.disk.access_time(moved),
+            });
+        }
+        moved
+    }
+
+    /// Replaces the write-back tuning (journaled, so replayed runs see
+    /// identical flush scheduling).
+    pub(crate) fn op_set_writeback(&mut self, cfg: iolite_fs::WritebackConfig) {
+        self.writeback.set_config(cfg);
     }
 
     /// Touches Flash's mapped-file cache; returns whether the file was
@@ -212,9 +367,17 @@ impl KernelState {
         let key = CacheKey::whole(file);
         if let Some(old) = self.cache.replace_for_write(&key) {
             let head_len = offset.min(old.len());
+            let tail_start = (offset + agg.len()).min(old.len());
+            // §3.9 staleness fix: checksums cached over the replaced
+            // extent's buffers no longer describe the file. Invalidation
+            // is by buffer identity, so head/tail slices on *other*
+            // buffers keep their cached checksums.
+            let replaced = old
+                .range(head_len, tail_start - head_len)
+                .expect("clamped");
+            self.cksum.invalidate_aggregate(&replaced);
             let mut rebuilt = old.range(0, head_len).expect("clamped");
             rebuilt.append(agg);
-            let tail_start = (offset + agg.len()).min(old.len());
             rebuilt.append(&old.range(tail_start, old.len() - tail_start).expect("clamped"));
             self.cache.insert(key, rebuilt);
             self.op_rebalance_cache();
@@ -308,11 +471,18 @@ impl KernelState {
             bytes: len,
             time: out.disk_time,
         });
-        // Admit, then shrink to budget; evicted chunks that drained
-        // return to the pool and are eventually released.
+        // Admit, then shrink to budget. The cache pool is deliberately
+        // append-only — drained chunks are never scavenged back from
+        // inside an op. Scavenging keys off `Arc` refcounts, and those
+        // count *ambient* holders (the recorded journal's command
+        // aggregates, a connection's in-flight response clone) that
+        // exist live but not under replay: releasing here would make
+        // every later allocation offset — and thus buffer identity,
+        // which §3.9 checksum keys and the state digest both observe —
+        // depend on who else happens to hold a buffer. Determinism
+        // over compaction.
         self.cache.insert(key, agg.clone());
         self.op_rebalance_cache();
-        self.cache_pool.release_free_chunks(u64::MAX);
         agg
     }
 

@@ -12,7 +12,10 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use iolite_buf::{digest_aggregate, Acl, Aggregate, BufferPool, Fnv64, PoolForker, PoolId};
-use iolite_fs::{DiskModel, FileId, FileStore, MetadataCache, Policy, UnifiedCache};
+use iolite_fs::{
+    CacheKey, DiskModel, FileId, FileStore, MetadataCache, Policy, UnifiedCache,
+    WritebackConfig, WritebackScheduler,
+};
 use iolite_ipc::Pipe;
 use iolite_net::{ChecksumCache, PacketFilter, SendOutcome, TcpConn};
 use iolite_sim::SimTime;
@@ -254,6 +257,8 @@ pub struct KernelState {
     pub meta: MetadataCache,
     /// The unified IO-Lite file cache.
     pub cache: UnifiedCache,
+    /// The write-back scheduler + NVM staging tier (PR 10 write path).
+    pub writeback: WritebackScheduler,
     /// The Internet checksum cache (§3.9).
     pub cksum: ChecksumCache,
     /// The early-demux packet filter (§3.6).
@@ -297,6 +302,7 @@ impl KernelState {
             store: FileStore::new(),
             meta: MetadataCache::new(4096),
             cache: UnifiedCache::new(policy, budget),
+            writeback: WritebackScheduler::new(WritebackConfig::default_tuning()),
             cksum: ChecksumCache::new(1 << 16),
             filter: PacketFilter::new(),
             disk,
@@ -465,11 +471,23 @@ impl KernelState {
     /// The length of the file behind a descriptor (`fstat(2)`'s
     /// `st_size`).
     ///
+    /// A resident whole-file cache entry is authoritative over the
+    /// store's metadata: under sharded replication a non-home shard's
+    /// store image goes stale the moment a write commits at the home
+    /// shard (shared-nothing — only home writes), while the replica
+    /// installed from the home's bytes carries the true length. Sizing
+    /// a read from the stale store would truncate or overrun the
+    /// replica. On an unsharded kernel the two never diverge
+    /// (`put_install` writes the store eagerly).
+    ///
     /// # Errors
     ///
     /// [`IolError::NotOpen`] / [`IolError::BadFdKind`] as usual.
     pub fn fd_len(&self, pid: Pid, fd: Fd) -> Result<u64, IolError> {
         let file = self.fd_file(pid, fd)?;
+        if let Some(entry) = self.cache.peek(&CacheKey::whole(file)) {
+            return Ok(entry.len());
+        }
         Ok(self.store.len(file).unwrap_or(0))
     }
 
@@ -574,6 +592,7 @@ impl KernelState {
             store: self.store.clone(),
             meta: self.meta.clone(),
             cache,
+            writeback: self.writeback.clone(),
             cksum: self.cksum.clone(),
             filter: self.filter.clone(),
             disk: self.disk,
@@ -606,6 +625,7 @@ impl KernelState {
         self.store.digest(&mut h);
         self.meta.digest(&mut h);
         self.cache.digest(&mut h);
+        self.writeback.digest(&mut h);
         self.cksum.digest(&mut h);
         self.filter.digest(&mut h);
         self.mapped_files.digest(&mut h);

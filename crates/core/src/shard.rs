@@ -69,6 +69,37 @@ pub enum ShardMsg {
         /// Whether the home shard served this from its cache.
         home_hit: bool,
     },
+    /// Shard `from` routes a PUT body to the receiving (home) shard:
+    /// only the home shard ever writes a file, so writes serialize
+    /// there without any cross-shard lock.
+    RemoteWrite {
+        /// Writing shard (where the ack goes).
+        from: usize,
+        /// Correlation token chosen by the requester.
+        token: u64,
+        /// The file being replaced.
+        file: FileId,
+        /// The new contents (copied across the shard boundary).
+        bytes: Vec<u8>,
+    },
+    /// The home shard's acknowledgement of a [`ShardMsg::RemoteWrite`]:
+    /// the dirty install completed; the writer may answer its client.
+    RemoteWriteAck {
+        /// The requester's correlation token, echoed back.
+        token: u64,
+        /// The file that was written.
+        file: FileId,
+    },
+    /// Home-shard broadcast after a write commits: every replica of the
+    /// file cached under `Replicate` ownership is now stale and must be
+    /// dropped. Per-pair channels are FIFO, so a replica installed from
+    /// an earlier `RemoteData` is always invalidated by the broadcast
+    /// that follows the write — no shard can serve replaced bytes once
+    /// the fabric drains.
+    Invalidate {
+        /// The file whose replicas are stale.
+        file: FileId,
+    },
     /// Coordinator order to leave the service loop. Sent only after
     /// every shard has reported its own connections done, so no
     /// `RemoteRead` can arrive after `Shutdown`.

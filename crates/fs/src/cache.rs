@@ -27,9 +27,11 @@
 //!
 //! * [`UnifiedCache::lookup`] — O(1) expected hash probe plus O(log n)
 //!   priority refresh.
-//! * [`UnifiedCache::evict_one`] — O(log n) regardless of how many
+//! * [`UnifiedCache::evict_one`] — O(log n + D) regardless of how many
 //!   entries are pinned (`min` of the unpinned index, else `min` of the
-//!   pinned index; no O(#entries) scan).
+//!   pinned index; no O(#entries) scan). D is the number of *dirty*
+//!   entries ranked ahead of the victim — dirty entries are never
+//!   evicted, and the write-back scheduler's dirty threshold bounds D.
 //! * [`UnifiedCache::pin`] / [`UnifiedCache::unpin`] — O(1) on
 //!   already-pinned entries; O(log n) on the 0↔1 transitions that move
 //!   an entry between the two indexes.
@@ -88,6 +90,13 @@ pub struct CacheStats {
     pub write_replacements: u64,
     /// Evictions that had to sacrifice a pinned (referenced) entry.
     pub pinned_evictions: u64,
+    /// Entries installed dirty (PUT bodies awaiting write-back).
+    pub dirty_installs: u64,
+    /// Dirty entries superseded by a newer write before they were ever
+    /// flushed — the write coalescing CAWL counts on.
+    pub dirty_coalesced: u64,
+    /// Dirty entries marked clean by the write-back scheduler.
+    pub cleaned: u64,
 }
 
 struct Entry {
@@ -99,6 +108,10 @@ struct Entry {
     /// key's presence in `pin_counts` by `pin`/`unpin`, so hot paths
     /// never re-derive it with a second hash probe.
     pinned: bool,
+    /// Whether the entry holds bytes the backing store does not: dirty
+    /// entries are invisible to the victim search (discarding one would
+    /// lose data) until the write-back scheduler marks them clean.
+    dirty: bool,
 }
 
 /// The unified file cache.
@@ -130,6 +143,19 @@ pub struct UnifiedCache {
     /// Outstanding outside references per key; absent means zero.
     /// Survives entry replacement and eviction (see module docs).
     pin_counts: HashMap<CacheKey, u32>,
+    /// Keys whose entries are dirty, in key order — the deterministic
+    /// flush order the write-back scheduler batches from.
+    dirty: BTreeSet<CacheKey>,
+    /// Aggregates displaced from a *pinned* key (write replacement or
+    /// last-resort eviction) — §3.5 snapshots still referenced by the
+    /// key's outside consumers. Holding them here keeps their buffer
+    /// refcounts a property of this pure state rather than of the
+    /// consumers' (host-side) clones, so pool chunk release — and thus
+    /// every later allocation offset — replays identically. Dropped
+    /// when the key's pin count returns to zero.
+    limbo: HashMap<CacheKey, Vec<Aggregate>>,
+    /// Total bytes held by dirty entries (the CAWL threshold input).
+    dirty_bytes: u64,
     clock: u64,
     gds_l: u64,
     resident: u64,
@@ -146,6 +172,9 @@ impl UnifiedCache {
             unpinned: BTreeSet::new(),
             pinned: BTreeSet::new(),
             pin_counts: HashMap::new(),
+            dirty: BTreeSet::new(),
+            limbo: HashMap::new(),
+            dirty_bytes: 0,
             clock: 0,
             gds_l: 0,
             resident: 0,
@@ -198,6 +227,14 @@ impl UnifiedCache {
         self.entries.contains_key(key)
     }
 
+    /// A read-only view of an entry's bytes — no clock advance, no
+    /// ordering refresh. Audit paths (end-of-run cache-vs-store
+    /// consistency checks) use this so observation does not perturb
+    /// the replacement state being observed.
+    pub fn peek(&self, key: &CacheKey) -> Option<&Aggregate> {
+        self.entries.get(key).map(|e| &e.agg)
+    }
+
     /// Looks up an extent, refreshing its replacement priority.
     ///
     /// The returned aggregate shares buffers with the cache entry — this
@@ -236,6 +273,23 @@ impl UnifiedCache {
     ///
     /// Returns evicted entries.
     pub fn insert(&mut self, key: CacheKey, agg: Aggregate) -> Vec<(CacheKey, Aggregate)> {
+        self.install(key, agg, false)
+    }
+
+    /// Inserts an extent *dirty*: the aggregate holds bytes the backing
+    /// store does not yet (a PUT body installed by CoW replacement,
+    /// §3.5). Dirty entries are exempt from eviction until the
+    /// write-back scheduler marks them clean — discarding one would
+    /// lose the write — so the budget may be transiently exceeded when
+    /// only dirty entries remain; the pageout arbiter resolves that by
+    /// scheduling write-back, not eviction.
+    ///
+    /// Returns evicted (clean) entries, as [`UnifiedCache::insert`].
+    pub fn insert_dirty(&mut self, key: CacheKey, agg: Aggregate) -> Vec<(CacheKey, Aggregate)> {
+        self.install(key, agg, true)
+    }
+
+    fn install(&mut self, key: CacheKey, agg: Aggregate, dirty: bool) -> Vec<(CacheKey, Aggregate)> {
         self.clock += 1;
         let len = agg.len();
         // Overwrite: the old entry's index/residency accounting unwinds
@@ -251,6 +305,7 @@ impl UnifiedCache {
                 ord,
                 freq: 1,
                 pinned,
+                dirty,
             },
         );
         if pinned {
@@ -260,6 +315,11 @@ impl UnifiedCache {
         }
         self.resident += len;
         self.stats.insertions += 1;
+        if dirty {
+            self.dirty.insert(key);
+            self.dirty_bytes += len;
+            self.stats.dirty_installs += 1;
+        }
         self.enforce_budget()
     }
 
@@ -274,7 +334,22 @@ impl UnifiedCache {
         } else {
             self.unpinned.remove(&(entry.ord, *key));
         }
+        if entry.dirty {
+            // A dirty entry leaving the table was superseded before its
+            // flush (the caller re-installs new bytes under the key):
+            // its unflushed bytes no longer need writing — coalescing.
+            self.dirty.remove(key);
+            self.dirty_bytes -= entry.len;
+            self.stats.dirty_coalesced += 1;
+        }
         self.resident -= entry.len;
+        if self.pin_counts.contains_key(key) {
+            // The key is still referenced outside the cache: park the
+            // displaced snapshot until the last unpin, so its buffers'
+            // lifetime is decided here, deterministically, not by when
+            // the outside holders drop their clones.
+            self.limbo.entry(*key).or_default().push(entry.agg.clone());
+        }
         Some(entry.agg)
     }
 
@@ -315,6 +390,7 @@ impl UnifiedCache {
         *count -= 1;
         if *count == 0 {
             self.pin_counts.remove(key);
+            self.limbo.remove(key);
             if let Some(e) = self.entries.get_mut(key) {
                 e.pinned = false;
                 self.pinned.remove(&(e.ord, *key));
@@ -326,6 +402,48 @@ impl UnifiedCache {
     /// Number of pins on a key (0 if never pinned or fully released).
     pub fn pins(&self, key: &CacheKey) -> u32 {
         self.pin_counts.get(key).copied().unwrap_or(0)
+    }
+
+    /// Whether `key`'s entry is dirty (awaiting write-back).
+    pub fn is_dirty(&self, key: &CacheKey) -> bool {
+        self.dirty.contains(key)
+    }
+
+    /// Total bytes held by dirty entries — the CAWL threshold input.
+    pub fn dirty_bytes(&self) -> u64 {
+        self.dirty_bytes
+    }
+
+    /// Number of dirty entries.
+    pub fn dirty_len(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Dirty keys in deterministic (key) order — the flush order the
+    /// write-back scheduler batches from.
+    pub fn dirty_keys(&self) -> impl Iterator<Item = &CacheKey> {
+        self.dirty.iter()
+    }
+
+    /// The cached length of `key`'s entry, without touching its
+    /// replacement priority (flush planning must not refresh recency).
+    pub fn entry_len(&self, key: &CacheKey) -> Option<u64> {
+        self.entries.get(key).map(|e| e.len)
+    }
+
+    /// Marks a dirty entry clean: its bytes have been scheduled into
+    /// the staging tier / backing store, so it is ordinary evictable
+    /// cache content again. Returns the entry's length, or `None` if
+    /// the key holds no dirty entry.
+    pub fn mark_clean(&mut self, key: &CacheKey) -> Option<u64> {
+        if !self.dirty.remove(key) {
+            return None;
+        }
+        let entry = self.entries.get_mut(key).expect("dirty set tracks entries");
+        entry.dirty = false;
+        self.dirty_bytes -= entry.len;
+        self.stats.cleaned += 1;
+        Some(entry.len)
     }
 
     /// Evicts entries until residency fits the budget.
@@ -340,16 +458,29 @@ impl UnifiedCache {
         evicted
     }
 
-    /// Evicts a single entry by the active policy: the best unpinned
-    /// victim, else the best pinned one (the §3.7 two-level rule).
-    /// O(log n) — each level is a `min` of its own ordered index.
+    /// Evicts a single entry by the active policy: the best *clean*
+    /// unpinned victim, else the best clean pinned one (the §3.7
+    /// two-level rule). Dirty entries are never victims — discarding
+    /// one would lose a write the store hasn't seen — so a cache whose
+    /// remaining entries are all dirty returns `None` and the pageout
+    /// arbiter must schedule write-back instead.
+    ///
+    /// O(log n + D) where D is the number of dirty entries ranked ahead
+    /// of the victim; D is bounded by the write-back scheduler's dirty
+    /// threshold, so the complexity contract survives write bursts.
     ///
     /// Also used directly by the pageout-daemon trigger.
     pub fn evict_one(&mut self) -> Option<(CacheKey, Aggregate)> {
-        let (ord, key) = match self.unpinned.first() {
-            Some(&victim) => victim,
+        let clean_first = |index: &BTreeSet<(u64, CacheKey)>| {
+            index
+                .iter()
+                .find(|(_, k)| !self.dirty.contains(k))
+                .copied()
+        };
+        let (ord, key) = match clean_first(&self.unpinned) {
+            Some(victim) => victim,
             None => {
-                let &victim = self.pinned.first()?;
+                let victim = clean_first(&self.pinned)?;
                 self.stats.pinned_evictions += 1;
                 victim
             }
@@ -389,6 +520,7 @@ impl UnifiedCache {
                             ord: e.ord,
                             freq: e.freq,
                             pinned: e.pinned,
+                            dirty: e.dirty,
                         },
                     )
                 })
@@ -396,6 +528,13 @@ impl UnifiedCache {
             unpinned: self.unpinned.clone(),
             pinned: self.pinned.clone(),
             pin_counts: self.pin_counts.clone(),
+            dirty: self.dirty.clone(),
+            limbo: self
+                .limbo
+                .iter()
+                .map(|(k, v)| (*k, v.iter().map(|a| forker.fork_aggregate(a)).collect()))
+                .collect(),
+            dirty_bytes: self.dirty_bytes,
             clock: self.clock,
             gds_l: self.gds_l,
             resident: self.resident,
@@ -410,6 +549,7 @@ impl UnifiedCache {
         h.write_u64(self.clock);
         h.write_u64(self.gds_l);
         h.write_u64(self.resident);
+        h.write_u64(self.dirty_bytes);
         for v in [
             self.stats.hits,
             self.stats.misses,
@@ -418,6 +558,9 @@ impl UnifiedCache {
             self.stats.evictions,
             self.stats.write_replacements,
             self.stats.pinned_evictions,
+            self.stats.dirty_installs,
+            self.stats.dirty_coalesced,
+            self.stats.cleaned,
         ] {
             h.write_u64(v);
         }
@@ -432,6 +575,7 @@ impl UnifiedCache {
             h.write_u64(e.ord);
             h.write_u64(e.freq);
             h.write_bool(e.pinned);
+            h.write_bool(e.dirty);
             iolite_buf::digest_aggregate(&e.agg, h);
         }
         let mut pins: Vec<(CacheKey, u32)> =
@@ -442,6 +586,18 @@ impl UnifiedCache {
             h.write_u64(k.file.0);
             h.write_u64(k.offset);
             h.write_u32(v);
+        }
+        let mut limbo_keys: Vec<CacheKey> = self.limbo.keys().copied().collect();
+        limbo_keys.sort_unstable();
+        h.write_u64(limbo_keys.len() as u64);
+        for k in limbo_keys {
+            h.write_u64(k.file.0);
+            h.write_u64(k.offset);
+            let parked = &self.limbo[&k];
+            h.write_u64(parked.len() as u64);
+            for a in parked {
+                iolite_buf::digest_aggregate(a, h);
+            }
         }
     }
 }
@@ -710,5 +866,83 @@ mod tests {
         assert_eq!(victim, k1);
         assert_eq!(c.stats().pinned_evictions, 0);
         assert!(c.is_empty());
+    }
+
+    /// Dirty entries are never eviction victims — not from the unpinned
+    /// index, and not via the pinned-index fallback. Only `mark_clean`
+    /// re-enables eviction.
+    #[test]
+    fn dirty_entries_survive_eviction_until_clean() {
+        let p = pool();
+        let mut c = UnifiedCache::new(Policy::Lru, 1 << 20);
+        let (kd, kc) = (CacheKey::whole(FileId(1)), CacheKey::whole(FileId(2)));
+        c.insert_dirty(kd, agg(&p, 100));
+        c.insert(kc, agg(&p, 100));
+        assert!(c.is_dirty(&kd));
+        assert_eq!(c.dirty_bytes(), 100);
+        assert_eq!(c.dirty_len(), 1);
+        // The dirty entry is LRU-older, but the clean one is the victim.
+        let (victim, _) = c.evict_one().unwrap();
+        assert_eq!(victim, kc);
+        // Only a dirty entry remains: eviction must refuse, even via the
+        // pinned fallback.
+        assert!(c.evict_one().is_none());
+        c.pin(&kd);
+        assert!(c.evict_one().is_none());
+        c.unpin(&kd);
+        // Write-back completes: the entry turns clean and evictable.
+        assert_eq!(c.mark_clean(&kd), Some(100));
+        assert!(!c.is_dirty(&kd));
+        assert_eq!(c.dirty_bytes(), 0);
+        assert_eq!(c.mark_clean(&kd), None, "second clean is a no-op");
+        let (victim, _) = c.evict_one().unwrap();
+        assert_eq!(victim, kd);
+        let s = c.stats();
+        assert_eq!((s.dirty_installs, s.cleaned, s.dirty_coalesced), (1, 1, 0));
+    }
+
+    /// A dirty install over an existing dirty entry coalesces: the
+    /// superseded write's bytes leave the dirty ledger and the event is
+    /// counted, so write-back never flushes a stale version.
+    #[test]
+    fn dirty_reinstall_coalesces_accounting() {
+        let p = pool();
+        let mut c = UnifiedCache::new(Policy::Lru, 1 << 20);
+        let k = CacheKey::whole(FileId(1));
+        c.insert_dirty(k, agg(&p, 100));
+        c.insert_dirty(k, agg(&p, 300));
+        assert_eq!(c.dirty_bytes(), 300);
+        assert_eq!(c.dirty_len(), 1);
+        let s = c.stats();
+        assert_eq!((s.dirty_installs, s.dirty_coalesced), (2, 1));
+        // A clean install over a dirty entry also retires the dirty
+        // bytes (the caller flushed or discarded the pending write).
+        c.insert(k, agg(&p, 50));
+        assert_eq!(c.dirty_bytes(), 0);
+        assert!(!c.is_dirty(&k));
+        assert_eq!(c.stats().dirty_coalesced, 2);
+    }
+
+    /// Dirty state survives a deep snapshot fork: flags, the dirty
+    /// ledger, and digests all carry over.
+    #[test]
+    fn snapshot_carries_dirty_state() {
+        let p = pool();
+        let mut c = UnifiedCache::new(Policy::Lru, 1 << 20);
+        let k = CacheKey::whole(FileId(1));
+        c.insert_dirty(k, agg(&p, 100));
+        let mut forker = iolite_buf::PoolForker::default();
+        let snap = c.snapshot(&mut forker);
+        assert!(snap.is_dirty(&k));
+        assert_eq!(snap.dirty_bytes(), 100);
+        let (mut h1, mut h2) = (iolite_buf::Fnv64::new(), iolite_buf::Fnv64::new());
+        c.digest(&mut h1);
+        snap.digest(&mut h2);
+        assert_eq!(h1.finish(), h2.finish(), "snapshot digest must match");
+        // Digests must distinguish dirty from clean.
+        c.mark_clean(&k);
+        let mut h3 = iolite_buf::Fnv64::new();
+        c.digest(&mut h3);
+        assert_ne!(h2.finish(), h3.finish());
     }
 }

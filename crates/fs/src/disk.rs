@@ -175,6 +175,36 @@ impl FileStore {
         true
     }
 
+    /// Truncates the file to `len` bytes, or zero-extends it to `len`.
+    ///
+    /// Shrinking a synthetic file keeps it synthetic (a prefix of a
+    /// synthetic file is the same pure function of `(seed, i)`), so a
+    /// PUT that replaces a huge trace file never materializes the old
+    /// bytes just to discard them. Returns `false` for unknown files.
+    pub fn truncate(&mut self, id: FileId, new_len: u64) -> bool {
+        let Some(content) = self.files.get(&id) else {
+            return false;
+        };
+        if let FileContent::Synthetic { len, .. } = *content {
+            if new_len <= len {
+                let Some(FileContent::Synthetic { len, .. }) = self.files.get_mut(&id) else {
+                    unreachable!()
+                };
+                *len = new_len;
+                return true;
+            }
+            // Zero-extension breaks the synthetic generator contract:
+            // materialize the real prefix, then grow.
+            let v = self.read(id, 0, len).expect("file exists");
+            self.files.insert(id, FileContent::Explicit(v));
+        }
+        let Some(FileContent::Explicit(v)) = self.files.get_mut(&id) else {
+            unreachable!()
+        };
+        v.resize(new_len as usize, 0);
+        true
+    }
+
     /// Folds the store's state into a stable digest. Content digests use
     /// the parameters (synthetic) or the bytes (explicit), so a
     /// materialized-then-rewritten file digests by its actual contents.
@@ -283,6 +313,29 @@ mod tests {
         assert_eq!(&after[..50], &before[..50]);
         assert_eq!(&after[50..53], b"ZZZ");
         assert_eq!(&after[53..], &before[53..]);
+    }
+
+    #[test]
+    fn truncate_shrinks_and_extends() {
+        let mut fs = FileStore::new();
+        let id = fs.create_synthetic("f", 100, 7);
+        let before = fs.read(id, 0, 100).unwrap();
+        // Shrinking stays synthetic: no materialization, same prefix.
+        assert!(fs.truncate(id, 40));
+        assert!(matches!(
+            fs.read(id, 0, 100).as_deref(),
+            Some(b) if b == &before[..40]
+        ));
+        assert_eq!(fs.len(id), Some(40));
+        // Zero-extension materializes.
+        assert!(fs.truncate(id, 50));
+        let after = fs.read(id, 0, 50).unwrap();
+        assert_eq!(&after[..40], &before[..40]);
+        assert_eq!(&after[40..], &[0u8; 10]);
+        // Explicit shrink.
+        assert!(fs.truncate(id, 3));
+        assert_eq!(fs.read(id, 0, 50).unwrap(), &before[..3]);
+        assert!(!fs.truncate(FileId(99), 0));
     }
 
     #[test]

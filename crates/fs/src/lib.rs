@@ -30,9 +30,11 @@ pub mod disk;
 pub mod meta;
 pub mod ownership;
 pub mod policy;
+pub mod writeback;
 
 pub use cache::{CacheKey, CacheStats, UnifiedCache};
 pub use disk::{DiskModel, FileContent, FileId, FileStore};
 pub use meta::MetadataCache;
 pub use ownership::{home_shard, CacheOwnership};
 pub use policy::Policy;
+pub use writeback::{Staged, WritebackConfig, WritebackScheduler, WritebackStats};

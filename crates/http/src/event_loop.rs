@@ -47,7 +47,9 @@ use iolite_net::BufferMode;
 use iolite_sim::SimTime;
 
 use crate::cgi::CgiProcess;
-use crate::message::{not_found, parse_request_agg, response_header};
+use crate::message::{
+    created, not_found, parse_request_head_agg, response_header, Method, Request,
+};
 
 /// Tuning knobs for one event-loop run.
 #[derive(Debug, Clone, Copy)]
@@ -124,6 +126,15 @@ pub struct LoopStats {
     pub remote_waits: u64,
     /// Remote fetches the home shard served from *its* cache.
     pub remote_hits: u64,
+    /// Completed PUT uploads (also counted in `completed`).
+    pub puts: u64,
+    /// Body bytes ingested across completed PUTs.
+    pub put_bytes: u64,
+    /// Write-back flushes the loop issued between request events.
+    pub writebacks: u64,
+    /// PUT bodies routed to their file's home shard over the fabric
+    /// (sharded runs only).
+    pub remote_writes: u64,
     /// Simulated CPU consumed (polls, syscalls, checksums, packet
     /// work, page mappings — everything the outcomes billed).
     pub cpu: SimTime,
@@ -175,6 +186,20 @@ enum ConnState {
     Idle,
     /// Accumulating request bytes until the header terminator arrives.
     Parsing { buf: Aggregate },
+    /// Accumulating a PUT body: `content_length` bytes must follow the
+    /// header at `body_at`. The wire's slices accumulate by reference;
+    /// completion splits the body out with pure slice arithmetic — the
+    /// zero-copy ingest the write path is built around.
+    BodyIngest {
+        path: String,
+        keep_alive: bool,
+        body_at: u64,
+        content_length: u64,
+        buf: Aggregate,
+    },
+    /// Waiting for the file's home shard to acknowledge a
+    /// `RemoteWrite` (sharded runs only).
+    PutWait { path: String, keep_alive: bool },
     /// Waiting for the CGI pipe (one transfer at a time per process).
     CgiWait { path: String },
     /// This connection owns the CGI pipe: the CGI writes, we read.
@@ -450,12 +475,31 @@ impl EventLoopServer {
         self.drain_wires();
         let (server_events, cgi_events) = self.poll();
         self.dispatch(&server_events, cgi_events);
+        self.tick_writeback();
         let inflight = self
             .conns
             .iter()
             .filter(|c| !matches!(c.state, ConnState::Idle | ConnState::Done))
             .count();
         self.stats.max_inflight = self.stats.max_inflight.max(inflight);
+    }
+
+    /// Background persistence between request events: when accumulated
+    /// dirty bytes arm the threshold, one journaled flush batch runs
+    /// (CAWL: entries coalesce, one disk positioning per batch with a
+    /// disk share); independently, the NVM staging tier drains one
+    /// chunk toward disk so it can absorb the next burst. Both are
+    /// pure-state-read gated, so an all-clean cache costs nothing.
+    fn tick_writeback(&mut self) {
+        if self.kernel.writeback_due() {
+            let flushed = self.kernel.write_back(0);
+            if flushed > 0 {
+                self.stats.writebacks += 1;
+            }
+        }
+        if self.kernel.nvm_demote_due() {
+            self.kernel.nvm_demote(0);
+        }
     }
 
     /// Closed-loop clients: an idle connection with script left issues
@@ -500,7 +544,12 @@ impl EventLoopServer {
                 };
                 continue;
             }
-            let req = crate::message::request_bytes(&path, true);
+            let req = match parse_put_entry(&path) {
+                Some((p, len)) => {
+                    crate::message::put_request_bytes(p, &synthetic_put_body(p, len), true)
+                }
+                None => crate::message::request_bytes(&path, true),
+            };
             let agg = Aggregate::from_bytes(&pool, &req);
             match self.kernel.socket_deliver(self.pid, self.conns[i].sock, agg) {
                 Ok(_) => {
@@ -586,7 +635,9 @@ impl EventLoopServer {
         let mut owners = Vec::new();
         for (i, conn) in self.conns.iter().enumerate() {
             let interest = match &conn.state {
-                ConnState::Parsing { .. } => Some(Interest::Readable),
+                ConnState::Parsing { .. } | ConnState::BodyIngest { .. } => {
+                    Some(Interest::Readable)
+                }
                 ConnState::Sending(_) => Some(Interest::Writable),
                 _ => None,
             };
@@ -646,6 +697,7 @@ impl EventLoopServer {
         for &(i, ready) in server_events {
             match &self.conns[i].state {
                 ConnState::Parsing { .. } => self.advance_parse(i, ready),
+                ConnState::BodyIngest { .. } => self.advance_body(i, ready),
                 ConnState::Sending(_) => self.advance_send(i, ready),
                 // The state may have changed since the poll (e.g. a
                 // fault injected by a test); skip stale events.
@@ -698,9 +750,13 @@ impl EventLoopServer {
             cost.http_parse_us + cost.server_fixed_us + cost.iol_request_extra_us,
         )
         .time;
-        let parsed = parse_request_agg(buf);
+        let parsed = parse_request_head_agg(buf);
         match parsed {
-            Some(req) if req.path.starts_with(CGI_PREFIX) && self.cgi.is_some() => {
+            Some((req, _))
+                if req.method == Method::Get
+                    && req.path.starts_with(CGI_PREFIX)
+                    && self.cgi.is_some() =>
+            {
                 // CGI dispatch: forward + wake the CGI process.
                 let cost = &self.kernel.cost;
                 self.stats.cpu +=
@@ -718,10 +774,149 @@ impl EventLoopServer {
                     self.conns[i].state = ConnState::CgiWait { path: req.path };
                 }
             }
-            Some(req) => self.open_static(i, req.path),
+            Some((req, _)) if req.method == Method::Get => self.open_static(i, req.path),
+            Some((req, body_at)) if req.method == Method::Put => {
+                let state = std::mem::replace(&mut self.conns[i].state, ConnState::Idle);
+                let ConnState::Parsing { buf } = state else {
+                    unreachable!("advance_parse is only called while Parsing");
+                };
+                self.start_body_ingest(i, req, body_at, buf);
+            }
+            // POST parses, but no handler is mounted: the 404 route
+            // answers (the body, if any, is left on the wire).
+            Some((req, _)) => self.send_not_found(i, req.path),
             // Malformed request: a 404/400-style short response.
             None => self.send_not_found(i, String::from("<bad-request>")),
         }
+    }
+
+    /// Begins (and, when the first read already delivered the whole
+    /// body, immediately completes) a PUT's body ingest.
+    fn start_body_ingest(&mut self, i: usize, req: Request, body_at: u64, buf: Aggregate) {
+        self.conns[i].state = ConnState::BodyIngest {
+            path: req.path,
+            keep_alive: req.keep_alive,
+            body_at,
+            content_length: req.content_length,
+            buf,
+        };
+        self.try_complete_put(i);
+    }
+
+    /// BodyIngest: read available bytes, append them by reference, and
+    /// complete the PUT once the declared length is in.
+    fn advance_body(&mut self, i: usize, ready: Readiness) {
+        if ready.eof || ready.epipe {
+            // Peer hung up mid-body: the upload can never complete.
+            self.fail_conn(i, None);
+            return;
+        }
+        if !ready.readable {
+            return;
+        }
+        let sock = self.conns[i].sock;
+        let chunk = match self.kernel.iol_read_fd(self.pid, sock, u64::MAX) {
+            Ok((chunk, out)) => {
+                self.stats.cpu += out.charge.time;
+                chunk
+            }
+            Err(IolError::WouldBlock { outcome }) => {
+                self.stats.blocked_io += 1;
+                self.stats.cpu += outcome.charge.time;
+                return;
+            }
+            Err(_) => {
+                self.fail_conn(i, None);
+                return;
+            }
+        };
+        let ConnState::BodyIngest { buf, .. } = &mut self.conns[i].state else {
+            unreachable!("advance_body is only called while BodyIngest");
+        };
+        buf.append(&chunk);
+        self.try_complete_put(i);
+    }
+
+    /// Completes a PUT whose declared body has fully arrived: the body
+    /// is split out of the receive aggregate at the header boundary —
+    /// pure slice arithmetic, the bytes never move — and installed.
+    fn try_complete_put(&mut self, i: usize) {
+        let ConnState::BodyIngest {
+            body_at,
+            content_length,
+            buf,
+            ..
+        } = &self.conns[i].state
+        else {
+            return;
+        };
+        if buf.len() < body_at + content_length {
+            return;
+        }
+        let state = std::mem::replace(&mut self.conns[i].state, ConnState::Idle);
+        let ConnState::BodyIngest {
+            path,
+            keep_alive,
+            body_at,
+            content_length,
+            buf,
+        } = state
+        else {
+            unreachable!("matched BodyIngest above");
+        };
+        let Ok(body) = buf.range(body_at, content_length) else {
+            // In bounds by the length check above; a breach means the
+            // aggregate lied about its length — fail, don't panic.
+            self.fail_conn(i, None);
+            return;
+        };
+        self.stats.put_bytes += body.len();
+        if self.try_remote_write(i, &path, &body, keep_alive) {
+            return;
+        }
+        let file = match self.kernel.store.lookup(&path) {
+            Some(file) => file,
+            // First PUT to this path: create the (empty) file so an id
+            // exists to install under.
+            None => self.kernel.create_file(&path, &[]),
+        };
+        let out = self.kernel.put_install(self.pid, file, &body);
+        self.stats.cpu += out.charge.time;
+        self.broadcast_invalidate(file);
+        self.respond_created(i, path, keep_alive);
+    }
+
+    /// Tells every other shard that `file`'s replicas are stale (a
+    /// write just committed on this, the home, shard). Only `Replicate`
+    /// fleets carry replicas. The writing shard is *not* skipped even
+    /// though it dropped its own copy before routing the write here: it
+    /// may have re-fetched pre-write bytes in the window before the
+    /// write landed, and the per-pair FIFO order (`RemoteData` then
+    /// `Invalidate`) is what guarantees that refetched replica dies.
+    fn broadcast_invalidate(&mut self, file: FileId) {
+        let Some(ctx) = &self.shard else {
+            return;
+        };
+        if ctx.shards <= 1 || ctx.ownership != CacheOwnership::Replicate {
+            return;
+        }
+        let us = ctx.mailbox.id;
+        for s in 0..ctx.shards {
+            if s == us {
+                continue;
+            }
+            ctx.mailbox.send(s, ShardMsg::Invalidate { file });
+        }
+    }
+
+    /// Queues the short 201 response acknowledging a completed PUT.
+    fn respond_created(&mut self, i: usize, path: String, keep_alive: bool) {
+        self.stats.puts += 1;
+        // lint:allow(hot-path-alloc) — Arc handle clone (a refcount
+        // bump), not a buffer copy; needed to end the kernel borrow.
+        let pool = self.kernel.process(self.pid).pool().clone();
+        let response = Aggregate::from_bytes(&pool, &created(keep_alive));
+        self.start_send(i, path, response, None, false);
     }
 
     /// `header ++ body` by reference — the response framing every
@@ -1131,6 +1326,100 @@ impl EventLoopServer {
         true
     }
 
+    /// Routes a PUT body for a remotely-homed file over the fabric,
+    /// parking the connection in `PutWait` until the home shard's ack.
+    /// Only the home shard ever writes a file, so writes serialize
+    /// there without any cross-shard lock. Returns `false` when the
+    /// write should be installed locally: not a sharded run,
+    /// single-shard fleet, home shard is us, or a path this shard's
+    /// namespace cannot resolve (first PUT: created locally).
+    fn try_remote_write(
+        &mut self,
+        i: usize,
+        path: &str,
+        body: &Aggregate,
+        keep_alive: bool,
+    ) -> bool {
+        let Some(ctx) = &self.shard else {
+            return false;
+        };
+        if ctx.shards <= 1 {
+            return false;
+        }
+        let Some(file) = self.kernel.store.lookup(path) else {
+            return false;
+        };
+        let home = home_shard(file, ctx.shards);
+        if home == ctx.mailbox.id {
+            return false;
+        }
+        self.stats.remote_writes += 1;
+        // lint:allow(hot-path-alloc) — the host-level channel copy
+        // (see serve_remote_read): an artifact of thread-confined
+        // pools, not a modeled cost (the home shard bills the copy
+        // where the bytes land).
+        let bytes = body.to_vec();
+        let ctx = self.shard_ctx();
+        ctx.mailbox.send(
+            home,
+            ShardMsg::RemoteWrite {
+                from: ctx.mailbox.id,
+                token: i as u64,
+                file,
+                bytes,
+            },
+        );
+        // The writing shard's own replica is stale the moment the
+        // write lands at home: drop it now (journaled), so no later
+        // local read can serve the replaced bytes.
+        if self.shard_ctx().ownership == CacheOwnership::Replicate {
+            self.kernel.cache_invalidate(CacheKey::whole(file));
+        }
+        self.conns[i].state = ConnState::PutWait {
+            path: path.to_string(),
+            keep_alive,
+        };
+        true
+    }
+
+    /// Home-shard side of a remote write: the body bytes land in this
+    /// shard's pool (the remote write's one real memcpy, billed here)
+    /// and install through its own journaled put path, then the ack
+    /// releases the writer's connection.
+    fn serve_remote_write(&mut self, from: usize, token: u64, file: FileId, bytes: Vec<u8>) {
+        let c = self.kernel.cost.copy(bytes.len() as u64);
+        self.kernel.charge(CostCategory::Copy, c);
+        self.stats.cpu += c.time;
+        // lint:allow(hot-path-alloc) — Arc handle clone (a refcount
+        // bump), not a buffer copy; needed to end the kernel borrow.
+        let pool = self.kernel.process(self.pid).pool().clone();
+        let body = Aggregate::from_bytes(&pool, &bytes);
+        let out = self.kernel.put_install(self.pid, file, &body);
+        self.stats.cpu += out.charge.time;
+        self.broadcast_invalidate(file);
+        self.shard_ctx()
+            .mailbox
+            .send(from, ShardMsg::RemoteWriteAck { token, file });
+    }
+
+    /// Writer side: the home shard acknowledged the PUT; answer the
+    /// parked connection's client.
+    fn finish_remote_write(&mut self, token: u64) {
+        let i = token as usize;
+        if !matches!(
+            self.conns.get(i).map(|c| &c.state),
+            Some(ConnState::PutWait { .. })
+        ) {
+            // The writer failed while the ack was in flight.
+            return;
+        }
+        let state = std::mem::replace(&mut self.conns[i].state, ConnState::Idle);
+        let ConnState::PutWait { path, keep_alive } = state else {
+            unreachable!("matched PutWait above");
+        };
+        self.respond_created(i, path, keep_alive);
+    }
+
     /// Handles one inbound cross-shard message; returns `true` on
     /// `Shutdown`.
     fn handle_shard_msg(&mut self, msg: ShardMsg) -> bool {
@@ -1147,6 +1436,23 @@ impl EventLoopServer {
                 ..
             } => {
                 self.finish_remote(file, bytes, home_hit);
+                false
+            }
+            ShardMsg::RemoteWrite {
+                from,
+                token,
+                file,
+                bytes,
+            } => {
+                self.serve_remote_write(from, token, file, bytes);
+                false
+            }
+            ShardMsg::RemoteWriteAck { token, .. } => {
+                self.finish_remote_write(token);
+                false
+            }
+            ShardMsg::Invalidate { file } => {
+                self.kernel.cache_invalidate(CacheKey::whole(file));
                 false
             }
         }
@@ -1279,7 +1585,7 @@ impl EventLoopServer {
                         injectable = true;
                     }
                 }
-                ConnState::RemoteWait { .. } => inflight += 1,
+                ConnState::RemoteWait { .. } | ConnState::PutWait { .. } => inflight += 1,
                 _ => {
                     inflight += 1;
                     active = true;
@@ -1367,6 +1673,29 @@ impl EventLoopServer {
             self.kernel,
         )
     }
+}
+
+/// Parses a script entry: `"PUT <path> <len>"` means upload `len`
+/// deterministic bytes (see [`synthetic_put_body`]) to `path`;
+/// anything else is a GET of the entry itself.
+pub fn parse_put_entry(entry: &str) -> Option<(&str, u64)> {
+    let rest = entry.strip_prefix("PUT ")?;
+    let (path, len) = rest.rsplit_once(' ')?;
+    Some((path, len.parse().ok()?))
+}
+
+/// The deterministic body a scripted `"PUT <path> <len>"` uploads —
+/// reproducible from the entry alone, so tests and external drivers
+/// can verify stored bytes without carrying payloads around.
+pub fn synthetic_put_body(path: &str, len: u64) -> Vec<u8> {
+    let seed = path
+        .bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+        });
+    (0..len)
+        .map(|i| (seed.wrapping_mul(i | 1) >> 24) as u8)
+        .collect()
 }
 
 /// Whether the aggregate contains the `\r\n\r\n` header terminator
@@ -1496,6 +1825,81 @@ mod tests {
             let body = req.response.as_ref().expect("captured");
             assert!(body.ends_with(&expected), "CGI bytes intact");
         }
+    }
+
+    #[test]
+    fn put_then_get_serves_new_bytes_and_writes_back() {
+        let (k, pid) = rig(&[("/doc", 50_000)]);
+        // One connection, closed loop: the GET runs strictly after the
+        // PUT completed, so it must observe the new bytes.
+        let scripts = vec![vec!["PUT /doc 70000".to_string(), "/doc".to_string()]];
+        let cfg = EventLoopConfig {
+            capture_responses: true,
+            ..EventLoopConfig::default()
+        };
+        let (report, kernel) = EventLoopServer::new(k, pid, scripts, None, cfg).run();
+        assert_eq!(report.stats.completed, 2);
+        assert_eq!(report.stats.failed, 0);
+        assert_eq!(report.stats.blocked_io, 0, "readiness-driven, no spin");
+        assert_eq!(report.stats.puts, 1);
+        assert_eq!(report.stats.put_bytes, 70_000);
+        let expected = synthetic_put_body("/doc", 70_000);
+        // The store image holds the replacement (length change included).
+        let file = kernel.store.lookup("/doc").unwrap();
+        assert_eq!(kernel.store.len(file), Some(70_000));
+        assert_eq!(kernel.store.read(file, 0, 70_000).unwrap(), expected);
+        // The PUT was answered 201; the GET served the new bytes.
+        let put = &report.requests[0];
+        assert!(put.response.as_ref().unwrap().starts_with(b"HTTP/1.1 201"));
+        let get = &report.requests[1];
+        assert!(get.response.as_ref().unwrap().ends_with(&expected));
+        assert!(get.cache_hit, "the dirty install is a cache entry");
+        // 70 000 dirty bytes armed the 64 KB threshold: the loop
+        // flushed between events, leaving nothing dirty at exit.
+        assert!(report.stats.writebacks >= 1);
+        assert_eq!(kernel.cache.dirty_bytes(), 0);
+        // The transmission pin was released.
+        assert_eq!(kernel.cache.pins(&CacheKey::whole(file)), 0);
+    }
+
+    #[test]
+    fn put_body_fragmented_across_ticks_ingests_incrementally() {
+        let (k, pid) = rig(&[]);
+        let scripts = vec![vec!["PUT /new 4096".to_string()]];
+        let cfg = EventLoopConfig {
+            external_wire: true,
+            ..EventLoopConfig::default()
+        };
+        let mut server = EventLoopServer::new(k, pid, scripts, None, cfg);
+        let body = synthetic_put_body("/new", 4096);
+        let req = crate::message::put_request_bytes("/new", &body, true);
+        let sock = server.sock(0);
+        server.tick(); // Enters Parsing; the external wire owns delivery.
+        let pool = server.kernel().process(pid).pool().clone();
+        // Header and body dribble in: several reads, several ticks —
+        // the BodyIngest state must carry partial bodies across them.
+        for frag in req.chunks(700) {
+            let agg = Aggregate::from_bytes(&pool, frag);
+            server
+                .kernel_mut()
+                .socket_deliver(pid, sock, agg)
+                .expect("open socket");
+            server.tick();
+        }
+        let mut guard = 0;
+        while !server.is_done() {
+            let _ = server.kernel_mut().socket_drain(pid, sock, 16 * 1024);
+            server.tick();
+            guard += 1;
+            assert!(guard < 100, "PUT never completed");
+        }
+        let (report, kernel) = server.into_report();
+        assert_eq!(report.stats.completed, 1);
+        assert_eq!(report.stats.puts, 1);
+        assert_eq!(report.stats.blocked_io, 0);
+        // The path did not exist: the PUT created it.
+        let file = kernel.store.lookup("/new").expect("created by PUT");
+        assert_eq!(kernel.store.read(file, 0, 4096).unwrap(), body);
     }
 
     #[test]

@@ -34,10 +34,13 @@ pub mod workloads;
 pub use cgi::CgiProcess;
 pub use driver::{Experiment, ExperimentConfig, ExperimentResult};
 pub use event_loop::{
-    CompletedRequest, EventLoopConfig, EventLoopServer, LoopReport, LoopStats, ShardContext,
-    CGI_PREFIX,
+    parse_put_entry, synthetic_put_body, CompletedRequest, EventLoopConfig, EventLoopServer,
+    LoopReport, LoopStats, ShardContext, CGI_PREFIX,
 };
 pub use sharded::{run_sharded, ShardOutcome, ShardedConfig, ShardedReport};
-pub use message::{parse_request, parse_request_agg, request_bytes, response_header, Request};
+pub use message::{
+    created, parse_request, parse_request_agg, parse_request_head, parse_request_head_agg,
+    put_request_bytes, request_bytes, response_header, Method, Request,
+};
 pub use server::{RequestCosts, ServerKind};
 pub use workloads::WorkloadKind;

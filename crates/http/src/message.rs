@@ -12,13 +12,29 @@
 
 use iolite_buf::Aggregate;
 
+/// HTTP method of a parsed request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Read a document (the classic serving path).
+    Get,
+    /// Upload a document body (the write path's zero-copy ingest).
+    Put,
+    /// Body-carrying submit; parsed like `PUT` (the server decides
+    /// what, if anything, to do with it).
+    Post,
+}
+
 /// A parsed HTTP request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
+    /// Request method.
+    pub method: Method,
     /// Request path ("/f00042").
     pub path: String,
     /// Whether the connection should persist (HTTP/1.1 keep-alive).
     pub keep_alive: bool,
+    /// Declared body length (`Content-Length`); 0 when absent.
+    pub content_length: u64,
 }
 
 /// Formats a GET request.
@@ -35,6 +51,24 @@ pub fn request_bytes(path: &str, keep_alive: bool) -> Vec<u8> {
     .into_bytes()
 }
 
+/// Formats a PUT request carrying `body` — the upload the write path
+/// ingests zero-copy on the server side.
+pub fn put_request_bytes(path: &str, body: &[u8], keep_alive: bool) -> Vec<u8> {
+    let version = if keep_alive { "1.1" } else { "1.0" };
+    let conn = if keep_alive {
+        "Connection: keep-alive\r\n"
+    } else {
+        ""
+    };
+    let mut req = format!(
+        "PUT {path} HTTP/{version}\r\nHost: server.rice.edu\r\nUser-Agent: iolite-client/1.0\r\nContent-Length: {len}\r\n{conn}\r\n",
+        len = body.len()
+    )
+    .into_bytes();
+    req.extend_from_slice(body);
+    req
+}
+
 /// Incremental request parser fed one header line at a time.
 #[derive(Default)]
 struct LineParser {
@@ -44,34 +78,65 @@ struct LineParser {
 }
 
 impl LineParser {
-    fn feed_line(&mut self, line: &[u8]) {
+    /// Feeds one header line; returns `true` when the empty terminator
+    /// line was consumed (header complete — stop feeding; any bytes
+    /// after it are the body, never header lines).
+    fn feed_line(&mut self, line: &[u8]) -> bool {
+        if self.seen_first && line.is_empty() {
+            return true;
+        }
         if self.failed {
-            return;
+            return false;
         }
         let Ok(text) = std::str::from_utf8(line) else {
             self.failed = true;
-            return;
+            return false;
         };
         if !self.seen_first {
             self.seen_first = true;
             let mut parts = text.split(' ');
-            let (Some("GET"), Some(path), Some(version)) =
+            let (Some(verb), Some(path), Some(version)) =
                 (parts.next(), parts.next(), parts.next())
             else {
                 self.failed = true;
-                return;
+                return false;
+            };
+            let method = match verb {
+                "GET" => Method::Get,
+                "PUT" => Method::Put,
+                "POST" => Method::Post,
+                _ => {
+                    self.failed = true;
+                    return false;
+                }
             };
             self.request = Some(Request {
+                method,
                 path: path.to_string(),
                 keep_alive: version == "HTTP/1.1", // Default in 1.1.
+                content_length: 0,
             });
-            return;
+            return false;
         }
         if line.len() >= 11 && line[..11].eq_ignore_ascii_case(b"connection:") {
             if let Some(req) = &mut self.request {
                 req.keep_alive = contains_ignore_case(line, b"keep-alive");
             }
         }
+        if line.len() >= 15 && line[..15].eq_ignore_ascii_case(b"content-length:") {
+            match text[15..].trim().parse::<u64>() {
+                Ok(n) => {
+                    if let Some(req) = &mut self.request {
+                        req.content_length = n;
+                    }
+                }
+                // A declared length the server cannot trust poisons
+                // everything downstream (how many body bytes to
+                // ingest?) — reject the request outright.
+                Err(_) => self.failed = true,
+            }
+        }
+        false
     }
 
     fn finish(self) -> Option<Request> {
@@ -91,53 +156,99 @@ fn contains_ignore_case(haystack: &[u8], needle: &[u8]) -> bool {
 }
 
 /// Drives a [`LineParser`] over CRLF-separated lines delivered as
-/// arbitrary byte runs. Only lines that straddle a run boundary are
-/// copied into the carry buffer; lines within one run are borrowed.
-fn parse_lines<'a>(chunks: impl Iterator<Item = &'a [u8]>) -> Option<Request> {
+/// arbitrary byte runs, stopping at the header terminator. Only lines
+/// that straddle a run boundary are copied into the carry buffer;
+/// lines within one run are borrowed.
+///
+/// Returns the parse result plus the byte offset just past the
+/// terminator — where the body starts — when the terminator was seen.
+fn parse_lines<'a>(
+    chunks: impl Iterator<Item = &'a [u8]>,
+) -> (Option<Request>, Option<u64>) {
     let mut parser = LineParser::default();
     // lint:allow(hot-path-alloc) — the documented carry buffer: only
     // lines straddling a run boundary are copied (see fn docs).
     let mut carry: Vec<u8> = Vec::new();
+    // Bytes scanned so far (lines and their terminators, carried
+    // fragments included at carry time).
+    let mut offset: u64 = 0;
     for chunk in chunks {
         let mut rest = chunk;
         while let Some(nl) = rest.iter().position(|&b| b == b'\n') {
             let (line, after) = rest.split_at(nl);
             rest = &after[1..];
-            if carry.is_empty() {
-                parser.feed_line(strip_cr(line));
+            offset += nl as u64 + 1;
+            let done = if carry.is_empty() {
+                parser.feed_line(strip_cr(line))
             } else {
                 carry.extend_from_slice(line);
                 let whole = std::mem::take(&mut carry);
-                parser.feed_line(strip_cr(&whole));
+                parser.feed_line(strip_cr(&whole))
+            };
+            if done {
+                return (parser.finish(), Some(offset));
             }
         }
         if !rest.is_empty() {
+            offset += rest.len() as u64;
             carry.extend_from_slice(rest);
         }
     }
     if !carry.is_empty() {
         parser.feed_line(strip_cr(&carry));
     }
-    parser.finish()
+    (parser.finish(), None)
 }
 
 fn strip_cr(line: &[u8]) -> &[u8] {
     line.strip_suffix(b"\r").unwrap_or(line)
 }
 
-/// Parses a request; returns `None` on malformed input.
+/// Full-message truncation check shared by [`parse_request`] and
+/// [`parse_request_agg`]: a declared body must be entirely present.
+/// Header-only requests keep the historical leniency (a missing final
+/// blank line still parses).
+fn complete(req: Request, body_at: Option<u64>, total: u64) -> Option<Request> {
+    if req.content_length == 0 {
+        return Some(req);
+    }
+    let start = body_at?;
+    (total - start >= req.content_length).then_some(req)
+}
+
+/// Parses a complete request; returns `None` on malformed input,
+/// including a declared `Content-Length` the buffer does not cover
+/// (truncated body).
 ///
 /// Lines are terminated by CRLF; per RFC 9112 §2.2's allowance for
 /// lenient recipients, a bare LF is also accepted as a terminator.
 pub fn parse_request(bytes: &[u8]) -> Option<Request> {
-    parse_lines(std::iter::once(bytes))
+    let (req, body_at) = parse_lines(std::iter::once(bytes));
+    complete(req?, body_at, bytes.len() as u64)
 }
 
-/// Parses a request straight out of a (possibly fragmented) aggregate —
-/// the zero-copy receive path's header scan. No materialization, no
-/// per-byte indexing: the scanner walks the aggregate's byte runs.
+/// Parses a complete request straight out of a (possibly fragmented)
+/// aggregate — same contract as [`parse_request`]. No materialization,
+/// no per-byte indexing: the scanner walks the aggregate's byte runs.
 pub fn parse_request_agg(agg: &Aggregate) -> Option<Request> {
-    parse_lines(agg.chunks())
+    let (req, body_at) = parse_lines(agg.chunks());
+    complete(req?, body_at, agg.len())
+}
+
+/// Parses just the request *head*, returning the request and the byte
+/// offset where the body starts. `None` until the header terminator
+/// has arrived (or on malformed headers) — the streaming server's
+/// entry point: it splits the body out of its receive aggregate at the
+/// returned offset, zero-copy, once `content_length` more bytes are in.
+pub fn parse_request_head(bytes: &[u8]) -> Option<(Request, u64)> {
+    let (req, body_at) = parse_lines(std::iter::once(bytes));
+    Some((req?, body_at?))
+}
+
+/// Aggregate-run variant of [`parse_request_head`].
+pub fn parse_request_head_agg(agg: &Aggregate) -> Option<(Request, u64)> {
+    let (req, body_at) = parse_lines(agg.chunks());
+    Some((req?, body_at?))
 }
 
 /// Formats a 200 response header for a body of `content_len` bytes.
@@ -157,6 +268,13 @@ pub fn not_found() -> Vec<u8> {
     // lint:allow(hot-path-alloc) — 45-byte constant on the error
     // path; not a document copy.
     b"HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n".to_vec()
+}
+
+/// Formats the 201 response acknowledging a completed PUT.
+pub fn created(keep_alive: bool) -> Vec<u8> {
+    let conn = if keep_alive { "keep-alive" } else { "close" };
+    format!("HTTP/1.1 201 Created\r\nContent-Length: 0\r\nConnection: {conn}\r\n\r\n")
+        .into_bytes()
 }
 
 #[cfg(test)]
@@ -180,9 +298,51 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        assert!(parse_request(b"POST / HTTP/1.0\r\n\r\n").is_none());
+        assert!(parse_request(b"BREW / HTCPCP/1.0\r\n\r\n").is_none());
         assert!(parse_request(&[0xFF, 0xFE]).is_none());
         assert!(parse_request(b"").is_none());
+    }
+
+    #[test]
+    fn body_carrying_methods_parse() {
+        // POST is a real method now, not garbage.
+        let req = parse_request(b"POST / HTTP/1.0\r\n\r\n").unwrap();
+        assert_eq!(req.method, Method::Post);
+        assert_eq!(req.content_length, 0);
+        assert!(!req.keep_alive);
+        // A PUT round-trips through the formatter with its body.
+        let body = b"hello, write path";
+        let bytes = put_request_bytes("/upload", body, true);
+        let req = parse_request(&bytes).unwrap();
+        assert_eq!(req.method, Method::Put);
+        assert_eq!(req.path, "/upload");
+        assert_eq!(req.content_length, body.len() as u64);
+        assert!(req.keep_alive);
+        // The head parse hands back exactly the body's offset.
+        let (head, body_at) = parse_request_head(&bytes).unwrap();
+        assert_eq!(head, req);
+        assert_eq!(&bytes[body_at as usize..], body);
+    }
+
+    #[test]
+    fn malformed_content_length_rejected() {
+        for bad in ["abc", "-1", "1 2", "", "18446744073709551616"] {
+            let raw = format!("PUT /f HTTP/1.1\r\nContent-Length: {bad}\r\n\r\nxx");
+            assert!(parse_request(raw.as_bytes()).is_none(), "CL {bad:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_body_rejected() {
+        let bytes = put_request_bytes("/f", b"0123456789", true);
+        // The head alone parses...
+        assert!(parse_request_head(&bytes[..bytes.len() - 10]).is_some());
+        // ...but the full-message parse wants every declared byte.
+        assert!(parse_request(&bytes[..bytes.len() - 1]).is_none());
+        assert!(parse_request(&bytes[..bytes.len() - 10]).is_none());
+        assert!(parse_request(&bytes).is_some());
+        // Declared body, header terminator never arrived: truncated.
+        assert!(parse_request(b"PUT /f HTTP/1.1\r\nContent-Length: 3\r\n").is_none());
     }
 
     #[test]
@@ -194,6 +354,12 @@ mod tests {
             b"POST / HTTP/1.0\r\n\r\n".to_vec(),
             b"GET /x HTTP/1.1\r\nConnection: close\r\n\r\n".to_vec(),
             b"GET /x HTTP/1.0\r\nCONNECTION: Keep-Alive\r\n\r\n".to_vec(),
+            // Bodies never reach the header scanner: binary bytes and
+            // CRLF pairs inside the body must not fail the parse.
+            put_request_bytes("/up", &[0xFF, 0x00, b'\r', b'\n', b'\r', b'\n', 0x7F], true),
+            put_request_bytes("/up2", b"plain text body", false),
+            // Truncated body: whole-message parse rejects, head parses.
+            b"PUT /t HTTP/1.1\r\nContent-Length: 5\r\n\r\nabc".to_vec(),
             vec![0xFF, 0xFE],
             Vec::new(),
         ];
@@ -206,6 +372,12 @@ mod tests {
                     parse_request_agg(&agg),
                     parse_request(case),
                     "chunk {chunk_size}, case {:?}",
+                    String::from_utf8_lossy(case)
+                );
+                assert_eq!(
+                    parse_request_head_agg(&agg),
+                    parse_request_head(case),
+                    "head: chunk {chunk_size}, case {:?}",
                     String::from_utf8_lossy(case)
                 );
             }
@@ -233,5 +405,13 @@ mod tests {
     fn not_found_parses_as_http() {
         let n = not_found();
         assert!(n.starts_with(b"HTTP/1.1 404"));
+    }
+
+    #[test]
+    fn created_parses_as_http() {
+        let c = created(true);
+        assert!(c.starts_with(b"HTTP/1.1 201"));
+        assert!(String::from_utf8(c).unwrap().ends_with("\r\n\r\n"));
+        assert!(String::from_utf8(created(false)).unwrap().contains("close"));
     }
 }

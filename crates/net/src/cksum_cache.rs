@@ -71,6 +71,11 @@ pub struct CksumCacheStats {
     pub bytes_computed: u64,
     /// Entries replaced by the CLOCK hand to admit new slices.
     pub evictions: u64,
+    /// Entries dropped because their underlying buffers were retired by
+    /// a write (PUT over a cached file): a stale sum must never be
+    /// served, and a dead-version entry must not pollute the bounded
+    /// table.
+    pub invalidations: u64,
 }
 
 /// A bounded map from slice identity to its partial checksum.
@@ -171,6 +176,61 @@ impl ChecksumCache {
         sum
     }
 
+    /// Drops every cached checksum computed over any buffer of `agg`'s
+    /// slices — whole-slice sums and sub-range sums alike (send windows
+    /// cache arbitrary subranges, so matching must be by buffer
+    /// identity ⟨pool, buffer, generation⟩, not by exact key).
+    ///
+    /// This is the mutation hook (§3.5 meets §3.9): when a write
+    /// replaces a cached aggregate, the replaced buffers' checksums are
+    /// dead weight at best — and, should a buffer be recycled into a
+    /// same-generation identity by a snapshot-restoring test harness, a
+    /// stale hit at worst. Returns the number of entries removed.
+    pub fn invalidate_aggregate(&mut self, agg: &iolite_buf::Aggregate) -> u64 {
+        if self.map.is_empty() {
+            return 0;
+        }
+        let mut removed = 0u64;
+        for s in agg.slices() {
+            let (pool, buffer, generation) = (s.pool(), s.id(), s.generation());
+            // Collect-then-remove: at most a handful of entries per
+            // buffer, and the table is bounded.
+            let victims: Vec<Key> = self
+                .map
+                .keys()
+                .filter(|k| {
+                    k.pool == pool && k.buffer == buffer && k.generation == generation
+                })
+                .copied()
+                .collect();
+            for key in victims {
+                let idx = self.map.remove(&key).expect("collected from map");
+                // Compact the slot table: move the last slot into the
+                // hole (deterministic — same op sequence, same layout).
+                let last = self.slots.len() - 1;
+                if idx != last {
+                    self.slots.swap(idx, last);
+                    *self
+                        .map
+                        .get_mut(&self.slots[idx].key)
+                        .expect("moved slot is mapped") = idx;
+                }
+                self.slots.pop();
+                removed += 1;
+            }
+        }
+        if removed > 0 {
+            self.stats.invalidations += removed;
+            // The hand may now point past the shortened table.
+            if self.slots.is_empty() {
+                self.hand = 0;
+            } else {
+                self.hand %= self.slots.len();
+            }
+        }
+        removed
+    }
+
     /// Counters so far.
     pub fn stats(&self) -> CksumCacheStats {
         self.stats
@@ -199,6 +259,7 @@ impl ChecksumCache {
             self.stats.bytes_cached,
             self.stats.bytes_computed,
             self.stats.evictions,
+            self.stats.invalidations,
         ] {
             h.write_u64(v);
         }
@@ -394,6 +455,39 @@ mod tests {
         assert_ne!(sum_a.sum, sum_b.sum, "no stale cross-pool checksum");
         assert_eq!(c.stats().hits, 0);
         assert_eq!(c.len(), 2);
+    }
+
+    /// A write retires the cached aggregate's buffers: every checksum
+    /// over them — whole-slice and sub-range — must leave the table, so
+    /// the next transmission recomputes instead of hitting, while
+    /// unrelated entries survive untouched.
+    #[test]
+    fn invalidate_aggregate_drops_all_subranges() {
+        let pool = BufferPool::new(PoolId(1), Acl::kernel_only(), 4096);
+        let doc = Aggregate::from_bytes(&pool, b"cached document body");
+        let other = slice(&pool, b"unrelated");
+        let mut c = ChecksumCache::new(16);
+        let s = doc.slice_at(0);
+        c.sum_for(s);
+        c.sum_for(&s.sub(0, 6).unwrap());
+        c.sum_for(&s.sub(3, 9).unwrap());
+        c.sum_for(&other);
+        assert_eq!(c.len(), 4);
+        let removed = c.invalidate_aggregate(&doc);
+        assert_eq!(removed, 3, "whole slice plus both send-window subranges");
+        assert_eq!(c.len(), 1, "the unrelated entry survives");
+        assert_eq!(c.stats().invalidations, 3);
+        // The next access over the (now logically stale) slice must be
+        // a recompute, not a hit.
+        let computed = c.stats().bytes_computed;
+        c.sum_for(s);
+        assert!(c.stats().bytes_computed > computed);
+        let hits = c.stats().hits;
+        c.sum_for(&other);
+        assert_eq!(c.stats().hits, hits + 1, "survivor still hits");
+        // Invalidating an aggregate with no cached sums is a no-op.
+        assert_eq!(c.invalidate_aggregate(&doc), 1, "re-admitted whole sum");
+        assert_eq!(c.invalidate_aggregate(&doc), 0);
     }
 
     /// CLOCK gives one-shot entries a second chance only when

@@ -53,6 +53,13 @@ pub struct StormConfig {
     pub slow_chunk: u64,
     /// Wire flight-size cap per direction, bytes (the sliding window).
     pub wire_window: u64,
+    /// Probability a script entry is a PUT upload instead of a GET.
+    /// Zero keeps the plan's RNG draw sequence byte-identical to the
+    /// read-only engine (the PUT draws are guarded), so every pinned
+    /// pre-write seed still reproduces exactly.
+    pub put: f64,
+    /// Largest PUT body, bytes (lengths are drawn in `[1, max]`).
+    pub max_put_bytes: u64,
     /// Safety bound forwarded to the event loop.
     pub max_ticks: u64,
     /// Record exact response bytes (equivalence suites; off for speed).
@@ -83,6 +90,8 @@ impl StormConfig {
             slow_interval_us: 1_000,
             slow_chunk: 2 * 1024,
             wire_window: 16 * 1460,
+            put: 0.0,
+            max_put_bytes: 8 * 1024,
             max_ticks: 2_000_000,
             capture_responses: false,
         }
@@ -112,6 +121,28 @@ impl StormConfig {
             reset: 0.3,
             churn: 0.4,
             ..StormConfig::hostile(seed)
+        }
+    }
+
+    /// The hostile wire with a third of the traffic PUT uploads: lost,
+    /// reordered, and dribbled request *bodies* now hit the write
+    /// path's ingest, and every request must still complete.
+    pub fn writes(seed: u64) -> StormConfig {
+        StormConfig {
+            put: 0.35,
+            ..StormConfig::hostile(seed)
+        }
+    }
+
+    /// [`StormConfig::chaos`] plus PUT traffic: uploads torn mid-body
+    /// by resets, duplicated body segments, churned writers. The
+    /// contract gains a clause — a lost or reordered body must never
+    /// corrupt the cache (cache-vs-store consistency is audited at end
+    /// of run) or wedge a connection.
+    pub fn write_chaos(seed: u64) -> StormConfig {
+        StormConfig {
+            put: 0.35,
+            ..StormConfig::chaos(seed)
         }
     }
 }

@@ -18,7 +18,10 @@ use iolite_core::{
     ShardFabric, ShardMsg,
 };
 use iolite_fs::{CacheKey, CacheOwnership, Policy};
-use iolite_http::{request_bytes, EventLoopConfig, EventLoopServer, LoopReport, ShardContext};
+use iolite_http::{
+    parse_put_entry, put_request_bytes, request_bytes, synthetic_put_body, EventLoopConfig,
+    EventLoopServer, LoopReport, ShardContext,
+};
 use iolite_net::{TcpReceiver, DEFAULT_MSS, DEFAULT_TSS};
 use iolite_sim::{EventQueue, SimRng, SimTime};
 
@@ -90,6 +93,15 @@ pub fn plan(cfg: &StormConfig) -> StormPlan {
         .map(|_| {
             (0..cfg.requests_per_client)
                 .map(|_| {
+                    // The PUT draw is guarded so a zero rate makes no
+                    // RNG call at all — read-only configs keep the
+                    // exact draw sequence every pinned seed was
+                    // minimized against.
+                    if cfg.put > 0.0 && scripts_rng.chance(cfg.put) {
+                        let f = scripts_rng.next_index(cfg.files);
+                        let len = 1 + scripts_rng.next_below(cfg.max_put_bytes.max(1));
+                        return format!("PUT /f{f} {len}");
+                    }
                     // Half the requests hit a hot head, half the tail —
                     // the cache and checksum cache see both reuse and
                     // cold misses.
@@ -588,7 +600,13 @@ impl Storm {
     fn begin_request(&mut self, c: usize) {
         let path = self.clients[c].script[self.clients[c].next_req].clone();
         self.clients[c].next_req += 1;
-        let bytes = request_bytes(&path, true);
+        // A `"PUT <path> <len>"` entry uploads the deterministic body;
+        // anything else is a GET — the same encoding the event loop's
+        // internal injection uses.
+        let bytes = match parse_put_entry(&path) {
+            Some((p, len)) => put_request_bytes(p, &synthetic_put_body(p, len), true),
+            None => request_bytes(&path, true),
+        };
         self.clients[c].req_stream.extend_from_slice(&bytes);
         let total = self.clients[c].req_stream.len() as u64;
         self.clients[c].req_tx.offer(total);
@@ -921,15 +939,43 @@ impl Storm {
             }
         }
         // Pin hygiene: every transmission pin must be back at zero —
-        // failed and reset connections included.
+        // failed and reset connections included. And cache-vs-store
+        // consistency: whatever the wire did to PUT bodies (loss,
+        // duplication, reordering, mid-body resets), a cached entry
+        // must hold exactly the authoritative bytes — a torn or
+        // misassembled upload in the cache is corruption, dirty or not
+        // (dirty entries match too: the install writes the store image
+        // in the same step). Authority is the file's *home* shard's
+        // store: only the home ever writes a file, so a non-home
+        // shard's local store is a creation-time seed, while its cache
+        // replicas track the home through the write-invalidate
+        // broadcast.
         for (s, kernel) in kernels.iter().enumerate() {
             for f in 0..self.cfg.files {
-                if let Some(file) = kernel.store.lookup(&format!("/f{f}")) {
-                    let pins = kernel.cache.pins(&CacheKey::whole(file));
-                    if pins != 0 {
-                        self.violations
-                            .push(format!("shard {s}: /f{f} leaked {pins} cache pins"));
-                    }
+                let Some(file) = kernel.store.lookup(&format!("/f{f}")) else {
+                    continue;
+                };
+                let key = CacheKey::whole(file);
+                let pins = kernel.cache.pins(&key);
+                if pins != 0 {
+                    self.violations
+                        .push(format!("shard {s}: /f{f} leaked {pins} cache pins"));
+                }
+                let Some(agg) = kernel.cache.peek(&key) else {
+                    continue;
+                };
+                let home = iolite_fs::home_shard(file, kernels.len());
+                let truth = &kernels[home].store;
+                let store_len = truth.len(file).unwrap_or(0);
+                let cached = agg.to_vec();
+                let stored = truth.read(file, 0, store_len).unwrap_or_default();
+                if cached != stored {
+                    self.violations.push(format!(
+                        "shard {s}: /f{f} cache entry ({} bytes) diverges from \
+                         home shard {home}'s store image ({} bytes)",
+                        cached.len(),
+                        stored.len()
+                    ));
                 }
             }
         }

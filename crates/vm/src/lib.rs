@@ -29,7 +29,7 @@ pub mod physmem;
 pub mod window;
 
 pub use mmap::MmapView;
-pub use pager::{PageClass, PageoutDaemon};
+pub use pager::{PageClass, PageoutAction, PageoutDaemon};
 pub use physmem::{MemAccount, PhysMemory};
 pub use window::{AccessDenied, IoLiteWindow, MapStats, Perm};
 

@@ -23,6 +23,23 @@ pub enum PageClass {
     Other,
 }
 
+/// What the pageout daemon decided to do under memory pressure.
+///
+/// With a write path (PR 10) the daemon is no longer just an eviction
+/// trigger: dirty cache entries cannot be discarded, so pressure on a
+/// write-heavy cache must be relieved by *write-back* (clean the dirty
+/// data, then it becomes evictable), while pressure on a read-heavy
+/// cache is still relieved by plain clean eviction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageoutAction {
+    /// Flush dirty entries through the write-back scheduler.
+    WriteBack,
+    /// Evict one clean cache entry (§3.7).
+    EvictClean,
+    /// No action: the §3.7 predicate is not armed.
+    Idle,
+}
+
 /// Implements the §3.7 eviction-trigger rule and pageout statistics.
 #[derive(Debug, Default, Clone)]
 pub struct PageoutDaemon {
@@ -35,6 +52,8 @@ pub struct PageoutDaemon {
     evictions_signalled: u64,
     backing_store_writes: u64,
     backing_store_bytes: u64,
+    dirty_writebacks: u64,
+    clean_evictions: u64,
 }
 
 impl PageoutDaemon {
@@ -75,6 +94,37 @@ impl PageoutDaemon {
         self.other_since_evict = 0;
     }
 
+    /// Arbitrates dirty write-back vs. clean eviction under pressure.
+    ///
+    /// When the §3.7 predicate is armed, the daemon relieves pressure by
+    /// the cheapest *safe* action: a clean victim is evicted for free,
+    /// but once the dirty pool passes the write-back scheduler's
+    /// threshold — or when every remaining entry is dirty and there is
+    /// nothing clean to evict — the answer is write-back, because
+    /// cleaning is the only way to mint new victims. Records the
+    /// decision; the caller performs it and then calls
+    /// [`PageoutDaemon::eviction_performed`] to close the period.
+    pub fn arbitrate(
+        &mut self,
+        dirty_bytes: u64,
+        dirty_threshold: u64,
+        has_clean_victim: bool,
+    ) -> PageoutAction {
+        if !self.should_evict_cache_entry() {
+            return PageoutAction::Idle;
+        }
+        let dirty_armed = dirty_bytes > 0 && dirty_bytes >= dirty_threshold;
+        if dirty_armed || (!has_clean_victim && dirty_bytes > 0) {
+            self.dirty_writebacks += 1;
+            PageoutAction::WriteBack
+        } else if has_clean_victim {
+            self.clean_evictions += 1;
+            PageoutAction::EvictClean
+        } else {
+            PageoutAction::Idle
+        }
+    }
+
     /// Records a backing-store write performed while paging out an
     /// IO-Lite buffer page (possibly to several stores: paging space plus
     /// each file caching the page, §3.7).
@@ -108,6 +158,16 @@ impl PageoutDaemon {
         self.backing_store_bytes
     }
 
+    /// Pressure resolutions decided as dirty write-back.
+    pub fn dirty_writebacks(&self) -> u64 {
+        self.dirty_writebacks
+    }
+
+    /// Pressure resolutions decided as clean eviction.
+    pub fn clean_evictions(&self) -> u64 {
+        self.clean_evictions
+    }
+
     /// Folds the daemon's counters into a stable digest.
     pub fn digest(&self, h: &mut iolite_buf::Fnv64) {
         for v in [
@@ -118,6 +178,8 @@ impl PageoutDaemon {
             self.evictions_signalled,
             self.backing_store_writes,
             self.backing_store_bytes,
+            self.dirty_writebacks,
+            self.clean_evictions,
         ] {
             h.write_u64(v);
         }
@@ -187,6 +249,33 @@ mod tests {
         // 30% cached-I/O traffic: cache is small; only the initial
         // transient (the pattern's leading cached-I/O run) evicts.
         assert!(run(3) <= 3, "light traffic must not keep evicting");
+    }
+
+    #[test]
+    fn arbiter_picks_safe_cheapest_action() {
+        let mut d = PageoutDaemon::new();
+        // Predicate not armed: always idle, no counters.
+        assert_eq!(d.arbitrate(1000, 100, true), PageoutAction::Idle);
+        for _ in 0..3 {
+            d.page_replaced(PageClass::CachedIo);
+        }
+        // Armed, dirty below threshold, clean victim exists: evict free.
+        assert_eq!(d.arbitrate(50, 100, true), PageoutAction::EvictClean);
+        // Armed, dirty over threshold: write-back wins even with a clean
+        // victim available.
+        assert_eq!(d.arbitrate(100, 100, true), PageoutAction::WriteBack);
+        // Armed, all entries dirty: write-back is the only safe relief.
+        assert_eq!(d.arbitrate(10, 100, false), PageoutAction::WriteBack);
+        // Armed, nothing dirty and nothing clean (empty cache): idle.
+        assert_eq!(d.arbitrate(0, 100, false), PageoutAction::Idle);
+        assert_eq!((d.dirty_writebacks(), d.clean_evictions()), (2, 1));
+        // The decisions change the digest.
+        let mut h1 = iolite_buf::Fnv64::new();
+        d.digest(&mut h1);
+        d.arbitrate(0, 100, true);
+        let mut h2 = iolite_buf::Fnv64::new();
+        d.digest(&mut h2);
+        assert_ne!(h1.finish(), h2.finish());
     }
 
     #[test]

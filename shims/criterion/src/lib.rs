@@ -14,6 +14,12 @@
 //! (or setting `CRITERION_SHIM_FAST=1`) shortens every measurement so a
 //! full `cargo bench` run finishes quickly.
 
+// The workspace-wide clippy.toml bans wall-clock types to keep the
+// kernel pure, but a bench harness *is* a wall clock; the real purity
+// gate for kernel code is iolite-lint's purity rule over
+// `crates/core/src/pure/`.
+#![allow(clippy::disallowed_types, clippy::disallowed_methods)]
+
 use std::time::{Duration, Instant};
 
 /// Top-level harness handle, passed to each bench function.

@@ -37,6 +37,60 @@ fn all_slowloris_tiny_chunks_terminate() {
     assert_eq!(report.completed(), 16);
 }
 
+/// Writes seed 1009 caught replay divergence through snapshot lifetime
+/// (PR 10): a PUT replaced a whole-file entry while readers still held
+/// transmission pins, and the displaced aggregate's buffers were then
+/// freed at a time decided by the *readers'* host-side clones — which
+/// exist live but not under replay, so pool chunk release (and every
+/// later allocation offset) diverged. Fixed by parking displaced
+/// aggregates of pinned keys in the cache's limbo table until the
+/// journaled unpin.
+#[test]
+fn writes_seed_1009_pinned_replacement_replays() {
+    let report = run_storm(&StormConfig::writes(1009));
+    assert_eq!(report.violations, Vec::<String>::new());
+    report.verify_replay().expect("journal replay");
+}
+
+/// Writes seed 1015 caught the deeper version of the same class, down
+/// to a 2-client 2-file run: the recorded journal itself holds every
+/// `IolWriteFd` command's response aggregate, so its `Arc`s kept cache
+/// chunks alive in the live run that replay (whose journal references
+/// the live pool, not its own) let drain — in-op chunk scavenging
+/// keyed off ambient refcounts could never replay. Fixed by making the
+/// cache pool append-only: no `release_free_chunks` from pure ops.
+#[test]
+fn writes_seed_1015_journal_held_chunks_replay() {
+    let minimized = StormConfig {
+        clients: 2,
+        files: 2,
+        requests_per_client: 2,
+        ..StormConfig::writes(1015)
+    };
+    for cfg in [minimized, StormConfig::writes(1015)] {
+        let report = run_storm(&cfg);
+        assert_eq!(report.violations, Vec::<String>::new());
+        report.verify_replay().expect("journal replay");
+    }
+}
+
+/// Sharded write-chaos seed 1 caught stale replicas: under `Replicate`
+/// ownership a write routed to its home shard invalidated only the
+/// *writer's* local copy, so a third shard's replica of the old bytes
+/// survived to end of run (the cache-vs-store audit flagged it). Fixed
+/// by a home-shard `Invalidate` broadcast after every committed write,
+/// ordered behind any in-flight `RemoteData` by the per-pair FIFO.
+#[test]
+fn sharded_write_chaos_replicas_track_home() {
+    let cfg = StormConfig {
+        shards: 2,
+        ..StormConfig::write_chaos(1)
+    };
+    let report = run_storm(&cfg);
+    assert_eq!(report.violations, Vec::<String>::new());
+    report.verify_replay().expect("journal replay");
+}
+
 /// Fixed-seed smoke: one run of each preset, plus a 2-shard chaos run,
 /// must stay violation-free and replay exactly.
 #[test]
@@ -48,6 +102,12 @@ fn fixed_seed_smoke() {
         StormConfig {
             shards: 2,
             ..StormConfig::chaos(1)
+        },
+        StormConfig::writes(1),
+        StormConfig::write_chaos(1),
+        StormConfig {
+            shards: 2,
+            ..StormConfig::write_chaos(1)
         },
     ] {
         let report = run_storm(&cfg);
@@ -81,5 +141,11 @@ fn randomized_campaign() {
     sweep("sharded-chaos", |s| StormConfig {
         shards: 2,
         ..StormConfig::chaos(s)
+    });
+    sweep("writes", StormConfig::writes);
+    sweep("write-chaos", StormConfig::write_chaos);
+    sweep("sharded-write-chaos", |s| StormConfig {
+        shards: 2,
+        ..StormConfig::write_chaos(s)
     });
 }
